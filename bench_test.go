@@ -1,0 +1,224 @@
+package easypap
+
+// One benchmark per figure of the paper's evaluation (Section III plus the
+// §II-C performance-mode example). Each benchmark runs the corresponding
+// workload via internal/figures and reports the figure's headline numbers
+// as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation. DESIGN.md §4 is the index;
+// EXPERIMENTS.md records paper-vs-measured values. Set -short to shrink
+// the workloads.
+
+import (
+	"testing"
+
+	"easypap/internal/core"
+	"easypap/internal/figures"
+	_ "easypap/internal/kernels"
+	"easypap/internal/sched"
+)
+
+// benchParams picks quick workloads under -short, paper-sized otherwise.
+func benchParams(b *testing.B) figures.Params {
+	return figures.Params{Quick: testing.Short(), OutDir: "", Log: nil}
+}
+
+// BenchmarkPerfModeMandel is the paper's §II-C example:
+// "easypap --kernel mandel --variant omp_tiled --tile-size 16
+// --iterations 50 --no-display" -> "50 iterations completed in 579 ms".
+func BenchmarkPerfModeMandel(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		res, err := figures.PerfMode(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Result.WallTime.Milliseconds()), "ms/50iter")
+	}
+}
+
+// BenchmarkFig3LoadImbalance measures the per-CPU imbalance of mandel
+// under schedule(static), the situation Fig. 3's monitoring windows show.
+func BenchmarkFig3LoadImbalance(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig3(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Imbalance, "max/mean-load")
+		b.ReportMetric(res.Idleness*100, "idle%")
+	}
+}
+
+// BenchmarkFig4Schedules runs mandel omp_tiled under each of the four
+// scheduling policies of Fig. 4 and times one iteration.
+func BenchmarkFig4Schedules(b *testing.B) {
+	dim := 1024
+	if testing.Short() {
+		dim = 256
+	}
+	for _, pol := range []sched.Policy{
+		sched.StaticPolicy, sched.DynamicPolicy(2),
+		sched.NonmonotonicPolicy, sched.GuidedPolicy,
+	} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.Run(core.Config{
+					Kernel: "mandel", Variant: "omp_tiled", Dim: dim,
+					TileW: 16, TileH: 16, Iterations: 1, NoDisplay: true,
+					Schedule: pol,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6SpeedupSweep regenerates the Fig. 6 speedup study (threads
+// x schedules x grain against the sequential reference).
+func BenchmarkFig6SpeedupSweep(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig6(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BestSpeedup, "best-speedup")
+	}
+}
+
+// BenchmarkFig7GanttTrace records and explores the mandel trace of §II-D.
+func BenchmarkFig7GanttTrace(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events), "events")
+	}
+}
+
+// BenchmarkFig8DynamicPatterns measures the two tiling patterns of Fig. 8
+// under dynamic scheduling of small tiles.
+func BenchmarkFig8DynamicPatterns(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig8(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CyclicScore, "cyclic-score")
+		b.ReportMetric(float64(len(res.LongRunRows)), "longrun-rows")
+	}
+}
+
+// BenchmarkFig9Heat measures the heat-map observations: mandel's in-set
+// vs outside tile cost ratio and blur's border/inner ratio.
+func BenchmarkFig9Heat(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig9(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MandelMaxOverMin, "mandel-max/min")
+		b.ReportMetric(res.BlurRatio, "blur-border/inner")
+	}
+}
+
+// BenchmarkFig10BlurCompare regenerates the trace comparison of Fig. 10:
+// basic vs optimized blur (paper: ~3x overall, ~10x on inner tasks with
+// AVX2 auto-vectorization; see DESIGN.md for the substitution).
+func BenchmarkFig10BlurCompare(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig10(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WallSpeedup, "wall-speedup")
+		b.ReportMetric(res.Compare.MedianTaskRatio, "median-task-ratio")
+	}
+}
+
+// BenchmarkCoverageLocality regenerates the §III-B coverage-map study:
+// how clustered each CPU's tile coverage is under nonmonotonic vs dynamic.
+func BenchmarkCoverageLocality(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		res, err := figures.CoverageStudy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanLocality["nonmonotonic:dynamic"], "nonmono-locality")
+		b.ReportMetric(res.MeanLocality["dynamic,1"], "dynamic-locality")
+	}
+}
+
+// BenchmarkFig12TaskWave regenerates the cc dependency wavefront of
+// Figs. 11/12 and its over-constrained counterpart.
+func BenchmarkFig12TaskWave(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig12(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Violations != 0 {
+			b.Fatalf("%d dependency violations", res.Violations)
+		}
+		b.ReportMetric(float64(res.WaveConcurrency), "wave-concurrency")
+		b.ReportMetric(float64(res.SerialConcurrency), "serial-concurrency")
+	}
+}
+
+// BenchmarkFig13LifeMPI regenerates the MPI+OpenMP lazy Game of Life of
+// Fig. 13 (2 processes x 4 threads, planers along the diagonals).
+func BenchmarkFig13LifeMPI(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig13(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ComputedFraction*100, "computed-tiles%")
+		b.ReportMetric(res.DiagonalHitRate*100, "diag-hit%")
+	}
+}
+
+// BenchmarkKernelsSeqVsBestParallel times every kernel's sequential and
+// best parallel variant on a mid-size image — an ablation-style summary
+// table beyond the paper's figures.
+func BenchmarkKernelsSeqVsBestParallel(b *testing.B) {
+	dim := 512
+	if testing.Short() {
+		dim = 128
+	}
+	cases := []struct{ kernel, variant string }{
+		{"mandel", "seq"}, {"mandel", "omp_tiled"},
+		{"blur", "seq"}, {"blur", "omp_tiled_opt"},
+		{"life", "seq"}, {"life", "lazy"},
+		{"invert", "seq"}, {"invert", "omp_tiled"},
+		{"transpose", "seq"}, {"transpose", "omp_tiled"},
+	}
+	for _, c := range cases {
+		b.Run(c.kernel+"/"+c.variant, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.Run(core.Config{
+					Kernel: c.kernel, Variant: c.variant, Dim: dim,
+					TileW: 16, TileH: 16, Iterations: 2, NoDisplay: true,
+					Schedule: sched.NonmonotonicPolicy, Seed: 42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Command easybench regenerates every figure of the paper's evaluation
+// section in one run (see DESIGN.md §4 for the experiment index):
+//
+//	easybench                 # full-size workloads, artifacts under out/
+//	easybench -quick          # small workloads (seconds, for CI)
+//	easybench -fig fig6       # a single figure
+//	easybench -out results    # choose the artifact directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"easypap/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: all|perf|fig3|fig4|fig6|fig7|fig8|fig9|fig10|coverage|fig12|fig13")
+	out := flag.String("out", "out", "artifact output directory")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	flag.Parse()
+
+	p := figures.Params{Quick: *quick, OutDir: *out, Log: os.Stdout}
+	var err error
+	switch *fig {
+	case "all":
+		err = figures.All(p)
+	case "perf":
+		_, err = figures.PerfMode(p)
+	case "fig3":
+		_, err = figures.Fig3(p)
+	case "fig4":
+		_, err = figures.Fig4(p)
+	case "fig6":
+		_, err = figures.Fig6(p)
+	case "fig7":
+		_, err = figures.Fig7(p)
+	case "fig8":
+		_, err = figures.Fig8(p)
+	case "fig9":
+		_, err = figures.Fig9(p)
+	case "fig10":
+		_, err = figures.Fig10(p)
+	case "coverage":
+		_, err = figures.CoverageStudy(p)
+	case "fig12":
+		_, err = figures.Fig12(p)
+	case "fig13":
+		_, err = figures.Fig13(p)
+	default:
+		err = fmt.Errorf("unknown figure %q", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "easybench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,166 @@
+// Command easypap is the CLI entry point of the framework, mirroring the
+// original tool's interface (paper §II):
+//
+//	easypap --kernel mandel --variant seq --size 2048
+//	easypap --kernel mandel --variant omp_tiled --tile-size 16 --monitoring
+//	easypap --kernel mandel --variant omp_tiled --tile-size 16 \
+//	        --iterations 50 --no-display
+//	easypap --kernel mandel --variant omp --trace traces/run.evt \
+//	        --no-display --iterations 10
+//	easypap --kernel life --variant mpi_omp --mpirun "-np 2" --monitoring \
+//	        --debug M
+//
+// Being headless, "display" means writing PNG frames (main view, tiling
+// window, activity monitor) under --output-dir instead of opening SDL
+// windows; performance mode (--no-display) is identical to the original.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"easypap/internal/core"
+	_ "easypap/internal/kernels" // register all predefined kernels
+	"easypap/internal/monitor"
+	"easypap/internal/sched"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "easypap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("easypap", flag.ContinueOnError)
+	var (
+		kernel     = fs.String("kernel", "", "kernel to run (see --list)")
+		variant    = fs.String("variant", "", "kernel variant (default: the kernel's default)")
+		size       = fs.Int("size", 0, "image size (square, default 1024)")
+		tileSize   = fs.Int("tile-size", 0, "square tile size")
+		grain      = fs.Int("grain", 0, "alias for --tile-size")
+		tileW      = fs.Int("tile-width", 0, "tile width (overrides --tile-size)")
+		tileH      = fs.Int("tile-height", 0, "tile height (overrides --tile-size)")
+		iterations = fs.Int("iterations", 1, "number of iterations")
+		threads    = fs.Int("threads", 0, "worker threads (default: all cores; OMP_NUM_THREADS analogue)")
+		schedule   = fs.String("schedule", "", "loop schedule: static | static,k | dynamic,k | guided[,k] | nonmonotonic:dynamic (OMP_SCHEDULE analogue)")
+		monitoring = fs.Bool("monitoring", false, "activate the tiling and activity windows")
+		heat       = fs.Bool("heat-map", false, "tiling window brightness reflects task duration")
+		tracePath  = fs.String("trace", "", "record an execution trace to this file")
+		noDisplay  = fs.Bool("no-display", false, "performance mode: no frames, report wall time")
+		outputDir  = fs.String("output-dir", "out", "directory for PNG frames and windows")
+		frames     = fs.Int("frames", 0, "keep one frame every N iterations")
+		mpirun     = fs.String("mpirun", "", `MPI launch options, e.g. "-np 2"`)
+		debug      = fs.String("debug", "", "debug flags; M shows windows of every MPI process")
+		arg        = fs.String("arg", "", "kernel argument (e.g. life pattern: random|diag|blinker|empty)")
+		seed       = fs.Int64("seed", 0, "deterministic seed for randomized kernels")
+		csvPath    = fs.String("csv", "", "append the performance result to this CSV file")
+		list       = fs.Bool("list", false, "list registered kernels and variants")
+		asciiDump  = fs.Bool("ascii", false, "print an ASCII preview of the final image")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range core.KernelNames() {
+			k, err := core.Lookup(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-12s %s\n", name, k.Description)
+			fmt.Fprintf(out, "             variants: %s\n", strings.Join(k.VariantNames(), ", "))
+		}
+		return nil
+	}
+	if *kernel == "" {
+		return fmt.Errorf("no --kernel given (try --list)")
+	}
+
+	pol := sched.StaticPolicy
+	if *schedule != "" {
+		var err error
+		pol, err = sched.ParsePolicy(*schedule)
+		if err != nil {
+			return err
+		}
+	}
+	np, err := parseMPIRun(*mpirun)
+	if err != nil {
+		return err
+	}
+	tw, th := *tileSize, *tileSize
+	if tw == 0 {
+		tw, th = *grain, *grain
+	}
+	if *tileW > 0 {
+		tw = *tileW
+	}
+	if *tileH > 0 {
+		th = *tileH
+	}
+
+	cfg := core.Config{
+		Kernel: *kernel, Variant: *variant, Dim: *size,
+		TileW: tw, TileH: th,
+		Iterations: *iterations, Threads: *threads, Schedule: pol,
+		Monitoring: *monitoring, HeatMode: *heat, TracePath: *tracePath,
+		NoDisplay: *noDisplay, OutputDir: *outputDir, FrameEvery: *frames,
+		MPIRanks: np, Debug: *debug, Arg: *arg, Seed: *seed,
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *noDisplay {
+		fmt.Fprintln(out, res.Result.String())
+	}
+	if *csvPath != "" {
+		if err := core.AppendCSV(*csvPath, res.Result); err != nil {
+			return err
+		}
+	}
+	if *monitoring && len(res.Monitors) > 0 && res.Monitors[0] != nil {
+		iters := res.Monitors[0].Iterations()
+		if len(iters) > 0 {
+			fmt.Fprint(out, monitor.ASCIIReport(iters[len(iters)-1]))
+		}
+	}
+	if *asciiDump && res.Final != nil {
+		fmt.Fprint(out, res.Final.ASCII(64))
+	}
+	if *tracePath != "" && res.Trace != nil && cfg.MPIRanks > 1 {
+		// Multi-rank traces are merged at the master and saved here.
+		if err := res.Trace.Save(*tracePath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseMPIRun extracts -np N from the --mpirun option string.
+func parseMPIRun(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		if f == "-np" || f == "-n" {
+			if i+1 >= len(fields) {
+				return 0, fmt.Errorf("--mpirun: %s needs a value", f)
+			}
+			np, err := strconv.Atoi(fields[i+1])
+			if err != nil || np <= 0 {
+				return 0, fmt.Errorf("--mpirun: invalid process count %q", fields[i+1])
+			}
+			return np, nil
+		}
+	}
+	return 0, fmt.Errorf("--mpirun: no -np option in %q", s)
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseMPIRun(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"", 0, false},
+		{"-np 2", 2, false},
+		{"-n 4", 4, false},
+		{"  -np   8  ", 8, false},
+		{"--mca foo -np 3", 3, false},
+		{"-np", 0, true},
+		{"-np x", 0, true},
+		{"-np -1", 0, true},
+		{"nothing here", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseMPIRun(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseMPIRun(%q) succeeded with %d", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseMPIRun(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseMPIRun(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRunPerfMode(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "perf.csv")
+	err := run([]string{
+		"--kernel", "invert", "--variant", "omp_tiled", "--size", "64",
+		"--tile-size", "16", "--iterations", "2", "--no-display",
+		"--threads", "2", "--schedule", "dynamic,2", "--csv", csv,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(csv); err != nil {
+		t.Error("CSV not written")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"--kernel", "nope"}, os.Stdout); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if err := run([]string{}, os.Stdout); err == nil {
+		t.Error("missing kernel accepted")
+	}
+	if err := run([]string{"--kernel", "mandel", "--schedule", "bogus"}, os.Stdout); err == nil {
+		t.Error("bogus schedule accepted")
+	}
+	if err := run([]string{"--kernel", "mandel", "--mpirun", "-np"}, os.Stdout); err == nil {
+		t.Error("bogus mpirun accepted")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"--list"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMPIVariant(t *testing.T) {
+	err := run([]string{
+		"--kernel", "life", "--variant", "mpi_omp", "--size", "64",
+		"--tile-size", "8", "--iterations", "3", "--no-display",
+		"--threads", "2", "--mpirun", "-np 2", "--arg", "diag",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Command easyplot turns performance-mode CSV files into speedup or time
+// graphs (paper §II-C, Fig. 6). The legend is generated automatically from
+// the varying parameters; constant parameters are listed above the graph:
+//
+//	easyplot --input perf.csv --kernel mandel --col tilew --speedup \
+//	         --output fig6.svg
+//
+// is the equivalent of the paper's
+// "easyplot --kernel mandel --col grain --speedup".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"easypap/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "easyplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("easyplot", flag.ContinueOnError)
+	var (
+		input   = fs.String("input", "perf.csv", "input CSV file (as produced by easypap --csv)")
+		output  = fs.String("output", "plot.svg", "output SVG file")
+		kernel  = fs.String("kernel", "", "filter: kernel name")
+		variant = fs.String("variant", "", "filter: variant name")
+		dim     = fs.String("dim", "", "filter: image size")
+		arg     = fs.String("arg", "", "filter: kernel argument")
+		xcol    = fs.String("x", "threads", "x-axis column")
+		col     = fs.String("col", "", "panel column (one sub-graph per value, e.g. tilew)")
+		speedup = fs.Bool("speedup", false, "plot speedup against the sequential reference")
+		refTime = fs.Int64("reftime", 0, "explicit sequential reference time in µs")
+		ascii   = fs.Bool("ascii", false, "also print an ASCII chart")
+		width   = fs.Int("width", 0, "SVG width (0 = auto)")
+		height  = fs.Int("height", 420, "SVG height")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tab, err := plot.Load(*input)
+	if err != nil {
+		return err
+	}
+	filters := map[string]string{}
+	if *kernel != "" {
+		filters["kernel"] = *kernel
+	}
+	if *variant != "" {
+		filters["variant"] = *variant
+	}
+	if *dim != "" {
+		filters["dim"] = *dim
+	}
+	if *arg != "" {
+		filters["arg"] = *arg
+	}
+	tab = tab.Filter(filters)
+
+	g, err := plot.Build(tab, plot.Options{
+		XCol: *xcol, PanelCol: *col, Speedup: *speedup, RefTimeUS: *refTime,
+	})
+	if err != nil {
+		return err
+	}
+	if err := g.SaveSVG(*output, *width, *height); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d panels)\n", *output, len(g.Panels))
+	fmt.Fprintln(out, g.ConstantsLine())
+	if *ascii {
+		fmt.Fprint(out, g.ASCII(0, 0))
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writePerfCSV(t *testing.T) string {
+	t.Helper()
+	content := "machine,kernel,variant,dim,tilew,tileh,threads,schedule,ranks,iterations,arg,time_us\n" +
+		"m,mandel,seq,512,16,16,1,static,1,10,,400000\n" +
+		"m,mandel,omp_tiled,512,16,16,2,static,1,10,,220000\n" +
+		"m,mandel,omp_tiled,512,16,16,4,static,1,10,,120000\n" +
+		"m,mandel,omp_tiled,512,32,32,2,static,1,10,,230000\n" +
+		"m,mandel,omp_tiled,512,32,32,4,static,1,10,,130000\n"
+	path := filepath.Join(t.TempDir(), "perf.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPlotSpeedup(t *testing.T) {
+	csv := writePerfCSV(t)
+	svg := filepath.Join(t.TempDir(), "fig.svg")
+	var buf bytes.Buffer
+	err := run([]string{"--input", csv, "--kernel", "mandel", "--col", "tilew",
+		"--speedup", "--output", svg, "--ascii"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "speedup") {
+		t.Error("missing speedup axis")
+	}
+	if !strings.Contains(buf.String(), "2 panels") {
+		t.Errorf("report: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "Parameters :") {
+		t.Error("missing constants banner")
+	}
+}
+
+func TestPlotTimeNoFilters(t *testing.T) {
+	csv := writePerfCSV(t)
+	svg := filepath.Join(t.TempDir(), "t.svg")
+	var buf bytes.Buffer
+	err := run([]string{"--input", csv, "--variant", "omp_tiled", "--dim", "512",
+		"--output", svg}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(svg); err != nil {
+		t.Error("SVG not written")
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"--input", "/nonexistent.csv"}, &buf); err == nil {
+		t.Error("missing CSV accepted")
+	}
+	csv := writePerfCSV(t)
+	if err := run([]string{"--input", csv, "--kernel", "nothere"}, &buf); err == nil {
+		t.Error("empty filter result accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Command easyview is the trace explorer (paper §II-D): it loads trace
+// files recorded with easypap --trace and exposes the interactive tool's
+// analyses as subcommands:
+//
+//	easyview gantt    run.evt --out gantt.svg [--from 1 --to 10]
+//	easyview stats    run.evt
+//	easyview compare  base.evt optimized.evt
+//	easyview coverage run.evt --cpu 3 --out cover.png [--thumb final.png]
+//	easyview json     run.evt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"easypap/internal/ezview"
+	"easypap/internal/img2d"
+	"easypap/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "easyview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: easyview <gantt|stats|compare|coverage|json> ...")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "gantt":
+		return ganttCmd(rest, out)
+	case "stats":
+		return statsCmd(rest, out)
+	case "compare":
+		return compareCmd(rest, out)
+	case "coverage":
+		return coverageCmd(rest, out)
+	case "json":
+		return jsonCmd(rest, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func ganttCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gantt", flag.ContinueOnError)
+	outPath := fs.String("out", "gantt.svg", "output SVG path")
+	from := fs.Int("from", 1, "first iteration")
+	to := fs.Int("to", 0, "last iteration (0 = all)")
+	width := fs.Int("width", 1200, "chart width")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("gantt: need exactly one trace file")
+	}
+	t, err := trace.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	v := ezview.New(t)
+	if err := v.SaveGanttSVG(*outPath, ezview.GanttOptions{
+		Width: *width, IterLo: *from, IterHi: *to,
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d events)\n", *outPath, len(t.Events))
+	return nil
+}
+
+func statsCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	from := fs.Int("from", 1, "first iteration")
+	to := fs.Int("to", 0, "last iteration (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats: need exactly one trace file")
+	}
+	t, err := trace.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	hi := *to
+	if hi == 0 {
+		hi = t.Iterations()
+	}
+	v := ezview.New(t)
+	fmt.Fprint(out, v.GanttReport(*from, hi))
+	for iter := *from; iter <= hi; iter++ {
+		fmt.Fprintf(out, "  iter %d imbalance (max/mean busy): %.2f\n", iter, t.LoadImbalance(iter))
+	}
+	return nil
+}
+
+func compareCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare: need exactly two trace files")
+	}
+	a, err := trace.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := trace.Load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rep, err := ezview.CompareReport(a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep)
+	return nil
+}
+
+func coverageCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("coverage", flag.ContinueOnError)
+	cpu := fs.Int("cpu", 0, "global CPU id (rank*threads+cpu)")
+	from := fs.Int("from", 1, "first iteration")
+	to := fs.Int("to", 0, "last iteration (0 = all)")
+	outPath := fs.String("out", "coverage.png", "output PNG path")
+	thumbPath := fs.String("thumb", "", "image to overlay (default: flat gray)")
+	size := fs.Int("size", 256, "output size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("coverage: need exactly one trace file")
+	}
+	t, err := trace.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	hi := *to
+	if hi == 0 {
+		hi = t.Iterations()
+	}
+	var thumb *img2d.Image
+	if *thumbPath != "" {
+		thumb, err = img2d.LoadPNG(*thumbPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		thumb = img2d.New(max(t.Meta.Dim, 16))
+		thumb.Fill(img2d.RGB(120, 120, 130))
+	}
+	v := ezview.New(t)
+	cov, err := v.CoverageMap(thumb, *cpu, *from, hi, *size)
+	if err != nil {
+		return err
+	}
+	if err := cov.SavePNG(*outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (CPU %d, iterations %d..%d, locality %.3f)\n",
+		*outPath, *cpu, *from, hi, v.CoverageLocality(*cpu, *from, hi))
+	return nil
+}
+
+func jsonCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("json", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("json: need exactly one trace file")
+	}
+	t, err := trace.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return t.WriteJSON(out)
+}

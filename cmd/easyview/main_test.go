@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"easypap/internal/trace"
+)
+
+// writeTestTrace drops a small trace file on disk.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	tr := &trace.Trace{
+		Meta: trace.Meta{Kernel: "mandel", Variant: "omp", Dim: 64,
+			TileW: 16, TileH: 16, Threads: 2, Ranks: 1, Iterations: 2},
+		Events: []trace.Event{
+			{Iter: 1, CPU: 0, Start: 0, End: 100, X: 0, Y: 0, W: 16, H: 16},
+			{Iter: 1, CPU: 1, Start: 10, End: 90, X: 16, Y: 0, W: 16, H: 16},
+			{Iter: 2, CPU: 0, Start: 120, End: 200, X: 0, Y: 16, W: 16, H: 16},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "t.evt")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGanttSubcommand(t *testing.T) {
+	tr := writeTestTrace(t)
+	out := filepath.Join(t.TempDir(), "g.svg")
+	var buf bytes.Buffer
+	if err := run([]string{"gantt", "--out", out, tr}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("not an SVG")
+	}
+	if !strings.Contains(buf.String(), "3 events") {
+		t.Errorf("report: %s", buf.String())
+	}
+}
+
+func TestStatsSubcommand(t *testing.T) {
+	tr := writeTestTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"stats", tr}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "mandel/omp") || !strings.Contains(s, "imbalance") {
+		t.Errorf("stats output: %s", s)
+	}
+}
+
+func TestCompareSubcommand(t *testing.T) {
+	a, b := writeTestTrace(t), writeTestTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"compare", a, b}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup A->B: 1.00x") {
+		t.Errorf("compare output: %s", buf.String())
+	}
+}
+
+func TestCoverageSubcommand(t *testing.T) {
+	tr := writeTestTrace(t)
+	out := filepath.Join(t.TempDir(), "cov.png")
+	var buf bytes.Buffer
+	if err := run([]string{"coverage", "--cpu", "0", "--out", out, tr}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Error("coverage PNG not written")
+	}
+	if !strings.Contains(buf.String(), "locality") {
+		t.Errorf("coverage output: %s", buf.String())
+	}
+}
+
+func TestJSONSubcommand(t *testing.T) {
+	tr := writeTestTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"json", tr}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kernel": "mandel"`) {
+		t.Errorf("json output: %s", buf.String()[:100])
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"gantt"}, &buf); err == nil {
+		t.Error("gantt without file accepted")
+	}
+	if err := run([]string{"stats", "/nonexistent.evt"}, &buf); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run([]string{"compare", "/a.evt"}, &buf); err == nil {
+		t.Error("compare with one file accepted")
+	}
+}

@@ -1,0 +1,16 @@
+// Package easypap is a from-scratch Go reproduction of "EASYPAP: a
+// Framework for Learning Parallel Programming" (Lasserre, Namyst,
+// Wacrenier; University of Bordeaux, 2020, HAL hal-02469919).
+//
+// The framework lives under internal/: the core runtime (internal/core),
+// the OpenMP-like scheduling pool (internal/sched), the task-dependency
+// engine (internal/taskdep), the message-passing runtime (internal/mpi),
+// the monitoring and tracing toolchain (internal/monitor, internal/trace,
+// internal/ezview), the experiment/plot pipeline (internal/expt,
+// internal/plot) and the predefined kernels (internal/kernels).
+//
+// Executables live under cmd/ (easypap, easyview, easyplot, easybench) and
+// runnable examples under examples/. The benchmarks in bench_test.go
+// regenerate every figure of the paper's evaluation; see DESIGN.md and
+// EXPERIMENTS.md.
+package easypap

@@ -1,0 +1,75 @@
+// Scheduling policies under the tiling window: the paper's Fig. 4.
+//
+// The same mandel iteration is run under the four OpenMP scheduling
+// policies; for each one the example renders the tiling window (tile ->
+// thread assignment) and prints the pattern metrics students learn to
+// read: contiguous blocks for static, opportunistic mixing for dynamic,
+// static-plus-stealing for nonmonotonic:dynamic, shrinking runs for
+// guided.
+//
+//	go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"easypap/internal/core"
+	_ "easypap/internal/kernels"
+	"easypap/internal/monitor"
+	"easypap/internal/sched"
+)
+
+func main() {
+	const dim, tile, threads = 1024, 16, 4
+	policies := []sched.Policy{
+		sched.StaticPolicy,
+		sched.DynamicPolicy(2),
+		sched.NonmonotonicPolicy,
+		sched.GuidedPolicy,
+	}
+
+	for _, pol := range policies {
+		out, err := core.Run(core.Config{
+			Kernel: "mandel", Variant: "omp_tiled", Dim: dim,
+			TileW: tile, TileH: tile, Iterations: 1, NoDisplay: true,
+			Monitoring: true, Threads: threads, Schedule: pol,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		iters := out.Monitors[0].Iterations()
+		last := iters[len(iters)-1]
+		tiles := dim / tile
+		grid := monitor.OwnerGrid(last, dim, tiles, tiles, threads)
+
+		longest := 0
+		for _, n := range monitor.RowRuns(grid) {
+			for _, r := range n {
+				if r > longest {
+					longest = r
+				}
+			}
+		}
+		fmt.Printf("%-22s contiguous=%v longest-run=%-3d time=%v\n",
+			pol, monitor.ContiguousBlocks(grid), longest, out.WallTime.Round(1e6))
+
+		img := monitor.TilingImage(last, dim, 512)
+		name := "out/sched_" + sanitize(pol.String()) + ".png"
+		if err := img.SavePNG(name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%22s tiling window -> %s\n", "", name)
+	}
+	fmt.Println("\ncompare the four PNGs with the paper's Fig. 4a-4d")
+}
+
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c == ':' || c == ',' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

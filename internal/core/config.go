@@ -1,0 +1,144 @@
+// Package core is the EASYPAP framework itself — the paper's contribution.
+// It ties the substrates together: kernels and their variants are
+// registered in a global registry; a Config (mirroring the easypap command
+// line) selects what to run; Run drives the iteration loop, bracketing each
+// iteration for the monitor and the tracer, feeding frames to the display
+// sink, and producing the performance-mode measurements that end up in the
+// CSV files easyplot consumes.
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"easypap/internal/sched"
+)
+
+// Config selects and parameterizes a run. Zero fields take the same
+// defaults the easypap binary applies (see Normalize).
+type Config struct {
+	Kernel  string // --kernel
+	Variant string // --variant
+	Dim     int    // --size (images are square, like EASYPAP)
+	TileW   int    // --tile-width (or --tile-size / --grain for square tiles)
+	TileH   int    // --tile-height
+
+	Iterations int          // --iterations
+	Threads    int          // OMP_NUM_THREADS analogue (--threads)
+	Schedule   sched.Policy // OMP_SCHEDULE analogue (--schedule)
+
+	Monitoring bool   // --monitoring: per-iteration activity + tiling stats
+	HeatMode   bool   // --heat-map: tiling window colors by task duration
+	TracePath  string // --trace[=path]: record an execution trace
+	NoDisplay  bool   // --no-display: performance mode
+
+	OutputDir  string // --output-dir: where frames and windows are written
+	FrameEvery int    // --frames n: keep one frame every n iterations
+
+	MPIRanks int    // --mpirun "-np N": number of simulated MPI processes
+	Debug    string // --debug flags; 'M' shows windows of every MPI process
+
+	Arg  string // free-form kernel argument (e.g. life pattern name)
+	Seed int64  // deterministic seed for randomized kernels
+
+	// Label tags the run in CSV output (defaults to the host name).
+	Label string
+}
+
+// Normalize fills defaults and validates the configuration against the
+// selected kernel. It returns a copy; the receiver is unchanged.
+func (c Config) Normalize() (Config, error) {
+	if c.Kernel == "" {
+		return c, fmt.Errorf("core: no kernel selected")
+	}
+	k, err := Lookup(c.Kernel)
+	if err != nil {
+		return c, err
+	}
+	if c.Variant == "" {
+		c.Variant = k.DefaultVariant
+	}
+	if _, ok := k.Variants[c.Variant]; !ok {
+		return c, fmt.Errorf("core: kernel %q has no variant %q (have %v)",
+			c.Kernel, c.Variant, k.VariantNames())
+	}
+	if c.Dim == 0 {
+		c.Dim = 1024
+	}
+	if c.Dim <= 0 {
+		return c, fmt.Errorf("core: invalid --size %d", c.Dim)
+	}
+	if c.TileW == 0 {
+		c.TileW = defaultTile(c.Dim)
+	}
+	if c.TileH == 0 {
+		c.TileH = c.TileW
+	}
+	if _, err := sched.NewTileGrid(c.Dim, c.TileW, c.TileH); err != nil {
+		return c, err
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 1
+	}
+	if c.Iterations < 0 {
+		return c, fmt.Errorf("core: invalid --iterations %d", c.Iterations)
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.MPIRanks <= 0 {
+		c.MPIRanks = 1
+	}
+	if c.MPIRanks > 1 && !isMPIVariant(c.Variant) {
+		return c, fmt.Errorf("core: --mpirun requires an mpi variant, not %q", c.Variant)
+	}
+	if isMPIVariant(c.Variant) && c.MPIRanks == 1 {
+		c.MPIRanks = 2 // mirror easypap: mpi variants default to 2 processes
+	}
+	if c.FrameEvery < 0 {
+		return c, fmt.Errorf("core: invalid --frames %d", c.FrameEvery)
+	}
+	if c.Label == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "unknown-host"
+		}
+		c.Label = host
+	}
+	return c, nil
+}
+
+// defaultTile mirrors EASYPAP's default decomposition: 32x32 tiles for
+// images at least 512 wide, otherwise the largest power-of-two divisor up
+// to 32.
+func defaultTile(dim int) int {
+	for t := 32; t > 1; t /= 2 {
+		if dim%t == 0 {
+			return t
+		}
+	}
+	return 1
+}
+
+// isMPIVariant reports whether a variant name designates a distributed
+// variant (EASYPAP convention: the name starts with "mpi").
+func isMPIVariant(v string) bool {
+	return len(v) >= 3 && v[:3] == "mpi"
+}
+
+// Result is what a run reports: the performance-mode wall clock plus
+// everything the analysis tools consume.
+type Result struct {
+	Config     Config
+	WallTime   time.Duration
+	Iterations int // iterations actually computed (lazy kernels may stop early)
+}
+
+// String renders the performance-mode report line, e.g.
+// "50 iterations completed in 579 ms" (paper §II-C).
+func (r Result) String() string {
+	return fmt.Sprintf("%d iterations completed in %d ms",
+		r.Iterations, r.WallTime.Milliseconds())
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Performance-mode results are appended to a CSV file together with every
+// execution and configuration parameter (paper §II-C), so that experiment
+// scripts can accumulate data across runs and easyplot can filter and group
+// them later.
+
+// CSVHeader lists the result columns in order. "time_us" is the completion
+// time in microseconds (EASYPAP's refTime unit, visible in the Fig. 6
+// caption: refTime=669009).
+var CSVHeader = []string{
+	"machine", "kernel", "variant", "dim", "tilew", "tileh",
+	"threads", "schedule", "ranks", "iterations", "arg", "time_us",
+}
+
+// CSVRecord renders the result as one CSV row matching CSVHeader.
+func (r Result) CSVRecord() []string {
+	return []string{
+		r.Config.Label,
+		r.Config.Kernel,
+		r.Config.Variant,
+		strconv.Itoa(r.Config.Dim),
+		strconv.Itoa(r.Config.TileW),
+		strconv.Itoa(r.Config.TileH),
+		strconv.Itoa(r.Config.Threads),
+		r.Config.Schedule.String(),
+		strconv.Itoa(r.Config.MPIRanks),
+		strconv.Itoa(r.Iterations),
+		r.Config.Arg,
+		strconv.FormatInt(r.WallTime.Microseconds(), 10),
+	}
+}
+
+// AppendCSV appends the result to the CSV file at path, writing the header
+// first when the file does not exist yet. Parent directories are created.
+func AppendCSV(path string, r Result) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	_, statErr := os.Stat(path)
+	fresh := os.IsNotExist(statErr)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if fresh {
+		if err := w.Write(CSVHeader); err != nil {
+			return fmt.Errorf("core: writing CSV header: %w", err)
+		}
+	}
+	if err := w.Write(r.CSVRecord()); err != nil {
+		return fmt.Errorf("core: writing CSV row: %w", err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("core: flushing CSV: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"easypap/internal/img2d"
+	"easypap/internal/monitor"
+	"easypap/internal/mpi"
+	"easypap/internal/sched"
+	"easypap/internal/trace"
+)
+
+// Ctx is the execution context handed to kernel functions: the image
+// buffers (cur_img / next_img), the worker pool, the tile decomposition,
+// and the instrumentation entry points (monitoring_start_tile /
+// monitoring_end_tile). Under MPI it also carries the communicator and the
+// rank's row band.
+type Ctx struct {
+	Cfg  Config
+	Buf  *img2d.Buffers
+	Pool *sched.Pool
+	Grid sched.TileGrid
+
+	// Comm is non-nil when the variant runs under --mpirun; Band is this
+	// rank's horizontal slab of the image.
+	Comm *mpi.Comm
+	Band mpi.Band
+
+	mon     *monitor.Monitor
+	rec     *trace.Recorder
+	curIter atomic.Int32
+	iters   int // completed iterations (run loop bookkeeping)
+	priv    any
+}
+
+// Cur returns the current (read) image — the cur_img macro.
+func (ctx *Ctx) Cur() *img2d.Image { return ctx.Buf.Cur() }
+
+// Next returns the next (write) image — the next_img macro.
+func (ctx *Ctx) Next() *img2d.Image { return ctx.Buf.Next() }
+
+// Swap exchanges the images — EASYPAP's swap_images().
+func (ctx *Ctx) Swap() { ctx.Buf.Swap() }
+
+// Dim returns the image side length — the DIM global of C kernels.
+func (ctx *Ctx) Dim() int { return ctx.Cfg.Dim }
+
+// SetPriv stores kernel-private state (zoom coordinates, board structures,
+// ...) for the duration of the run.
+func (ctx *Ctx) SetPriv(v any) { ctx.priv = v }
+
+// Priv returns the kernel-private state stored by SetPriv.
+func (ctx *Ctx) Priv() any { return ctx.priv }
+
+// Iter returns the current 1-based iteration number.
+func (ctx *Ctx) Iter() int { return int(ctx.curIter.Load()) }
+
+// StartTile opens an instrumented tile span for the worker —
+// monitoring_start_tile(who). It is a no-op when neither monitoring nor
+// tracing is active.
+func (ctx *Ctx) StartTile(worker int) {
+	if ctx.mon != nil {
+		ctx.mon.StartTile(worker)
+	}
+	if ctx.rec != nil {
+		ctx.rec.StartTile(worker)
+	}
+}
+
+// EndTile closes the span with the computed rectangle —
+// monitoring_end_tile(x, y, w, h, who).
+func (ctx *Ctx) EndTile(x, y, w, h, worker int) {
+	if ctx.mon != nil {
+		ctx.mon.EndTile(x, y, w, h, worker)
+	}
+	if ctx.rec != nil {
+		ctx.rec.EndTile(x, y, w, h, worker, int(ctx.curIter.Load()))
+	}
+}
+
+// DoTile runs body bracketed by StartTile/EndTile — the do_tile pattern of
+// the paper's Fig. 2 with the instrumentation already in place.
+func (ctx *Ctx) DoTile(x, y, w, h, worker int, body func()) {
+	ctx.StartTile(worker)
+	body()
+	ctx.EndTile(x, y, w, h, worker)
+}
+
+// AddWork accumulates per-task performance-counter units into the
+// worker's open tile/task span (no-op without an active tracer). Kernels
+// report hardware-independent work units — escape iterations, touched
+// pixels — standing in for the PAPI counters of the paper's future work.
+func (ctx *Ctx) AddWork(worker int, units int64) {
+	if ctx.rec != nil {
+		ctx.rec.AddWork(worker, units)
+	}
+}
+
+// StartTask opens an instrumented task span (traced as KindTask so
+// EASYVIEW distinguishes dependent tasks from plain tiles).
+func (ctx *Ctx) StartTask(worker int) {
+	if ctx.mon != nil {
+		ctx.mon.StartTile(worker)
+	}
+	if ctx.rec != nil {
+		ctx.rec.StartSpan(worker, trace.KindTask)
+	}
+}
+
+// EndTask closes a task span with the computed rectangle.
+func (ctx *Ctx) EndTask(x, y, w, h, worker int) {
+	ctx.EndTile(x, y, w, h, worker)
+}
+
+// ForIterations is the kernel-side iteration loop: it brackets every
+// iteration for the monitor and the tracer and honours early convergence.
+// body returns false to stop iterating (steady state); ForIterations
+// returns the number of iterations actually executed.
+//
+// A typical variant reads:
+//
+//	func mandelOmpTiled(ctx *core.Ctx, nbIter int) int {
+//	    return ctx.ForIterations(nbIter, func(it int) bool {
+//	        ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, doTile)
+//	        zoom()
+//	        return true
+//	    })
+//	}
+func (ctx *Ctx) ForIterations(nbIter int, body func(it int) bool) int {
+	done := 0
+	for it := 1; it <= nbIter; it++ {
+		iter := ctx.iters + it
+		ctx.curIter.Store(int32(iter))
+		if ctx.mon != nil {
+			ctx.mon.StartIteration(iter)
+		}
+		cont := body(it)
+		if ctx.mon != nil {
+			ctx.mon.EndIteration()
+		}
+		done = it
+		if !cont {
+			break
+		}
+	}
+	return done
+}
+
+// Monitor exposes the per-iteration statistics collected so far (nil when
+// monitoring is off). Figure benchmarks use it to examine loads and tile
+// assignments.
+func (ctx *Ctx) Monitor() *monitor.Monitor { return ctx.mon }
+
+// Recorder exposes the trace recorder (nil when tracing is off).
+func (ctx *Ctx) Recorder() *trace.Recorder { return ctx.rec }
+
+// RecordTaskEvent lets the task engine log a span with explicit timing
+// (used by taskdep observers).
+func (ctx *Ctx) RecordTaskEvent(e trace.Event) {
+	if ctx.rec != nil {
+		e.Iter = ctx.curIter.Load()
+		ctx.rec.RecordEvent(e)
+	}
+}
+
+// TraceNow returns the tracer-relative timestamp, or 0 with no tracer.
+func (ctx *Ctx) TraceNow() int64 {
+	if ctx.rec == nil {
+		return 0
+	}
+	return ctx.rec.Now()
+}
+
+// Rank returns the MPI rank (0 when not distributed).
+func (ctx *Ctx) Rank() int {
+	if ctx.Comm == nil {
+		return 0
+	}
+	return ctx.Comm.Rank()
+}
+
+// IsMaster reports whether this is the displaying process (rank 0, or the
+// only process).
+func (ctx *Ctx) IsMaster() bool { return ctx.Rank() == 0 }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ComputeFunc is one variant of a kernel: it computes up to nbIter
+// iterations and returns how many it actually performed. Returning fewer
+// than nbIter signals convergence (the lazy Game of Life stops when the
+// whole board is steady); the run loop then terminates early.
+type ComputeFunc func(ctx *Ctx, nbIter int) int
+
+// Kernel is a named 2D computation with one or more variants — the unit
+// students work on. Init draws the initial image (and allocates any
+// kernel-private state via Ctx.SetPriv); Refresh, if non-nil, updates the
+// current image from private data structures before a frame is displayed
+// (kernels with custom data structures only touch the image when a
+// graphical refresh is needed, as §III-D requires).
+type Kernel struct {
+	Name           string
+	Description    string
+	Init           func(ctx *Ctx) error
+	Refresh        func(ctx *Ctx)
+	Variants       map[string]ComputeFunc
+	DefaultVariant string
+}
+
+// VariantNames returns the kernel's variant names, sorted.
+func (k *Kernel) VariantNames() []string {
+	names := make([]string, 0, len(k.Variants))
+	for n := range k.Variants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]*Kernel)
+)
+
+// Register adds a kernel to the global registry (kernels self-register in
+// their package init). It panics on duplicate or malformed registrations:
+// those are programming errors caught at startup.
+func Register(k *Kernel) {
+	if k.Name == "" {
+		panic("core: kernel with empty name")
+	}
+	if len(k.Variants) == 0 {
+		panic(fmt.Sprintf("core: kernel %q has no variants", k.Name))
+	}
+	if k.DefaultVariant == "" {
+		if _, ok := k.Variants["seq"]; ok {
+			k.DefaultVariant = "seq"
+		} else {
+			k.DefaultVariant = k.VariantNames()[0]
+		}
+	}
+	if _, ok := k.Variants[k.DefaultVariant]; !ok {
+		panic(fmt.Sprintf("core: kernel %q default variant %q not registered", k.Name, k.DefaultVariant))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[k.Name]; dup {
+		panic(fmt.Sprintf("core: kernel %q registered twice", k.Name))
+	}
+	registry[k.Name] = k
+}
+
+// Lookup finds a registered kernel by name.
+func Lookup(name string) (*Kernel, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	k, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown kernel %q (have %v)", name, kernelNamesLocked())
+	}
+	return k, nil
+}
+
+// KernelNames lists all registered kernels, sorted.
+func KernelNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return kernelNamesLocked()
+}
+
+func kernelNamesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"easypap/internal/gfx"
+	"easypap/internal/img2d"
+	"easypap/internal/monitor"
+	"easypap/internal/mpi"
+	"easypap/internal/sched"
+	"easypap/internal/trace"
+)
+
+// RunOutput bundles everything a run produces: the performance result plus
+// the artifacts the analysis tools consume.
+type RunOutput struct {
+	Result
+	// Final is the master's final image.
+	Final *img2d.Image
+	// Monitors holds one monitor per rank (index = rank) when monitoring
+	// was active, nil otherwise.
+	Monitors []*monitor.Monitor
+	// Trace is the merged multi-rank trace when tracing was active.
+	Trace *trace.Trace
+}
+
+// Run executes a configured kernel to completion: it normalizes the
+// configuration, spins up the worker pool (and the MPI world if requested),
+// drives the iteration loop, and returns the collected output. It is the
+// programmatic equivalent of invoking the easypap binary.
+func Run(cfg Config) (*RunOutput, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	k, err := Lookup(cfg.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	compute := k.Variants[cfg.Variant]
+
+	sink, err := makeSink(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sink.Close()
+
+	if cfg.MPIRanks > 1 {
+		return runMPI(cfg, k, compute, sink)
+	}
+	out := &RunOutput{}
+	if err := runRank(cfg, k, compute, sink, nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// makeSink builds the display sink: performance mode discards frames, the
+// default mode writes PNG sequences under OutputDir.
+func makeSink(cfg Config) (gfx.FrameSink, error) {
+	if cfg.NoDisplay || cfg.OutputDir == "" {
+		return gfx.Null{}, nil
+	}
+	return gfx.NewPNGSink(cfg.OutputDir, cfg.FrameEvery)
+}
+
+// runMPI runs one rank group per simulated process. Rank 0 is the master:
+// it owns the display (and, with --debug M, every rank additionally
+// renders its own monitoring windows, as in the paper's Fig. 13).
+func runMPI(cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink) (*RunOutput, error) {
+	out := &RunOutput{Monitors: make([]*monitor.Monitor, cfg.MPIRanks)}
+	var sinkMu sync.Mutex
+	lockedSink := &lockedSink{inner: sink, mu: &sinkMu}
+	perRankTraces := make([]*trace.Trace, cfg.MPIRanks)
+
+	err := mpi.Run(cfg.MPIRanks, func(comm *mpi.Comm) error {
+		rankOut := &RunOutput{}
+		if err := runRank(cfg, k, compute, lockedSink, comm, rankOut); err != nil {
+			return err
+		}
+		out.Monitors[comm.Rank()] = rankMonitor(rankOut)
+		perRankTraces[comm.Rank()] = rankOut.Trace
+		if comm.Rank() == 0 {
+			out.Result = rankOut.Result
+			out.Final = rankOut.Final
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Trace = mergeTraces(perRankTraces)
+	if !monitorsPresent(out.Monitors) {
+		out.Monitors = nil
+	}
+	return out, nil
+}
+
+func rankMonitor(ro *RunOutput) *monitor.Monitor {
+	if len(ro.Monitors) == 1 {
+		return ro.Monitors[0]
+	}
+	return nil
+}
+
+func monitorsPresent(ms []*monitor.Monitor) bool {
+	for _, m := range ms {
+		if m != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeTraces concatenates per-rank traces into one (nil if none traced).
+func mergeTraces(traces []*trace.Trace) *trace.Trace {
+	var merged *trace.Trace
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		if merged == nil {
+			cp := *t
+			merged = &cp
+			continue
+		}
+		merged.Events = append(merged.Events, t.Events...)
+	}
+	if merged != nil {
+		merged.Meta.Ranks = len(traces)
+	}
+	return merged
+}
+
+// lockedSink serializes frame writes from concurrent ranks.
+type lockedSink struct {
+	inner gfx.FrameSink
+	mu    *sync.Mutex
+}
+
+func (s *lockedSink) Frame(w string, iter int, img *img2d.Image) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Frame(w, iter, img)
+}
+
+func (s *lockedSink) Close() error { return nil } // owner closes the inner sink
+
+// runRank executes the kernel on one rank (or locally when comm is nil)
+// and fills out.
+func runRank(cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, comm *mpi.Comm, out *RunOutput) error {
+	pool := sched.NewPool(cfg.Threads)
+	defer pool.Close()
+	grid, err := sched.NewTileGrid(cfg.Dim, cfg.TileW, cfg.TileH)
+	if err != nil {
+		return err
+	}
+
+	ctx := &Ctx{
+		Cfg:  cfg,
+		Buf:  img2d.NewBuffers(cfg.Dim),
+		Pool: pool,
+		Grid: grid,
+		Comm: comm,
+	}
+	rank := 0
+	if comm != nil {
+		rank = comm.Rank()
+		ctx.Band = mpi.BandFor(cfg.Dim, comm.Size(), rank)
+	} else {
+		ctx.Band = mpi.Band{Lo: 0, Hi: cfg.Dim, Dim: cfg.Dim}
+	}
+
+	if cfg.Monitoring || cfg.HeatMode {
+		ctx.mon = monitor.New(cfg.Threads, cfg.Dim)
+		ctx.mon.SetRank(rank)
+	}
+	if cfg.TracePath != "" {
+		ctx.rec = trace.NewRecorder(trace.Meta{
+			Kernel: cfg.Kernel, Variant: cfg.Variant, Dim: cfg.Dim,
+			TileW: cfg.TileW, TileH: cfg.TileH, Threads: cfg.Threads,
+			Ranks: cfg.MPIRanks, Iterations: cfg.Iterations,
+			Schedule: cfg.Schedule.String(), Label: cfg.Label,
+		})
+		ctx.rec.SetRank(rank)
+	}
+
+	if k.Init != nil {
+		if err := k.Init(ctx); err != nil {
+			return fmt.Errorf("core: initializing kernel %s: %w", cfg.Kernel, err)
+		}
+	}
+
+	displaying := !cfg.NoDisplay && cfg.OutputDir != ""
+	start := time.Now()
+	total := 0
+	if displaying {
+		// Display mode: the framework regains control after every
+		// iteration to refresh the windows, exactly like the interactive
+		// SDL loop.
+		for total < cfg.Iterations {
+			n := compute(ctx, 1)
+			if n < 1 {
+				break // converged
+			}
+			ctx.iters += n
+			total += n
+			if err := refreshDisplay(ctx, k, sink, total); err != nil {
+				return err
+			}
+		}
+	} else {
+		// Performance mode: one bulk call; ForIterations inside the kernel
+		// still brackets iterations for the monitor and the tracer.
+		total = compute(ctx, cfg.Iterations)
+		ctx.iters += total
+	}
+	wall := time.Since(start)
+
+	// Final refresh so out.Final reflects the last iteration even in
+	// performance mode.
+	if k.Refresh != nil {
+		k.Refresh(ctx)
+	}
+
+	out.Result = Result{Config: cfg, WallTime: wall, Iterations: total}
+	if ctx.IsMaster() {
+		out.Final = ctx.Cur().Clone()
+	}
+	if ctx.mon != nil {
+		out.Monitors = []*monitor.Monitor{ctx.mon}
+	}
+	if ctx.rec != nil {
+		tr := ctx.rec.Trace()
+		out.Trace = tr
+		// Local runs save immediately; MPI runs merge at the caller and
+		// the master saves.
+		if comm == nil {
+			if err := tr.Save(cfg.TracePath); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// refreshDisplay pushes the main window frame (master only) plus the
+// monitoring windows; with --debug M every rank renders its own windows.
+func refreshDisplay(ctx *Ctx, k *Kernel, sink gfx.FrameSink, iter int) error {
+	if k.Refresh != nil {
+		k.Refresh(ctx)
+	}
+	rank := ctx.Rank()
+	showAll := false
+	for _, f := range ctx.Cfg.Debug {
+		if f == 'M' {
+			showAll = true
+		}
+	}
+	if ctx.IsMaster() {
+		if err := sink.Frame("main", iter, ctx.Cur()); err != nil {
+			return err
+		}
+	}
+	if ctx.mon == nil {
+		return nil
+	}
+	if !ctx.IsMaster() && !showAll {
+		return nil
+	}
+	suffix := ""
+	if showAll && ctx.Comm != nil {
+		suffix = fmt.Sprintf("-rank%d", rank)
+	}
+	iters := ctx.mon.Iterations()
+	if len(iters) == 0 {
+		return nil
+	}
+	last := iters[len(iters)-1]
+	var tiling *img2d.Image
+	if ctx.Cfg.HeatMode {
+		tiling = monitor.HeatImage(last, ctx.Cfg.Dim, 512)
+	} else {
+		tiling = monitor.TilingImage(last, ctx.Cfg.Dim, 512)
+	}
+	if err := sink.Frame("tiling"+suffix, iter, tiling); err != nil {
+		return err
+	}
+	activity := monitor.ActivityImage(last, ctx.mon.IdlenessHistory(), 512)
+	return sink.Frame("activity"+suffix, iter, activity)
+}

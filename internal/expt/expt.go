@@ -1,0 +1,133 @@
+// Package expt is the experiment automation layer — the Go equivalent of
+// EASYPAP's expTools Python module (paper Fig. 5). A Sweep describes
+// parameter ranges (threads, schedules, tile sizes, variants, ...); Execute
+// runs the cartesian product, each combination `Runs` times, in performance
+// mode, and appends every result to a CSV file that easyplot later filters
+// and groups.
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"easypap/internal/core"
+	"easypap/internal/sched"
+)
+
+// Sweep is a parameter space to explore. Nil/empty dimensions inherit the
+// corresponding Base field, so only the axes being studied need to be
+// listed — mirroring the option-dictionary style of the Python scripts.
+type Sweep struct {
+	// Base supplies every parameter not swept over. NoDisplay is forced.
+	Base core.Config
+
+	Variants  []string
+	Dims      []int
+	Grains    []int // square tile sizes (the --grain axis of Fig. 5/6)
+	Threads   []int
+	Schedules []sched.Policy
+	Arguments []string
+
+	// Runs repeats every combination (default 1). All rows are recorded;
+	// aggregation (min/mean) happens at plot time, as with expTools.
+	Runs int
+
+	// CSVPath, when set, appends every result row (paper §II-C).
+	CSVPath string
+
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// orDefault returns vals, or the single fallback when vals is empty.
+func orDefault[T any](vals []T, fallback T) []T {
+	if len(vals) == 0 {
+		return []T{fallback}
+	}
+	return vals
+}
+
+// Size returns the number of runs Execute will perform.
+func (s *Sweep) Size() int {
+	runs := max(s.Runs, 1)
+	return len(orDefault(s.Variants, s.Base.Variant)) *
+		len(orDefault(s.Dims, s.Base.Dim)) *
+		len(orDefault(s.Grains, s.Base.TileW)) *
+		len(orDefault(s.Threads, s.Base.Threads)) *
+		len(orDefault(s.Schedules, s.Base.Schedule)) *
+		len(orDefault(s.Arguments, s.Base.Arg)) * runs
+}
+
+// Execute runs the sweep and returns every result in execution order.
+func (s *Sweep) Execute() ([]core.Result, error) {
+	runs := max(s.Runs, 1)
+	var results []core.Result
+	for _, variant := range orDefault(s.Variants, s.Base.Variant) {
+		for _, dim := range orDefault(s.Dims, s.Base.Dim) {
+			for _, grain := range orDefault(s.Grains, s.Base.TileW) {
+				for _, threads := range orDefault(s.Threads, s.Base.Threads) {
+					for _, pol := range orDefault(s.Schedules, s.Base.Schedule) {
+						for _, arg := range orDefault(s.Arguments, s.Base.Arg) {
+							for run := 0; run < runs; run++ {
+								cfg := s.Base
+								cfg.Variant = variant
+								cfg.Dim = dim
+								cfg.TileW, cfg.TileH = grain, grain
+								cfg.Threads = threads
+								cfg.Schedule = pol
+								cfg.Arg = arg
+								cfg.NoDisplay = true
+								out, err := core.Run(cfg)
+								if err != nil {
+									return results, fmt.Errorf("expt: %s/%s dim=%d grain=%d threads=%d %v: %w",
+										cfg.Kernel, variant, dim, grain, threads, pol, err)
+								}
+								results = append(results, out.Result)
+								if s.CSVPath != "" {
+									if err := core.AppendCSV(s.CSVPath, out.Result); err != nil {
+										return results, err
+									}
+								}
+								if s.Progress != nil {
+									fmt.Fprintf(s.Progress, "%s/%s dim=%d grain=%d threads=%d sched=%v run=%d: %v\n",
+										cfg.Kernel, variant, dim, grain, threads, pol, run, out.WallTime)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return results, nil
+}
+
+// Best returns, for each unique configuration, the minimum wall time over
+// its repeated runs — the aggregation easyplot applies by default.
+func Best(results []core.Result) []core.Result {
+	type key struct {
+		variant  string
+		dim      int
+		grain    int
+		threads  int
+		schedule string
+		arg      string
+	}
+	best := make(map[key]core.Result)
+	var order []key
+	for _, r := range results {
+		k := key{r.Config.Variant, r.Config.Dim, r.Config.TileW,
+			r.Config.Threads, r.Config.Schedule.String(), r.Config.Arg}
+		if prev, ok := best[k]; !ok {
+			best[k] = r
+			order = append(order, k)
+		} else if r.WallTime < prev.WallTime {
+			best[k] = r
+		}
+	}
+	out := make([]core.Result, 0, len(order))
+	for _, k := range order {
+		out = append(out, best[k])
+	}
+	return out
+}

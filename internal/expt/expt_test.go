@@ -1,0 +1,132 @@
+package expt
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"easypap/internal/core"
+	_ "easypap/internal/kernels" // register kernels
+	"easypap/internal/plot"
+	"easypap/internal/sched"
+)
+
+func TestSweepSize(t *testing.T) {
+	s := &Sweep{
+		Base:      core.Config{Kernel: "invert", Variant: "seq", Dim: 64, TileW: 16, Threads: 1},
+		Variants:  []string{"seq", "omp_tiled"},
+		Threads:   []int{1, 2, 4},
+		Schedules: []sched.Policy{sched.StaticPolicy, sched.DynamicPolicy(2)},
+		Runs:      3,
+	}
+	if got := s.Size(); got != 2*3*2*3 {
+		t.Errorf("Size = %d, want 36", got)
+	}
+}
+
+func TestSweepExecute(t *testing.T) {
+	var progress bytes.Buffer
+	csvPath := filepath.Join(t.TempDir(), "perf.csv")
+	s := &Sweep{
+		Base: core.Config{Kernel: "invert", Dim: 64, TileW: 16, TileH: 16,
+			Iterations: 2, Label: "test-machine"},
+		Variants: []string{"seq", "omp_tiled"},
+		Threads:  []int{1, 2},
+		Runs:     2,
+		CSVPath:  csvPath,
+		Progress: &progress,
+	}
+	results, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2*2*2 {
+		t.Fatalf("results = %d, want 8", len(results))
+	}
+	if !strings.Contains(progress.String(), "invert/seq") {
+		t.Error("no progress output")
+	}
+	// The CSV must be loadable by the plot package and contain all rows.
+	tab, err := plot.Load(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Errorf("CSV rows = %d, want 8", len(tab.Rows))
+	}
+	if tab.Rows[0]["machine"] != "test-machine" {
+		t.Errorf("machine column = %q", tab.Rows[0]["machine"])
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	s := &Sweep{
+		Base:     core.Config{Kernel: "no-such-kernel", Dim: 64},
+		Variants: []string{"seq"},
+	}
+	if _, err := s.Execute(); err == nil {
+		t.Error("bogus kernel accepted")
+	}
+}
+
+func TestBestAggregation(t *testing.T) {
+	mk := func(threads int, us int64) core.Result {
+		return core.Result{
+			Config:   core.Config{Variant: "omp", Dim: 64, TileW: 16, Threads: threads},
+			WallTime: time.Duration(us),
+		}
+	}
+	results := []core.Result{
+		mk(2, 5000), mk(2, 4000), mk(2, 4500), // three runs at 2 threads
+		mk(4, 3000), mk(4, 2500),
+	}
+	best := Best(results)
+	if len(best) != 2 {
+		t.Fatalf("best groups = %d, want 2", len(best))
+	}
+	if best[0].WallTime != 4000 || best[1].WallTime != 2500 {
+		t.Errorf("best times = %v, %v", best[0].WallTime, best[1].WallTime)
+	}
+	// Order follows first appearance.
+	if best[0].Config.Threads != 2 || best[1].Config.Threads != 4 {
+		t.Error("best order not preserved")
+	}
+}
+
+// TestEndToEndSweepPlot is the full Fig. 5 -> Fig. 6 workflow in miniature:
+// sweep, CSV, load, filter, speedup graph.
+func TestEndToEndSweepPlot(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "perf.csv")
+	s := &Sweep{
+		Base: core.Config{Kernel: "mandel", Dim: 64, TileW: 8, TileH: 8,
+			Iterations: 1, Label: "ci"},
+		Variants:  []string{"seq", "omp_tiled"},
+		Threads:   []int{1, 2, 4},
+		Schedules: []sched.Policy{sched.StaticPolicy, sched.DynamicPolicy(2)},
+		CSVPath:   csvPath,
+	}
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := plot.Load(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := plot.Build(tab.Filter(map[string]string{"kernel": "mandel"}),
+		plot.Options{XCol: "threads", Speedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Panels) != 1 {
+		t.Fatalf("panels = %d", len(g.Panels))
+	}
+	if len(g.Panels[0].Series) != 2 { // static and dynamic,2
+		t.Errorf("series = %d, want 2", len(g.Panels[0].Series))
+	}
+	svg := g.RenderSVG(0, 0)
+	if !strings.Contains(svg, "speedup") {
+		t.Error("speedup graph not rendered")
+	}
+}

@@ -1,0 +1,236 @@
+// Package ezview is the post-mortem trace explorer (the paper's EASYVIEW,
+// §II-D): it loads traces recorded with --trace and provides the analyses
+// the interactive tool exposes — per-CPU Gantt charts over a selectable
+// iteration range, the vertical-mouse query (which tasks intersect a time
+// coordinate, and which tiles they cover), the horizontal-mouse "coverage
+// map" of one CPU (§III-B), duration statistics, and side-by-side
+// comparison of two traces (Fig. 10).
+//
+// Being headless, the interactive views become queries and rendered
+// artifacts: Gantt charts are emitted as SVG, coverage maps as tile
+// highlight overlays on image thumbnails.
+package ezview
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"easypap/internal/img2d"
+	"easypap/internal/trace"
+)
+
+// View wraps a trace with the query API of the explorer.
+type View struct {
+	Trace *trace.Trace
+}
+
+// New creates a view over a trace.
+func New(t *trace.Trace) *View { return &View{Trace: t} }
+
+// GlobalCPU identifies a Gantt row: the flattened (rank, cpu) pair.
+func (v *View) GlobalCPU(rank, cpu int) int { return rank*v.Trace.Meta.Threads + cpu }
+
+// Rows returns the sorted list of global CPU ids present in the trace —
+// the Gantt chart's vertical axis.
+func (v *View) Rows() []int {
+	per := v.Trace.PerCPU()
+	rows := make([]int, 0, len(per))
+	for cpu := range per {
+		rows = append(rows, cpu)
+	}
+	sort.Ints(rows)
+	return rows
+}
+
+// TasksAtTime returns the events whose span contains the absolute trace
+// time t (ns), over the given iteration range — the vertical mouse mode:
+// "tasks intersecting the mouse x-axis have their corresponding tile
+// highlighted over the image thumbnail".
+func (v *View) TasksAtTime(t int64, iterLo, iterHi int) []trace.Event {
+	var out []trace.Event
+	for _, e := range v.Trace.ForIterRange(iterLo, iterHi) {
+		if e.Start <= t && t < e.End {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TasksOfCPU returns all events of one global CPU in the iteration range —
+// the horizontal mouse mode used to display a CPU's coverage map.
+func (v *View) TasksOfCPU(globalCPU, iterLo, iterHi int) []trace.Event {
+	var out []trace.Event
+	for _, e := range v.Trace.ForIterRange(iterLo, iterHi) {
+		if v.GlobalCPU(int(e.Rank), int(e.CPU)) == globalCPU {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CoverageMap renders the "coverage map" of one CPU (paper §III-B): the
+// image thumbnail with the tiles computed by that CPU over the iteration
+// range highlighted. thumb is scaled to size; highlighted tiles are tinted
+// with the CPU's color.
+func (v *View) CoverageMap(thumb *img2d.Image, globalCPU, iterLo, iterHi, size int) (*img2d.Image, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("ezview: invalid size %d", size)
+	}
+	base, err := thumb.Thumbnail(min(size, thumb.Dim()))
+	if err != nil {
+		return nil, err
+	}
+	out := img2d.New(base.Dim())
+	out.CopyFrom(base)
+	// Dim the un-covered background so highlights pop.
+	for i, p := range out.Pixels() {
+		out.Pixels()[i] = img2d.Scale(p, img2d.Black, 0.55)
+	}
+	dim := v.Trace.Meta.Dim
+	if dim <= 0 {
+		return nil, fmt.Errorf("ezview: trace has no image dimension")
+	}
+	color := img2d.CPUColor(globalCPU)
+	for _, e := range v.TasksOfCPU(globalCPU, iterLo, iterHi) {
+		x0 := int(e.X) * out.Dim() / dim
+		y0 := int(e.Y) * out.Dim() / dim
+		x1 := (int(e.X) + int(e.W)) * out.Dim() / dim
+		y1 := (int(e.Y) + int(e.H)) * out.Dim() / dim
+		for y := y0; y < max(y1, y0+1); y++ {
+			for x := x0; x < max(x1, x0+1); x++ {
+				if y >= 0 && y < out.Dim() && x >= 0 && x < out.Dim() {
+					out.Set(y, x, img2d.Scale(out.Get(y, x), color, 0.65))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CoverageLocality measures how clustered a CPU's tiles are over an
+// iteration range: the mean Manhattan distance (in tiles) from each tile
+// to the centroid, normalized by the grid diagonal. Lower is more local —
+// the property the paper attributes to nonmonotonic:dynamic in §III-B.
+func (v *View) CoverageLocality(globalCPU, iterLo, iterHi int) float64 {
+	events := v.TasksOfCPU(globalCPU, iterLo, iterHi)
+	if len(events) == 0 {
+		return 0
+	}
+	meta := v.Trace.Meta
+	tw, th := max(meta.TileW, 1), max(meta.TileH, 1)
+	var cx, cy float64
+	for _, e := range events {
+		cx += float64(int(e.X) / tw)
+		cy += float64(int(e.Y) / th)
+	}
+	cx /= float64(len(events))
+	cy /= float64(len(events))
+	var dist float64
+	for _, e := range events {
+		dx := float64(int(e.X)/tw) - cx
+		dy := float64(int(e.Y)/th) - cy
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		dist += dx + dy
+	}
+	dist /= float64(len(events))
+	diag := float64(meta.Dim/tw + meta.Dim/th)
+	if diag == 0 {
+		return 0
+	}
+	return dist / diag
+}
+
+// WavefrontOrder verifies the Fig. 12 property on a trace of dependent
+// tasks. In the cc kernel each tile executes two tasks per iteration: the
+// bottom-right propagation first, then the up-left one. The first task
+// event recorded on each tile is therefore the down-right task, and it must
+// start only after the first (down-right) tasks of the left and upper
+// neighbour tiles ended. WavefrontOrder returns the number of violations
+// (0 for a correctly enforced wave).
+func (v *View) WavefrontOrder(iter int) int {
+	events := v.Trace.ForIter(iter)
+	type key struct{ x, y int32 }
+	first := make(map[key]trace.Event)
+	for _, e := range events {
+		if e.Kind != trace.KindTask {
+			continue
+		}
+		k := key{e.X, e.Y}
+		if prev, ok := first[k]; !ok || e.Start < prev.Start {
+			first[k] = e
+		}
+	}
+	violations := 0
+	for k, e := range first {
+		if left, ok := first[key{k.x - e.W, k.y}]; ok && e.Start < left.End {
+			violations++
+		}
+		if up, ok := first[key{k.x, k.y - e.H}]; ok && e.Start < up.End {
+			violations++
+		}
+	}
+	return violations
+}
+
+// MaxConcurrency returns the maximum number of simultaneously running
+// events over the iteration range — the quantity that distinguishes a
+// correct dependency wave (overlapping anti-diagonal tasks) from the
+// over-constrained, fully serialized schedule of §III-C.
+func (v *View) MaxConcurrency(iterLo, iterHi int) int {
+	events := v.Trace.ForIterRange(iterLo, iterHi)
+	type edge struct {
+		t     int64
+		delta int
+	}
+	edges := make([]edge, 0, 2*len(events))
+	for _, e := range events {
+		edges = append(edges, edge{e.Start, 1}, edge{e.End, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].delta < edges[j].delta // process ends before starts
+	})
+	cur, peak := 0, 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// GanttReport prints a textual Gantt summary: per CPU, the number of
+// tasks, busy time and span — the terminal fallback for the interactive
+// chart.
+func (v *View) GanttReport(iterLo, iterHi int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s dim=%d threads=%d ranks=%d iterations %d..%d\n",
+		v.Trace.Meta.Kernel, v.Trace.Meta.Variant, v.Trace.Meta.Dim,
+		v.Trace.Meta.Threads, v.Trace.Meta.Ranks, iterLo, iterHi)
+	for _, cpu := range v.Rows() {
+		events := v.TasksOfCPU(cpu, iterLo, iterHi)
+		var busy time.Duration
+		for _, e := range events {
+			busy += e.Duration()
+		}
+		fmt.Fprintf(&b, "  CPU %3d: %4d tasks, busy %v\n", cpu, len(events), busy.Round(time.Microsecond))
+	}
+	stats := trace.Durations(v.Trace.ForIterRange(iterLo, iterHi))
+	fmt.Fprintf(&b, "  tasks: %s\n", stats)
+	if ws := trace.Work(v.Trace.ForIterRange(iterLo, iterHi)); ws.Count > 0 {
+		// Per-task performance counters (the PAPI-analog of the paper's
+		// future work): totals, rate and work/duration correlation.
+		fmt.Fprintf(&b, "  counters: %s\n", ws)
+	}
+	return b.String()
+}

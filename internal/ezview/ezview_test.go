@@ -1,0 +1,229 @@
+package ezview
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"easypap/internal/img2d"
+	"easypap/internal/trace"
+)
+
+// syntheticTrace builds a 2-CPU trace: CPU 0 computes the left tiles, CPU 1
+// the right tiles, over 2 iterations.
+func syntheticTrace() *trace.Trace {
+	meta := trace.Meta{Kernel: "mandel", Variant: "omp_tiled", Dim: 64,
+		TileW: 16, TileH: 16, Threads: 2, Ranks: 1, Iterations: 2, Schedule: "static"}
+	var events []trace.Event
+	t := int64(0)
+	for iter := int32(1); iter <= 2; iter++ {
+		for ty := int32(0); ty < 4; ty++ {
+			for tx := int32(0); tx < 4; tx++ {
+				cpu := int16(0)
+				if tx >= 2 {
+					cpu = 1
+				}
+				events = append(events, trace.Event{
+					Iter: iter, CPU: cpu, Kind: trace.KindTile,
+					Start: t, End: t + 100,
+					X: tx * 16, Y: ty * 16, W: 16, H: 16,
+				})
+				t += 50 // overlapping spans across CPUs
+			}
+		}
+	}
+	return &trace.Trace{Meta: meta, Events: events}
+}
+
+func TestRows(t *testing.T) {
+	v := New(syntheticTrace())
+	rows := v.Rows()
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 1 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestTasksAtTime(t *testing.T) {
+	v := New(syntheticTrace())
+	// At t=75, events started at 0 and 50 are both open (end=100, 150).
+	got := v.TasksAtTime(75, 1, 2)
+	if len(got) != 2 {
+		t.Errorf("TasksAtTime(75) = %d events, want 2", len(got))
+	}
+	if n := len(v.TasksAtTime(-5, 1, 2)); n != 0 {
+		t.Errorf("negative time matched %d events", n)
+	}
+}
+
+func TestTasksOfCPU(t *testing.T) {
+	v := New(syntheticTrace())
+	cpu0 := v.TasksOfCPU(0, 1, 2)
+	cpu1 := v.TasksOfCPU(1, 1, 2)
+	if len(cpu0) != 16 || len(cpu1) != 16 {
+		t.Fatalf("per-CPU counts = %d/%d, want 16/16", len(cpu0), len(cpu1))
+	}
+	for _, e := range cpu0 {
+		if e.X >= 32 {
+			t.Error("CPU 0 task on the right half")
+		}
+	}
+	// Single-iteration selection.
+	if n := len(v.TasksOfCPU(0, 1, 1)); n != 8 {
+		t.Errorf("iteration 1 CPU 0 = %d tasks, want 8", n)
+	}
+}
+
+func TestCoverageMap(t *testing.T) {
+	v := New(syntheticTrace())
+	thumb := img2d.New(64)
+	thumb.Fill(img2d.RGB(100, 100, 100))
+	cov, err := v.CoverageMap(thumb, 0, 1, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left half must be tinted with CPU 0's color, right half only dimmed.
+	left := cov.Get(32, 8)
+	right := cov.Get(32, 56)
+	if left == right {
+		t.Error("coverage map does not distinguish covered tiles")
+	}
+	if _, err := v.CoverageMap(thumb, 0, 1, 2, 0); err == nil {
+		t.Error("size 0 accepted")
+	}
+}
+
+func TestCoverageLocality(t *testing.T) {
+	// A CPU covering one corner is more local than one covering scattered
+	// tiles.
+	meta := trace.Meta{Kernel: "blur", Dim: 64, TileW: 16, TileH: 16, Threads: 1, Ranks: 1}
+	local := &trace.Trace{Meta: meta, Events: []trace.Event{
+		{Iter: 1, X: 0, Y: 0, W: 16, H: 16, Start: 0, End: 1},
+		{Iter: 1, X: 16, Y: 0, W: 16, H: 16, Start: 1, End: 2},
+		{Iter: 1, X: 0, Y: 16, W: 16, H: 16, Start: 2, End: 3},
+	}}
+	scattered := &trace.Trace{Meta: meta, Events: []trace.Event{
+		{Iter: 1, X: 0, Y: 0, W: 16, H: 16, Start: 0, End: 1},
+		{Iter: 1, X: 48, Y: 48, W: 16, H: 16, Start: 1, End: 2},
+		{Iter: 1, X: 48, Y: 0, W: 16, H: 16, Start: 2, End: 3},
+		{Iter: 1, X: 0, Y: 48, W: 16, H: 16, Start: 3, End: 4},
+	}}
+	ll := New(local).CoverageLocality(0, 1, 1)
+	ls := New(scattered).CoverageLocality(0, 1, 1)
+	if ll >= ls {
+		t.Errorf("locality: clustered %v >= scattered %v", ll, ls)
+	}
+	if New(local).CoverageLocality(5, 1, 1) != 0 {
+		t.Error("locality of absent CPU != 0")
+	}
+}
+
+func TestWavefrontOrderDetectsViolations(t *testing.T) {
+	meta := trace.Meta{Kernel: "cc", Dim: 32, TileW: 16, TileH: 16, Threads: 2, Ranks: 1}
+	// Correct wave: (0,0) then (16,0) and (0,16) after it ends.
+	good := &trace.Trace{Meta: meta, Events: []trace.Event{
+		{Iter: 1, Kind: trace.KindTask, X: 0, Y: 0, W: 16, H: 16, Start: 0, End: 10},
+		{Iter: 1, Kind: trace.KindTask, X: 16, Y: 0, W: 16, H: 16, Start: 10, End: 20},
+		{Iter: 1, Kind: trace.KindTask, X: 0, Y: 16, W: 16, H: 16, Start: 12, End: 22},
+		{Iter: 1, Kind: trace.KindTask, X: 16, Y: 16, W: 16, H: 16, Start: 25, End: 30},
+	}}
+	if n := New(good).WavefrontOrder(1); n != 0 {
+		t.Errorf("correct wave reported %d violations", n)
+	}
+	// Broken wave: (16,0) starts before (0,0) ends.
+	bad := &trace.Trace{Meta: meta, Events: []trace.Event{
+		{Iter: 1, Kind: trace.KindTask, X: 0, Y: 0, W: 16, H: 16, Start: 0, End: 10},
+		{Iter: 1, Kind: trace.KindTask, X: 16, Y: 0, W: 16, H: 16, Start: 5, End: 15},
+	}}
+	if n := New(bad).WavefrontOrder(1); n == 0 {
+		t.Error("broken wave reported no violations")
+	}
+	// Non-task events are ignored.
+	tiles := &trace.Trace{Meta: meta, Events: []trace.Event{
+		{Iter: 1, Kind: trace.KindTile, X: 0, Y: 0, W: 16, H: 16, Start: 0, End: 10},
+		{Iter: 1, Kind: trace.KindTile, X: 16, Y: 0, W: 16, H: 16, Start: 5, End: 15},
+	}}
+	if n := New(tiles).WavefrontOrder(1); n != 0 {
+		t.Errorf("tile events counted as wave violations: %d", n)
+	}
+}
+
+func TestGanttSVGStructure(t *testing.T) {
+	v := New(syntheticTrace())
+	svg := v.GanttSVG(GanttOptions{})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if !strings.Contains(svg, "CPU 0") || !strings.Contains(svg, "CPU 1") {
+		t.Error("missing CPU lanes")
+	}
+	if got := strings.Count(svg, "<rect"); got < 32 {
+		t.Errorf("only %d rects for 32 events", got)
+	}
+	if !strings.Contains(svg, "<title>") {
+		t.Error("missing duration tooltips")
+	}
+	if !strings.Contains(svg, "mandel/omp_tiled") {
+		t.Error("missing caption")
+	}
+}
+
+func TestGanttSVGIterationRange(t *testing.T) {
+	v := New(syntheticTrace())
+	all := v.GanttSVG(GanttOptions{})
+	one := v.GanttSVG(GanttOptions{IterLo: 1, IterHi: 1})
+	if strings.Count(one, "<title>") >= strings.Count(all, "<title>") {
+		t.Error("iteration range did not restrict the chart")
+	}
+}
+
+func TestSaveGanttSVG(t *testing.T) {
+	v := New(syntheticTrace())
+	path := filepath.Join(t.TempDir(), "charts", "g.svg")
+	if err := v.SaveGanttSVG(path, GanttOptions{Caption: "test <&>"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "test &lt;&amp;&gt;") {
+		t.Error("caption not escaped")
+	}
+}
+
+func TestGanttReport(t *testing.T) {
+	v := New(syntheticTrace())
+	rep := v.GanttReport(1, 2)
+	if !strings.Contains(rep, "CPU   0") || !strings.Contains(rep, "16 tasks") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestCompareReport(t *testing.T) {
+	slow := syntheticTrace()
+	fast := syntheticTrace()
+	for i := range fast.Events {
+		fast.Events[i].Start /= 3
+		fast.Events[i].End /= 3
+	}
+	fast.Meta.Variant = "omp_tiled_opt"
+	rep, err := CompareReport(slow, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "speedup A->B") {
+		t.Errorf("report: %s", rep)
+	}
+	if _, err := CompareReport(slow, &trace.Trace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestGanttSVGEmptyTrace(t *testing.T) {
+	v := New(&trace.Trace{Meta: trace.Meta{Kernel: "x", Threads: 1}})
+	svg := v.GanttSVG(GanttOptions{})
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Error("empty trace did not render")
+	}
+}

@@ -1,0 +1,169 @@
+package ezview
+
+// SVG Gantt chart rendering: the left panel of the EASYVIEW window
+// (Fig. 7). One horizontal lane per CPU, one rectangle per task colored by
+// CPU (consistent with the monitoring windows), with hover tooltips
+// carrying the task duration — the pop-up bubble of the interactive tool
+// becomes an SVG <title> element.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"easypap/internal/img2d"
+	"easypap/internal/trace"
+)
+
+// GanttOptions parameterizes rendering.
+type GanttOptions struct {
+	Width   int // SVG width in px (default 1200)
+	LaneH   int // lane height in px (default 28)
+	IterLo  int // first iteration (default 1)
+	IterHi  int // last iteration (default: all)
+	Caption string
+}
+
+// GanttSVG renders the trace's events as an SVG document.
+func (v *View) GanttSVG(opt GanttOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = 1200
+	}
+	if opt.LaneH <= 0 {
+		opt.LaneH = 28
+	}
+	if opt.IterLo <= 0 {
+		opt.IterLo = 1
+	}
+	if opt.IterHi <= 0 {
+		opt.IterHi = max(v.Trace.Iterations(), 1)
+	}
+	events := v.Trace.ForIterRange(opt.IterLo, opt.IterHi)
+	rows := v.Rows()
+	height := (len(rows)+1)*opt.LaneH + 40
+
+	// Time extent of the selection.
+	var t0, t1 int64
+	for i, e := range events {
+		if i == 0 || e.Start < t0 {
+			t0 = e.Start
+		}
+		if e.End > t1 {
+			t1 = e.End
+		}
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	xOf := func(t int64) float64 {
+		return 80 + float64(t-t0)/float64(t1-t0)*float64(opt.Width-100)
+	}
+	rowIndex := make(map[int]int, len(rows))
+	for i, cpu := range rows {
+		rowIndex[cpu] = i
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		opt.Width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="#16161c"/>`+"\n")
+	caption := opt.Caption
+	if caption == "" {
+		caption = fmt.Sprintf("%s/%s dim=%d iterations %d..%d",
+			v.Trace.Meta.Kernel, v.Trace.Meta.Variant, v.Trace.Meta.Dim, opt.IterLo, opt.IterHi)
+	}
+	fmt.Fprintf(&b, `<text x="10" y="20" fill="#ddd" font-size="14">%s</text>`+"\n", xmlEscape(caption))
+
+	// Lane labels and separators.
+	for i, cpu := range rows {
+		y := 30 + i*opt.LaneH
+		fmt.Fprintf(&b, `<text x="8" y="%d" fill="#aaa" font-size="12">CPU %d</text>`+"\n",
+			y+opt.LaneH*2/3, cpu)
+		fmt.Fprintf(&b, `<line x1="80" y1="%d" x2="%d" y2="%d" stroke="#2a2a33"/>`+"\n",
+			y, opt.Width-20, y)
+	}
+
+	// Task rectangles with duration tooltips.
+	for _, e := range events {
+		row, ok := rowIndex[v.GlobalCPU(int(e.Rank), int(e.CPU))]
+		if !ok {
+			continue
+		}
+		x := xOf(e.Start)
+		wpx := xOf(e.End) - x
+		if wpx < 0.5 {
+			wpx = 0.5
+		}
+		y := 30 + row*opt.LaneH + 2
+		color := img2d.CPUColor(v.GlobalCPU(int(e.Rank), int(e.CPU)))
+		fmt.Fprintf(&b,
+			`<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="#%06x"><title>%s tile(%d,%d %dx%d) iter %d: %v</title></rect>`+"\n",
+			x, y, wpx, opt.LaneH-4, color>>8,
+			e.Kind, e.X, e.Y, e.W, e.H, e.Iter, e.Duration().Round(time.Microsecond))
+	}
+
+	// Iteration boundaries as vertical dashed lines.
+	for iter := opt.IterLo; iter <= opt.IterHi; iter++ {
+		s, _ := v.Trace.IterSpan(iter)
+		if s == 0 && iter > 1 {
+			continue
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="28" x2="%.1f" y2="%d" stroke="#555" stroke-dasharray="4 3"/>`+"\n",
+			xOf(s), xOf(s), height-10)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// SaveGanttSVG writes the chart to path, creating parent directories.
+func (v *View) SaveGanttSVG(path string, opt GanttOptions) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("ezview: %w", err)
+	}
+	return os.WriteFile(path, []byte(v.GanttSVG(opt)), 0o644)
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// CompareReport renders the Fig. 10 workflow: two traces of the same
+// kernel side by side, with the whole-run speedup and the per-task
+// distribution shift ("many tasks are approximately 10 times faster").
+func CompareReport(a, b *trace.Trace) (string, error) {
+	res, err := trace.Compare(a, b)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString(res.String())
+	sb.WriteString("\n")
+	// Highlight the fast/slow task populations (inner vs border tiles in
+	// the blur study): report the ratio between A's median and B's p10-ish
+	// fastest quartile to expose the bimodal shift.
+	fast := fastestQuartileMedian(b.Events)
+	if fast > 0 {
+		ratio := float64(trace.Durations(a.Events).Median) / float64(fast)
+		fmt.Fprintf(&sb, "fastest-quartile ratio (A median / B fast tasks): %.1fx\n", ratio)
+	}
+	return sb.String(), nil
+}
+
+// fastestQuartileMedian returns the median duration of the fastest quarter
+// of events.
+func fastestQuartileMedian(events []trace.Event) time.Duration {
+	if len(events) < 4 {
+		return 0
+	}
+	ds := make([]time.Duration, len(events))
+	for i, e := range events {
+		ds[i] = e.Duration()
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	quart := ds[:len(ds)/4]
+	return quart[len(quart)/2]
+}

@@ -1,0 +1,54 @@
+package figures
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// writeBytes writes an artifact file, creating parent directories.
+func writeBytes(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("figures: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// All runs every figure in order and returns the first error. It is the
+// body of cmd/easybench.
+func All(p Params) error {
+	if _, err := PerfMode(p); err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	if _, err := Fig3(p); err != nil {
+		return fmt.Errorf("fig3: %w", err)
+	}
+	if _, err := Fig4(p); err != nil {
+		return fmt.Errorf("fig4: %w", err)
+	}
+	if _, err := Fig6(p); err != nil {
+		return fmt.Errorf("fig6: %w", err)
+	}
+	if _, err := Fig7(p); err != nil {
+		return fmt.Errorf("fig7: %w", err)
+	}
+	if _, err := Fig8(p); err != nil {
+		return fmt.Errorf("fig8: %w", err)
+	}
+	if _, err := Fig9(p); err != nil {
+		return fmt.Errorf("fig9: %w", err)
+	}
+	if _, err := Fig10(p); err != nil {
+		return fmt.Errorf("fig10: %w", err)
+	}
+	if _, err := CoverageStudy(p); err != nil {
+		return fmt.Errorf("coverage: %w", err)
+	}
+	if _, err := Fig12(p); err != nil {
+		return fmt.Errorf("fig12: %w", err)
+	}
+	if _, err := Fig13(p); err != nil {
+		return fmt.Errorf("fig13: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package img2d
+
+// Color helpers shared by kernels and by the monitoring/trace renderers.
+// EASYPAP packs pixels as 0xRRGGBBAA; all helpers below use that layout.
+
+// RGBA packs four channel bytes into a Pixel (0xRRGGBBAA).
+func RGBA(r, g, b, a uint8) Pixel {
+	return Pixel(r)<<24 | Pixel(g)<<16 | Pixel(b)<<8 | Pixel(a)
+}
+
+// RGB packs an opaque pixel (alpha 255).
+func RGB(r, g, b uint8) Pixel { return RGBA(r, g, b, 0xff) }
+
+// Channels unpacks a pixel into its four channel bytes.
+func Channels(p Pixel) (r, g, b, a uint8) {
+	return uint8(p >> 24), uint8(p >> 16), uint8(p >> 8), uint8(p)
+}
+
+// R, G, B and A extract a single channel.
+func R(p Pixel) uint8 { return uint8(p >> 24) }
+func G(p Pixel) uint8 { return uint8(p >> 16) }
+func B(p Pixel) uint8 { return uint8(p >> 8) }
+func A(p Pixel) uint8 { return uint8(p) }
+
+// Named colors used throughout the framework (monitoring windows, demo
+// kernels, MPI debug overlays).
+const (
+	Black       Pixel = 0x000000ff
+	White       Pixel = 0xffffffff
+	Red         Pixel = 0xff0000ff
+	Green       Pixel = 0x00ff00ff
+	Blue        Pixel = 0x0000ffff
+	Yellow      Pixel = 0xffff00ff
+	Cyan        Pixel = 0x00ffffff
+	Magenta     Pixel = 0xff00ffff
+	Transparent Pixel = 0x00000000
+)
+
+// HSV converts hue (degrees, any float), saturation and value in [0,1] to an
+// opaque pixel. It is the palette primitive behind the mandel and spin
+// kernels.
+func HSV(h, s, v float64) Pixel {
+	h = h - float64(int(h/360))*360
+	if h < 0 {
+		h += 360
+	}
+	c := v * s
+	hp := h / 60
+	x := c * (1 - abs(mod2(hp)-1))
+	var r, g, b float64
+	switch {
+	case hp < 1:
+		r, g, b = c, x, 0
+	case hp < 2:
+		r, g, b = x, c, 0
+	case hp < 3:
+		r, g, b = 0, c, x
+	case hp < 4:
+		r, g, b = 0, x, c
+	case hp < 5:
+		r, g, b = x, 0, c
+	default:
+		r, g, b = c, 0, x
+	}
+	m := v - c
+	return RGB(clamp8(r+m), clamp8(g+m), clamp8(b+m))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// mod2 returns x modulo 2 for non-negative x.
+func mod2(x float64) float64 { return x - 2*float64(int(x/2)) }
+
+func clamp8(x float64) uint8 {
+	v := int(x*255 + 0.5)
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// HeatColor maps a normalized intensity t in [0,1] to a black-body style
+// ramp (black → red → yellow → white). It drives the tiling window's
+// "heat map" mode where the brightness of a tile reflects the duration of
+// the corresponding task (paper Fig. 9).
+func HeatColor(t float64) Pixel {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	switch {
+	case t < 1.0/3:
+		return RGB(clamp8(3*t), 0, 0)
+	case t < 2.0/3:
+		return RGB(255, clamp8(3*t-1), 0)
+	default:
+		return RGB(255, 255, clamp8(3*t-2))
+	}
+}
+
+// CPUColor returns the distinct color assigned to a CPU/thread rank. The
+// same palette is used by the Activity Monitor, the Tiling window and the
+// EASYVIEW Gantt chart, so that a thread keeps a consistent color across all
+// views — a property the paper calls out explicitly.
+func CPUColor(rank int) Pixel {
+	palette := [...]Pixel{
+		0xe6194bff, // red
+		0x3cb44bff, // green
+		0xffe119ff, // yellow
+		0x4363d8ff, // blue
+		0xf58231ff, // orange
+		0x911eb4ff, // purple
+		0x42d4f4ff, // cyan
+		0xf032e6ff, // magenta
+		0xbfef45ff, // lime
+		0xfabed4ff, // pink
+		0x469990ff, // teal
+		0xdcbeffff, // lavender
+		0x9a6324ff, // brown
+		0xfffac8ff, // beige
+		0x800000ff, // maroon
+		0xaaffc3ff, // mint
+	}
+	if rank < 0 {
+		rank = -rank
+	}
+	base := palette[rank%len(palette)]
+	// Beyond the base palette, darken successive rounds so ranks stay
+	// distinguishable on machines with many hardware threads.
+	round := rank / len(palette)
+	if round == 0 {
+		return base
+	}
+	r, g, b, a := Channels(base)
+	shade := func(c uint8) uint8 {
+		v := int(c) - 45*round
+		if v < 30 {
+			v = 30
+		}
+		return uint8(v)
+	}
+	return RGBA(shade(r), shade(g), shade(b), a)
+}
+
+// Scale linearly interpolates between two pixels channel by channel;
+// t in [0,1], 0 returning a and 1 returning b.
+func Scale(a, b Pixel, t float64) Pixel {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	ar, ag, ab, aa := Channels(a)
+	br, bg, bb, ba := Channels(b)
+	lerp := func(x, y uint8) uint8 {
+		return uint8(float64(x) + (float64(y)-float64(x))*t + 0.5)
+	}
+	return RGBA(lerp(ar, br), lerp(ag, bg), lerp(ab, bb), lerp(aa, ba))
+}
+
+// Brightness returns the perceived luminance of a pixel in [0,255],
+// using the Rec. 601 weights.
+func Brightness(p Pixel) uint8 {
+	r, g, b, _ := Channels(p)
+	return uint8((299*int(r) + 587*int(g) + 114*int(b)) / 1000)
+}

@@ -1,0 +1,281 @@
+package kernels
+
+// Connected components detection (§III-C): identify the connected
+// components of an image (regions separated by transparent pixels) by
+// coloring each in a unique color. Init reassigns every opaque pixel a
+// unique color; each iteration then propagates the local maximum in two
+// phases — bottom-right, then up-left — until a steady state is reached.
+//
+// The task variant implements the paper's Fig. 11: a tiled decomposition
+// where, during the bottom-right phase, a tile may only run after its left
+// and upper neighbours completed (and symmetrically for the up-left
+// phase). These constraints translate directly into taskdep dependencies
+// and yield the diagonal wavefront of Fig. 12. The overconstrained variant
+// reproduces the classic student mistake — chaining every tile through one
+// dependency — which serializes execution.
+
+import (
+	"math/rand"
+
+	"easypap/internal/core"
+	"easypap/internal/img2d"
+	"easypap/internal/taskdep"
+)
+
+func init() {
+	core.Register(&core.Kernel{
+		Name:        "cc",
+		Description: "connected components labeling by max propagation",
+		Init:        ccInit,
+		Variants: map[string]core.ComputeFunc{
+			"seq":                  ccSeq,
+			"task":                 ccTask,
+			"task_overconstrained": ccTaskOverconstrained,
+		},
+		DefaultVariant: "seq",
+	})
+}
+
+// ccInit draws random opaque discs on a transparent background, then
+// reassigns each opaque pixel a unique color (encoding its linear index),
+// the first step of the proposed algorithm.
+func ccInit(ctx *core.Ctx) error {
+	dim := ctx.Dim()
+	im := ctx.Cur()
+	im.Fill(img2d.Transparent)
+	rng := rand.New(rand.NewSource(ctx.Cfg.Seed + 7))
+	// Enough discs that several overlap into larger components.
+	discs := max(dim/16, 4)
+	for i := 0; i < discs; i++ {
+		cy, cx := rng.Intn(dim), rng.Intn(dim)
+		r := dim/24 + rng.Intn(max(dim/12, 2))
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if dx*dx+dy*dy > r*r {
+					continue
+				}
+				y, x := cy+dy, cx+dx
+				if y >= 0 && y < dim && x >= 0 && x < dim {
+					im.Set(y, x, img2d.White)
+				}
+			}
+		}
+	}
+	// Unique labels: the linear pixel index in the RGB bits, alpha 255.
+	for y := 0; y < dim; y++ {
+		row := im.Row(y)
+		for x := range row {
+			if row[x] != img2d.Transparent {
+				row[x] = img2d.Pixel(y*dim+x)<<8 | 0xff
+			}
+		}
+	}
+	return nil
+}
+
+// ccOpaque reports whether the pixel belongs to a component.
+func ccOpaque(p img2d.Pixel) bool { return p&0xff != 0 }
+
+// ccPropagateDR performs the bottom-right propagation over a rectangle
+// in row-major order: each opaque pixel takes the max of itself and its
+// left/upper opaque neighbours. Returns whether anything changed.
+func ccPropagateDR(im *img2d.Image, dim, x, y, w, h int) bool {
+	changed := false
+	for yy := y; yy < y+h; yy++ {
+		row := im.Row(yy)
+		for xx := x; xx < x+w; xx++ {
+			p := row[xx]
+			if !ccOpaque(p) {
+				continue
+			}
+			best := p
+			if xx > 0 {
+				if l := row[xx-1]; ccOpaque(l) && l > best {
+					best = l
+				}
+			}
+			if yy > 0 {
+				if u := im.Get(yy-1, xx); ccOpaque(u) && u > best {
+					best = u
+				}
+			}
+			if best != p {
+				row[xx] = best
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// ccPropagateUL performs the up-left propagation in reverse row-major
+// order: each opaque pixel takes the max of itself and its right/lower
+// opaque neighbours.
+func ccPropagateUL(im *img2d.Image, dim, x, y, w, h int) bool {
+	changed := false
+	for yy := y + h - 1; yy >= y; yy-- {
+		row := im.Row(yy)
+		for xx := x + w - 1; xx >= x; xx-- {
+			p := row[xx]
+			if !ccOpaque(p) {
+				continue
+			}
+			best := p
+			if xx < dim-1 {
+				if r := row[xx+1]; ccOpaque(r) && r > best {
+					best = r
+				}
+			}
+			if yy < dim-1 {
+				if d := im.Get(yy+1, xx); ccOpaque(d) && d > best {
+					best = d
+				}
+			}
+			if best != p {
+				row[xx] = best
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// ccSeq is the sequential two-phase iteration.
+func ccSeq(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	return ctx.ForIterations(nbIter, func(int) bool {
+		im := ctx.Cur()
+		c1 := ccPropagateDR(im, dim, 0, 0, dim, dim)
+		c2 := ccPropagateUL(im, dim, 0, 0, dim, dim)
+		return c1 || c2
+	})
+}
+
+// ccTask is the Fig. 11 implementation: per-phase task graphs whose
+// dependencies enforce the propagation order between tiles. Change
+// detection is per-tile (single writer per slot).
+func ccTask(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	grid := ctx.Grid
+	return ctx.ForIterations(nbIter, func(int) bool {
+		im := ctx.Cur()
+		changed := make([]bool, grid.Tiles())
+
+		// Phase 1: bottom-right wave. depend(in: tile[i-1][j],
+		// tile[i][j-1]) depend(inout: tile[i][j]).
+		g := taskdep.New()
+		for ty := 0; ty < grid.TilesY; ty++ {
+			for tx := 0; tx < grid.TilesX; tx++ {
+				tile := ty*grid.TilesX + tx
+				x, y, w, h := grid.Coords(tile)
+				deps := taskdep.Deps{InOut: []any{tile}}
+				if tx > 0 {
+					deps.In = append(deps.In, tile-1)
+				}
+				if ty > 0 {
+					deps.In = append(deps.In, tile-grid.TilesX)
+				}
+				g.AddTile("cc_dr", x, y, w, h, func(int) {
+					if ccPropagateDR(im, dim, x, y, w, h) {
+						changed[tile] = true
+					}
+				}, deps)
+			}
+		}
+		if err := g.Run(ctx.Pool, taskObserver{ctx}); err != nil {
+			return false
+		}
+
+		// Phase 2: up-left wave, mirrored dependencies (right and lower
+		// neighbours first).
+		g2 := taskdep.New()
+		for ty := grid.TilesY - 1; ty >= 0; ty-- {
+			for tx := grid.TilesX - 1; tx >= 0; tx-- {
+				tile := ty*grid.TilesX + tx
+				x, y, w, h := grid.Coords(tile)
+				deps := taskdep.Deps{InOut: []any{tile}}
+				if tx < grid.TilesX-1 {
+					deps.In = append(deps.In, tile+1)
+				}
+				if ty < grid.TilesY-1 {
+					deps.In = append(deps.In, tile+grid.TilesX)
+				}
+				g2.AddTile("cc_ul", x, y, w, h, func(int) {
+					if ccPropagateUL(im, dim, x, y, w, h) {
+						changed[tile] = true
+					}
+				}, deps)
+			}
+		}
+		if err := g2.Run(ctx.Pool, taskObserver{ctx}); err != nil {
+			return false
+		}
+
+		for _, c := range changed {
+			if c {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// ccTaskOverconstrained chains every tile of each phase through a single
+// inout address: the dependence pattern students accidentally write when
+// they over-constrain, turning the wave into a fully sequential schedule
+// (§III-C: "most of the time, they over-constrain the problem and end up
+// with a sequential execution of tasks"). The result is still correct —
+// just slow — and EASYVIEW makes the serialization obvious.
+func ccTaskOverconstrained(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	grid := ctx.Grid
+	return ctx.ForIterations(nbIter, func(int) bool {
+		im := ctx.Cur()
+		changed := make([]bool, grid.Tiles())
+		g := taskdep.New()
+		for tile := 0; tile < grid.Tiles(); tile++ {
+			x, y, w, h := grid.Coords(tile)
+			t := tile
+			g.AddTile("cc_dr", x, y, w, h, func(int) {
+				if ccPropagateDR(im, dim, x, y, w, h) {
+					changed[t] = true
+				}
+			}, taskdep.Deps{InOut: []any{"everything"}})
+		}
+		if err := g.Run(ctx.Pool, taskObserver{ctx}); err != nil {
+			return false
+		}
+		g2 := taskdep.New()
+		for tile := grid.Tiles() - 1; tile >= 0; tile-- {
+			x, y, w, h := grid.Coords(tile)
+			t := tile
+			g2.AddTile("cc_ul", x, y, w, h, func(int) {
+				if ccPropagateUL(im, dim, x, y, w, h) {
+					changed[t] = true
+				}
+			}, taskdep.Deps{InOut: []any{"everything"}})
+		}
+		if err := g2.Run(ctx.Pool, taskObserver{ctx}); err != nil {
+			return false
+		}
+		for _, c := range changed {
+			if c {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// CCLabelCount returns the number of distinct component labels in the
+// image (transparent pixels excluded) — the number of connected components
+// once the algorithm converged.
+func CCLabelCount(im *img2d.Image) int {
+	labels := make(map[img2d.Pixel]struct{})
+	for _, p := range im.Pixels() {
+		if ccOpaque(p) {
+			labels[p] = struct{}{}
+		}
+	}
+	return len(labels)
+}

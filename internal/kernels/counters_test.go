@@ -1,0 +1,90 @@
+package kernels
+
+// Tests for the per-task performance-counter extension (the PAPI analog of
+// the paper's future work): kernels report work units on their trace
+// spans, and EASYVIEW correlates them with durations.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"easypap/internal/core"
+	"easypap/internal/sched"
+	"easypap/internal/trace"
+)
+
+func TestMandelWorkCountersRecorded(t *testing.T) {
+	out, err := core.Run(core.Config{
+		Kernel: "mandel", Variant: "omp_tiled", Dim: 128,
+		TileW: 16, TileH: 16, Iterations: 1, NoDisplay: true,
+		TracePath: filepath.Join(t.TempDir(), "m.evt"),
+		Threads:   4, Schedule: sched.DynamicPolicy(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := trace.Work(out.Trace.Events)
+	if ws.Count != len(out.Trace.Events) {
+		t.Errorf("%d of %d events carry counters", ws.Count, len(out.Trace.Events))
+	}
+	if ws.TotalWork <= 0 {
+		t.Fatal("no work recorded")
+	}
+	// The whole point of per-task counters: tile cost (escape iterations)
+	// explains tile duration. On mandel the correlation is strong.
+	if ws.Correlation < 0.6 {
+		t.Errorf("work/duration correlation = %.2f, expected strongly positive", ws.Correlation)
+	}
+	// Total escape iterations are bounded by pixels * budget.
+	if maxWork := int64(128 * 128 * 4096); ws.TotalWork > maxWork {
+		t.Errorf("total work %d exceeds the theoretical bound %d", ws.TotalWork, maxWork)
+	}
+}
+
+func TestMandelWorkDeterministicAcrossVariants(t *testing.T) {
+	// The total escape-iteration count is a pure function of the viewport,
+	// so every variant must report the same total.
+	total := func(variant string) int64 {
+		out, err := core.Run(core.Config{
+			Kernel: "mandel", Variant: variant, Dim: 64,
+			TileW: 8, TileH: 8, Iterations: 1, NoDisplay: true,
+			TracePath: filepath.Join(t.TempDir(), variant+".evt"),
+			Threads:   4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Work(out.Trace.Events).TotalWork
+	}
+	ref := total("omp_tiled")
+	if ref == 0 {
+		t.Fatal("no work recorded")
+	}
+	for _, v := range []string{"omp", "team", "task"} {
+		if got := total(v); got != ref {
+			t.Errorf("variant %s total work %d != omp_tiled %d", v, got, ref)
+		}
+	}
+}
+
+func TestBlurWorkIsPixelCount(t *testing.T) {
+	const dim, tile, iters = 64, 16, 2
+	out, err := core.Run(core.Config{
+		Kernel: "blur", Variant: "omp_tiled_opt", Dim: dim,
+		TileW: tile, TileH: tile, Iterations: iters, NoDisplay: true,
+		TracePath: filepath.Join(t.TempDir(), "b.evt"), Threads: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := trace.Work(out.Trace.Events)
+	if want := int64(dim * dim * iters); ws.TotalWork != want {
+		t.Errorf("total pixels = %d, want %d", ws.TotalWork, want)
+	}
+	// Every blur tile touches exactly tile*tile pixels.
+	for _, e := range out.Trace.Events {
+		if e.Work != tile*tile {
+			t.Fatalf("tile at (%d,%d) reports %d pixels, want %d", e.X, e.Y, e.Work, tile*tile)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Package kernels provides the predefined 2D computation kernels EASYPAP
+// ships with (paper §II-A): spin, invert, transpose, pixelize, blur,
+// mandel, life (Conway's Game of Life), sandpile (Abelian sandpile) and cc
+// (connected components), each in several variants — sequential, OpenMP-
+// style parallel loops, tiled loops under every scheduling policy,
+// dependent tasks, and MPI+OpenMP for the Game of Life.
+//
+// Kernels self-register with the core registry in their init functions;
+// importing this package (for side effects) makes them available to the
+// CLI, the examples and the benchmarks.
+package kernels
+
+import (
+	"easypap/internal/core"
+	"easypap/internal/img2d"
+)
+
+// testPattern draws the deterministic source image used by the pixel
+// transformation kernels (invert, transpose, pixelize, blur): a smooth
+// two-axis color gradient with a grid of bright discs, giving every tile
+// distinctive content so bugs are visible at a glance.
+func testPattern(im *img2d.Image) {
+	dim := im.Dim()
+	for y := 0; y < dim; y++ {
+		row := im.Row(y)
+		for x := 0; x < dim; x++ {
+			r := uint8(255 * x / max(dim-1, 1))
+			g := uint8(255 * y / max(dim-1, 1))
+			b := uint8((x ^ y) & 0xff)
+			row[x] = img2d.RGB(r, g, b)
+		}
+	}
+	// Bright discs every dim/8 pixels.
+	step := max(dim/8, 1)
+	radius := max(step/3, 1)
+	for cy := step / 2; cy < dim; cy += step {
+		for cx := step / 2; cx < dim; cx += step {
+			for dy := -radius; dy <= radius; dy++ {
+				for dx := -radius; dx <= radius; dx++ {
+					if dx*dx+dy*dy > radius*radius {
+						continue
+					}
+					y, x := cy+dy, cx+dx
+					if y >= 0 && y < dim && x >= 0 && x < dim {
+						im.Set(y, x, img2d.White)
+					}
+				}
+			}
+		}
+	}
+}
+
+// initTestPattern is the Init hook shared by the pixel transformation
+// kernels.
+func initTestPattern(ctx *core.Ctx) error {
+	testPattern(ctx.Cur())
+	ctx.Next().CopyFrom(ctx.Cur())
+	return nil
+}

@@ -1,0 +1,371 @@
+package kernels
+
+import (
+	"testing"
+
+	"easypap/internal/core"
+	"easypap/internal/img2d"
+	"easypap/internal/sched"
+)
+
+// runKernel runs a kernel variant in performance mode and returns the
+// output.
+func runKernel(t *testing.T, cfg core.Config) *core.RunOutput {
+	t.Helper()
+	cfg.NoDisplay = true
+	out, err := core.Run(cfg)
+	if err != nil {
+		t.Fatalf("running %s/%s: %v", cfg.Kernel, cfg.Variant, err)
+	}
+	return out
+}
+
+// assertVariantsMatchSeq runs every listed variant and compares its final
+// image with the sequential reference — the fundamental correctness check
+// students perform visually ("check if this new variant produces the
+// expected output", §II-A).
+func assertVariantsMatchSeq(t *testing.T, kernel string, dim, tile, iters int, variants []string, schedules []sched.Policy) {
+	t.Helper()
+	ref := runKernel(t, core.Config{Kernel: kernel, Variant: "seq", Dim: dim,
+		TileW: tile, TileH: tile, Iterations: iters, Seed: 11})
+	for _, v := range variants {
+		for _, pol := range schedules {
+			out := runKernel(t, core.Config{Kernel: kernel, Variant: v, Dim: dim,
+				TileW: tile, TileH: tile, Iterations: iters, Threads: 4,
+				Schedule: pol, Seed: 11})
+			if n := ref.Final.DiffCount(out.Final); n != 0 {
+				t.Errorf("%s/%s schedule=%v: %d pixels differ from seq", kernel, v, pol, n)
+			}
+		}
+	}
+}
+
+var testSchedules = []sched.Policy{
+	sched.StaticPolicy,
+	sched.DynamicPolicy(2),
+	sched.GuidedPolicy,
+	sched.NonmonotonicPolicy,
+}
+
+func TestInvertVariantsMatchSeq(t *testing.T) {
+	assertVariantsMatchSeq(t, "invert", 64, 16, 3, []string{"omp", "omp_tiled"}, testSchedules)
+}
+
+func TestInvertIsInvolution(t *testing.T) {
+	once := runKernel(t, core.Config{Kernel: "invert", Dim: 64, TileW: 16, TileH: 16, Iterations: 1})
+	twice := runKernel(t, core.Config{Kernel: "invert", Dim: 64, TileW: 16, TileH: 16, Iterations: 2})
+	fresh := img2d.New(64)
+	testPattern(fresh)
+	if !twice.Final.Equal(fresh) {
+		t.Error("double inversion is not the identity")
+	}
+	if once.Final.Equal(fresh) {
+		t.Error("single inversion left the image unchanged")
+	}
+}
+
+func TestTransposeVariantsMatchSeq(t *testing.T) {
+	assertVariantsMatchSeq(t, "transpose", 64, 16, 3, []string{"tiled", "omp_tiled"}, testSchedules)
+}
+
+func TestTransposeIsInvolution(t *testing.T) {
+	twice := runKernel(t, core.Config{Kernel: "transpose", Dim: 64, TileW: 16, TileH: 16, Iterations: 2})
+	fresh := img2d.New(64)
+	testPattern(fresh)
+	if !twice.Final.Equal(fresh) {
+		t.Error("double transposition is not the identity")
+	}
+}
+
+func TestTransposeMovesPixels(t *testing.T) {
+	out := runKernel(t, core.Config{Kernel: "transpose", Dim: 64, TileW: 16, TileH: 16, Iterations: 1})
+	fresh := img2d.New(64)
+	testPattern(fresh)
+	for _, pt := range [][2]int{{3, 40}, {10, 20}, {63, 0}} {
+		y, x := pt[0], pt[1]
+		if out.Final.Get(x, y) != fresh.Get(y, x) {
+			t.Errorf("transposed(%d,%d) != original(%d,%d)", x, y, y, x)
+		}
+	}
+}
+
+func TestPixelizeVariantsMatchSeq(t *testing.T) {
+	assertVariantsMatchSeq(t, "pixelize", 64, 16, 1, []string{"omp_tiled"}, testSchedules)
+}
+
+func TestPixelizeUniformTiles(t *testing.T) {
+	out := runKernel(t, core.Config{Kernel: "pixelize", Dim: 64, TileW: 16, TileH: 16, Iterations: 1})
+	// Every 16x16 tile must be a single flat color.
+	for ty := 0; ty < 4; ty++ {
+		for tx := 0; tx < 4; tx++ {
+			ref := out.Final.Get(ty*16, tx*16)
+			for y := ty * 16; y < (ty+1)*16; y++ {
+				for x := tx * 16; x < (tx+1)*16; x++ {
+					if out.Final.Get(y, x) != ref {
+						t.Fatalf("tile (%d,%d) not uniform at (%d,%d)", tx, ty, x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSpinVariantsMatchSeq(t *testing.T) {
+	assertVariantsMatchSeq(t, "spin", 64, 16, 2, []string{"omp"}, testSchedules[:2])
+}
+
+func TestMandelVariantsMatchSeq(t *testing.T) {
+	assertVariantsMatchSeq(t, "mandel", 64, 8, 2,
+		[]string{"omp", "omp_tiled", "team", "task"}, testSchedules)
+}
+
+func TestMandelZoomChangesImage(t *testing.T) {
+	one := runKernel(t, core.Config{Kernel: "mandel", Dim: 64, TileW: 8, TileH: 8, Iterations: 1})
+	three := runKernel(t, core.Config{Kernel: "mandel", Dim: 64, TileW: 8, TileH: 8, Iterations: 3})
+	if one.Final.Equal(three.Final) {
+		t.Error("zoom did not change the image across iterations")
+	}
+}
+
+func TestMandelHasInAndOutPixels(t *testing.T) {
+	out := runKernel(t, core.Config{Kernel: "mandel", Dim: 64, TileW: 8, TileH: 8, Iterations: 1})
+	blacks, colors := 0, 0
+	for _, p := range out.Final.Pixels() {
+		if p == img2d.Black {
+			blacks++
+		} else {
+			colors++
+		}
+	}
+	if blacks == 0 || colors == 0 {
+		t.Errorf("degenerate view: %d in-set, %d escaped", blacks, colors)
+	}
+}
+
+func TestBlurVariantsMatchSeq(t *testing.T) {
+	assertVariantsMatchSeq(t, "blur", 64, 16, 3,
+		[]string{"omp_tiled", "omp_tiled_opt"}, testSchedules)
+}
+
+func TestBlurSmooths(t *testing.T) {
+	out := runKernel(t, core.Config{Kernel: "blur", Dim: 64, TileW: 16, TileH: 16, Iterations: 5})
+	fresh := img2d.New(64)
+	testPattern(fresh)
+	// Blurring reduces total variation between horizontal neighbours.
+	variation := func(im *img2d.Image) (v int64) {
+		for y := 0; y < 64; y++ {
+			row := im.Row(y)
+			for x := 1; x < 64; x++ {
+				d := int64(img2d.Brightness(row[x])) - int64(img2d.Brightness(row[x-1]))
+				if d < 0 {
+					d = -d
+				}
+				v += d
+			}
+		}
+		return
+	}
+	if variation(out.Final) >= variation(fresh) {
+		t.Error("blur did not reduce image variation")
+	}
+}
+
+func TestLifeVariantsMatchSeq(t *testing.T) {
+	for _, pattern := range []string{"random", "diag"} {
+		ref := runKernel(t, core.Config{Kernel: "life", Variant: "seq", Dim: 64,
+			TileW: 8, TileH: 8, Iterations: 8, Arg: pattern, Seed: 3})
+		for _, v := range []string{"omp_tiled", "lazy"} {
+			out := runKernel(t, core.Config{Kernel: "life", Variant: v, Dim: 64,
+				TileW: 8, TileH: 8, Iterations: 8, Threads: 4, Arg: pattern, Seed: 3,
+				Schedule: sched.DynamicPolicy(1)})
+			if n := ref.Final.DiffCount(out.Final); n != 0 {
+				t.Errorf("life/%s pattern=%s: %d cells differ from seq", v, pattern, n)
+			}
+		}
+	}
+}
+
+func TestLifeMPIMatchesSeq(t *testing.T) {
+	for _, np := range []int{2, 4} {
+		ref := runKernel(t, core.Config{Kernel: "life", Variant: "seq", Dim: 64,
+			TileW: 8, TileH: 8, Iterations: 10, Arg: "diag"})
+		out := runKernel(t, core.Config{Kernel: "life", Variant: "mpi_omp", Dim: 64,
+			TileW: 8, TileH: 8, Iterations: 10, Threads: 2, MPIRanks: np, Arg: "diag"})
+		if n := ref.Final.DiffCount(out.Final); n != 0 {
+			t.Errorf("life/mpi_omp np=%d: %d cells differ from seq", np, n)
+		}
+	}
+}
+
+func TestLifeBlinkerOscillates(t *testing.T) {
+	one := runKernel(t, core.Config{Kernel: "life", Dim: 32, TileW: 8, TileH: 8,
+		Iterations: 1, Arg: "blinker"})
+	two := runKernel(t, core.Config{Kernel: "life", Dim: 32, TileW: 8, TileH: 8,
+		Iterations: 2, Arg: "blinker"})
+	fresh := runKernel(t, core.Config{Kernel: "life", Dim: 32, TileW: 8, TileH: 8,
+		Iterations: 0, Arg: "blinker"})
+	_ = fresh
+	if one.Final.Equal(two.Final) {
+		t.Error("blinker did not oscillate")
+	}
+	four := runKernel(t, core.Config{Kernel: "life", Dim: 32, TileW: 8, TileH: 8,
+		Iterations: 4, Arg: "blinker"})
+	if !two.Final.Equal(four.Final) {
+		t.Error("blinker period-2 violated")
+	}
+}
+
+func TestLifeEmptyConvergesImmediately(t *testing.T) {
+	out := runKernel(t, core.Config{Kernel: "life", Variant: "lazy", Dim: 32,
+		TileW: 8, TileH: 8, Iterations: 50, Arg: "empty", Threads: 2})
+	if out.Iterations >= 50 {
+		t.Errorf("empty board ran %d iterations, expected early convergence", out.Iterations)
+	}
+}
+
+func TestLifeGliderMoves(t *testing.T) {
+	// A glider translates by (1,1) every 4 generations.
+	out4 := runKernel(t, core.Config{Kernel: "life", Dim: 64, TileW: 8, TileH: 8,
+		Iterations: 4, Arg: "diag"})
+	out0 := runKernel(t, core.Config{Kernel: "life", Dim: 64, TileW: 8, TileH: 8,
+		Iterations: 0, Arg: "diag"})
+	if out0.Final.Equal(out4.Final) {
+		t.Error("gliders did not move")
+	}
+	alive := func(im *img2d.Image) int {
+		n := 0
+		for _, p := range im.Pixels() {
+			if p == img2d.Yellow {
+				n++
+			}
+		}
+		return n
+	}
+	// Glider population is preserved (5 cells each) while none collide.
+	if alive(out0.Final) != alive(out4.Final) {
+		t.Errorf("population changed: %d -> %d", alive(out0.Final), alive(out4.Final))
+	}
+}
+
+func TestLifeUnknownPattern(t *testing.T) {
+	_, err := core.Run(core.Config{Kernel: "life", Dim: 32, TileW: 8, TileH: 8,
+		Iterations: 1, Arg: "nonsense", NoDisplay: true})
+	if err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestSandpileVariantsMatchSeq(t *testing.T) {
+	assertVariantsMatchSeq(t, "sandpile", 64, 16, 20, []string{"omp_tiled"}, testSchedules)
+}
+
+func TestSandpileStabilizes(t *testing.T) {
+	out := runKernel(t, core.Config{Kernel: "sandpile", Dim: 16, TileW: 8, TileH: 8,
+		Iterations: 100000})
+	if out.Iterations >= 100000 {
+		t.Fatalf("sandpile did not stabilize in %d iterations", out.Iterations)
+	}
+	// A stable sandpile has every cell below 4 grains.
+	// Re-run to inspect grains directly.
+	cfg, err := core.Config{Kernel: "sandpile", Dim: 16, TileW: 8, TileH: 8,
+		Iterations: out.Iterations + 1}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cfg
+	for _, p := range out.Final.Pixels() {
+		if p == img2d.Red { // red marks cells with >= 4 grains
+			t.Fatal("stable sandpile still has unstable cells")
+		}
+	}
+}
+
+func TestCCVariantsMatchSeq(t *testing.T) {
+	assertVariantsMatchSeq(t, "cc", 64, 16, 6,
+		[]string{"task", "task_overconstrained"}, testSchedules[:1])
+}
+
+func TestCCConvergesToComponents(t *testing.T) {
+	out := runKernel(t, core.Config{Kernel: "cc", Dim: 64, TileW: 16, TileH: 16,
+		Iterations: 1000, Seed: 5})
+	if out.Iterations >= 1000 {
+		t.Fatal("cc did not converge")
+	}
+	n := CCLabelCount(out.Final)
+	if n < 1 || n > 40 {
+		t.Errorf("component count = %d, implausible", n)
+	}
+	// Converged labeling must be a fixed point: one more iteration changes
+	// nothing.
+	again := runKernel(t, core.Config{Kernel: "cc", Dim: 64, TileW: 16, TileH: 16,
+		Iterations: out.Iterations + 5, Seed: 5})
+	if !out.Final.Equal(again.Final) {
+		t.Error("converged cc labeling is not a fixed point")
+	}
+}
+
+func TestCCLabelsAreConnected(t *testing.T) {
+	// Flood-fill verification: every label region must be connected, and
+	// the label count must equal the flood-fill component count.
+	out := runKernel(t, core.Config{Kernel: "cc", Dim: 64, TileW: 16, TileH: 16,
+		Iterations: 1000, Seed: 9})
+	im := out.Final
+	dim := im.Dim()
+	seen := make([]bool, dim*dim)
+	components := 0
+	var stack [][2]int
+	for sy := 0; sy < dim; sy++ {
+		for sx := 0; sx < dim; sx++ {
+			if !ccOpaque(im.Get(sy, sx)) || seen[sy*dim+sx] {
+				continue
+			}
+			components++
+			label := im.Get(sy, sx)
+			stack = stack[:0]
+			stack = append(stack, [2]int{sy, sx})
+			seen[sy*dim+sx] = true
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				y, x := p[0], p[1]
+				if im.Get(y, x) != label {
+					t.Fatalf("component at (%d,%d) has mixed labels", x, y)
+				}
+				for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+					ny, nx := y+d[0], x+d[1]
+					if ny < 0 || ny >= dim || nx < 0 || nx >= dim {
+						continue
+					}
+					if ccOpaque(im.Get(ny, nx)) && !seen[ny*dim+nx] {
+						seen[ny*dim+nx] = true
+						stack = append(stack, [2]int{ny, nx})
+					}
+				}
+			}
+		}
+	}
+	if got := CCLabelCount(im); got != components {
+		t.Errorf("label count %d != flood-fill components %d", got, components)
+	}
+}
+
+func TestLazyLifeSkipsSteadyTiles(t *testing.T) {
+	// With the sparse diag pattern, the lazy variant must compute far fewer
+	// tiles than the full grid — the §III-D check via the tiling window.
+	out, err := core.Run(core.Config{Kernel: "life", Variant: "lazy", Dim: 128,
+		TileW: 8, TileH: 8, Iterations: 3, Threads: 2, Arg: "diag",
+		NoDisplay: true, Monitoring: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := out.Monitors[0].Iterations()
+	last := iters[len(iters)-1]
+	totalTiles := (128 / 8) * (128 / 8)
+	if len(last.Tiles) >= totalTiles/2 {
+		t.Errorf("lazy life computed %d of %d tiles; expected a sparse fraction",
+			len(last.Tiles), totalTiles)
+	}
+	if len(last.Tiles) == 0 {
+		t.Error("lazy life computed nothing despite moving gliders")
+	}
+}

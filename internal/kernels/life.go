@@ -1,0 +1,433 @@
+package kernels
+
+// Conway's Game of Life, the paper's "putting it all together" assignment
+// (§III-D): low-memory kernel-private data structures (the image is only
+// touched on graphical refresh), a lazy evaluation algorithm that skips
+// tiles whose neighbourhood was steady at the previous iteration, and an
+// MPI+OpenMP variant exchanging ghost-cell rows plus per-tile steadiness
+// meta-information between processes (Fig. 13).
+
+import (
+	"fmt"
+	"math/rand"
+
+	"easypap/internal/core"
+	"easypap/internal/img2d"
+	"easypap/internal/mpi"
+)
+
+func init() {
+	core.Register(&core.Kernel{
+		Name:        "life",
+		Description: "Conway's Game of Life with lazy tile evaluation",
+		Init:        lifeInit,
+		Refresh:     lifeRefresh,
+		Variants: map[string]core.ComputeFunc{
+			"seq":       lifeSeq,
+			"omp_tiled": lifeOmpTiled,
+			"lazy":      lifeLazy,
+			"mpi_omp":   lifeMPIOmp,
+		},
+		DefaultVariant: "seq",
+	})
+}
+
+// lifeState is the kernel-private board: two byte grids (cur/next) instead
+// of pixel buffers — the "own, low memory footprint data structures"
+// requirement of §III-D — plus per-tile change tracking for laziness.
+type lifeState struct {
+	dim        int
+	cur, next  []uint8
+	tilesX     int
+	tilesY     int
+	tileW      int
+	tileH      int
+	changed    []bool // per tile: changed during the current iteration
+	prevChange []bool // per tile: changed during the previous iteration
+
+	// MPI mode: the rank's band and ghost rows (one above, one below).
+	band       mpi.Band
+	ghostAbove []uint8
+	ghostBelow []uint8
+}
+
+func (s *lifeState) at(y, x int) uint8        { return s.cur[y*s.dim+x] }
+func (s *lifeState) set(y, x int, v uint8)    { s.next[y*s.dim+x] = v }
+func (s *lifeState) swap()                    { s.cur, s.next = s.next, s.cur }
+func (s *lifeState) tileIndex(tx, ty int) int { return ty*s.tilesX + tx }
+
+// curAt reads a cell with ghost-row support: y == band.Lo-1 and y ==
+// band.Hi are served from the exchanged ghost rows in MPI mode; outside
+// the world everything is dead.
+func (s *lifeState) curAt(y, x int) uint8 {
+	if x < 0 || x >= s.dim || y < 0 || y >= s.dim {
+		return 0
+	}
+	if y < s.band.Lo {
+		if s.ghostAbove != nil && y == s.band.Lo-1 {
+			return s.ghostAbove[x]
+		}
+		return 0
+	}
+	if y >= s.band.Hi {
+		if s.ghostBelow != nil && y == s.band.Hi {
+			return s.ghostBelow[x]
+		}
+		return 0
+	}
+	return s.at(y, x)
+}
+
+// lifeInit seeds the board according to cfg.Arg:
+//
+//	"random"  — 25% alive, deterministic from cfg.Seed (default)
+//	"diag"    — gliders marching along both diagonals, the sparse
+//	            "planers" dataset of Fig. 13
+//	"blinker" — a single period-2 oscillator in the center
+//	"empty"   — all dead (steady immediately: exercises early convergence)
+func lifeInit(ctx *core.Ctx) error {
+	dim := ctx.Dim()
+	st := &lifeState{
+		dim:    dim,
+		cur:    make([]uint8, dim*dim),
+		next:   make([]uint8, dim*dim),
+		tileW:  ctx.Cfg.TileW,
+		tileH:  ctx.Cfg.TileH,
+		tilesX: dim / ctx.Cfg.TileW,
+		tilesY: dim / ctx.Cfg.TileH,
+		band:   mpi.Band{Lo: 0, Hi: dim, Dim: dim},
+	}
+	st.changed = make([]bool, st.tilesX*st.tilesY)
+	st.prevChange = make([]bool, st.tilesX*st.tilesY)
+	// Everything starts "changed" so the first lazy iteration computes all.
+	for i := range st.prevChange {
+		st.prevChange[i] = true
+	}
+
+	if ctx.Comm != nil {
+		st.band = ctx.Band
+		if st.band.Rows()%st.tileH != 0 {
+			return fmt.Errorf("life: band of %d rows not divisible by tile height %d",
+				st.band.Rows(), st.tileH)
+		}
+	}
+
+	pattern := ctx.Cfg.Arg
+	if pattern == "" {
+		pattern = "random"
+	}
+	switch pattern {
+	case "random":
+		rng := rand.New(rand.NewSource(ctx.Cfg.Seed + 1))
+		for i := range st.cur {
+			if rng.Intn(4) == 0 {
+				st.cur[i] = 1
+			}
+		}
+	case "diag":
+		// Gliders every 16 cells along both diagonals, moving outward.
+		for d := 8; d < dim-8; d += 16 {
+			placeGlider(st, d, d, false)
+			placeGlider(st, d, dim-1-d, true)
+		}
+	case "blinker":
+		c := dim / 2
+		for dx := -1; dx <= 1; dx++ {
+			st.cur[c*dim+c+dx] = 1
+		}
+	case "empty":
+		// all dead
+	default:
+		return fmt.Errorf("life: unknown pattern %q (have random, diag, blinker, empty)", pattern)
+	}
+	ctx.SetPriv(st)
+	lifeRefresh(ctx)
+	return nil
+}
+
+// placeGlider stamps a down-right glider at (y, x); mirrored horizontally
+// when mirror is set (down-left).
+func placeGlider(st *lifeState, y, x int, mirror bool) {
+	shape := [3][3]uint8{
+		{0, 1, 0},
+		{0, 0, 1},
+		{1, 1, 1},
+	}
+	for dy := 0; dy < 3; dy++ {
+		for dx := 0; dx < 3; dx++ {
+			xx := x + dx
+			if mirror {
+				xx = x + 2 - dx
+			}
+			yy := y + dy
+			if yy >= 0 && yy < st.dim && xx >= 0 && xx < st.dim {
+				st.cur[yy*st.dim+xx] = shape[dy][dx]
+			}
+		}
+	}
+}
+
+func lifeStateOf(ctx *core.Ctx) *lifeState { return ctx.Priv().(*lifeState) }
+
+// lifeRefresh paints the board into the current image — the only moment
+// the kernel touches pixels. Under MPI, bands are gathered at the master.
+func lifeRefresh(ctx *core.Ctx) {
+	st := lifeStateOf(ctx)
+	if ctx.Comm == nil {
+		paintBoard(ctx.Cur(), st.cur, st.dim, 0, st.dim)
+		return
+	}
+	// Collective: every rank contributes its band; master paints.
+	pixels := make([]uint32, st.band.Rows()*st.dim)
+	for y := st.band.Lo; y < st.band.Hi; y++ {
+		for x := 0; x < st.dim; x++ {
+			if st.at(y, x) != 0 {
+				pixels[(y-st.band.Lo)*st.dim+x] = uint32(img2d.Yellow)
+			} else {
+				pixels[(y-st.band.Lo)*st.dim+x] = uint32(img2d.Black)
+			}
+		}
+	}
+	full, err := ctx.Comm.GatherBands(0, st.band, pixels)
+	if err != nil || full == nil {
+		return
+	}
+	copy(ctx.Cur().Pixels(), full)
+}
+
+// paintBoard colors alive cells yellow on black for rows [lo, hi).
+func paintBoard(im *img2d.Image, cells []uint8, dim, lo, hi int) {
+	for y := lo; y < hi; y++ {
+		row := im.Row(y)
+		for x := 0; x < dim; x++ {
+			if cells[y*dim+x] != 0 {
+				row[x] = img2d.Yellow
+			} else {
+				row[x] = img2d.Black
+			}
+		}
+	}
+}
+
+// lifeStepCell applies the B3/S23 rule to one cell using curAt (ghost-row
+// aware).
+func (s *lifeState) lifeStepCell(y, x int) uint8 {
+	n := s.curAt(y-1, x-1) + s.curAt(y-1, x) + s.curAt(y-1, x+1) +
+		s.curAt(y, x-1) + s.curAt(y, x+1) +
+		s.curAt(y+1, x-1) + s.curAt(y+1, x) + s.curAt(y+1, x+1)
+	alive := s.curAt(y, x)
+	if alive != 0 {
+		if n == 2 || n == 3 {
+			return 1
+		}
+		return 0
+	}
+	if n == 3 {
+		return 1
+	}
+	return 0
+}
+
+// lifeComputeTile steps every cell of the tile, returning whether anything
+// changed.
+func (s *lifeState) lifeComputeTile(x, y, w, h int) bool {
+	changed := false
+	for yy := y; yy < y+h; yy++ {
+		for xx := x; xx < x+w; xx++ {
+			v := s.lifeStepCell(yy, xx)
+			if v != s.at(yy, xx) {
+				changed = true
+			}
+			s.set(yy, xx, v)
+		}
+	}
+	return changed
+}
+
+// copyTile copies the tile from cur to next (used when a lazy variant
+// skips a steady tile: the cells survive the buffer swap untouched).
+func (s *lifeState) copyTile(x, y, w, h int) {
+	for yy := y; yy < y+h; yy++ {
+		copy(s.next[yy*s.dim+x:yy*s.dim+x+w], s.cur[yy*s.dim+x:yy*s.dim+x+w])
+	}
+}
+
+// neighbourhoodChanged reports whether the tile or any of its 8 neighbour
+// tiles changed at the previous iteration — the lazy evaluation criterion.
+func (s *lifeState) neighbourhoodChanged(tx, ty int) bool {
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			nx, ny := tx+dx, ty+dy
+			if nx < 0 || nx >= s.tilesX || ny < 0 || ny >= s.tilesY {
+				continue
+			}
+			if s.prevChange[s.tileIndex(nx, ny)] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rotateChangeFlags promotes this iteration's change flags and clears the
+// next ones; it returns whether anything changed at all.
+func (s *lifeState) rotateChangeFlags() bool {
+	any := false
+	for i, c := range s.changed {
+		if c {
+			any = true
+		}
+		s.prevChange[i] = c
+		s.changed[i] = false
+	}
+	return any
+}
+
+func lifeSeq(ctx *core.Ctx, nbIter int) int {
+	st := lifeStateOf(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		anyChange := st.lifeComputeTile(0, 0, st.dim, st.dim)
+		st.swap()
+		return anyChange
+	})
+}
+
+func lifeOmpTiled(ctx *core.Ctx, nbIter int) int {
+	st := lifeStateOf(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			ctx.DoTile(x, y, w, h, worker, func() {
+				tx, ty := x/st.tileW, y/st.tileH
+				st.changed[st.tileIndex(tx, ty)] = st.lifeComputeTile(x, y, w, h)
+			})
+		})
+		st.swap()
+		return st.rotateChangeFlags()
+	})
+}
+
+// lifeLazy skips tiles whose 3x3 tile neighbourhood was steady at the
+// previous iteration. Skipped tiles are copied, not computed, and are NOT
+// instrumented — so the tiling window shows exactly which areas are being
+// computed, the visual check of §III-D ("areas where nothing changes are
+// not computed").
+func lifeLazy(ctx *core.Ctx, nbIter int) int {
+	st := lifeStateOf(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			tx, ty := x/st.tileW, y/st.tileH
+			if !st.neighbourhoodChanged(tx, ty) {
+				st.copyTile(x, y, w, h)
+				return
+			}
+			ctx.DoTile(x, y, w, h, worker, func() {
+				st.changed[st.tileIndex(tx, ty)] = st.lifeComputeTile(x, y, w, h)
+			})
+		})
+		st.swap()
+		return st.rotateChangeFlags()
+	})
+}
+
+// lifeMPIOmp distributes row bands across ranks; each iteration exchanges
+// ghost-cell rows and per-tile steadiness meta-information with the
+// neighbouring ranks, computes the local band lazily with the worker pool,
+// and takes a global convergence vote (Allreduce OR). The structure is the
+// <150-line MPI+OpenMP solution the paper's students produce.
+func lifeMPIOmp(ctx *core.Ctx, nbIter int) int {
+	st := lifeStateOf(ctx)
+	comm := ctx.Comm
+	if comm == nil {
+		return 0 // mpi variant requires --mpirun
+	}
+	band := st.band
+	tyLo := band.Lo / st.tileH // first tile row owned by this rank
+	tyHi := band.Hi / st.tileH // one past the last owned tile row
+
+	return ctx.ForIterations(nbIter, func(int) bool {
+		// 1. Ghost-cell rows: my first/last rows go to my neighbours.
+		top := make([]uint32, st.dim)
+		bottom := make([]uint32, st.dim)
+		for x := 0; x < st.dim; x++ {
+			top[x] = uint32(st.at(band.Lo, x))
+			bottom[x] = uint32(st.at(band.Hi-1, x))
+		}
+		above, below, err := comm.ExchangeGhostRows(band, top, bottom)
+		if err != nil {
+			return false
+		}
+		st.ghostAbove = toBytes(above)
+		st.ghostBelow = toBytes(below)
+
+		// 2. Steadiness meta-information: my boundary tile rows' change
+		// flags, so neighbours can stay lazy across the rank boundary.
+		topMeta := append([]bool(nil), st.prevChange[tyLo*st.tilesX:(tyLo+1)*st.tilesX]...)
+		botMeta := append([]bool(nil), st.prevChange[(tyHi-1)*st.tilesX:tyHi*st.tilesX]...)
+		metaAbove, metaBelow, err := comm.ExchangeGhostMeta(band, topMeta, botMeta)
+		if err != nil {
+			return false
+		}
+		if metaAbove != nil && tyLo > 0 {
+			copy(st.prevChange[(tyLo-1)*st.tilesX:tyLo*st.tilesX], metaAbove.([]bool))
+		}
+		if metaBelow != nil && tyHi < st.tilesY {
+			copy(st.prevChange[tyHi*st.tilesX:(tyHi+1)*st.tilesX], metaBelow.([]bool))
+		}
+
+		// 3. Lazy tiled computation of the local band.
+		localTiles := (tyHi - tyLo) * st.tilesX
+		ctx.Pool.ParallelFor(localTiles, ctx.Cfg.Schedule, func(t, worker int) {
+			ty := tyLo + t/st.tilesX
+			tx := t % st.tilesX
+			x, y := tx*st.tileW, ty*st.tileH
+			if !st.neighbourhoodChanged(tx, ty) {
+				st.copyTile(x, y, st.tileW, st.tileH)
+				return
+			}
+			ctx.DoTile(x, y, st.tileW, st.tileH, worker, func() {
+				st.changed[st.tileIndex(tx, ty)] = st.lifeComputeTile(x, y, st.tileW, st.tileH)
+			})
+		})
+		st.swap()
+
+		// 4. Global convergence vote.
+		localAny := false
+		for ty := tyLo; ty < tyHi; ty++ {
+			for tx := 0; tx < st.tilesX; tx++ {
+				idx := st.tileIndex(tx, ty)
+				if st.changed[idx] {
+					localAny = true
+				}
+				st.prevChange[idx] = st.changed[idx]
+				st.changed[idx] = false
+			}
+		}
+		globalAny, err := comm.AllreduceBool(localAny)
+		if err != nil {
+			return false
+		}
+		return globalAny
+	})
+}
+
+// toBytes converts a ghost row of uint32 cells back to bytes (nil-safe).
+func toBytes(row []uint32) []uint8 {
+	if row == nil {
+		return nil
+	}
+	out := make([]uint8, len(row))
+	for i, v := range row {
+		out[i] = uint8(v)
+	}
+	return out
+}
+
+// LifeBoardSnapshot exposes the current board for tests and benchmarks:
+// a copy of the cell array (row-major, 1 = alive). Under MPI each rank
+// returns only its own band rows (other rows are zero).
+func LifeBoardSnapshot(ctx *core.Ctx) []uint8 {
+	st := lifeStateOf(ctx)
+	out := make([]uint8, len(st.cur))
+	copy(out, st.cur)
+	return out
+}

@@ -1,0 +1,231 @@
+package kernels
+
+// The mandel kernel computes the Mandelbrot set and zooms a little at each
+// iteration, exactly as the paper's Fig. 1. Checking set membership is
+// independent per pixel, so the kernel is trivially parallel — but the
+// wildly varying per-pixel cost (in-set pixels pay the full iteration
+// budget) makes it the canonical load-balancing study (paper §III-A,
+// Figs. 3, 4, 6, 8, 9a).
+
+import (
+	"easypap/internal/core"
+	"easypap/internal/img2d"
+	"easypap/internal/sched"
+	"easypap/internal/taskdep"
+)
+
+// mandelMaxIter is the escape iteration budget (EASYPAP uses 4096; the
+// ratio between in-set and far-outside pixels is what creates imbalance).
+const mandelMaxIter = 4096
+
+// mandelView is the kernel-private viewport, shrunk by zoom() each
+// iteration toward a visually interesting point on the set's boundary.
+type mandelView struct {
+	leftX, rightX float64
+	topY, bottomY float64
+}
+
+func newMandelView() *mandelView {
+	return &mandelView{leftX: -0.2395, rightX: -0.2275, topY: 0.660, bottomY: 0.648}
+}
+
+// zoom shrinks the viewport by 1% — the paper's zoom() step.
+func (v *mandelView) zoom() {
+	const factor = 0.99
+	xr := (v.rightX - v.leftX) * (1 - factor) / 2
+	yr := (v.topY - v.bottomY) * (1 - factor) / 2
+	v.leftX += xr
+	v.rightX -= xr
+	v.topY -= yr
+	v.bottomY += yr
+}
+
+// computeColor iterates z = z^2 + c for the pixel (y, x) and maps the
+// escape iteration to a color (black for in-set pixels). The escape
+// iteration count is also returned: it is the pixel's work-unit cost,
+// reported as the task's performance counter.
+func (v *mandelView) computeColor(y, x, dim int) (img2d.Pixel, int) {
+	xstep := (v.rightX - v.leftX) / float64(dim)
+	ystep := (v.topY - v.bottomY) / float64(dim)
+	cr := v.leftX + xstep*float64(x)
+	ci := v.topY - ystep*float64(y)
+	zr, zi := 0.0, 0.0
+	iter := 0
+	for ; iter < mandelMaxIter; iter++ {
+		zr2 := zr * zr
+		zi2 := zi * zi
+		if zr2+zi2 > 4.0 {
+			break
+		}
+		zi = 2*zr*zi + ci
+		zr = zr2 - zi2 + cr
+	}
+	if iter == mandelMaxIter {
+		return img2d.Black, iter
+	}
+	hue := float64(iter%256) / 255 * 360
+	return img2d.HSV(hue, 0.8, 1), iter
+}
+
+// mandelTile computes all pixels of a rectangle — the do_tile body — and
+// returns the tile's total work (escape iterations).
+func mandelTile(v *mandelView, im *img2d.Image, dim, x, y, w, h int) int64 {
+	var work int64
+	for i := y; i < y+h; i++ {
+		row := im.Row(i)
+		for j := x; j < x+w; j++ {
+			p, iters := v.computeColor(i, j, dim)
+			row[j] = p
+			work += int64(iters)
+		}
+	}
+	return work
+}
+
+func mandelState(ctx *core.Ctx) *mandelView { return ctx.Priv().(*mandelView) }
+
+func init() {
+	core.Register(&core.Kernel{
+		Name:        "mandel",
+		Description: "Mandelbrot set with per-iteration zoom",
+		Init: func(ctx *core.Ctx) error {
+			ctx.SetPriv(newMandelView())
+			return nil
+		},
+		Variants: map[string]core.ComputeFunc{
+			"seq":       mandelSeq,
+			"omp":       mandelOmp,
+			"omp_tiled": mandelOmpTiled,
+			"team":      mandelTeam,
+			"task":      mandelTask,
+		},
+		DefaultVariant: "seq",
+	})
+}
+
+// mandelSeq is the paper's Fig. 1 verbatim: two nested pixel loops per
+// iteration followed by zoom().
+func mandelSeq(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	v := mandelState(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		im := ctx.Cur()
+		for y := 0; y < dim; y++ {
+			row := im.Row(y)
+			for x := 0; x < dim; x++ {
+				row[x], _ = v.computeColor(y, x, dim)
+			}
+		}
+		v.zoom()
+		return true
+	})
+}
+
+// mandelOmp is the incremental first parallelization of §II-A: a parallel
+// for over the rows ("#pragma omp parallel for" before the y loop).
+func mandelOmp(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	v := mandelState(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		im := ctx.Cur()
+		ctx.Pool.ParallelFor(dim, ctx.Cfg.Schedule, func(y, worker int) {
+			ctx.StartTile(worker)
+			row := im.Row(y)
+			var work int64
+			for x := 0; x < dim; x++ {
+				var iters int
+				row[x], iters = v.computeColor(y, x, dim)
+				work += int64(iters)
+			}
+			ctx.AddWork(worker, work)
+			ctx.EndTile(0, y, dim, 1, worker)
+		})
+		v.zoom()
+		return true
+	})
+}
+
+// mandelOmpTiled is the paper's Fig. 2: collapse(2) over tiles with the
+// configured scheduling policy, do_tile instrumented, zoom in a single
+// block.
+func mandelOmpTiled(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	v := mandelState(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		im := ctx.Cur()
+		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			ctx.DoTile(x, y, w, h, worker, func() {
+				ctx.AddWork(worker, mandelTile(v, im, dim, x, y, w, h))
+			})
+		})
+		v.zoom()
+		return true
+	})
+}
+
+// mandelTeam keeps the whole iteration loop inside one parallel region, the
+// literal structure of Fig. 2 ("#pragma omp parallel" around the iteration
+// loop, "#pragma omp for collapse(2)" inside, zoom under "#pragma omp
+// single"). Iteration bracketing must happen inside the region, so this
+// variant manages it through Single blocks rather than ForIterations.
+func mandelTeam(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	v := mandelState(ctx)
+	mon := ctx.Monitor()
+	ctx.Pool.Team(func(tc *sched.TeamCtx) {
+		for it := 1; it <= nbIter; it++ {
+			iter := it
+			tc.Single(func() {
+				if mon != nil {
+					mon.StartIteration(iter)
+				}
+			})
+			im := ctx.Cur()
+			tc.ForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+				ctx.DoTile(x, y, w, h, worker, func() {
+					ctx.AddWork(worker, mandelTile(v, im, dim, x, y, w, h))
+				})
+			})
+			tc.Single(func() {
+				v.zoom()
+				if mon != nil {
+					mon.EndIteration()
+				}
+			})
+		}
+	})
+	return nbIter
+}
+
+// mandelTask expresses every tile as an independent task — no dependencies,
+// pure fan-out — demonstrating the task engine on an embarrassingly
+// parallel kernel.
+func mandelTask(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	v := mandelState(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		im := ctx.Cur()
+		g := taskdep.New()
+		for tile := 0; tile < ctx.Grid.Tiles(); tile++ {
+			x, y, w, h := ctx.Grid.Coords(tile)
+			g.AddTile("mandel", x, y, w, h, func(worker int) {
+				ctx.AddWork(worker, mandelTile(v, im, dim, x, y, w, h))
+			}, taskdep.Deps{})
+		}
+		if err := g.Run(ctx.Pool, taskObserver{ctx}); err != nil {
+			return false
+		}
+		v.zoom()
+		return true
+	})
+}
+
+// taskObserver bridges the task engine to the framework instrumentation:
+// every executed task is recorded as an instrumented span (monitoring and
+// KindTask trace events), so the wavefront of Fig. 12 shows up in EASYVIEW.
+type taskObserver struct{ ctx *core.Ctx }
+
+func (o taskObserver) TaskStart(t *taskdep.Task, worker int) { o.ctx.StartTask(worker) }
+func (o taskObserver) TaskEnd(t *taskdep.Task, worker int) {
+	o.ctx.EndTask(t.X, t.Y, t.W, t.H, worker)
+}

@@ -1,0 +1,134 @@
+package kernels
+
+// The Abelian sandpile (EASYPAP's "sable" kernel, listed in §II-A): every
+// cell holds a number of sand grains; cells with 4 or more grains topple,
+// sending one grain to each 4-neighbour. The synchronous formulation
+// (next = cur%4 + incoming spills) is deterministic and
+// order-independent, so all variants produce identical boards.
+
+import (
+	"easypap/internal/core"
+	"easypap/internal/img2d"
+)
+
+func init() {
+	core.Register(&core.Kernel{
+		Name:        "sandpile",
+		Description: "synchronous Abelian sandpile",
+		Init:        sandInit,
+		Refresh:     sandRefresh,
+		Variants: map[string]core.ComputeFunc{
+			"seq":       sandSeq,
+			"omp_tiled": sandOmpTiled,
+		},
+		DefaultVariant: "seq",
+	})
+}
+
+// sandState is the kernel-private grain grid (uint32 per cell; counts can
+// exceed 255 transiently with large initial piles).
+type sandState struct {
+	dim       int
+	cur, next []uint32
+}
+
+func sandInit(ctx *core.Ctx) error {
+	dim := ctx.Dim()
+	st := &sandState{dim: dim, cur: make([]uint32, dim*dim), next: make([]uint32, dim*dim)}
+	// EASYPAP's classic setup: every interior cell starts with 5 grains
+	// (unstable), the one-cell border stays empty and absorbs grains.
+	for y := 1; y < dim-1; y++ {
+		for x := 1; x < dim-1; x++ {
+			st.cur[y*dim+x] = 5
+		}
+	}
+	ctx.SetPriv(st)
+	sandRefresh(ctx)
+	return nil
+}
+
+func sandStateOf(ctx *core.Ctx) *sandState { return ctx.Priv().(*sandState) }
+
+// sandRefresh maps grain counts to colors (0..3 grains: dark ramp; 4+:
+// bright red — still unstable).
+func sandRefresh(ctx *core.Ctx) {
+	st := sandStateOf(ctx)
+	im := ctx.Cur()
+	palette := [4]img2d.Pixel{
+		img2d.Black,
+		img2d.RGB(60, 60, 160),
+		img2d.RGB(80, 160, 220),
+		img2d.RGB(240, 240, 170),
+	}
+	for y := 0; y < st.dim; y++ {
+		row := im.Row(y)
+		for x := 0; x < st.dim; x++ {
+			g := st.cur[y*st.dim+x]
+			if g < 4 {
+				row[x] = palette[g]
+			} else {
+				row[x] = img2d.Red
+			}
+		}
+	}
+}
+
+// sandStepTile computes the synchronous topple step for a tile, returning
+// whether any cell in the tile is still unstable or changed. Border cells
+// (the absorbing rim) always stay zero.
+func (s *sandState) sandStepTile(x, y, w, h int) bool {
+	active := false
+	for yy := y; yy < y+h; yy++ {
+		for xx := x; xx < x+w; xx++ {
+			idx := yy*s.dim + xx
+			if yy == 0 || yy == s.dim-1 || xx == 0 || xx == s.dim-1 {
+				s.next[idx] = 0
+				continue
+			}
+			v := s.cur[idx] % 4
+			v += s.cur[idx-1]/4 + s.cur[idx+1]/4 + s.cur[idx-s.dim]/4 + s.cur[idx+s.dim]/4
+			s.next[idx] = v
+			if v != s.cur[idx] || v >= 4 {
+				active = true
+			}
+		}
+	}
+	return active
+}
+
+func sandSeq(ctx *core.Ctx, nbIter int) int {
+	st := sandStateOf(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		active := st.sandStepTile(0, 0, st.dim, st.dim)
+		st.cur, st.next = st.next, st.cur
+		return active
+	})
+}
+
+func sandOmpTiled(ctx *core.Ctx, nbIter int) int {
+	st := sandStateOf(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		activeTiles := make([]bool, ctx.Grid.Tiles())
+		ctx.Pool.ParallelFor(ctx.Grid.Tiles(), ctx.Cfg.Schedule, func(tile, worker int) {
+			x, y, w, h := ctx.Grid.Coords(tile)
+			ctx.DoTile(x, y, w, h, worker, func() {
+				activeTiles[tile] = st.sandStepTile(x, y, w, h)
+			})
+		})
+		st.cur, st.next = st.next, st.cur
+		for _, a := range activeTiles {
+			if a {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// SandGrainsSnapshot exposes a copy of the grain grid for tests.
+func SandGrainsSnapshot(ctx *core.Ctx) []uint32 {
+	st := sandStateOf(ctx)
+	out := make([]uint32, len(st.cur))
+	copy(out, st.cur)
+	return out
+}

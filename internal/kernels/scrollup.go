@@ -1,0 +1,67 @@
+package kernels
+
+// scrollup shifts the whole image up by one pixel per iteration, the row
+// that falls off the top reappearing at the bottom — one of the trivial
+// warm-up kernels of the first EASYPAP hands-on session. Its interest is
+// pedagogical: the obvious per-row parallelization has a read-after-write
+// hazard (row y reads row y+1), which the cur/next double buffer removes.
+
+import (
+	"easypap/internal/core"
+)
+
+func init() {
+	core.Register(&core.Kernel{
+		Name:        "scrollup",
+		Description: "scroll the image up by one pixel per iteration",
+		Init:        initTestPattern,
+		Variants: map[string]core.ComputeFunc{
+			"seq":       scrollSeq,
+			"omp":       scrollOmp,
+			"omp_tiled": scrollOmpTiled,
+		},
+		DefaultVariant: "seq",
+	})
+}
+
+func scrollSeq(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	return ctx.ForIterations(nbIter, func(int) bool {
+		src, dst := ctx.Cur(), ctx.Next()
+		for y := 0; y < dim; y++ {
+			copy(dst.Row(y), src.Row((y+1)%dim))
+		}
+		ctx.Swap()
+		return true
+	})
+}
+
+func scrollOmp(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	return ctx.ForIterations(nbIter, func(int) bool {
+		src, dst := ctx.Cur(), ctx.Next()
+		ctx.Pool.ParallelFor(dim, ctx.Cfg.Schedule, func(y, worker int) {
+			ctx.StartTile(worker)
+			copy(dst.Row(y), src.Row((y+1)%dim))
+			ctx.EndTile(0, y, dim, 1, worker)
+		})
+		ctx.Swap()
+		return true
+	})
+}
+
+func scrollOmpTiled(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	return ctx.ForIterations(nbIter, func(int) bool {
+		src, dst := ctx.Cur(), ctx.Next()
+		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			ctx.DoTile(x, y, w, h, worker, func() {
+				for yy := y; yy < y+h; yy++ {
+					copy(dst.Row(yy)[x:x+w], src.Row((yy + 1) % dim)[x:x+w])
+				}
+			})
+		})
+		ctx.Swap()
+		return true
+	})
+}

@@ -1,0 +1,265 @@
+package kernels
+
+// The introductory kernels students meet in their first EASYPAP session:
+// spin (a rotating color wheel), invert (per-pixel color inversion),
+// transpose (image transposition) and pixelize (mosaic averaging). Each
+// exists in sequential and parallel variants to demonstrate the incremental
+// "duplicate, rename, add a pragma" workflow of §II-A.
+
+import (
+	"math"
+
+	"easypap/internal/core"
+	"easypap/internal/img2d"
+)
+
+func init() {
+	core.Register(&core.Kernel{
+		Name:        "spin",
+		Description: "rotating color wheel (hello-world kernel)",
+		Init: func(ctx *core.Ctx) error {
+			ctx.SetPriv(new(float64)) // current base angle
+			spinDraw(ctx, 0)
+			return nil
+		},
+		Variants: map[string]core.ComputeFunc{
+			"seq": spinSeq,
+			"omp": spinOmp,
+		},
+		DefaultVariant: "seq",
+	})
+
+	core.Register(&core.Kernel{
+		Name:        "invert",
+		Description: "per-pixel color inversion",
+		Init:        initTestPattern,
+		Variants: map[string]core.ComputeFunc{
+			"seq":       invertSeq,
+			"omp":       invertOmp,
+			"omp_tiled": invertOmpTiled,
+		},
+		DefaultVariant: "seq",
+	})
+
+	core.Register(&core.Kernel{
+		Name:        "transpose",
+		Description: "image transposition across the main diagonal",
+		Init:        initTestPattern,
+		Variants: map[string]core.ComputeFunc{
+			"seq":       transposeSeq,
+			"tiled":     transposeTiled,
+			"omp_tiled": transposeOmpTiled,
+		},
+		DefaultVariant: "seq",
+	})
+
+	core.Register(&core.Kernel{
+		Name:        "pixelize",
+		Description: "mosaic effect: each tile becomes its average color",
+		Init:        initTestPattern,
+		Variants: map[string]core.ComputeFunc{
+			"seq":       pixelizeSeq,
+			"omp_tiled": pixelizeOmpTiled,
+		},
+		DefaultVariant: "seq",
+	})
+}
+
+// --- spin ---------------------------------------------------------------
+
+// spinDraw paints the color wheel at the given base angle.
+func spinDraw(ctx *core.Ctx, base float64) {
+	dim := ctx.Dim()
+	c := float64(dim) / 2
+	im := ctx.Cur()
+	for y := 0; y < dim; y++ {
+		row := im.Row(y)
+		for x := 0; x < dim; x++ {
+			angle := math.Atan2(float64(y)-c, float64(x)-c)*180/math.Pi + base
+			row[x] = img2d.HSV(angle, 1, 1)
+		}
+	}
+}
+
+func spinAngle(ctx *core.Ctx) *float64 { return ctx.Priv().(*float64) }
+
+func spinSeq(ctx *core.Ctx, nbIter int) int {
+	return ctx.ForIterations(nbIter, func(int) bool {
+		*spinAngle(ctx) += 5
+		spinDraw(ctx, *spinAngle(ctx))
+		return true
+	})
+}
+
+func spinOmp(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	c := float64(dim) / 2
+	return ctx.ForIterations(nbIter, func(int) bool {
+		*spinAngle(ctx) += 5
+		base := *spinAngle(ctx)
+		im := ctx.Cur()
+		ctx.Pool.ParallelFor(dim, ctx.Cfg.Schedule, func(y, worker int) {
+			ctx.StartTile(worker)
+			row := im.Row(y)
+			for x := 0; x < dim; x++ {
+				angle := math.Atan2(float64(y)-c, float64(x)-c)*180/math.Pi + base
+				row[x] = img2d.HSV(angle, 1, 1)
+			}
+			ctx.EndTile(0, y, dim, 1, worker)
+		})
+		return true
+	})
+}
+
+// --- invert --------------------------------------------------------------
+
+// invertPixel flips the color channels, preserving alpha.
+func invertPixel(p img2d.Pixel) img2d.Pixel { return p ^ 0xffffff00 }
+
+func invertSeq(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	return ctx.ForIterations(nbIter, func(int) bool {
+		im := ctx.Cur()
+		for y := 0; y < dim; y++ {
+			row := im.Row(y)
+			for x := range row {
+				row[x] = invertPixel(row[x])
+			}
+		}
+		return true
+	})
+}
+
+func invertOmp(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	return ctx.ForIterations(nbIter, func(int) bool {
+		im := ctx.Cur()
+		ctx.Pool.ParallelFor(dim, ctx.Cfg.Schedule, func(y, worker int) {
+			ctx.StartTile(worker)
+			row := im.Row(y)
+			for x := range row {
+				row[x] = invertPixel(row[x])
+			}
+			ctx.EndTile(0, y, dim, 1, worker)
+		})
+		return true
+	})
+}
+
+func invertOmpTiled(ctx *core.Ctx, nbIter int) int {
+	return ctx.ForIterations(nbIter, func(int) bool {
+		im := ctx.Cur()
+		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			ctx.DoTile(x, y, w, h, worker, func() {
+				for yy := y; yy < y+h; yy++ {
+					row := im.Row(yy)
+					for xx := x; xx < x+w; xx++ {
+						row[xx] = invertPixel(row[xx])
+					}
+				}
+			})
+		})
+		return true
+	})
+}
+
+// --- transpose -----------------------------------------------------------
+
+func transposeSeq(ctx *core.Ctx, nbIter int) int {
+	dim := ctx.Dim()
+	return ctx.ForIterations(nbIter, func(int) bool {
+		src, dst := ctx.Cur(), ctx.Next()
+		for y := 0; y < dim; y++ {
+			row := src.Row(y)
+			for x := 0; x < dim; x++ {
+				dst.Set(x, y, row[x])
+			}
+		}
+		ctx.Swap()
+		return true
+	})
+}
+
+// transposeTiled is the cache-friendly sequential version: transposing tile
+// by tile keeps both source and destination lines resident.
+func transposeTiled(ctx *core.Ctx, nbIter int) int {
+	return ctx.ForIterations(nbIter, func(int) bool {
+		src, dst := ctx.Cur(), ctx.Next()
+		for tile := 0; tile < ctx.Grid.Tiles(); tile++ {
+			x, y, w, h := ctx.Grid.Coords(tile)
+			transposeTile(src, dst, x, y, w, h)
+		}
+		ctx.Swap()
+		return true
+	})
+}
+
+func transposeOmpTiled(ctx *core.Ctx, nbIter int) int {
+	return ctx.ForIterations(nbIter, func(int) bool {
+		src, dst := ctx.Cur(), ctx.Next()
+		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			ctx.DoTile(x, y, w, h, worker, func() {
+				transposeTile(src, dst, x, y, w, h)
+			})
+		})
+		ctx.Swap()
+		return true
+	})
+}
+
+func transposeTile(src, dst *img2d.Image, x, y, w, h int) {
+	for yy := y; yy < y+h; yy++ {
+		row := src.Row(yy)
+		for xx := x; xx < x+w; xx++ {
+			dst.Set(xx, yy, row[xx])
+		}
+	}
+}
+
+// --- pixelize ------------------------------------------------------------
+
+func pixelizeSeq(ctx *core.Ctx, nbIter int) int {
+	return ctx.ForIterations(nbIter, func(int) bool {
+		im := ctx.Cur()
+		for tile := 0; tile < ctx.Grid.Tiles(); tile++ {
+			x, y, w, h := ctx.Grid.Coords(tile)
+			pixelizeTile(im, x, y, w, h)
+		}
+		return true
+	})
+}
+
+func pixelizeOmpTiled(ctx *core.Ctx, nbIter int) int {
+	return ctx.ForIterations(nbIter, func(int) bool {
+		im := ctx.Cur()
+		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			ctx.DoTile(x, y, w, h, worker, func() {
+				pixelizeTile(im, x, y, w, h)
+			})
+		})
+		return true
+	})
+}
+
+// pixelizeTile replaces the tile with its average color.
+func pixelizeTile(im *img2d.Image, x, y, w, h int) {
+	var r, g, b, a uint64
+	for yy := y; yy < y+h; yy++ {
+		row := im.Row(yy)
+		for xx := x; xx < x+w; xx++ {
+			p := row[xx]
+			r += uint64(img2d.R(p))
+			g += uint64(img2d.G(p))
+			b += uint64(img2d.B(p))
+			a += uint64(img2d.A(p))
+		}
+	}
+	n := uint64(w * h)
+	avg := img2d.RGBA(uint8(r/n), uint8(g/n), uint8(b/n), uint8(a/n))
+	for yy := y; yy < y+h; yy++ {
+		row := im.Row(yy)
+		for xx := x; xx < x+w; xx++ {
+			row[xx] = avg
+		}
+	}
+}

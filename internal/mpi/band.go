@@ -1,0 +1,144 @@
+package mpi
+
+// Row-band decomposition and ghost-cell exchange helpers: the communication
+// pattern the paper's MPI Game of Life uses (§III-D). The image is split
+// into horizontal bands, one per rank; stencil kernels need each
+// neighbour's boundary row (the "ghost cells"), exchanged every iteration
+// together with tile meta-information (which tiles are in a steady state).
+
+import "fmt"
+
+// Band is one rank's horizontal slab of a dim x dim image: rows
+// [Lo, Hi).
+type Band struct {
+	Rank int
+	Lo   int // first owned row (inclusive)
+	Hi   int // last owned row (exclusive)
+	Dim  int
+}
+
+// Rows returns the number of owned rows.
+func (b Band) Rows() int { return b.Hi - b.Lo }
+
+// BandFor computes rank's band of a dim-row image split across size ranks
+// as evenly as possible (lower ranks take the extra rows).
+func BandFor(dim, size, rank int) Band {
+	base := dim / size
+	rem := dim % size
+	lo := 0
+	if rank < rem {
+		lo = rank * (base + 1)
+		return Band{Rank: rank, Lo: lo, Hi: lo + base + 1, Dim: dim}
+	}
+	lo = rem*(base+1) + (rank-rem)*base
+	return Band{Rank: rank, Lo: lo, Hi: lo + base, Dim: dim}
+}
+
+// Ghost-row exchange tags (reserved range distinct from collectives).
+const (
+	tagGhostDown = -200 // sending my bottom row to the rank below
+	tagGhostUp   = -201 // sending my top row to the rank above
+)
+
+// CloneRow copies a pixel row so the sender may keep mutating its buffer
+// (messages transfer ownership).
+func CloneRow(row []uint32) []uint32 {
+	cp := make([]uint32, len(row))
+	copy(cp, row)
+	return cp
+}
+
+// ExchangeGhostRows swaps boundary rows with the neighbouring ranks:
+// top and bottom are the caller's first and last owned rows (they are
+// copied before sending); the returned ghostAbove/ghostBelow are the
+// neighbours' adjacent rows, or nil at the world's edges.
+func (c *Comm) ExchangeGhostRows(band Band, top, bottom []uint32) (ghostAbove, ghostBelow []uint32, err error) {
+	up, down := band.Rank-1, band.Rank+1
+	if up >= 0 {
+		if err := c.Send(up, tagGhostUp, CloneRow(top)); err != nil {
+			return nil, nil, err
+		}
+	}
+	if down < c.Size() {
+		if err := c.Send(down, tagGhostDown, CloneRow(bottom)); err != nil {
+			return nil, nil, err
+		}
+	}
+	if up >= 0 {
+		got, _, err := c.Recv(up, tagGhostDown)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mpi: ghost row from rank %d: %w", up, err)
+		}
+		ghostAbove = got.([]uint32)
+	}
+	if down < c.Size() {
+		got, _, err := c.Recv(down, tagGhostUp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mpi: ghost row from rank %d: %w", down, err)
+		}
+		ghostBelow = got.([]uint32)
+	}
+	return ghostAbove, ghostBelow, nil
+}
+
+// ExchangeGhostMeta performs the same neighbour exchange for arbitrary
+// per-boundary metadata (e.g. the per-tile steadiness bitmaps of the lazy
+// Game of Life). The payloads are sent as-is: callers must not mutate them
+// afterwards.
+func (c *Comm) ExchangeGhostMeta(band Band, topMeta, bottomMeta any) (metaAbove, metaBelow any, err error) {
+	const (
+		tagMetaDown = -210
+		tagMetaUp   = -211
+	)
+	up, down := band.Rank-1, band.Rank+1
+	if up >= 0 {
+		if err := c.Send(up, tagMetaUp, topMeta); err != nil {
+			return nil, nil, err
+		}
+	}
+	if down < c.Size() {
+		if err := c.Send(down, tagMetaDown, bottomMeta); err != nil {
+			return nil, nil, err
+		}
+	}
+	if up >= 0 {
+		got, _, err := c.Recv(up, tagMetaDown)
+		if err != nil {
+			return nil, nil, err
+		}
+		metaAbove = got
+	}
+	if down < c.Size() {
+		got, _, err := c.Recv(down, tagMetaUp)
+		if err != nil {
+			return nil, nil, err
+		}
+		metaBelow = got
+	}
+	return metaAbove, metaBelow, nil
+}
+
+// GatherBands reassembles a full image at root from per-rank bands: each
+// rank sends its rows (dim*rows pixels, row-major); root returns the
+// dim*dim pixel slice, others nil. This is how the master process refreshes
+// the displayed window in EASYPAP's MPI mode.
+func (c *Comm) GatherBands(root int, band Band, pixels []uint32) ([]uint32, error) {
+	if len(pixels) != band.Rows()*band.Dim {
+		return nil, fmt.Errorf("mpi: rank %d: band payload has %d pixels, want %d",
+			c.rank, len(pixels), band.Rows()*band.Dim)
+	}
+	parts, err := c.Gather(root, pixels)
+	if err != nil || c.rank != root {
+		return nil, err
+	}
+	full := make([]uint32, band.Dim*band.Dim)
+	for r := 0; r < c.Size(); r++ {
+		rb := BandFor(band.Dim, c.Size(), r)
+		part, ok := parts[r].([]uint32)
+		if !ok || len(part) != rb.Rows()*band.Dim {
+			return nil, fmt.Errorf("mpi: rank %d sent a malformed band", r)
+		}
+		copy(full[rb.Lo*band.Dim:rb.Hi*band.Dim], part)
+	}
+	return full, nil
+}

@@ -1,0 +1,282 @@
+// Package mpi is an in-process message-passing runtime with MPI-shaped
+// semantics: ranks, tagged point-to-point messages, and the collectives
+// EASYPAP assignments use (barrier, broadcast, gather, reduce). It is the
+// substitution documented in DESIGN.md for the real MPI processes the paper
+// launches through mpirun: each rank runs as a goroutine group with its own
+// private data (kernels never share image memory across ranks), so the
+// communication structure — ghost-cell rows, tile meta-information — is
+// identical to the distributed original while remaining runnable in a unit
+// test.
+//
+// Messages transfer ownership: after Send returns, the sender must not
+// mutate the payload. Kernels that reuse buffers copy before sending (see
+// CloneRow). Recv carries a deadline so an incorrectly synchronized student
+// program reports a deadlock instead of hanging the process — the runtime's
+// watchdog stands in for a hung mpirun.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultRecvTimeout bounds how long a Recv waits before declaring the
+// program deadlocked.
+const DefaultRecvTimeout = 10 * time.Second
+
+// ErrDeadlock is wrapped by errors returned from receives that timed out.
+var ErrDeadlock = errors.New("mpi: deadlock suspected (receive timed out)")
+
+// AnyTag matches any message tag in Recv.
+const AnyTag = -1
+
+// AnySource matches any sender rank in Recv.
+const AnySource = -1
+
+// message is one in-flight message.
+type message struct {
+	src, tag int
+	payload  any
+}
+
+// world is the shared state of a communicator group.
+type world struct {
+	size    int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [][]message // per-destination mailbox
+	timeout time.Duration
+
+	// barrier state (central counter, phase-flipped)
+	barWaiting int
+	barPhase   uint64
+}
+
+// Comm is one rank's view of the world — the handle kernels receive, like
+// an MPI_Comm plus the rank.
+type Comm struct {
+	w    *world
+	rank int
+}
+
+// Rank returns the caller's process rank (MPI_Comm_rank).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks (MPI_Comm_size).
+func (c *Comm) Size() int { return c.w.size }
+
+// Config adjusts the runtime.
+type Config struct {
+	// RecvTimeout overrides the deadlock watchdog delay; zero keeps
+	// DefaultRecvTimeout.
+	RecvTimeout time.Duration
+}
+
+// Run launches np ranks, each executing fn with its own Comm, and waits for
+// all of them. A rank returning an error or panicking aborts the report
+// (all ranks are still joined); the first error is returned, wrapped with
+// its rank.
+func Run(np int, fn func(c *Comm) error) error {
+	return RunConfig(np, Config{}, fn)
+}
+
+// RunConfig is Run with explicit configuration.
+func RunConfig(np int, cfg Config, fn func(c *Comm) error) error {
+	if np <= 0 {
+		return fmt.Errorf("mpi: invalid process count %d", np)
+	}
+	w := &world{
+		size:    np,
+		queues:  make([][]message, np),
+		timeout: cfg.RecvTimeout,
+	}
+	if w.timeout <= 0 {
+		w.timeout = DefaultRecvTimeout
+	}
+	w.cond = sync.NewCond(&w.mu)
+
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					// Wake any rank blocked on a receive from us.
+					w.mu.Lock()
+					w.cond.Broadcast()
+					w.mu.Unlock()
+				}
+			}()
+			if err := fn(&Comm{w: w, rank: rank}); err != nil {
+				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Send delivers payload to rank dst with the given tag (MPI_Send). Sends
+// are buffered and never block. Sending to self is allowed (matched by a
+// later Recv), sending to an invalid rank is an error.
+func (c *Comm) Send(dst, tag int, payload any) error {
+	if dst < 0 || dst >= c.w.size {
+		return fmt.Errorf("mpi: rank %d: send to invalid rank %d", c.rank, dst)
+	}
+	c.w.mu.Lock()
+	c.w.queues[dst] = append(c.w.queues[dst], message{src: c.rank, tag: tag, payload: payload})
+	c.w.cond.Broadcast()
+	c.w.mu.Unlock()
+	return nil
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload and actual source (MPI_Recv). src may be AnySource
+// and tag may be AnyTag. Messages from the same sender with the same tag
+// are received in send order (the MPI non-overtaking guarantee).
+func (c *Comm) Recv(src, tag int) (payload any, from int, err error) {
+	deadline := time.Now().Add(c.w.timeout)
+	timer := time.AfterFunc(c.w.timeout, func() {
+		c.w.mu.Lock()
+		c.w.cond.Broadcast()
+		c.w.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	c.w.mu.Lock()
+	defer c.w.mu.Unlock()
+	for {
+		q := c.w.queues[c.rank]
+		for i, m := range q {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				c.w.queues[c.rank] = append(q[:i:i], q[i+1:]...)
+				return m.payload, m.src, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, -1, fmt.Errorf("%w: rank %d waiting for src=%d tag=%d after %v",
+				ErrDeadlock, c.rank, src, tag, c.w.timeout)
+		}
+		c.w.cond.Wait()
+	}
+}
+
+// Barrier blocks until every rank has entered it (MPI_Barrier).
+func (c *Comm) Barrier() {
+	c.w.mu.Lock()
+	phase := c.w.barPhase
+	c.w.barWaiting++
+	if c.w.barWaiting == c.w.size {
+		c.w.barWaiting = 0
+		c.w.barPhase++
+		c.w.cond.Broadcast()
+		c.w.mu.Unlock()
+		return
+	}
+	for phase == c.w.barPhase {
+		c.w.cond.Wait()
+	}
+	c.w.mu.Unlock()
+}
+
+// collective tags live in a reserved negative range so they never collide
+// with user tags.
+const (
+	tagBcast  = -100
+	tagGather = -101
+	tagReduce = -102
+)
+
+// Bcast broadcasts root's payload to every rank and returns it
+// (MPI_Bcast). Every rank must call it; non-root ranks pass nil (their
+// argument is ignored).
+func (c *Comm) Bcast(root int, payload any) (any, error) {
+	if root < 0 || root >= c.w.size {
+		return nil, fmt.Errorf("mpi: invalid root %d", root)
+	}
+	if c.rank == root {
+		for r := 0; r < c.w.size; r++ {
+			if r != root {
+				if err := c.Send(r, tagBcast, payload); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return payload, nil
+	}
+	got, _, err := c.Recv(root, tagBcast)
+	return got, err
+}
+
+// Gather collects every rank's payload at root; root receives a slice
+// indexed by rank, other ranks receive nil (MPI_Gather).
+func (c *Comm) Gather(root int, payload any) ([]any, error) {
+	if root < 0 || root >= c.w.size {
+		return nil, fmt.Errorf("mpi: invalid root %d", root)
+	}
+	if c.rank != root {
+		return nil, c.Send(root, tagGather, payload)
+	}
+	out := make([]any, c.w.size)
+	out[root] = payload
+	for i := 0; i < c.w.size-1; i++ {
+		got, from, err := c.Recv(AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = got
+	}
+	return out, nil
+}
+
+// Reduce folds every rank's payload at root with op (MPI_Reduce). op must
+// be associative and commutative; it is applied in rank order at root.
+// Non-root ranks receive nil.
+func (c *Comm) Reduce(root int, payload any, op func(a, b any) any) (any, error) {
+	vals, err := c.Gather(root, payload)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		acc = op(acc, v)
+	}
+	return acc, nil
+}
+
+// Allreduce is Reduce followed by Bcast: every rank receives the folded
+// value (MPI_Allreduce).
+func (c *Comm) Allreduce(payload any, op func(a, b any) any) (any, error) {
+	red, err := c.Reduce(0, payload, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(0, red)
+}
+
+// AllreduceBool is Allreduce specialized for the "is anybody still
+// changing?" convergence votes EASYPAP kernels take (logical OR).
+func (c *Comm) AllreduceBool(local bool) (bool, error) {
+	v, err := c.Allreduce(local, func(a, b any) any { return a.(bool) || b.(bool) })
+	if err != nil {
+		return false, err
+	}
+	return v.(bool), nil
+}
+
+// AllreduceInt sums an int across ranks.
+func (c *Comm) AllreduceInt(local int) (int, error) {
+	v, err := c.Allreduce(local, func(a, b any) any { return a.(int) + b.(int) })
+	if err != nil {
+		return 0, err
+	}
+	return v.(int), nil
+}

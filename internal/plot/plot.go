@@ -1,0 +1,314 @@
+// Package plot is the easyplot equivalent (paper §II-C, Fig. 6): it loads
+// the CSV files produced in performance mode, filters and groups them, and
+// renders speedup or time curves as SVG.
+//
+// The key feature carried over from easyplot is the automatically generated
+// legend: after filtering, columns holding a single value are set aside and
+// listed above the graph ("Parameters: machine=... dim=1024 kernel=mandel
+// ..."), and the series names are built from the remaining varying columns
+// — guaranteeing that "experiments conducted in different conditions will
+// not silently be incorporated in the same graph".
+package plot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one CSV row: column name -> value.
+type Record map[string]string
+
+// Table is a loaded result set.
+type Table struct {
+	Columns []string
+	Rows    []Record
+}
+
+// Load reads a CSV file with a header row.
+func Load(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("plot: %w", err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("plot: reading %s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("plot: %s is empty", path)
+	}
+	t := &Table{Columns: rows[0]}
+	for _, raw := range rows[1:] {
+		if len(raw) != len(t.Columns) {
+			return nil, fmt.Errorf("plot: %s has a row with %d fields, want %d", path, len(raw), len(t.Columns))
+		}
+		rec := make(Record, len(raw))
+		for i, col := range t.Columns {
+			rec[col] = raw[i]
+		}
+		t.Rows = append(t.Rows, rec)
+	}
+	return t, nil
+}
+
+// Filter returns the rows matching every key=value constraint.
+func (t *Table) Filter(constraints map[string]string) *Table {
+	out := &Table{Columns: t.Columns}
+	for _, r := range t.Rows {
+		ok := true
+		for k, v := range constraints {
+			if r[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// ConstantColumns returns the columns that hold a single value across all
+// rows (excluding the measurement column time_us), with that value — the
+// parameters listed above the graph.
+func (t *Table) ConstantColumns() map[string]string {
+	consts := make(map[string]string)
+	if len(t.Rows) == 0 {
+		return consts
+	}
+	for _, col := range t.Columns {
+		if col == "time_us" {
+			continue
+		}
+		v := t.Rows[0][col]
+		same := true
+		for _, r := range t.Rows[1:] {
+			if r[col] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			consts[col] = v
+		}
+	}
+	return consts
+}
+
+// VaryingColumns returns the non-constant, non-measurement columns.
+func (t *Table) VaryingColumns() []string {
+	consts := t.ConstantColumns()
+	var out []string
+	for _, col := range t.Columns {
+		if col == "time_us" {
+			continue
+		}
+		if _, isConst := consts[col]; !isConst {
+			out = append(out, col)
+		}
+	}
+	return out
+}
+
+// TimeUS returns the row's measurement in microseconds.
+func (r Record) TimeUS() (int64, error) {
+	v, err := strconv.ParseInt(r["time_us"], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("plot: bad time_us %q", r["time_us"])
+	}
+	return v, nil
+}
+
+// Point is one aggregated (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Panel is one sub-graph (Fig. 6 shows two: grain=16 and grain=32).
+type Panel struct {
+	Title  string
+	Series []Series
+}
+
+// Graph is a complete figure: shared constants, one or more panels.
+type Graph struct {
+	Constants map[string]string
+	Panels    []Panel
+	YLabel    string
+	XLabel    string
+}
+
+// Options configures Build.
+type Options struct {
+	// XCol is the numeric x-axis column (e.g. "threads").
+	XCol string
+	// PanelCol, when set, splits the figure into one panel per value
+	// (easyplot --col, e.g. "tilew" for the grain panels of Fig. 6).
+	PanelCol string
+	// Speedup computes y = RefTimeUS / time instead of raw time.
+	Speedup bool
+	// RefTimeUS is the sequential reference time. When zero and Speedup is
+	// set, the reference is taken from the rows whose variant is "seq"
+	// (minimum time), mirroring easyplot's refTime discovery.
+	RefTimeUS int64
+}
+
+// Build aggregates the table into a Graph: rows are grouped per panel and
+// per legend (the varying columns except XCol and PanelCol); repeated runs
+// at the same x collapse to their minimum time.
+func Build(t *Table, opt Options) (*Graph, error) {
+	if len(t.Rows) == 0 {
+		return nil, fmt.Errorf("plot: no rows to plot")
+	}
+	if opt.XCol == "" {
+		return nil, fmt.Errorf("plot: no x column selected")
+	}
+	refTime := opt.RefTimeUS
+	working := t
+	if opt.Speedup && refTime == 0 {
+		var err error
+		refTime, err = seqReference(t)
+		if err != nil {
+			return nil, err
+		}
+		// The seq rows are the reference, not a curve.
+		working = excludeVariant(t, "seq")
+	}
+
+	consts := working.ConstantColumns()
+	varying := working.VaryingColumns()
+	var legendCols []string
+	for _, c := range varying {
+		if c != opt.XCol && c != opt.PanelCol {
+			legendCols = append(legendCols, c)
+		}
+	}
+
+	g := &Graph{Constants: consts, XLabel: opt.XCol, YLabel: "time (ms)"}
+	if opt.Speedup {
+		g.YLabel = "speedup"
+		g.Constants["refTime"] = strconv.FormatInt(refTime, 10)
+	}
+
+	// panel -> legend -> x -> min time
+	type cell struct{ best int64 }
+	data := make(map[string]map[string]map[float64]*cell)
+	for _, r := range working.Rows {
+		x, err := strconv.ParseFloat(r[opt.XCol], 64)
+		if err != nil {
+			return nil, fmt.Errorf("plot: non-numeric %s value %q", opt.XCol, r[opt.XCol])
+		}
+		tUS, err := r.TimeUS()
+		if err != nil {
+			return nil, err
+		}
+		panel := ""
+		if opt.PanelCol != "" {
+			panel = fmt.Sprintf("%s = %s", opt.PanelCol, r[opt.PanelCol])
+		}
+		var legendParts []string
+		for _, c := range legendCols {
+			legendParts = append(legendParts, fmt.Sprintf("%s=%s", c, r[c]))
+		}
+		legend := strings.Join(legendParts, " ")
+		if legend == "" {
+			legend = "time"
+		}
+		if data[panel] == nil {
+			data[panel] = make(map[string]map[float64]*cell)
+		}
+		if data[panel][legend] == nil {
+			data[panel][legend] = make(map[float64]*cell)
+		}
+		if c := data[panel][legend][x]; c == nil || tUS < c.best {
+			data[panel][legend][x] = &cell{best: tUS}
+		}
+	}
+
+	panelNames := sortedKeys(data)
+	for _, pn := range panelNames {
+		panel := Panel{Title: pn}
+		for _, legend := range sortedKeys(data[pn]) {
+			s := Series{Name: legend}
+			xs := make([]float64, 0, len(data[pn][legend]))
+			for x := range data[pn][legend] {
+				xs = append(xs, x)
+			}
+			sort.Float64s(xs)
+			for _, x := range xs {
+				tUS := data[pn][legend][x].best
+				y := float64(tUS) / 1000 // ms
+				if opt.Speedup {
+					y = float64(refTime) / float64(tUS)
+				}
+				s.Points = append(s.Points, Point{X: x, Y: y})
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		g.Panels = append(g.Panels, panel)
+	}
+	return g, nil
+}
+
+// seqReference finds the minimum time of the "seq" variant rows.
+func seqReference(t *Table) (int64, error) {
+	var best int64 = -1
+	for _, r := range t.Rows {
+		if r["variant"] != "seq" {
+			continue
+		}
+		tUS, err := r.TimeUS()
+		if err != nil {
+			return 0, err
+		}
+		if best < 0 || tUS < best {
+			best = tUS
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("plot: no seq rows to derive refTime from; pass RefTimeUS explicitly")
+	}
+	return best, nil
+}
+
+func excludeVariant(t *Table, variant string) *Table {
+	out := &Table{Columns: t.Columns}
+	for _, r := range t.Rows {
+		if r["variant"] != variant {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ConstantsLine renders the parameters banner shown above the graph, e.g.
+// "Parameters : machine=6-core dim=1024 kernel=mandel variant=omp_tiled".
+func (g *Graph) ConstantsLine() string {
+	parts := make([]string, 0, len(g.Constants))
+	for _, k := range sortedKeys(g.Constants) {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, g.Constants[k]))
+	}
+	return "Parameters : " + strings.Join(parts, " ")
+}

@@ -1,0 +1,229 @@
+package plot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCSV drops a small result file shaped like core.AppendCSV output.
+func writeCSV(t *testing.T, rows ...string) string {
+	t.Helper()
+	header := "machine,kernel,variant,dim,tilew,tileh,threads,schedule,ranks,iterations,arg,time_us"
+	path := filepath.Join(t.TempDir(), "perf.csv")
+	content := header + "\n" + strings.Join(rows, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleCSV(t *testing.T) string {
+	return writeCSV(t,
+		"m,mandel,seq,1024,16,16,1,static,1,10,,600000",
+		"m,mandel,omp_tiled,1024,16,16,2,static,1,10,,320000",
+		"m,mandel,omp_tiled,1024,16,16,2,static,1,10,,310000", // repeat run
+		"m,mandel,omp_tiled,1024,16,16,4,static,1,10,,170000",
+		`m,mandel,omp_tiled,1024,16,16,2,"dynamic,2",1,10,,300000`,
+		`m,mandel,omp_tiled,1024,16,16,4,"dynamic,2",1,10,,150000`,
+		"m,mandel,omp_tiled,1024,32,32,2,static,1,10,,330000",
+		"m,mandel,omp_tiled,1024,32,32,4,static,1,10,,180000",
+	)
+}
+
+func TestLoad(t *testing.T) {
+	tab, err := Load(sampleCSV(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0]["variant"] != "seq" || tab.Rows[0]["time_us"] != "600000" {
+		t.Errorf("row 0 = %v", tab.Rows[0])
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.csv")
+	os.WriteFile(empty, nil, 0o644)
+	if _, err := Load(empty); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tab, _ := Load(sampleCSV(t))
+	got := tab.Filter(map[string]string{"variant": "omp_tiled", "tilew": "16"})
+	if len(got.Rows) != 5 {
+		t.Errorf("filtered rows = %d, want 5", len(got.Rows))
+	}
+	none := tab.Filter(map[string]string{"kernel": "nope"})
+	if len(none.Rows) != 0 {
+		t.Error("bogus filter matched rows")
+	}
+}
+
+func TestConstantAndVaryingColumns(t *testing.T) {
+	tab, _ := Load(sampleCSV(t))
+	sub := tab.Filter(map[string]string{"variant": "omp_tiled", "tilew": "16"})
+	consts := sub.ConstantColumns()
+	if consts["kernel"] != "mandel" || consts["dim"] != "1024" {
+		t.Errorf("constants = %v", consts)
+	}
+	if _, isConst := consts["threads"]; isConst {
+		t.Error("threads wrongly constant")
+	}
+	varying := sub.VaryingColumns()
+	joined := strings.Join(varying, ",")
+	if !strings.Contains(joined, "threads") || !strings.Contains(joined, "schedule") {
+		t.Errorf("varying = %v", varying)
+	}
+	if strings.Contains(joined, "time_us") {
+		t.Error("time_us is not a parameter column")
+	}
+}
+
+func TestBuildSpeedupGraph(t *testing.T) {
+	tab, _ := Load(sampleCSV(t))
+	sub := tab.Filter(map[string]string{"kernel": "mandel"})
+	g, err := Build(sub, Options{XCol: "threads", PanelCol: "tilew", Speedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// refTime from the seq row.
+	if g.Constants["refTime"] != "600000" {
+		t.Errorf("refTime = %s", g.Constants["refTime"])
+	}
+	if len(g.Panels) != 2 {
+		t.Fatalf("panels = %d, want 2 (tilew 16 and 32)", len(g.Panels))
+	}
+	// Panel "tilew = 16" has two series (static, dynamic,2).
+	p16 := g.Panels[0]
+	if !strings.Contains(p16.Title, "16") {
+		p16 = g.Panels[1]
+	}
+	if len(p16.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(p16.Series))
+	}
+	// Speedup at threads=4 with dynamic: 600000/150000 = 4.
+	for _, s := range p16.Series {
+		if strings.Contains(s.Name, "dynamic") {
+			last := s.Points[len(s.Points)-1]
+			if last.X != 4 || last.Y != 4.0 {
+				t.Errorf("dynamic speedup at 4 threads = %+v", last)
+			}
+		}
+		if strings.Contains(s.Name, "static") {
+			// Repeat runs collapse to the min (310000): 600000/310000.
+			first := s.Points[0]
+			if first.X != 2 || first.Y < 1.9 || first.Y > 1.94 {
+				t.Errorf("static speedup at 2 threads = %+v", first)
+			}
+		}
+	}
+	if g.YLabel != "speedup" {
+		t.Errorf("ylabel = %s", g.YLabel)
+	}
+}
+
+func TestBuildTimeGraph(t *testing.T) {
+	tab, _ := Load(sampleCSV(t))
+	sub := tab.Filter(map[string]string{"variant": "omp_tiled", "tilew": "16", "schedule": "static"})
+	g, err := Build(sub, Options{XCol: "threads"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Panels) != 1 || len(g.Panels[0].Series) != 1 {
+		t.Fatalf("graph shape: %d panels", len(g.Panels))
+	}
+	pts := g.Panels[0].Series[0].Points
+	if pts[0].X != 2 || pts[0].Y != 310 { // min(320000,310000) us -> ms
+		t.Errorf("time point = %+v", pts[0])
+	}
+	if g.YLabel != "time (ms)" {
+		t.Errorf("ylabel = %s", g.YLabel)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	tab, _ := Load(sampleCSV(t))
+	if _, err := Build(&Table{Columns: tab.Columns}, Options{XCol: "threads"}); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := Build(tab, Options{}); err == nil {
+		t.Error("missing XCol accepted")
+	}
+	if _, err := Build(tab, Options{XCol: "variant"}); err == nil {
+		t.Error("non-numeric x column accepted")
+	}
+	noSeq := tab.Filter(map[string]string{"variant": "omp_tiled"})
+	if _, err := Build(noSeq, Options{XCol: "threads", Speedup: true}); err == nil {
+		t.Error("speedup without seq reference accepted")
+	}
+	// Explicit RefTimeUS fixes it.
+	if _, err := Build(noSeq, Options{XCol: "threads", Speedup: true, RefTimeUS: 500000}); err != nil {
+		t.Errorf("explicit refTime rejected: %v", err)
+	}
+}
+
+func TestConstantsLine(t *testing.T) {
+	g := &Graph{Constants: map[string]string{"dim": "1024", "kernel": "mandel"}}
+	line := g.ConstantsLine()
+	if line != "Parameters : dim=1024 kernel=mandel" {
+		t.Errorf("line = %q", line)
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	tab, _ := Load(sampleCSV(t))
+	g, err := Build(tab.Filter(map[string]string{"kernel": "mandel"}),
+		Options{XCol: "threads", PanelCol: "tilew", Speedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := g.RenderSVG(0, 0)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("not SVG")
+	}
+	for _, want := range []string{"Parameters :", "tilew = 16", "tilew = 32", "speedup", "<path", "<circle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "g", "fig6.svg")
+	if err := g.SaveSVG(path, 1040, 420); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	tab, _ := Load(sampleCSV(t))
+	g, err := Build(tab.Filter(map[string]string{"tilew": "16"}),
+		Options{XCol: "threads", Speedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := g.ASCII(40, 10)
+	if !strings.Contains(art, "a = ") {
+		t.Errorf("ascii chart missing legend:\n%s", art)
+	}
+	lines := strings.Split(art, "\n")
+	if len(lines) < 10 {
+		t.Error("ascii chart too short")
+	}
+}
+
+func TestEmptyPanelASCII(t *testing.T) {
+	g := &Graph{Constants: map[string]string{}, Panels: []Panel{{Title: "empty"}}}
+	if !strings.Contains(g.ASCII(20, 5), "(no data)") {
+		t.Error("empty panel not handled")
+	}
+}

@@ -1,0 +1,201 @@
+package plot
+
+// SVG rendering of Graphs: multi-panel line charts with axes, ticks,
+// legends and the constants banner — the visual equivalent of Fig. 6.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// svgPalette cycles through distinguishable line colors.
+var svgPalette = []string{
+	"#e6194b", "#3cb44b", "#4363d8", "#f58231",
+	"#911eb4", "#42d4f4", "#f032e6", "#9a6324",
+}
+
+// RenderSVG draws the graph as a standalone SVG document. Panels are laid
+// out side by side (as in Fig. 6), sharing the y range.
+func (g *Graph) RenderSVG(width, height int) string {
+	if width <= 0 {
+		width = 520 * max(len(g.Panels), 1)
+	}
+	if height <= 0 {
+		height = 420
+	}
+	nPanels := max(len(g.Panels), 1)
+	panelW := width / nPanels
+	const marginL, marginR, marginT, marginB = 56, 16, 56, 46
+
+	// Global ranges across panels so curves are comparable.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := math.Inf(-1)
+	for _, p := range g.Panels {
+		for _, s := range p.Series {
+			for _, pt := range s.Points {
+				minX = math.Min(minX, pt.X)
+				maxX = math.Max(maxX, pt.X)
+				maxY = math.Max(maxY, pt.Y)
+			}
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, maxY = 0, 1, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.08 // headroom
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Constants banner.
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="11" fill="#444">%s</text>`+"\n",
+		8, escape(g.ConstantsLine()))
+
+	for pi, panel := range g.Panels {
+		x0 := pi*panelW + marginL
+		x1 := (pi+1)*panelW - marginR
+		y0 := marginT
+		y1 := height - marginB
+		plotW := float64(x1 - x0)
+		plotH := float64(y1 - y0)
+		sx := func(x float64) float64 { return float64(x0) + (x-minX)/(maxX-minX)*plotW }
+		sy := func(y float64) float64 { return float64(y1) - y/maxY*plotH }
+
+		// Panel title.
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" fill="#222" text-anchor="middle">%s</text>`+"\n",
+			(x0+x1)/2, y0-10, escape(panel.Title))
+		// Axes.
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", x0, y1, x1, y1)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", x0, y0, x0, y1)
+		// Y ticks and gridlines (5 divisions).
+		for i := 0; i <= 5; i++ {
+			yv := maxY * float64(i) / 5
+			fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+				x0, sy(yv), x1, sy(yv))
+			fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" fill="#555" text-anchor="end">%.1f</text>`+"\n",
+				x0-4, sy(yv)+3, yv)
+		}
+		// X ticks at each distinct point of the first series.
+		ticks := map[float64]bool{}
+		for _, s := range panel.Series {
+			for _, pt := range s.Points {
+				ticks[pt.X] = true
+			}
+		}
+		for x := range ticks {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" fill="#555" text-anchor="middle">%g</text>`+"\n",
+				sx(x), y1+14, x)
+		}
+		// Axis labels.
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="#333" text-anchor="middle">%s</text>`+"\n",
+			(x0+x1)/2, height-8, escape(g.XLabel))
+		if pi == 0 {
+			fmt.Fprintf(&b, `<text x="14" y="%d" font-size="11" fill="#333" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+				(y0+y1)/2, (y0+y1)/2, escape(g.YLabel))
+		}
+
+		// Curves with point markers.
+		for si, s := range panel.Series {
+			color := svgPalette[si%len(svgPalette)]
+			var path strings.Builder
+			for i, pt := range s.Points {
+				cmd := "L"
+				if i == 0 {
+					cmd = "M"
+				}
+				fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, sx(pt.X), sy(pt.Y))
+			}
+			fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.TrimSpace(path.String()), color)
+			for _, pt := range s.Points {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"><title>%s: (%g, %.2f)</title></circle>`+"\n",
+					sx(pt.X), sy(pt.Y), color, escape(s.Name), pt.X, pt.Y)
+			}
+			// Legend entry (top-left of the panel).
+			ly := y0 + 14 + si*15
+			fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+				x0+6, ly-4, x0+26, ly-4, color)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="#333">%s</text>`+"\n",
+				x0+30, ly, escape(s.Name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// SaveSVG writes the rendered graph to path, creating directories.
+func (g *Graph) SaveSVG(path string, width, height int) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("plot: %w", err)
+	}
+	return os.WriteFile(path, []byte(g.RenderSVG(width, height)), 0o644)
+}
+
+// ASCII renders the graph as fixed-width text charts, one block per panel
+// — handy in terminals and test logs.
+func (g *Graph) ASCII(width, height int) string {
+	if width <= 0 {
+		width = 68
+	}
+	if height <= 0 {
+		height = 16
+	}
+	var b strings.Builder
+	b.WriteString(g.ConstantsLine() + "\n")
+	for _, panel := range g.Panels {
+		if panel.Title != "" {
+			fmt.Fprintf(&b, "-- %s --\n", panel.Title)
+		}
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		maxY := 0.0
+		for _, s := range panel.Series {
+			for _, pt := range s.Points {
+				minX = math.Min(minX, pt.X)
+				maxX = math.Max(maxX, pt.X)
+				maxY = math.Max(maxY, pt.Y)
+			}
+		}
+		if math.IsInf(minX, 1) || maxY == 0 {
+			b.WriteString("(no data)\n")
+			continue
+		}
+		if maxX == minX {
+			maxX = minX + 1
+		}
+		grid := make([][]byte, height)
+		for i := range grid {
+			grid[i] = []byte(strings.Repeat(" ", width))
+		}
+		for si, s := range panel.Series {
+			marker := byte('a' + si%26)
+			for _, pt := range s.Points {
+				cx := int((pt.X - minX) / (maxX - minX) * float64(width-1))
+				cy := height - 1 - int(pt.Y/maxY*float64(height-1))
+				if cy >= 0 && cy < height && cx >= 0 && cx < width {
+					grid[cy][cx] = marker
+				}
+			}
+		}
+		for _, line := range grid {
+			b.WriteString(string(line) + "\n")
+		}
+		for si, s := range panel.Series {
+			fmt.Fprintf(&b, "  %c = %s\n", byte('a'+si%26), s.Name)
+		}
+	}
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

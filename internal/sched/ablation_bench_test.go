@@ -1,0 +1,114 @@
+package sched
+
+// Ablation benchmarks for the scheduling design choices DESIGN.md calls
+// out: chunk size under dynamic scheduling, steal granularity under
+// nonmonotonic, and the cost of the worksharing machinery itself, under
+// both uniform and skewed per-iteration work.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// skewedWork makes the last quarter of the index space 16x more expensive
+// — the mandel-like imbalance profile.
+func skewedWork(n int) func(i int) {
+	heavy := n * 3 / 4
+	return func(i int) {
+		units := 200
+		if i >= heavy {
+			units = 3200
+		}
+		s := 0
+		for k := 0; k < units; k++ {
+			s += k ^ (k << 1)
+		}
+		spinSink.Store(int64(s))
+	}
+}
+
+func BenchmarkAblationDynamicChunk(b *testing.B) {
+	const n = 4096
+	pool := NewPool(0)
+	defer pool.Close()
+	work := skewedWork(n)
+	for _, chunk := range []int{1, 2, 4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pool.ParallelFor(n, DynamicPolicy(chunk), func(i, _ int) { work(i) })
+			}
+		})
+	}
+}
+
+func BenchmarkAblationStealChunk(b *testing.B) {
+	const n = 4096
+	pool := NewPool(0)
+	defer pool.Close()
+	work := skewedWork(n)
+	for _, chunk := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pool.ParallelFor(n, Policy{Kind: Nonmonotonic, Chunk: chunk},
+					func(i, _ int) { work(i) })
+			}
+		})
+	}
+}
+
+func BenchmarkAblationPolicyUnderSkew(b *testing.B) {
+	const n = 4096
+	pool := NewPool(0)
+	defer pool.Close()
+	work := skewedWork(n)
+	for _, pol := range []Policy{
+		StaticPolicy, StaticChunkPolicy(16), DynamicPolicy(4),
+		GuidedPolicy, NonmonotonicPolicy,
+	} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pool.ParallelFor(n, pol, func(i, _ int) { work(i) })
+			}
+		})
+	}
+}
+
+func BenchmarkAblationPolicyUniform(b *testing.B) {
+	const n = 4096
+	pool := NewPool(0)
+	defer pool.Close()
+	for _, pol := range []Policy{
+		StaticPolicy, DynamicPolicy(4), GuidedPolicy, NonmonotonicPolicy,
+	} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pool.ParallelFor(n, pol, func(i, _ int) { spin(200) })
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTeamVsForkJoin compares the Team-based iteration
+// structure (one parallel region spanning iterations, as in the paper's
+// Fig. 2) with per-iteration fork-join loops.
+func BenchmarkAblationTeamVsForkJoin(b *testing.B) {
+	const n, iters = 1024, 8
+	pool := NewPool(0)
+	defer pool.Close()
+	b.Run("fork-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for it := 0; it < iters; it++ {
+				pool.ParallelFor(n, DynamicPolicy(4), func(i, _ int) { spin(100) })
+			}
+		}
+	})
+	b.Run("team", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pool.Team(func(tc *TeamCtx) {
+				for it := 0; it < iters; it++ {
+					tc.For(n, DynamicPolicy(4), func(i, _ int) { spin(100) })
+				}
+			})
+		}
+	})
+}

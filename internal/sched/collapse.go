@@ -1,0 +1,98 @@
+package sched
+
+import "fmt"
+
+// TileGrid describes the decomposition of a DIM x DIM image into rectangular
+// tiles, the unit of work EASYPAP kernels schedule ("collapse(2)" over the
+// tile rows and columns in the paper's Fig. 2). Tiles are numbered row-major
+// — tile 0 is the top-left tile, matching the iteration order of the
+// collapsed C loops — so schedule(static) produces the contiguous horizontal
+// bands visible in Fig. 4a.
+type TileGrid struct {
+	Dim        int // image side length in pixels
+	TileW      int // tile width in pixels
+	TileH      int // tile height in pixels
+	TilesX     int // number of tile columns
+	TilesY     int // number of tile rows
+	totalTiles int
+}
+
+// NewTileGrid validates and builds a tile decomposition. The image side
+// must be divisible by both tile dimensions — the same constraint EASYPAP
+// enforces at startup — so every tile is full-size.
+func NewTileGrid(dim, tileW, tileH int) (TileGrid, error) {
+	if dim <= 0 {
+		return TileGrid{}, fmt.Errorf("sched: image dim %d must be positive", dim)
+	}
+	if tileW <= 0 || tileH <= 0 {
+		return TileGrid{}, fmt.Errorf("sched: tile size %dx%d must be positive", tileW, tileH)
+	}
+	if dim%tileW != 0 || dim%tileH != 0 {
+		return TileGrid{}, fmt.Errorf("sched: tile size %dx%d does not divide image dim %d", tileW, tileH, dim)
+	}
+	g := TileGrid{
+		Dim:    dim,
+		TileW:  tileW,
+		TileH:  tileH,
+		TilesX: dim / tileW,
+		TilesY: dim / tileH,
+	}
+	g.totalTiles = g.TilesX * g.TilesY
+	return g, nil
+}
+
+// MustTileGrid is NewTileGrid that panics on error, for tests and fixed
+// configurations.
+func MustTileGrid(dim, tileW, tileH int) TileGrid {
+	g, err := NewTileGrid(dim, tileW, tileH)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Tiles returns the total number of tiles (the collapsed loop trip count).
+func (g TileGrid) Tiles() int { return g.totalTiles }
+
+// Coords maps a tile index to the pixel rectangle (x, y, w, h) it covers.
+func (g TileGrid) Coords(tile int) (x, y, w, h int) {
+	ty := tile / g.TilesX
+	tx := tile % g.TilesX
+	return tx * g.TileW, ty * g.TileH, g.TileW, g.TileH
+}
+
+// TileAt returns the index of the tile containing pixel (x, y).
+func (g TileGrid) TileAt(x, y int) int {
+	return (y/g.TileH)*g.TilesX + x/g.TileW
+}
+
+// TileXY returns the tile-grid coordinates (column, row) of a tile index.
+func (g TileGrid) TileXY(tile int) (tx, ty int) {
+	return tile % g.TilesX, tile / g.TilesX
+}
+
+// IsBorder reports whether the tile touches the image boundary — the tiles
+// that need conditional neighbour tests in stencil kernels (paper §III-B).
+func (g TileGrid) IsBorder(tile int) bool {
+	tx, ty := g.TileXY(tile)
+	return tx == 0 || ty == 0 || tx == g.TilesX-1 || ty == g.TilesY-1
+}
+
+// TileBody is the per-tile function of a tiled parallel loop: it processes
+// the pixel rectangle (x, y, w, h) on the given worker — the do_tile
+// function of the paper's Fig. 2.
+type TileBody func(x, y, w, h, worker int)
+
+// ParallelForTiles runs body over every tile of the grid using the given
+// scheduling policy, equivalent to the paper's
+//
+//	#pragma omp for collapse(2) schedule(...)
+//	for (y = 0; y < DIM; y += TILE_H)
+//	  for (x = 0; x < DIM; x += TILE_W)
+//	    do_tile(x, y, TILE_W, TILE_H, omp_get_thread_num());
+func (p *Pool) ParallelForTiles(g TileGrid, pol Policy, body TileBody) {
+	p.ParallelFor(g.Tiles(), pol, func(tile, worker int) {
+		x, y, w, h := g.Coords(tile)
+		body(x, y, w, h, worker)
+	})
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTileGridValidation(t *testing.T) {
+	cases := []struct {
+		dim, tw, th int
+		ok          bool
+	}{
+		{64, 8, 8, true},
+		{64, 16, 8, true},
+		{64, 64, 64, true},
+		{64, 1, 1, true},
+		{0, 8, 8, false},
+		{-4, 8, 8, false},
+		{64, 0, 8, false},
+		{64, 8, -1, false},
+		{64, 7, 8, false}, // 7 does not divide 64
+		{64, 8, 48, false},
+	}
+	for _, c := range cases {
+		_, err := NewTileGrid(c.dim, c.tw, c.th)
+		if (err == nil) != c.ok {
+			t.Errorf("NewTileGrid(%d,%d,%d) error=%v, want ok=%v", c.dim, c.tw, c.th, err, c.ok)
+		}
+	}
+}
+
+func TestMustTileGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTileGrid did not panic")
+		}
+	}()
+	MustTileGrid(10, 3, 3)
+}
+
+func TestTileGridGeometry(t *testing.T) {
+	g := MustTileGrid(64, 16, 8)
+	if g.TilesX != 4 || g.TilesY != 8 {
+		t.Fatalf("grid = %dx%d tiles, want 4x8", g.TilesX, g.TilesY)
+	}
+	if g.Tiles() != 32 {
+		t.Fatalf("Tiles() = %d, want 32", g.Tiles())
+	}
+	// Tile 0 is top-left; numbering is row-major.
+	if x, y, w, h := g.Coords(0); x != 0 || y != 0 || w != 16 || h != 8 {
+		t.Errorf("Coords(0) = (%d,%d,%d,%d)", x, y, w, h)
+	}
+	if x, y, _, _ := g.Coords(1); x != 16 || y != 0 {
+		t.Errorf("Coords(1) = (%d,%d), want (16,0)", x, y)
+	}
+	if x, y, _, _ := g.Coords(4); x != 0 || y != 8 {
+		t.Errorf("Coords(4) = (%d,%d), want (0,8)", x, y)
+	}
+	if x, y, _, _ := g.Coords(31); x != 48 || y != 56 {
+		t.Errorf("Coords(31) = (%d,%d), want (48,56)", x, y)
+	}
+}
+
+// Property: Coords and TileAt are inverses; TileXY is consistent.
+func TestQuickTileRoundTrip(t *testing.T) {
+	g := MustTileGrid(128, 16, 8)
+	f := func(raw uint16) bool {
+		tile := int(raw) % g.Tiles()
+		x, y, w, h := g.Coords(tile)
+		tx, ty := g.TileXY(tile)
+		if tx != x/16 || ty != y/8 {
+			return false
+		}
+		// Every pixel of the tile maps back to the tile.
+		return g.TileAt(x, y) == tile &&
+			g.TileAt(x+w-1, y+h-1) == tile &&
+			g.TileAt(x+w/2, y+h/2) == tile
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsBorder(t *testing.T) {
+	g := MustTileGrid(64, 8, 8) // 8x8 tiles
+	borders, inner := 0, 0
+	for tile := 0; tile < g.Tiles(); tile++ {
+		if g.IsBorder(tile) {
+			borders++
+		} else {
+			inner++
+		}
+	}
+	if borders != 28 || inner != 36 { // 8x8 ring = 28, interior 6x6 = 36
+		t.Errorf("borders=%d inner=%d, want 28/36", borders, inner)
+	}
+	if !g.IsBorder(0) || !g.IsBorder(7) || !g.IsBorder(56) || !g.IsBorder(63) {
+		t.Error("corner tiles not flagged as border")
+	}
+	if g.IsBorder(9) { // (1,1)
+		t.Error("inner tile flagged as border")
+	}
+}
+
+func TestParallelForTilesCoversImage(t *testing.T) {
+	g := MustTileGrid(64, 8, 16)
+	pool := NewPool(4)
+	defer pool.Close()
+	for _, pol := range allPolicies() {
+		covered := make([]atomic.Int32, 64*64)
+		pool.ParallelForTiles(g, pol, func(x, y, w, h, worker int) {
+			if w != 8 || h != 16 {
+				t.Errorf("tile size (%d,%d), want (8,16)", w, h)
+			}
+			for yy := y; yy < y+h; yy++ {
+				for xx := x; xx < x+w; xx++ {
+					covered[yy*64+xx].Add(1)
+				}
+			}
+		})
+		for i := range covered {
+			if covered[i].Load() != 1 {
+				t.Fatalf("pol %v: pixel (%d,%d) covered %d times",
+					pol, i%64, i/64, covered[i].Load())
+			}
+		}
+	}
+}
+
+func TestSingleTileGrid(t *testing.T) {
+	g := MustTileGrid(32, 32, 32)
+	if g.Tiles() != 1 {
+		t.Fatalf("Tiles = %d", g.Tiles())
+	}
+	if !g.IsBorder(0) {
+		t.Error("the unique tile must count as border")
+	}
+}

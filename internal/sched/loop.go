@@ -1,0 +1,244 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Body is the per-iteration function of a parallel loop. It receives the
+// iteration index and the rank of the worker executing it (the value a C
+// kernel would obtain from omp_get_thread_num()).
+type Body func(i, worker int)
+
+// RangeBody is the per-chunk function of a parallel loop over ranges:
+// it processes the half-open interval [lo, hi).
+type RangeBody func(lo, hi, worker int)
+
+// ParallelFor executes body for every index in [0, n) using the given
+// scheduling policy, blocking until all iterations complete (the implicit
+// barrier of "#pragma omp for").
+func (p *Pool) ParallelFor(n int, pol Policy, body Body) {
+	p.ParallelForRanges(n, pol, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			body(i, worker)
+		}
+	})
+}
+
+// ParallelForRanges executes body over chunks of [0, n) according to the
+// scheduling policy. Chunk boundaries follow the policy exactly, so a body
+// observing its (lo, hi) arguments sees the same chunking an OpenMP runtime
+// would produce.
+func (p *Pool) ParallelForRanges(n int, pol Policy, body RangeBody) {
+	if n <= 0 {
+		return
+	}
+	p.loopMu.Lock()
+	defer p.loopMu.Unlock()
+	switch pol.Kind {
+	case Static:
+		p.runStatic(n, body)
+	case StaticChunk:
+		p.runStaticChunk(n, pol.chunkOrDefault(), body)
+	case Dynamic:
+		p.runDynamic(n, pol.chunkOrDefault(), body)
+	case Guided:
+		p.runGuided(n, pol.chunkOrDefault(), body)
+	case Nonmonotonic:
+		p.runNonmonotonic(n, pol.chunkOrDefault(), body)
+	default:
+		p.runStatic(n, body)
+	}
+}
+
+// staticBlock returns worker w's contiguous block [lo, hi) of [0, n) under
+// schedule(static): blocks differ in size by at most one, lower ranks get
+// the larger blocks, like mainstream OpenMP runtimes.
+func staticBlock(n, workers, w int) (lo, hi int) {
+	base := n / workers
+	rem := n % workers
+	if w < rem {
+		lo = w * (base + 1)
+		hi = lo + base + 1
+		return
+	}
+	lo = rem*(base+1) + (w-rem)*base
+	hi = lo + base
+	return
+}
+
+func (p *Pool) runStatic(n int, body RangeBody) {
+	p.run(func(w int) {
+		lo, hi := staticBlock(n, p.workers, w)
+		if lo < hi {
+			body(lo, hi, w)
+		}
+	})
+}
+
+func (p *Pool) runStaticChunk(n, chunk int, body RangeBody) {
+	p.run(func(w int) {
+		for lo := w * chunk; lo < n; lo += p.workers * chunk {
+			hi := min(lo+chunk, n)
+			body(lo, hi, w)
+		}
+	})
+}
+
+func (p *Pool) runDynamic(n, chunk int, body RangeBody) {
+	var next atomic.Int64
+	p.run(func(w int) {
+		for {
+			lo := int(next.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			body(lo, min(lo+chunk, n), w)
+		}
+	})
+}
+
+// guidedGrant returns the number of iterations one grab acquires under
+// schedule(guided, minChunk) when remaining iterations are left:
+// ceil(remaining / workers), never below minChunk (except when fewer than
+// minChunk iterations remain). Successive grants therefore decrease
+// geometrically, the behaviour Fig. 4d visualizes.
+func guidedGrant(remaining, workers, minChunk int) int {
+	size := (remaining + workers - 1) / workers
+	if size < minChunk {
+		size = minChunk
+	}
+	if size > remaining {
+		size = remaining
+	}
+	return size
+}
+
+// runGuided implements schedule(guided, k) using guidedGrant under a shared
+// cursor.
+func (p *Pool) runGuided(n, minChunk int, body RangeBody) {
+	var mu sync.Mutex
+	next := 0
+	p.run(func(w int) {
+		for {
+			mu.Lock()
+			if next >= n {
+				mu.Unlock()
+				return
+			}
+			size := guidedGrant(n-next, p.workers, minChunk)
+			lo := next
+			next += size
+			mu.Unlock()
+			body(lo, lo+size, w)
+		}
+	})
+}
+
+// runNonmonotonic implements the "static steal" strategy behind OpenMP 5's
+// schedule(nonmonotonic:dynamic): every worker starts with its static
+// contiguous block, split into chunks; a worker exhausting its own queue
+// steals chunks from the back of the most loaded victim. Fig. 4c of the
+// paper shows the resulting pattern: static at first, corrected by stealing
+// wherever load imbalance appears.
+func (p *Pool) runNonmonotonic(n, chunk int, body RangeBody) {
+	queues := make([]*chunkDeque, p.workers)
+	for w := 0; w < p.workers; w++ {
+		lo, hi := staticBlock(n, p.workers, w)
+		queues[w] = newChunkDeque(lo, hi, chunk)
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	p.run(func(w int) {
+		own := queues[w]
+		for remaining.Load() > 0 {
+			c, ok := own.popFront()
+			if !ok {
+				// Own queue drained: steal from the back of the
+				// fullest victim queue.
+				c, ok = stealFrom(queues, w)
+				if !ok {
+					// Nothing visible to steal. Other workers may
+					// still be finishing their last chunks; there is
+					// no more work to acquire either way.
+					return
+				}
+			}
+			body(c.lo, c.hi, w)
+			remaining.Add(int64(c.lo - c.hi))
+		}
+	})
+}
+
+// stealFrom scans all queues except thief's own and steals one chunk from
+// the back of the longest queue. It returns ok=false when every queue is
+// empty.
+func stealFrom(queues []*chunkDeque, thief int) (chunk indexChunk, ok bool) {
+	for {
+		victim, best := -1, 0
+		for v, q := range queues {
+			if v == thief {
+				continue
+			}
+			if l := q.len(); l > best {
+				victim, best = v, l
+			}
+		}
+		if victim < 0 {
+			return indexChunk{}, false
+		}
+		if c, got := queues[victim].popBack(); got {
+			return c, true
+		}
+		// Lost the race on that victim; rescan.
+	}
+}
+
+// indexChunk is a half-open range of loop indices [lo, hi).
+type indexChunk struct{ lo, hi int }
+
+// chunkDeque is a mutex-protected deque of chunks. The owner pops from the
+// front (preserving its static order, which keeps locality); thieves pop
+// from the back (taking the work farthest from the owner's progress).
+type chunkDeque struct {
+	mu     sync.Mutex
+	chunks []indexChunk
+	head   int
+}
+
+// newChunkDeque pre-splits [lo, hi) into chunks of the given size.
+func newChunkDeque(lo, hi, chunk int) *chunkDeque {
+	d := &chunkDeque{}
+	for c := lo; c < hi; c += chunk {
+		d.chunks = append(d.chunks, indexChunk{c, min(c+chunk, hi)})
+	}
+	return d
+}
+
+func (d *chunkDeque) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.chunks) - d.head
+}
+
+func (d *chunkDeque) popFront() (indexChunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.chunks) {
+		return indexChunk{}, false
+	}
+	c := d.chunks[d.head]
+	d.head++
+	return c, true
+}
+
+func (d *chunkDeque) popBack() (indexChunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.chunks) {
+		return indexChunk{}, false
+	}
+	c := d.chunks[len(d.chunks)-1]
+	d.chunks = d.chunks[:len(d.chunks)-1]
+	return c, true
+}

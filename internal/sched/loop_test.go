@@ -1,0 +1,487 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// allPolicies returns one representative of every scheduling strategy.
+func allPolicies() []Policy {
+	return []Policy{
+		StaticPolicy,
+		StaticChunkPolicy(3),
+		DynamicPolicy(1),
+		DynamicPolicy(4),
+		GuidedPolicy,
+		{Kind: Guided, Chunk: 2},
+		NonmonotonicPolicy,
+		{Kind: Nonmonotonic, Chunk: 2},
+	}
+}
+
+// TestExactPartition is the fundamental scheduling invariant: every policy
+// must execute every iteration exactly once, for a grid of loop sizes and
+// worker counts.
+func TestExactPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 8} {
+		pool := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			for _, pol := range allPolicies() {
+				counts := make([]atomic.Int32, max(n, 1))
+				pool.ParallelFor(n, pol, func(i, worker int) {
+					if worker < 0 || worker >= workers {
+						t.Errorf("worker rank %d out of range [0,%d)", worker, workers)
+					}
+					counts[i].Add(1)
+				})
+				for i := 0; i < n; i++ {
+					if c := counts[i].Load(); c != 1 {
+						t.Errorf("workers=%d n=%d pol=%v: index %d executed %d times",
+							workers, n, pol, i, c)
+					}
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestQuickPartitionProperty drives the same invariant through testing/quick
+// with arbitrary sizes and chunk values.
+func TestQuickPartitionProperty(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	f := func(nRaw uint16, chunkRaw uint8, kindRaw uint8) bool {
+		n := int(nRaw % 500)
+		chunk := int(chunkRaw%16) + 1
+		kinds := []PolicyKind{Static, StaticChunk, Dynamic, Guided, Nonmonotonic}
+		pol := Policy{Kind: kinds[int(kindRaw)%len(kinds)], Chunk: chunk}
+		counts := make([]atomic.Int32, max(n, 1))
+		pool.ParallelFor(n, pol, func(i, _ int) { counts[i].Add(1) })
+		for i := 0; i < n; i++ {
+			if counts[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticBlockProperties(t *testing.T) {
+	f := func(nRaw uint16, wRaw uint8) bool {
+		n := int(nRaw % 2000)
+		workers := int(wRaw%16) + 1
+		prevHi := 0
+		minSz, maxSz := n+1, -1
+		for w := 0; w < workers; w++ {
+			lo, hi := staticBlock(n, workers, w)
+			if lo != prevHi { // blocks must tile [0,n) contiguously in rank order
+				return false
+			}
+			prevHi = hi
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if prevHi != n {
+			return false
+		}
+		return maxSz-minSz <= 1 // even distribution
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStaticAssignmentIsContiguous checks the Fig. 4a pattern: under
+// schedule(static) each worker receives one contiguous range.
+func TestStaticAssignmentIsContiguous(t *testing.T) {
+	const n, workers = 96, 6
+	pool := NewPool(workers)
+	defer pool.Close()
+	owner := make([]int32, n)
+	pool.ParallelFor(n, StaticPolicy, func(i, w int) {
+		atomic.StoreInt32(&owner[i], int32(w))
+	})
+	// Owner sequence must be non-decreasing (contiguous blocks by rank).
+	for i := 1; i < n; i++ {
+		if owner[i] < owner[i-1] {
+			t.Fatalf("static assignment not contiguous: owner[%d]=%d < owner[%d]=%d",
+				i, owner[i], i-1, owner[i-1])
+		}
+	}
+	// And every worker must own an equal share.
+	counts := make(map[int32]int)
+	for _, w := range owner {
+		counts[w]++
+	}
+	for w, c := range counts {
+		if c != n/workers {
+			t.Errorf("worker %d owns %d iterations, want %d", w, c, n/workers)
+		}
+	}
+}
+
+// TestStaticChunkIsRoundRobin checks schedule(static,k) assignment:
+// iteration i belongs to worker (i/k) mod workers, deterministically.
+func TestStaticChunkIsRoundRobin(t *testing.T) {
+	const n, workers, k = 100, 4, 3
+	pool := NewPool(workers)
+	defer pool.Close()
+	owner := make([]int32, n)
+	pool.ParallelFor(n, StaticChunkPolicy(k), func(i, w int) {
+		atomic.StoreInt32(&owner[i], int32(w))
+	})
+	for i := 0; i < n; i++ {
+		want := int32(i / k % workers)
+		if owner[i] != want {
+			t.Fatalf("static,%d: owner[%d] = %d, want %d", k, i, owner[i], want)
+		}
+	}
+}
+
+// TestDynamicChunking verifies dynamic,k hands out aligned chunks of k.
+func TestDynamicChunking(t *testing.T) {
+	const n, k = 103, 4
+	pool := NewPool(3)
+	defer pool.Close()
+	var mu sync.Mutex
+	var chunks []indexChunk
+	pool.ParallelForRanges(n, DynamicPolicy(k), func(lo, hi, _ int) {
+		mu.Lock()
+		chunks = append(chunks, indexChunk{lo, hi})
+		mu.Unlock()
+	})
+	seen := make([]bool, n)
+	for _, c := range chunks {
+		if c.lo%k != 0 {
+			t.Errorf("chunk %v not aligned to %d", c, k)
+		}
+		if c.hi-c.lo > k {
+			t.Errorf("chunk %v larger than %d", c, k)
+		}
+		for i := c.lo; i < c.hi; i++ {
+			if seen[i] {
+				t.Fatalf("index %d covered twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d never covered", i)
+		}
+	}
+}
+
+// TestGuidedGrantSequence checks the guided grant math deterministically:
+// grants decrease geometrically down to the minimum chunk and cover exactly
+// the whole index space — the behaviour Fig. 4d of the paper visualizes.
+func TestGuidedGrantSequence(t *testing.T) {
+	const n, workers, minChunk = 4096, 4, 2
+	remaining := n
+	var sizes []int
+	for remaining > 0 {
+		s := guidedGrant(remaining, workers, minChunk)
+		sizes = append(sizes, s)
+		remaining -= s
+	}
+	if sizes[0] != 1024 { // ceil(4096/4)
+		t.Errorf("first grant = %d, want 1024", sizes[0])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1] {
+			t.Errorf("grants increased at %d: %v", i, sizes)
+		}
+	}
+	if last := sizes[len(sizes)-1]; last > minChunk {
+		t.Errorf("final grant = %d, want <= %d", last, minChunk)
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != n {
+		t.Errorf("grants cover %d, want %d", total, n)
+	}
+	// Tail grants (except the final remainder) respect the minimum chunk.
+	for i, s := range sizes[:len(sizes)-1] {
+		if s < minChunk {
+			t.Errorf("grant %d = %d below min chunk %d", i, s, minChunk)
+		}
+	}
+}
+
+// TestGuidedSingleWorkerDegenerate: with one worker, guided conformantly
+// grabs everything in a single chunk (ceil(n/1) = n).
+func TestGuidedSingleWorkerDegenerate(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+	var sizes []int
+	pool.ParallelForRanges(128, Policy{Kind: Guided, Chunk: 2}, func(lo, hi, _ int) {
+		sizes = append(sizes, hi-lo)
+	})
+	if len(sizes) != 1 || sizes[0] != 128 {
+		t.Errorf("single-worker guided chunks = %v, want [128]", sizes)
+	}
+}
+
+// TestGuidedParallelCoverage verifies the concurrent guided loop covers the
+// space exactly and that the largest grant equals ceil(n/workers).
+func TestGuidedParallelCoverage(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	var mu sync.Mutex
+	maxGrant, total := 0, 0
+	pool.ParallelForRanges(4096, GuidedPolicy, func(lo, hi, _ int) {
+		mu.Lock()
+		if hi-lo > maxGrant {
+			maxGrant = hi - lo
+		}
+		total += hi - lo
+		mu.Unlock()
+	})
+	if total != 4096 {
+		t.Errorf("guided covered %d iterations, want 4096", total)
+	}
+	if maxGrant != 1024 {
+		t.Errorf("largest guided grant = %d, want 1024", maxGrant)
+	}
+}
+
+// TestNonmonotonicStealsUnderImbalance builds the paper's Fig. 3/4c
+// situation: one worker's static share is vastly more expensive, so other
+// workers must steal from it. We then verify (a) exact coverage and (b)
+// that at least one iteration of the overloaded share ran on a different
+// worker.
+func TestNonmonotonicStealsUnderImbalance(t *testing.T) {
+	const n, workers = 64, 4
+	pool := NewPool(workers)
+	defer pool.Close()
+	owner := make([]int32, n)
+	heavyLo, heavyHi := staticBlock(n, workers, 0)
+	pool.ParallelFor(n, NonmonotonicPolicy, func(i, w int) {
+		atomic.StoreInt32(&owner[i], int32(w)+1) // +1 so 0 means "never ran"
+		if i >= heavyLo && i < heavyHi {
+			time.Sleep(2 * time.Millisecond) // worker 0's block is heavy
+		}
+	})
+	stolen := 0
+	for i := heavyLo; i < heavyHi; i++ {
+		if owner[i] == 0 {
+			t.Fatalf("index %d never executed", i)
+		}
+		if owner[i] != 1 {
+			stolen++
+		}
+	}
+	if stolen == 0 {
+		t.Error("no stealing happened despite heavy imbalance on worker 0's block")
+	}
+}
+
+// spinSink defeats dead-code elimination in spin loops.
+var spinSink atomic.Int64
+
+// spin burns a deterministic amount of CPU so every loop iteration has the
+// same, non-zero cost.
+func spin(units int) {
+	s := int64(0)
+	for i := 0; i < units; i++ {
+		s += int64(i ^ (i << 3))
+	}
+	spinSink.Store(s)
+}
+
+// TestNonmonotonicStartsStatic verifies the "static first" half of the
+// policy: with uniform per-iteration cost, the bulk of the iterations stay
+// on their static owner (stealing only trims the tail). A zero-cost body
+// would let the first-started worker devour every queue, so each iteration
+// spins for a few microseconds.
+func TestNonmonotonicStartsStatic(t *testing.T) {
+	const n, workers = 400, 4
+	pool := NewPool(workers)
+	defer pool.Close()
+	matches := 0
+	var mu sync.Mutex
+	pool.ParallelFor(n, NonmonotonicPolicy, func(i, w int) {
+		spin(20000)
+		lo, hi := staticBlock(n, workers, w)
+		if i >= lo && i < hi {
+			mu.Lock()
+			matches++
+			mu.Unlock()
+		}
+	})
+	// Some stealing can occur near the end even under uniform load; require
+	// a clear majority on the static owner.
+	if matches < n/2 {
+		t.Errorf("only %d/%d iterations ran on their static owner", matches, n)
+	}
+}
+
+func TestParallelForRangesChunkBounds(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	for _, pol := range allPolicies() {
+		var bad atomic.Int32
+		pool.ParallelForRanges(97, pol, func(lo, hi, _ int) {
+			if lo < 0 || hi > 97 || lo >= hi {
+				bad.Add(1)
+			}
+		})
+		if bad.Load() != 0 {
+			t.Errorf("%v produced %d invalid chunks", pol, bad.Load())
+		}
+	}
+}
+
+func TestParallelForEmptyAndTiny(t *testing.T) {
+	pool := NewPool(8)
+	defer pool.Close()
+	for _, pol := range allPolicies() {
+		ran := atomic.Int32{}
+		pool.ParallelFor(0, pol, func(i, w int) { ran.Add(1) })
+		if ran.Load() != 0 {
+			t.Errorf("%v ran %d iterations for n=0", pol, ran.Load())
+		}
+		pool.ParallelFor(1, pol, func(i, w int) { ran.Add(1) })
+		if ran.Load() != 1 {
+			t.Errorf("%v ran %d iterations for n=1", pol, ran.Load())
+		}
+	}
+}
+
+func TestPoolDefaultsAndClose(t *testing.T) {
+	p := NewPool(0)
+	if p.Workers() <= 0 {
+		t.Error("default pool has no workers")
+	}
+	p.Close()
+	p.Close() // idempotent
+
+	p2 := NewPool(3)
+	if p2.Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", p2.Workers())
+	}
+	p2.Close()
+}
+
+func TestPoolRunRanks(t *testing.T) {
+	pool := NewPool(6)
+	defer pool.Close()
+	seen := make([]atomic.Int32, 6)
+	pool.Run(func(w int) { seen[w].Add(1) })
+	for w := range seen {
+		if seen[w].Load() != 1 {
+			t.Errorf("worker %d ran %d times, want 1", w, seen[w].Load())
+		}
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	const n, rounds = 5, 50
+	b := NewBarrier(n)
+	var count atomic.Int32
+	var bad atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				count.Add(1)
+				b.Wait()
+				// After the barrier every member of round r has
+				// incremented and none of round r+1 has.
+				if got := count.Load(); got != int32((r+1)*n) {
+					bad.Add(1)
+				}
+				b.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Errorf("%d barrier phase violations", bad.Load())
+	}
+}
+
+func TestBarrierPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestChunkDeque(t *testing.T) {
+	d := newChunkDeque(0, 10, 3)
+	if got := d.len(); got != 4 {
+		t.Fatalf("len = %d, want 4 chunks", got)
+	}
+	front, ok := d.popFront()
+	if !ok || front != (indexChunk{0, 3}) {
+		t.Errorf("popFront = %v %v", front, ok)
+	}
+	back, ok := d.popBack()
+	if !ok || back != (indexChunk{9, 10}) {
+		t.Errorf("popBack = %v %v", back, ok)
+	}
+	if d.len() != 2 {
+		t.Errorf("len after pops = %d, want 2", d.len())
+	}
+	d.popFront()
+	d.popFront()
+	if _, ok := d.popFront(); ok {
+		t.Error("popFront on empty deque succeeded")
+	}
+	if _, ok := d.popBack(); ok {
+		t.Error("popBack on empty deque succeeded")
+	}
+}
+
+func TestChunkDequeEmptyRange(t *testing.T) {
+	d := newChunkDeque(5, 5, 2)
+	if d.len() != 0 {
+		t.Errorf("empty range deque has len %d", d.len())
+	}
+}
+
+func BenchmarkParallelForStatic(b *testing.B) {
+	pool := NewPool(0)
+	defer pool.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pool.ParallelFor(4096, StaticPolicy, func(_, _ int) {})
+	}
+}
+
+func BenchmarkParallelForDynamic(b *testing.B) {
+	pool := NewPool(0)
+	defer pool.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pool.ParallelFor(4096, DynamicPolicy(16), func(_, _ int) {})
+	}
+}
+
+func BenchmarkParallelForNonmonotonic(b *testing.B) {
+	pool := NewPool(0)
+	defer pool.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pool.ParallelFor(4096, NonmonotonicPolicy, func(_, _ int) {})
+	}
+}

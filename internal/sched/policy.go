@@ -1,0 +1,155 @@
+// Package sched is the OpenMP-like parallel loop runtime that EASYPAP
+// kernels run on. It provides a pool of persistent workers (the "threads"),
+// parallel-for loops over 1D index spaces and collapsed 2D tile grids, and
+// the four loop scheduling policies the paper studies (Fig. 4):
+//
+//	static                 — contiguous, evenly sized per-worker blocks
+//	static,k               — round-robin chunks of k iterations
+//	dynamic,k              — workers opportunistically grab chunks of k
+//	guided[,k]             — geometrically decreasing chunks (min k)
+//	nonmonotonic:dynamic   — static initial distribution + work stealing
+//
+// The semantics mirror the OpenMP specification closely enough that the
+// assignment patterns students observe in EASYPAP's tiling window (paper
+// Figs. 3, 4, 8) are reproduced: static yields contiguous color blocks,
+// dynamic yields opportunistic interleavings that turn cyclic on uniform
+// work, guided yields shrinking runs, and nonmonotonic starts static and
+// re-balances by stealing.
+//
+// Teams (the analogue of "#pragma omp parallel" regions) expose barriers,
+// single-execution blocks and worksharing loops for kernels that manage the
+// iteration structure themselves (e.g. the MPI+OpenMP Game of Life).
+package sched
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PolicyKind enumerates the supported loop scheduling strategies.
+type PolicyKind int
+
+const (
+	// Static divides the index space into one contiguous block per worker
+	// (OpenMP "schedule(static)" without a chunk size).
+	Static PolicyKind = iota
+	// StaticChunk deals chunks of fixed size round-robin to workers
+	// (OpenMP "schedule(static, k)").
+	StaticChunk
+	// Dynamic lets idle workers grab the next chunk of fixed size
+	// (OpenMP "schedule(dynamic, k)").
+	Dynamic
+	// Guided lets idle workers grab geometrically decreasing chunks, never
+	// smaller than the chunk size (OpenMP "schedule(guided, k)").
+	Guided
+	// Nonmonotonic distributes chunks statically first and lets idle
+	// workers steal from the back of other workers' queues, following the
+	// "static steal" implementation of OpenMP 5's
+	// "schedule(nonmonotonic:dynamic)" that the paper demonstrates.
+	Nonmonotonic
+)
+
+// String returns the OpenMP-style name of the policy kind.
+func (k PolicyKind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case StaticChunk:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	case Nonmonotonic:
+		return "nonmonotonic:dynamic"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// Policy is a scheduling policy: a kind plus an optional chunk size.
+// The zero value is schedule(static).
+type Policy struct {
+	Kind  PolicyKind
+	Chunk int // chunk size; 0 means the policy's default
+}
+
+// Convenience constructors mirroring OMP_SCHEDULE strings.
+var (
+	// StaticPolicy is schedule(static).
+	StaticPolicy = Policy{Kind: Static}
+	// GuidedPolicy is schedule(guided).
+	GuidedPolicy = Policy{Kind: Guided}
+	// NonmonotonicPolicy is schedule(nonmonotonic:dynamic).
+	NonmonotonicPolicy = Policy{Kind: Nonmonotonic}
+)
+
+// DynamicPolicy returns schedule(dynamic, k).
+func DynamicPolicy(k int) Policy { return Policy{Kind: Dynamic, Chunk: k} }
+
+// StaticChunkPolicy returns schedule(static, k).
+func StaticChunkPolicy(k int) Policy { return Policy{Kind: StaticChunk, Chunk: k} }
+
+// chunkOrDefault returns the effective chunk size (at least 1).
+func (p Policy) chunkOrDefault() int {
+	if p.Chunk <= 0 {
+		return 1
+	}
+	return p.Chunk
+}
+
+// String formats the policy in OMP_SCHEDULE syntax, e.g. "dynamic,2".
+func (p Policy) String() string {
+	if p.Chunk > 0 && p.Kind != Static {
+		return fmt.Sprintf("%s,%d", p.Kind, p.Chunk)
+	}
+	if p.Kind == StaticChunk && p.Chunk > 0 {
+		return fmt.Sprintf("static,%d", p.Chunk)
+	}
+	return p.Kind.String()
+}
+
+// ParsePolicy parses an OMP_SCHEDULE-style string: "static", "static,8",
+// "dynamic", "dynamic,2", "guided", "guided,4", "nonmonotonic:dynamic",
+// "nonmonotonic:dynamic,2". The empty string parses as static.
+func ParsePolicy(s string) (Policy, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return StaticPolicy, nil
+	}
+	name, chunkStr, hasChunk := strings.Cut(s, ",")
+	chunk := 0
+	if hasChunk {
+		v, err := strconv.Atoi(strings.TrimSpace(chunkStr))
+		if err != nil || v <= 0 {
+			return Policy{}, fmt.Errorf("sched: invalid chunk size %q in schedule %q", chunkStr, s)
+		}
+		chunk = v
+	}
+	switch strings.TrimSpace(name) {
+	case "static":
+		if chunk > 0 {
+			return Policy{Kind: StaticChunk, Chunk: chunk}, nil
+		}
+		return Policy{Kind: Static}, nil
+	case "dynamic", "monotonic:dynamic":
+		return Policy{Kind: Dynamic, Chunk: chunk}, nil
+	case "guided":
+		return Policy{Kind: Guided, Chunk: chunk}, nil
+	case "nonmonotonic:dynamic", "nonmonotonic", "steal":
+		return Policy{Kind: Nonmonotonic, Chunk: chunk}, nil
+	default:
+		return Policy{}, fmt.Errorf("sched: unknown schedule %q", s)
+	}
+}
+
+// MustParsePolicy is ParsePolicy that panics on error; for tests and
+// compile-time-constant schedules.
+func MustParsePolicy(s string) Policy {
+	p, err := ParsePolicy(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

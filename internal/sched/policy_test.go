@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Policy
+		wantErr bool
+	}{
+		{"", StaticPolicy, false},
+		{"static", Policy{Kind: Static}, false},
+		{"STATIC", Policy{Kind: Static}, false},
+		{"static,8", Policy{Kind: StaticChunk, Chunk: 8}, false},
+		{"dynamic", Policy{Kind: Dynamic}, false},
+		{"dynamic,2", Policy{Kind: Dynamic, Chunk: 2}, false},
+		{"monotonic:dynamic,4", Policy{Kind: Dynamic, Chunk: 4}, false},
+		{"guided", Policy{Kind: Guided}, false},
+		{"guided,4", Policy{Kind: Guided, Chunk: 4}, false},
+		{"nonmonotonic:dynamic", Policy{Kind: Nonmonotonic}, false},
+		{"nonmonotonic:dynamic,2", Policy{Kind: Nonmonotonic, Chunk: 2}, false},
+		{"nonmonotonic", Policy{Kind: Nonmonotonic}, false},
+		{"steal", Policy{Kind: Nonmonotonic}, false},
+		{" dynamic , 2 ", Policy{Kind: Dynamic, Chunk: 2}, false},
+		{"bogus", Policy{}, true},
+		{"dynamic,0", Policy{}, true},
+		{"dynamic,-3", Policy{}, true},
+		{"dynamic,x", Policy{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParsePolicy(%q) succeeded, want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParsePolicy(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	cases := []struct {
+		pol  Policy
+		want string
+	}{
+		{StaticPolicy, "static"},
+		{StaticChunkPolicy(4), "static,4"},
+		{DynamicPolicy(2), "dynamic,2"},
+		{Policy{Kind: Dynamic}, "dynamic"},
+		{GuidedPolicy, "guided"},
+		{Policy{Kind: Guided, Chunk: 4}, "guided,4"},
+		{NonmonotonicPolicy, "nonmonotonic:dynamic"},
+	}
+	for _, c := range cases {
+		if got := c.pol.String(); got != c.want {
+			t.Errorf("(%+v).String() = %q, want %q", c.pol, got, c.want)
+		}
+	}
+}
+
+func TestPolicyStringParseRoundTrip(t *testing.T) {
+	pols := []Policy{
+		StaticPolicy, StaticChunkPolicy(16), DynamicPolicy(1), DynamicPolicy(8),
+		GuidedPolicy, {Kind: Guided, Chunk: 2}, NonmonotonicPolicy,
+		{Kind: Nonmonotonic, Chunk: 4},
+	}
+	for _, p := range pols {
+		back, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Errorf("round trip of %v: %v", p, err)
+			continue
+		}
+		if back != p {
+			t.Errorf("round trip of %v gave %v", p, back)
+		}
+	}
+}
+
+func TestMustParsePolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParsePolicy did not panic on bad input")
+		}
+	}()
+	MustParsePolicy("not-a-schedule")
+}

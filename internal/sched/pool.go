@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed team of persistent worker goroutines, the analogue of the
+// OpenMP thread team EASYPAP kernels run on. Worker ranks are stable for
+// the lifetime of the pool, which is what lets the monitoring windows and
+// EASYVIEW assign each "CPU" a consistent color across iterations.
+//
+// A Pool must be created with NewPool and released with Close. All methods
+// are safe for concurrent use by multiple goroutines, but a single
+// ParallelFor runs to completion before another starts (they serialize on
+// an internal mutex), matching the implicit barrier at the end of an OpenMP
+// worksharing construct.
+type Pool struct {
+	workers int
+	jobs    []chan func(worker int)
+	wg      sync.WaitGroup // tracks live workers for Close
+	loopMu  sync.Mutex     // serializes worksharing constructs
+	closed  bool
+	mu      sync.Mutex // guards closed
+}
+
+// NewPool creates a pool of n persistent workers. If n <= 0, the pool uses
+// runtime.GOMAXPROCS(0) workers, the same default OpenMP applies when
+// OMP_NUM_THREADS is unset.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: n,
+		jobs:    make([]chan func(worker int), n),
+	}
+	for w := 0; w < n; w++ {
+		p.jobs[w] = make(chan func(worker int), 1)
+		p.wg.Add(1)
+		go p.workerLoop(w)
+	}
+	return p
+}
+
+func (p *Pool) workerLoop(rank int) {
+	defer p.wg.Done()
+	for fn := range p.jobs[rank] {
+		fn(rank)
+	}
+}
+
+// Workers returns the number of workers in the pool.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close shuts the workers down and waits for them to exit. The pool must
+// not be used afterwards. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+	p.wg.Wait()
+}
+
+// Run executes fn once on every worker concurrently (the analogue of a bare
+// "#pragma omp parallel" region) and waits for all of them — the implicit
+// join at the end of the parallel region.
+func (p *Pool) Run(fn func(worker int)) {
+	p.loopMu.Lock()
+	defer p.loopMu.Unlock()
+	p.run(fn)
+}
+
+// run dispatches fn to every worker without taking loopMu; callers must
+// hold it.
+func (p *Pool) run(fn func(worker int)) {
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.jobs[w] <- func(rank int) {
+			defer wg.Done()
+			fn(rank)
+		}
+	}
+	wg.Wait()
+}
+
+// Barrier is a reusable cyclic barrier for n participants, the analogue of
+// "#pragma omp barrier" inside a parallel region.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	waiting int
+	phase   uint64
+}
+
+// NewBarrier creates a barrier for n participants; n must be positive.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("sched: barrier size %d", n))
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n participants have called Wait, then releases them
+// all and resets for the next phase.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.n {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Team gives a kernel full control over a parallel region, the analogue of
+// writing the iteration loop inside "#pragma omp parallel" as the paper's
+// Fig. 2 does: every worker runs the same function, synchronizes on
+// barriers, shares worksharing loops, and elects one worker for single
+// blocks (the "#pragma omp single" wrapping zoom()).
+//
+// Usage:
+//
+//	pool.Team(func(tc *TeamCtx) {
+//	    for it := 0; it < iters; it++ {
+//	        tc.ForTiles(grid, pol, doTile)  // worksharing + implicit barrier
+//	        tc.Single(func() { zoom() })    // one worker runs, others wait
+//	    }
+//	})
+type TeamCtx struct {
+	rank    int
+	size    int
+	barrier *Barrier
+	shared  *teamShared
+}
+
+type teamShared struct {
+	mu            sync.Mutex
+	curLoop       *loopState
+	singleClaimed bool
+	critMu        sync.Mutex
+}
+
+// loopState is the descriptor of the in-flight worksharing loop.
+type loopState struct {
+	n      int
+	pol    Policy
+	next   atomic.Int64 // dynamic/guided cursor (guided uses mu below)
+	mu     sync.Mutex
+	gNext  int
+	queues []*chunkDeque
+	remain atomic.Int64
+}
+
+// Team runs fn once per worker as a cooperating team and waits for all of
+// them to return.
+func (p *Pool) Team(fn func(tc *TeamCtx)) {
+	p.loopMu.Lock()
+	defer p.loopMu.Unlock()
+	shared := &teamShared{}
+	barrier := NewBarrier(p.workers)
+	p.run(func(rank int) {
+		fn(&TeamCtx{rank: rank, size: p.workers, barrier: barrier, shared: shared})
+	})
+}
+
+// Rank returns the caller's worker rank (omp_get_thread_num()).
+func (tc *TeamCtx) Rank() int { return tc.rank }
+
+// Size returns the team size (omp_get_num_threads()).
+func (tc *TeamCtx) Size() int { return tc.size }
+
+// Barrier blocks until every team member reaches it.
+func (tc *TeamCtx) Barrier() { tc.barrier.Wait() }
+
+// Single executes fn on exactly one team member (whichever claims the
+// phase first) and makes every member wait until fn completed — "#pragma
+// omp single" with its implicit barrier.
+func (tc *TeamCtx) Single(fn func()) {
+	tc.barrier.Wait() // all members have finished prior work
+	tc.shared.mu.Lock()
+	elected := !tc.shared.singleClaimed
+	if elected {
+		tc.shared.singleClaimed = true
+	}
+	tc.shared.mu.Unlock()
+	if elected {
+		fn()
+	}
+	tc.barrier.Wait()
+	if elected {
+		// Reset before this member reaches any later barrier, so the next
+		// Single phase starts unclaimed; no other member can pass a
+		// subsequent first barrier until this member arrives there, which
+		// happens after the reset.
+		tc.shared.mu.Lock()
+		tc.shared.singleClaimed = false
+		tc.shared.mu.Unlock()
+	}
+}
+
+// Critical executes fn under the team-wide mutual exclusion lock —
+// "#pragma omp critical".
+func (tc *TeamCtx) Critical(fn func()) {
+	tc.shared.critMu.Lock()
+	defer tc.shared.critMu.Unlock()
+	fn()
+}
+
+// For is a worksharing loop inside the team: the index space [0, n) is
+// distributed across team members according to pol, with an implicit
+// barrier at the end. Every member must call For with identical arguments.
+func (tc *TeamCtx) For(n int, pol Policy, body Body) {
+	tc.ForRanges(n, pol, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			body(i, worker)
+		}
+	})
+}
+
+// ForTiles is the collapse(2) tiled variant of For.
+func (tc *TeamCtx) ForTiles(g TileGrid, pol Policy, body TileBody) {
+	tc.ForRanges(g.Tiles(), pol, func(lo, hi, worker int) {
+		for tile := lo; tile < hi; tile++ {
+			x, y, w, h := g.Coords(tile)
+			body(x, y, w, h, worker)
+		}
+	})
+}
+
+// ForRanges distributes chunks of [0, n) across the team per pol.
+func (tc *TeamCtx) ForRanges(n int, pol Policy, body RangeBody) {
+	// Set-up phase: one member allocates the loop descriptor.
+	tc.barrier.Wait()
+	tc.shared.mu.Lock()
+	if tc.shared.curLoop == nil {
+		st := &loopState{n: n, pol: pol}
+		if pol.Kind == Nonmonotonic {
+			st.queues = make([]*chunkDeque, tc.size)
+			for w := 0; w < tc.size; w++ {
+				lo, hi := staticBlock(n, tc.size, w)
+				st.queues[w] = newChunkDeque(lo, hi, pol.chunkOrDefault())
+			}
+			st.remain.Store(int64(n))
+		}
+		tc.shared.curLoop = st
+	}
+	st := tc.shared.curLoop
+	tc.shared.mu.Unlock()
+	tc.barrier.Wait()
+
+	if n > 0 {
+		tc.executeLoop(st, body)
+	}
+
+	// Tear-down: wait for all, then one member clears the descriptor.
+	tc.barrier.Wait()
+	tc.shared.mu.Lock()
+	tc.shared.curLoop = nil
+	tc.shared.mu.Unlock()
+	tc.barrier.Wait()
+}
+
+func (tc *TeamCtx) executeLoop(st *loopState, body RangeBody) {
+	w := tc.rank
+	switch st.pol.Kind {
+	case Static:
+		lo, hi := staticBlock(st.n, tc.size, w)
+		if lo < hi {
+			body(lo, hi, w)
+		}
+	case StaticChunk:
+		chunk := st.pol.chunkOrDefault()
+		for lo := w * chunk; lo < st.n; lo += tc.size * chunk {
+			body(lo, min(lo+chunk, st.n), w)
+		}
+	case Dynamic:
+		chunk := st.pol.chunkOrDefault()
+		for {
+			lo := int(st.next.Add(int64(chunk))) - chunk
+			if lo >= st.n {
+				return
+			}
+			body(lo, min(lo+chunk, st.n), w)
+		}
+	case Guided:
+		minChunk := st.pol.chunkOrDefault()
+		for {
+			st.mu.Lock()
+			if st.gNext >= st.n {
+				st.mu.Unlock()
+				return
+			}
+			size := guidedGrant(st.n-st.gNext, tc.size, minChunk)
+			lo := st.gNext
+			st.gNext += size
+			st.mu.Unlock()
+			body(lo, lo+size, w)
+		}
+	case Nonmonotonic:
+		own := st.queues[w]
+		for st.remain.Load() > 0 {
+			c, ok := own.popFront()
+			if !ok {
+				c, ok = stealFrom(st.queues, w)
+				if !ok {
+					return
+				}
+			}
+			body(c.lo, c.hi, w)
+			st.remain.Add(int64(c.lo - c.hi))
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTeamRankAndSize(t *testing.T) {
+	pool := NewPool(5)
+	defer pool.Close()
+	var seen [5]atomic.Int32
+	pool.Team(func(tc *TeamCtx) {
+		if tc.Size() != 5 {
+			t.Errorf("Size() = %d, want 5", tc.Size())
+		}
+		seen[tc.Rank()].Add(1)
+	})
+	for r := range seen {
+		if seen[r].Load() != 1 {
+			t.Errorf("rank %d entered team %d times", r, seen[r].Load())
+		}
+	}
+}
+
+func TestTeamForMatchesParallelFor(t *testing.T) {
+	const n = 333
+	pool := NewPool(4)
+	defer pool.Close()
+	for _, pol := range allPolicies() {
+		counts := make([]atomic.Int32, n)
+		pool.Team(func(tc *TeamCtx) {
+			tc.For(n, pol, func(i, w int) {
+				if w != tc.Rank() {
+					t.Errorf("body worker %d != team rank %d", w, tc.Rank())
+				}
+				counts[i].Add(1)
+			})
+		})
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("pol %v: index %d executed %d times", pol, i, counts[i].Load())
+			}
+		}
+	}
+}
+
+func TestTeamMultipleLoopsPerRegion(t *testing.T) {
+	// The paper's Fig. 2 pattern: one parallel region, a worksharing loop
+	// per iteration, with a single block between loops.
+	const iters, n = 10, 64
+	pool := NewPool(4)
+	defer pool.Close()
+	var total atomic.Int32
+	var singles atomic.Int32
+	pool.Team(func(tc *TeamCtx) {
+		for it := 0; it < iters; it++ {
+			tc.For(n, DynamicPolicy(4), func(i, w int) { total.Add(1) })
+			tc.Single(func() { singles.Add(1) })
+		}
+	})
+	if total.Load() != iters*n {
+		t.Errorf("total iterations = %d, want %d", total.Load(), iters*n)
+	}
+	if singles.Load() != iters {
+		t.Errorf("single executed %d times, want %d", singles.Load(), iters)
+	}
+}
+
+func TestTeamSingleRunsExactlyOnce(t *testing.T) {
+	pool := NewPool(8)
+	defer pool.Close()
+	for round := 0; round < 20; round++ {
+		var runs atomic.Int32
+		pool.Team(func(tc *TeamCtx) {
+			tc.Single(func() { runs.Add(1) })
+		})
+		if runs.Load() != 1 {
+			t.Fatalf("round %d: single ran %d times", round, runs.Load())
+		}
+	}
+}
+
+func TestTeamSingleActsAsBarrier(t *testing.T) {
+	// Work done before Single by any member must be visible after it.
+	pool := NewPool(4)
+	defer pool.Close()
+	var before [4]int32
+	var missed atomic.Int32
+	pool.Team(func(tc *TeamCtx) {
+		if tc.Rank() == 2 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		atomic.StoreInt32(&before[tc.Rank()], 1)
+		tc.Single(func() {})
+		for r := range before {
+			if atomic.LoadInt32(&before[r]) == 0 {
+				missed.Add(1)
+			}
+		}
+	})
+	if missed.Load() != 0 {
+		t.Error("Single did not act as a barrier")
+	}
+}
+
+func TestTeamCriticalMutualExclusion(t *testing.T) {
+	pool := NewPool(8)
+	defer pool.Close()
+	inside := atomic.Int32{}
+	violations := atomic.Int32{}
+	counter := 0
+	pool.Team(func(tc *TeamCtx) {
+		for k := 0; k < 100; k++ {
+			tc.Critical(func() {
+				if inside.Add(1) != 1 {
+					violations.Add(1)
+				}
+				counter++ // unsynchronized on purpose: Critical protects it
+				inside.Add(-1)
+			})
+		}
+	})
+	if violations.Load() != 0 {
+		t.Errorf("%d mutual exclusion violations", violations.Load())
+	}
+	if counter != 800 {
+		t.Errorf("counter = %d, want 800", counter)
+	}
+}
+
+func TestTeamBarrierOrdering(t *testing.T) {
+	pool := NewPool(6)
+	defer pool.Close()
+	var stage atomic.Int32
+	var bad atomic.Int32
+	pool.Team(func(tc *TeamCtx) {
+		stage.Add(1)
+		tc.Barrier()
+		if stage.Load() != 6 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Error("barrier released members before all arrived")
+	}
+}
+
+func TestTeamForTilesCoverage(t *testing.T) {
+	g := MustTileGrid(64, 8, 8)
+	pool := NewPool(4)
+	defer pool.Close()
+	covered := make([]atomic.Int32, 64*64)
+	pool.Team(func(tc *TeamCtx) {
+		tc.ForTiles(g, NonmonotonicPolicy, func(x, y, w, h, _ int) {
+			for yy := y; yy < y+h; yy++ {
+				for xx := x; xx < x+w; xx++ {
+					covered[yy*64+xx].Add(1)
+				}
+			}
+		})
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("pixel %d covered %d times", i, covered[i].Load())
+		}
+	}
+}
+
+func TestTeamNestedIterationLoops(t *testing.T) {
+	// Stress: many iterations of alternating worksharing loop kinds inside
+	// one region, as a real multi-phase kernel would do.
+	pool := NewPool(3)
+	defer pool.Close()
+	var total atomic.Int64
+	pool.Team(func(tc *TeamCtx) {
+		for it := 0; it < 25; it++ {
+			pol := allPolicies()[it%len(allPolicies())]
+			tc.For(50, pol, func(i, w int) { total.Add(1) })
+		}
+	})
+	if total.Load() != 25*50 {
+		t.Errorf("total = %d, want %d", total.Load(), 25*50)
+	}
+}
+
+func TestTeamForEmptyLoop(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	ran := atomic.Int32{}
+	pool.Team(func(tc *TeamCtx) {
+		tc.For(0, DynamicPolicy(2), func(i, w int) { ran.Add(1) })
+		tc.For(3, StaticPolicy, func(i, w int) { ran.Add(1) })
+	})
+	if ran.Load() != 3 {
+		t.Errorf("ran = %d, want 3", ran.Load())
+	}
+}

@@ -1,0 +1,204 @@
+package trace
+
+// Statistical summaries over traces: the numbers EASYVIEW surfaces when
+// hovering tasks (durations) and when comparing two runs of the same kernel
+// (paper Fig. 10).
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// DurationStats summarizes a set of span durations.
+type DurationStats struct {
+	Count  int
+	Min    time.Duration
+	Max    time.Duration
+	Mean   time.Duration
+	Median time.Duration
+	P90    time.Duration
+	Total  time.Duration
+}
+
+// Durations computes statistics over the durations of the given events.
+func Durations(events []Event) DurationStats {
+	if len(events) == 0 {
+		return DurationStats{}
+	}
+	ds := make([]time.Duration, len(events))
+	var total time.Duration
+	for i, e := range events {
+		ds[i] = e.Duration()
+		total += ds[i]
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return DurationStats{
+		Count:  len(ds),
+		Min:    ds[0],
+		Max:    ds[len(ds)-1],
+		Mean:   total / time.Duration(len(ds)),
+		Median: ds[len(ds)/2],
+		P90:    ds[len(ds)*9/10],
+		Total:  total,
+	}
+}
+
+// String formats the stats on one line.
+func (s DurationStats) String() string {
+	if s.Count == 0 {
+		return "no events"
+	}
+	return fmt.Sprintf("n=%d min=%v median=%v mean=%v p90=%v max=%v total=%v",
+		s.Count, s.Min, s.Median, s.Mean, s.P90, s.Max, s.Total)
+}
+
+// PerCPUBusy returns, for one iteration, each global CPU's cumulated busy
+// time — the quantity the Activity Monitor window turns into a load
+// percentage.
+func (t *Trace) PerCPUBusy(iter int) map[int]time.Duration {
+	busy := make(map[int]time.Duration)
+	for _, e := range t.Events {
+		if int(e.Iter) != iter {
+			continue
+		}
+		key := int(e.Rank)*t.Meta.Threads + int(e.CPU)
+		busy[key] += e.Duration()
+	}
+	return busy
+}
+
+// LoadImbalance computes, for one iteration, the ratio max/mean of per-CPU
+// busy time: 1.0 is perfect balance; the static mandel distribution of
+// paper Fig. 3 yields clearly higher values. CPUs with no events count as
+// zero-busy only if they appear elsewhere in the trace.
+func (t *Trace) LoadImbalance(iter int) float64 {
+	cpus := t.PerCPU()
+	if len(cpus) == 0 {
+		return 0
+	}
+	busy := t.PerCPUBusy(iter)
+	var total, maxBusy time.Duration
+	for cpu := range cpus {
+		b := busy[cpu]
+		total += b
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := total / time.Duration(len(cpus))
+	if mean == 0 {
+		return 0
+	}
+	return float64(maxBusy) / float64(mean)
+}
+
+// WorkStats summarizes the per-task performance counters of a set of
+// events: total work units, the mean work rate (units per µs of task
+// time), and the Pearson correlation between a task's work and its
+// duration — the analysis the paper's planned PAPI integration would feed
+// EASYVIEW ("per-task cache usage information").
+type WorkStats struct {
+	Count       int     // events carrying a non-zero counter
+	TotalWork   int64   // sum of work units
+	MeanRate    float64 // units per microsecond of busy time
+	Correlation float64 // Pearson r between work and duration
+}
+
+// Work computes counter statistics over the given events. Events with a
+// zero counter are excluded (kernels that do not report work).
+func Work(events []Event) WorkStats {
+	var ws WorkStats
+	var sumW, sumD, sumWW, sumDD, sumWD float64
+	var busy time.Duration
+	for _, e := range events {
+		if e.Work == 0 {
+			continue
+		}
+		ws.Count++
+		ws.TotalWork += e.Work
+		busy += e.Duration()
+		w := float64(e.Work)
+		d := float64(e.Duration())
+		sumW += w
+		sumD += d
+		sumWW += w * w
+		sumDD += d * d
+		sumWD += w * d
+	}
+	if ws.Count == 0 {
+		return ws
+	}
+	if us := busy.Microseconds(); us > 0 {
+		ws.MeanRate = float64(ws.TotalWork) / float64(us)
+	}
+	n := float64(ws.Count)
+	num := n*sumWD - sumW*sumD
+	den := (n*sumWW - sumW*sumW) * (n*sumDD - sumD*sumD)
+	if den > 0 {
+		ws.Correlation = num / math.Sqrt(den)
+	}
+	return ws
+}
+
+// String formats the counter summary on one line.
+func (w WorkStats) String() string {
+	if w.Count == 0 {
+		return "no counters"
+	}
+	return fmt.Sprintf("n=%d total=%d rate=%.1f units/µs corr(work,duration)=%.2f",
+		w.Count, w.TotalWork, w.MeanRate, w.Correlation)
+}
+
+// CompareResult summarizes the alignment of two traces of the same kernel,
+// the paper's Fig. 10 workflow ("the optimized version is ~3x faster; inner
+// tasks are ~10x faster").
+type CompareResult struct {
+	A, B         Meta
+	SpanA, SpanB time.Duration // total wall-clock span
+	SpeedupAtoB  float64       // SpanA / SpanB (>1 means B is faster)
+	TaskStatsA   DurationStats
+	TaskStatsB   DurationStats
+	// MedianTaskRatio is median(A tasks)/median(B tasks): how much faster a
+	// typical task became.
+	MedianTaskRatio float64
+}
+
+// Compare aligns two traces. It does not require identical event counts —
+// variants may tile differently — but both must be non-empty.
+func Compare(a, b *Trace) (CompareResult, error) {
+	if len(a.Events) == 0 || len(b.Events) == 0 {
+		return CompareResult{}, fmt.Errorf("trace: cannot compare empty traces")
+	}
+	sa0, sa1 := a.Span()
+	sb0, sb1 := b.Span()
+	res := CompareResult{
+		A: a.Meta, B: b.Meta,
+		SpanA:      time.Duration(sa1 - sa0),
+		SpanB:      time.Duration(sb1 - sb0),
+		TaskStatsA: Durations(a.Events),
+		TaskStatsB: Durations(b.Events),
+	}
+	if res.SpanB > 0 {
+		res.SpeedupAtoB = float64(res.SpanA) / float64(res.SpanB)
+	}
+	if res.TaskStatsB.Median > 0 {
+		res.MedianTaskRatio = float64(res.TaskStatsA.Median) / float64(res.TaskStatsB.Median)
+	}
+	return res, nil
+}
+
+// String renders the comparison as the multi-line report easyview prints.
+func (c CompareResult) String() string {
+	return fmt.Sprintf(
+		"trace A: %s/%s span=%v tasks{%s}\n"+
+			"trace B: %s/%s span=%v tasks{%s}\n"+
+			"speedup A->B: %.2fx  median task ratio: %.2fx",
+		c.A.Kernel, c.A.Variant, c.SpanA, c.TaskStatsA,
+		c.B.Kernel, c.B.Variant, c.SpanB, c.TaskStatsB,
+		c.SpeedupAtoB, c.MedianTaskRatio)
+}

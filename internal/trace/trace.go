@@ -1,0 +1,289 @@
+// Package trace records per-tile profiling events during kernel execution
+// and reads them back for post-mortem analysis — the substrate behind
+// EASYPAP's --trace option and the EASYVIEW explorer (paper §II-D).
+//
+// Events carry exactly the information the paper lists: start/end time,
+// tile coordinates and the executing CPU, plus the iteration number and the
+// MPI rank so multi-process traces can be merged. Recording is wait-free on
+// the hot path: each worker appends to its own buffer; buffers are merged
+// and sorted when the trace is finalized.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EventKind distinguishes tile computations from other instrumented spans.
+type EventKind uint8
+
+const (
+	// KindTile is a do_tile execution: the fundamental unit the paper's
+	// Gantt charts display.
+	KindTile EventKind = iota
+	// KindTask is a dependent task execution (taskdep kernels).
+	KindTask
+	// KindOther is any other instrumented span (e.g. ghost-cell exchange).
+	KindOther
+)
+
+// String returns a short name for the kind.
+func (k EventKind) String() string {
+	switch k {
+	case KindTile:
+		return "tile"
+	case KindTask:
+		return "task"
+	case KindOther:
+		return "other"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded span. Times are nanoseconds relative to the
+// recording start, so traces from different runs can be compared directly.
+//
+// Work is the span's performance-counter value: the number of work units
+// the task performed (escape iterations for mandel, pixels for stencils).
+// It is the substitution for the per-task PAPI cache counters the paper
+// lists as future work — a hardware-independent counter that EASYVIEW can
+// correlate with task durations the same way.
+type Event struct {
+	Iter  int32     // iteration number (1-based, like EASYPAP's reports)
+	CPU   int16     // worker rank within the process
+	Rank  int16     // MPI process rank (0 when not distributed)
+	Kind  EventKind //
+	Start int64     // ns since trace start
+	End   int64     // ns since trace start
+	X     int32     // tile rectangle
+	Y     int32
+	W     int32
+	H     int32
+	Work  int64 // per-task counter (0 when the kernel does not report it)
+}
+
+// Duration returns the span length.
+func (e Event) Duration() time.Duration { return time.Duration(e.End - e.Start) }
+
+// Meta is the trace header: everything needed to interpret and label the
+// events, mirroring the configuration block EASYPAP stores with each trace.
+type Meta struct {
+	Kernel     string    `json:"kernel"`
+	Variant    string    `json:"variant"`
+	Dim        int       `json:"dim"`
+	TileW      int       `json:"tile_w"`
+	TileH      int       `json:"tile_h"`
+	Threads    int       `json:"threads"`
+	Ranks      int       `json:"ranks"` // number of MPI processes (1 if none)
+	Iterations int       `json:"iterations"`
+	Schedule   string    `json:"schedule"`
+	Label      string    `json:"label"` // free-form run label
+	Recorded   time.Time `json:"recorded"`
+}
+
+// Recorder accumulates events during a run. The Start/EndTile pair is the
+// hot path and is wait-free per worker: worker w only touches lane w.
+// Construct with NewRecorder, finalize with Trace.
+type Recorder struct {
+	meta  Meta
+	rank  int16
+	epoch time.Time
+	lanes []lane
+	mu    sync.Mutex
+	extra []Event // events recorded via RecordEvent (rare path)
+}
+
+// SetRank labels all subsequently recorded events with an MPI process rank
+// so per-rank traces can be merged into one multi-process trace.
+func (r *Recorder) SetRank(rank int) { r.rank = int16(rank) }
+
+// lane is one worker's private event buffer. Padding avoids false sharing
+// between adjacent workers' append cursors on the hot path.
+type lane struct {
+	events  []Event
+	pending Event // the currently open span, if any
+	open    bool
+	_       [64]byte // padding: keep lanes on distinct cache lines
+}
+
+// NewRecorder creates a recorder for meta.Threads workers. The epoch (time
+// zero of the trace) is the moment of the call.
+func NewRecorder(meta Meta) *Recorder {
+	if meta.Threads <= 0 {
+		meta.Threads = 1
+	}
+	if meta.Ranks <= 0 {
+		meta.Ranks = 1
+	}
+	meta.Recorded = time.Now()
+	return &Recorder{
+		meta:  meta,
+		epoch: time.Now(),
+		lanes: make([]lane, meta.Threads),
+	}
+}
+
+// Now returns the current trace-relative timestamp in nanoseconds.
+func (r *Recorder) Now() int64 { return int64(time.Since(r.epoch)) }
+
+// StartTile opens a tile span on the worker's lane. It mirrors EASYPAP's
+// monitoring_start_tile(who).
+func (r *Recorder) StartTile(worker int) { r.StartSpan(worker, KindTile) }
+
+// StartSpan opens a span of the given kind on the worker's lane (the task
+// engine records KindTask spans so EASYVIEW can tell tasks from plain
+// tiles).
+func (r *Recorder) StartSpan(worker int, kind EventKind) {
+	l := &r.lanes[worker]
+	l.pending = Event{CPU: int16(worker), Rank: r.rank, Kind: kind, Start: r.Now()}
+	l.open = true
+}
+
+// EndTile closes the span opened by StartTile, attaching the tile
+// rectangle and iteration — EASYPAP's monitoring_end_tile(x, y, w, h, who).
+func (r *Recorder) EndTile(x, y, w, h, worker, iter int) {
+	l := &r.lanes[worker]
+	if !l.open {
+		return // unmatched end: ignore rather than corrupt the trace
+	}
+	e := l.pending
+	e.End = r.Now()
+	e.X, e.Y, e.W, e.H = int32(x), int32(y), int32(w), int32(h)
+	e.Iter = int32(iter)
+	l.events = append(l.events, e)
+	l.open = false
+}
+
+// AddWork accumulates performance-counter units into the worker's open
+// span (no-op when no span is open). Kernels call it from inside their
+// tile computation; the count lands on the event EndTile closes.
+func (r *Recorder) AddWork(worker int, units int64) {
+	l := &r.lanes[worker]
+	if l.open {
+		l.pending.Work += units
+	}
+}
+
+// RecordEvent appends a fully formed event (used by the task engine and the
+// MPI layer, which know their own timing). Safe for concurrent use.
+func (r *Recorder) RecordEvent(e Event) {
+	r.mu.Lock()
+	r.extra = append(r.extra, e)
+	r.mu.Unlock()
+}
+
+// Trace finalizes the recording: all lanes are merged and sorted by start
+// time. The recorder can keep recording afterwards (Trace snapshots).
+func (r *Recorder) Trace() *Trace {
+	var all []Event
+	for i := range r.lanes {
+		all = append(all, r.lanes[i].events...)
+	}
+	r.mu.Lock()
+	all = append(all, r.extra...)
+	r.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Start != all[j].Start {
+			return all[i].Start < all[j].Start
+		}
+		return all[i].CPU < all[j].CPU
+	})
+	return &Trace{Meta: r.meta, Events: all}
+}
+
+// Trace is a finalized, immutable recording.
+type Trace struct {
+	Meta   Meta
+	Events []Event
+}
+
+// Iterations returns the highest iteration number present (0 for an empty
+// trace).
+func (t *Trace) Iterations() int {
+	maxIter := 0
+	for _, e := range t.Events {
+		if int(e.Iter) > maxIter {
+			maxIter = int(e.Iter)
+		}
+	}
+	return maxIter
+}
+
+// ForIter returns the events of one iteration, preserving start order.
+func (t *Trace) ForIter(iter int) []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if int(e.Iter) == iter {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ForIterRange returns the events whose iteration lies in [lo, hi].
+func (t *Trace) ForIterRange(lo, hi int) []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if int(e.Iter) >= lo && int(e.Iter) <= hi {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PerCPU groups events by (rank, cpu) and returns a map keyed by
+// rank*threads+cpu with events in start order. Global CPU numbering is what
+// EASYVIEW's Gantt rows use.
+func (t *Trace) PerCPU() map[int][]Event {
+	out := make(map[int][]Event)
+	for _, e := range t.Events {
+		key := int(e.Rank)*t.Meta.Threads + int(e.CPU)
+		out[key] = append(out[key], e)
+	}
+	return out
+}
+
+// CPUCount returns the number of distinct (rank, cpu) rows.
+func (t *Trace) CPUCount() int { return len(t.PerCPU()) }
+
+// Span returns the earliest start and latest end over all events.
+func (t *Trace) Span() (start, end int64) {
+	if len(t.Events) == 0 {
+		return 0, 0
+	}
+	start, end = t.Events[0].Start, t.Events[0].End
+	for _, e := range t.Events {
+		if e.Start < start {
+			start = e.Start
+		}
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return
+}
+
+// IterSpan returns the wall-clock span of one iteration.
+func (t *Trace) IterSpan(iter int) (start, end int64) {
+	first := true
+	for _, e := range t.Events {
+		if int(e.Iter) != iter {
+			continue
+		}
+		if first {
+			start, end = e.Start, e.End
+			first = false
+			continue
+		}
+		if e.Start < start {
+			start = e.Start
+		}
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return
+}
