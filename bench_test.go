@@ -203,7 +203,7 @@ func BenchmarkKernelsSeqVsBestParallel(b *testing.B) {
 	cases := []struct{ kernel, variant string }{
 		{"mandel", "seq"}, {"mandel", "omp_tiled"},
 		{"blur", "seq"}, {"blur", "omp_tiled_opt"},
-		{"life", "seq"}, {"life", "lazy"},
+		{"life", "seq"}, {"life", "lazy"}, {"life", "bitpack"},
 		{"invert", "seq"}, {"invert", "omp_tiled"},
 		{"transpose", "seq"}, {"transpose", "omp_tiled"},
 	}

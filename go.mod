@@ -1,0 +1,3 @@
+module easypap
+
+go 1.22

@@ -28,6 +28,7 @@ type Ctx struct {
 
 	mon     *monitor.Monitor
 	rec     *trace.Recorder
+	instr   bool // mon != nil || rec != nil, precomputed for the hot path
 	curIter atomic.Int32
 	iters   int // completed iterations (run loop bookkeeping)
 	priv    any
@@ -56,9 +57,12 @@ func (ctx *Ctx) Priv() any { return ctx.priv }
 func (ctx *Ctx) Iter() int { return int(ctx.curIter.Load()) }
 
 // StartTile opens an instrumented tile span for the worker —
-// monitoring_start_tile(who). It is a no-op when neither monitoring nor
-// tracing is active.
+// monitoring_start_tile(who). It reduces to one branch when neither
+// monitoring nor tracing is active.
 func (ctx *Ctx) StartTile(worker int) {
+	if !ctx.instr {
+		return
+	}
 	if ctx.mon != nil {
 		ctx.mon.StartTile(worker)
 	}
@@ -70,6 +74,9 @@ func (ctx *Ctx) StartTile(worker int) {
 // EndTile closes the span with the computed rectangle —
 // monitoring_end_tile(x, y, w, h, who).
 func (ctx *Ctx) EndTile(x, y, w, h, worker int) {
+	if !ctx.instr {
+		return
+	}
 	if ctx.mon != nil {
 		ctx.mon.EndTile(x, y, w, h, worker)
 	}
@@ -79,8 +86,15 @@ func (ctx *Ctx) EndTile(x, y, w, h, worker int) {
 }
 
 // DoTile runs body bracketed by StartTile/EndTile — the do_tile pattern of
-// the paper's Fig. 2 with the instrumentation already in place.
+// the paper's Fig. 2 with the instrumentation already in place. Hot loops
+// prefer calling StartTile/EndTile directly around straight-line code: that
+// avoids materializing a closure per tile. DoTile remains for call sites
+// where the closure is already at hand.
 func (ctx *Ctx) DoTile(x, y, w, h, worker int, body func()) {
+	if !ctx.instr {
+		body()
+		return
+	}
 	ctx.StartTile(worker)
 	body()
 	ctx.EndTile(x, y, w, h, worker)
@@ -99,6 +113,9 @@ func (ctx *Ctx) AddWork(worker int, units int64) {
 // StartTask opens an instrumented task span (traced as KindTask so
 // EASYVIEW distinguishes dependent tasks from plain tiles).
 func (ctx *Ctx) StartTask(worker int) {
+	if !ctx.instr {
+		return
+	}
 	if ctx.mon != nil {
 		ctx.mon.StartTile(worker)
 	}

@@ -186,6 +186,7 @@ func runRank(cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, com
 		})
 		ctx.rec.SetRank(rank)
 	}
+	ctx.instr = ctx.mon != nil || ctx.rec != nil
 
 	if k.Init != nil {
 		if err := k.Init(ctx); err != nil {

@@ -8,6 +8,7 @@ package figures
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -16,6 +17,18 @@ func quickParams(t *testing.T) (Params, *bytes.Buffer) {
 	t.Helper()
 	var log bytes.Buffer
 	return Params{Quick: true, OutDir: t.TempDir(), Log: &log}, &log
+}
+
+// requireCPUs skips claims that physically cannot hold without real
+// hardware parallelism: on a 1-2 vCPU box every "parallel" worker runs
+// sequentially, so opportunistic mixing, speedups and wavefront overlap
+// are unobservable no matter how correct the scheduler is.
+func requireCPUs(t *testing.T, n int) {
+	t.Helper()
+	if runtime.NumCPU() < n {
+		t.Skipf("needs >= %d CPUs to observe parallel interleaving; have %d",
+			n, runtime.NumCPU())
+	}
 }
 
 // eventually retries a timing-sensitive claim: `go test ./...` runs test
@@ -94,7 +107,9 @@ func TestFig4SchedulePatterns(t *testing.T) {
 	if !res["static"].Contiguous {
 		t.Error("static assignment is not contiguous blocks")
 	}
-	// Fig 4b/c/d: the dynamic policies break contiguity.
+	// Fig 4b/c/d: the dynamic policies break contiguity. Observable only
+	// with real concurrency: on a serial box one worker grabs everything.
+	requireCPUs(t, 4)
 	for _, name := range []string{"dynamic,2", "nonmonotonic:dynamic", "guided"} {
 		if res[name].Contiguous {
 			t.Errorf("%s produced contiguous blocks; expected opportunistic mixing", name)
@@ -118,6 +133,7 @@ func TestFig4SchedulePatterns(t *testing.T) {
 }
 
 func TestFig6SpeedupShape(t *testing.T) {
+	requireCPUs(t, 4) // speedups need real cores
 	p, _ := quickParams(t)
 	eventually(t, 3, func() error {
 		res, err := Fig6(p)
@@ -175,10 +191,6 @@ func TestFig8DynamicPatterns(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		// Pattern 2: the uniformly heavy band exhibits quasi-cyclic owners.
-		if res.CyclicScore < 0.5 {
-			return fmt.Errorf("cyclic score = %.2f, expected the heavy band to be near-cyclic", res.CyclicScore)
-		}
 		// The owner grid must be fully covered (dynamic never skips).
 		for _, row := range res.OwnerGrid {
 			for _, w := range row {
@@ -186,6 +198,12 @@ func TestFig8DynamicPatterns(t *testing.T) {
 					return fmt.Errorf("dynamic schedule left tiles unowned")
 				}
 			}
+		}
+		// Pattern 2: the uniformly heavy band exhibits quasi-cyclic owners
+		// — an interleaving that only appears with real concurrency.
+		requireCPUs(t, 4)
+		if res.CyclicScore < 0.5 {
+			return fmt.Errorf("cyclic score = %.2f, expected the heavy band to be near-cyclic", res.CyclicScore)
 		}
 		return nil
 	})
@@ -268,7 +286,9 @@ func TestFig12WavefrontCorrectAndParallel(t *testing.T) {
 		if res.TaskEvents == 0 {
 			return fmt.Errorf("no task events traced")
 		}
-		if res.WaveConcurrency < 2 {
+		// Overlap on anti-diagonals requires tasks actually running
+		// concurrently; the dependency-correctness claims above do not.
+		if res.WaveConcurrency < 2 && runtime.NumCPU() >= 4 {
 			return fmt.Errorf("wave concurrency = %d, expected overlap on anti-diagonals", res.WaveConcurrency)
 		}
 		if res.SerialConcurrency != 1 {

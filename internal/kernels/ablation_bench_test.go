@@ -70,9 +70,10 @@ func BenchmarkAblationInstrumentation(b *testing.B) {
 }
 
 // BenchmarkAblationLifeLazy quantifies the lazy-evaluation gain on the
-// sparse diagonal dataset vs the dense full recomputation.
+// sparse diagonal dataset vs the dense full recomputation, and where the
+// branch-free bit-packed kernel lands against both.
 func BenchmarkAblationLifeLazy(b *testing.B) {
-	for _, variant := range []string{"omp_tiled", "lazy"} {
+	for _, variant := range []string{"omp_tiled", "lazy", "bitpack"} {
 		b.Run(variant, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				benchRun(b, core.Config{

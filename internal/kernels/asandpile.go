@@ -149,11 +149,11 @@ func asandOmpTiled(ctx *core.Ctx, nbIter int) int {
 	return ctx.ForIterations(nbIter, func(int) bool {
 		var activeFlag atomic.Bool
 		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
-			ctx.DoTile(x, y, w, h, worker, func() {
-				if st.asandAtomicTile(x, y, w, h) {
-					activeFlag.Store(true)
-				}
-			})
+			ctx.StartTile(worker)
+			if st.asandAtomicTile(x, y, w, h) {
+				activeFlag.Store(true)
+			}
+			ctx.EndTile(x, y, w, h, worker)
 		})
 		return activeFlag.Load()
 	})

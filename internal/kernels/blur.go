@@ -105,10 +105,10 @@ func blurOmpTiled(ctx *core.Ctx, nbIter int) int {
 	return ctx.ForIterations(nbIter, func(int) bool {
 		src, dst := ctx.Cur(), ctx.Next()
 		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
-			ctx.DoTile(x, y, w, h, worker, func() {
-				blurTileSafe(src, dst, dim, x, y, w, h)
-				ctx.AddWork(worker, int64(w*h)) // pixels touched
-			})
+			ctx.StartTile(worker)
+			blurTileSafe(src, dst, dim, x, y, w, h)
+			ctx.AddWork(worker, int64(w*h)) // pixels touched
+			ctx.EndTile(x, y, w, h, worker)
 		})
 		ctx.Swap()
 		return true
@@ -126,14 +126,14 @@ func blurOmpTiledOpt(ctx *core.Ctx, nbIter int) int {
 		src, dst := ctx.Cur(), ctx.Next()
 		ctx.Pool.ParallelFor(grid.Tiles(), ctx.Cfg.Schedule, func(tile, worker int) {
 			x, y, w, h := grid.Coords(tile)
-			ctx.DoTile(x, y, w, h, worker, func() {
-				if grid.IsBorder(tile) {
-					blurTileBorder(src, dst, dim, x, y, w, h)
-				} else {
-					blurTileFast(src, dst, x, y, w, h)
-				}
-				ctx.AddWork(worker, int64(w*h)) // pixels touched
-			})
+			ctx.StartTile(worker)
+			if grid.IsBorder(tile) {
+				blurTileBorder(src, dst, dim, x, y, w, h)
+			} else {
+				blurTileFast(src, dst, x, y, w, h)
+			}
+			ctx.AddWork(worker, int64(w*h)) // pixels touched
+			ctx.EndTile(x, y, w, h, worker)
 		})
 		ctx.Swap()
 		return true

@@ -26,6 +26,7 @@ func init() {
 			"seq":       lifeSeq,
 			"omp_tiled": lifeOmpTiled,
 			"lazy":      lifeLazy,
+			"bitpack":   lifeBitpack,
 			"mpi_omp":   lifeMPIOmp,
 		},
 		DefaultVariant: "seq",
@@ -49,6 +50,10 @@ type lifeState struct {
 	band       mpi.Band
 	ghostAbove []uint8
 	ghostBelow []uint8
+
+	// bits is the packed double buffer of the "bitpack" variant, created
+	// lazily on first use (life_bitpack.go).
+	bits *lifeBits
 }
 
 func (s *lifeState) at(y, x int) uint8        { return s.cur[y*s.dim+x] }
@@ -296,10 +301,10 @@ func lifeOmpTiled(ctx *core.Ctx, nbIter int) int {
 	st := lifeStateOf(ctx)
 	return ctx.ForIterations(nbIter, func(int) bool {
 		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
-			ctx.DoTile(x, y, w, h, worker, func() {
-				tx, ty := x/st.tileW, y/st.tileH
-				st.changed[st.tileIndex(tx, ty)] = st.lifeComputeTile(x, y, w, h)
-			})
+			ctx.StartTile(worker)
+			tx, ty := x/st.tileW, y/st.tileH
+			st.changed[st.tileIndex(tx, ty)] = st.lifeComputeTile(x, y, w, h)
+			ctx.EndTile(x, y, w, h, worker)
 		})
 		st.swap()
 		return st.rotateChangeFlags()
@@ -320,9 +325,9 @@ func lifeLazy(ctx *core.Ctx, nbIter int) int {
 				st.copyTile(x, y, w, h)
 				return
 			}
-			ctx.DoTile(x, y, w, h, worker, func() {
-				st.changed[st.tileIndex(tx, ty)] = st.lifeComputeTile(x, y, w, h)
-			})
+			ctx.StartTile(worker)
+			st.changed[st.tileIndex(tx, ty)] = st.lifeComputeTile(x, y, w, h)
+			ctx.EndTile(x, y, w, h, worker)
 		})
 		st.swap()
 		return st.rotateChangeFlags()
@@ -384,9 +389,9 @@ func lifeMPIOmp(ctx *core.Ctx, nbIter int) int {
 				st.copyTile(x, y, st.tileW, st.tileH)
 				return
 			}
-			ctx.DoTile(x, y, st.tileW, st.tileH, worker, func() {
-				st.changed[st.tileIndex(tx, ty)] = st.lifeComputeTile(x, y, st.tileW, st.tileH)
-			})
+			ctx.StartTile(worker)
+			st.changed[st.tileIndex(tx, ty)] = st.lifeComputeTile(x, y, st.tileW, st.tileH)
+			ctx.EndTile(x, y, st.tileW, st.tileH, worker)
 		})
 		st.swap()
 

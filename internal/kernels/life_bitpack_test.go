@@ -1,0 +1,166 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"easypap/internal/core"
+	"easypap/internal/sched"
+)
+
+// TestLifeBitpackMatchesSeq: the packed branch-free kernel must produce
+// bit-identical boards to the byte-per-cell sequential reference, for
+// every seed pattern and across schedule policies (row bands are
+// independent, so any chunking must agree).
+func TestLifeBitpackMatchesSeq(t *testing.T) {
+	for _, pattern := range []string{"random", "diag", "blinker", "empty"} {
+		for _, pol := range []sched.Policy{
+			sched.StaticPolicy, sched.DynamicPolicy(3), sched.NonmonotonicPolicy,
+		} {
+			ref, err := core.Run(core.Config{Kernel: "life", Variant: "seq",
+				Dim: 64, TileW: 8, TileH: 8, Iterations: 8, Seed: 7,
+				Arg: pattern, NoDisplay: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := core.Run(core.Config{Kernel: "life", Variant: "bitpack",
+				Dim: 64, TileW: 8, TileH: 8, Iterations: 8, Seed: 7,
+				Arg: pattern, Threads: 4, Schedule: pol, NoDisplay: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ref.Final.Equal(got.Final) {
+				t.Errorf("pattern %q pol %v: bitpack board diverged from seq", pattern, pol)
+			}
+			if ref.Iterations != got.Iterations {
+				t.Errorf("pattern %q pol %v: bitpack ran %d iterations, seq ran %d",
+					pattern, pol, got.Iterations, ref.Iterations)
+			}
+		}
+	}
+}
+
+// TestQuickLifeBitpackEqualsSeq drives the equivalence through arbitrary
+// random seeds, including a non-word-aligned board size so the last-word
+// mask is exercised.
+func TestQuickLifeBitpackEqualsSeq(t *testing.T) {
+	for _, dim := range []int{32, 96} {
+		f := func(seedRaw uint16) bool {
+			seed := int64(seedRaw)
+			ref, err := core.Run(core.Config{Kernel: "life", Variant: "seq", Dim: dim,
+				TileW: 8, TileH: 8, Iterations: 5, Seed: seed, NoDisplay: true})
+			if err != nil {
+				return false
+			}
+			bp, err := core.Run(core.Config{Kernel: "life", Variant: "bitpack", Dim: dim,
+				TileW: 8, TileH: 8, Iterations: 5, Seed: seed, NoDisplay: true,
+				Threads: 4, Schedule: sched.DynamicPolicy(1)})
+			if err != nil {
+				return false
+			}
+			return ref.Final.Equal(bp.Final)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+			t.Errorf("dim %d: %v", dim, err)
+		}
+	}
+}
+
+// TestLifeBitpackDisplayModeMatchesSeq runs in display mode (one compute
+// call per frame), exercising the pack-once/unpack-per-call consistency
+// across repeated compute calls.
+func TestLifeBitpackDisplayModeMatchesSeq(t *testing.T) {
+	ref, err := core.Run(core.Config{Kernel: "life", Variant: "seq",
+		Dim: 64, TileW: 8, TileH: 8, Iterations: 6, Seed: 11, NoDisplay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Run(core.Config{Kernel: "life", Variant: "bitpack",
+		Dim: 64, TileW: 8, TileH: 8, Iterations: 6, Seed: 11,
+		Threads: 4, OutputDir: t.TempDir(), FrameEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Final.Equal(got.Final) {
+		t.Error("display-mode bitpack board diverged from seq")
+	}
+}
+
+// TestLifeBitpackConvergence: the empty board is steady immediately, so
+// the variant must stop after one generation like the reference kernels.
+func TestLifeBitpackConvergence(t *testing.T) {
+	out, err := core.Run(core.Config{Kernel: "life", Variant: "bitpack",
+		Dim: 64, TileW: 8, TileH: 8, Iterations: 50, Arg: "empty",
+		NoDisplay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Iterations != 1 {
+		t.Errorf("empty board ran %d iterations, want 1", out.Iterations)
+	}
+}
+
+// TestLifeBitsStepMatchesCellRule drives the word-level adder directly
+// against the scalar rule on a small dense board, so a packing bug cannot
+// hide behind the framework plumbing.
+func TestLifeBitsStepMatchesCellRule(t *testing.T) {
+	const dim = 67 // straddles the word boundary
+	cells := make([]uint8, dim*dim)
+	for i := range cells {
+		if i%3 == 0 || i%7 == 1 {
+			cells[i] = 1
+		}
+	}
+	bb := newLifeBits(dim)
+	bb.pack(cells)
+	bb.stepRows(0, dim)
+	bb.swap()
+	got := make([]uint8, dim*dim)
+	bb.unpack(got)
+
+	at := func(y, x int) uint8 {
+		if x < 0 || x >= dim || y < 0 || y >= dim {
+			return 0
+		}
+		return cells[y*dim+x]
+	}
+	for y := 0; y < dim; y++ {
+		for x := 0; x < dim; x++ {
+			n := at(y-1, x-1) + at(y-1, x) + at(y-1, x+1) +
+				at(y, x-1) + at(y, x+1) +
+				at(y+1, x-1) + at(y+1, x) + at(y+1, x+1)
+			want := uint8(0)
+			if at(y, x) != 0 {
+				if n == 2 || n == 3 {
+					want = 1
+				}
+			} else if n == 3 {
+				want = 1
+			}
+			if got[y*dim+x] != want {
+				t.Fatalf("cell (%d,%d): got %d, want %d", y, x, got[y*dim+x], want)
+			}
+		}
+	}
+}
+
+// BenchmarkLifeBitpackVsBytes is the showcase ablation: byte-per-cell
+// omp_tiled vs the packed branch-free kernel on the same board.
+func BenchmarkLifeBitpackVsBytes(b *testing.B) {
+	dim := 512
+	if testing.Short() {
+		dim = 128
+	}
+	for _, variant := range []string{"omp_tiled", "bitpack"} {
+		b.Run(variant, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.Run(core.Config{Kernel: "life", Variant: variant,
+					Dim: dim, TileW: 16, TileH: 16, Iterations: 10, Seed: 42,
+					NoDisplay: true, Schedule: sched.StaticPolicy})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

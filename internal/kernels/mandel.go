@@ -154,9 +154,9 @@ func mandelOmpTiled(ctx *core.Ctx, nbIter int) int {
 	return ctx.ForIterations(nbIter, func(int) bool {
 		im := ctx.Cur()
 		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
-			ctx.DoTile(x, y, w, h, worker, func() {
-				ctx.AddWork(worker, mandelTile(v, im, dim, x, y, w, h))
-			})
+			ctx.StartTile(worker)
+			ctx.AddWork(worker, mandelTile(v, im, dim, x, y, w, h))
+			ctx.EndTile(x, y, w, h, worker)
 		})
 		v.zoom()
 		return true
@@ -182,9 +182,9 @@ func mandelTeam(ctx *core.Ctx, nbIter int) int {
 			})
 			im := ctx.Cur()
 			tc.ForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
-				ctx.DoTile(x, y, w, h, worker, func() {
-					ctx.AddWork(worker, mandelTile(v, im, dim, x, y, w, h))
-				})
+				ctx.StartTile(worker)
+				ctx.AddWork(worker, mandelTile(v, im, dim, x, y, w, h))
+				ctx.EndTile(x, y, w, h, worker)
 			})
 			tc.Single(func() {
 				v.zoom()

@@ -111,9 +111,9 @@ func sandOmpTiled(ctx *core.Ctx, nbIter int) int {
 		activeTiles := make([]bool, ctx.Grid.Tiles())
 		ctx.Pool.ParallelFor(ctx.Grid.Tiles(), ctx.Cfg.Schedule, func(tile, worker int) {
 			x, y, w, h := ctx.Grid.Coords(tile)
-			ctx.DoTile(x, y, w, h, worker, func() {
-				activeTiles[tile] = st.sandStepTile(x, y, w, h)
-			})
+			ctx.StartTile(worker)
+			activeTiles[tile] = st.sandStepTile(x, y, w, h)
+			ctx.EndTile(x, y, w, h, worker)
 		})
 		st.cur, st.next = st.next, st.cur
 		for _, a := range activeTiles {

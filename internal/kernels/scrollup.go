@@ -55,11 +55,11 @@ func scrollOmpTiled(ctx *core.Ctx, nbIter int) int {
 	return ctx.ForIterations(nbIter, func(int) bool {
 		src, dst := ctx.Cur(), ctx.Next()
 		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
-			ctx.DoTile(x, y, w, h, worker, func() {
-				for yy := y; yy < y+h; yy++ {
-					copy(dst.Row(yy)[x:x+w], src.Row((yy + 1) % dim)[x:x+w])
-				}
-			})
+			ctx.StartTile(worker)
+			for yy := y; yy < y+h; yy++ {
+				copy(dst.Row(yy)[x:x+w], src.Row((yy + 1) % dim)[x:x+w])
+			}
+			ctx.EndTile(x, y, w, h, worker)
 		})
 		ctx.Swap()
 		return true

@@ -150,14 +150,14 @@ func invertOmpTiled(ctx *core.Ctx, nbIter int) int {
 	return ctx.ForIterations(nbIter, func(int) bool {
 		im := ctx.Cur()
 		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
-			ctx.DoTile(x, y, w, h, worker, func() {
-				for yy := y; yy < y+h; yy++ {
-					row := im.Row(yy)
-					for xx := x; xx < x+w; xx++ {
-						row[xx] = invertPixel(row[xx])
-					}
+			ctx.StartTile(worker)
+			for yy := y; yy < y+h; yy++ {
+				row := im.Row(yy)
+				for xx := x; xx < x+w; xx++ {
+					row[xx] = invertPixel(row[xx])
 				}
-			})
+			}
+			ctx.EndTile(x, y, w, h, worker)
 		})
 		return true
 	})
@@ -198,9 +198,9 @@ func transposeOmpTiled(ctx *core.Ctx, nbIter int) int {
 	return ctx.ForIterations(nbIter, func(int) bool {
 		src, dst := ctx.Cur(), ctx.Next()
 		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
-			ctx.DoTile(x, y, w, h, worker, func() {
-				transposeTile(src, dst, x, y, w, h)
-			})
+			ctx.StartTile(worker)
+			transposeTile(src, dst, x, y, w, h)
+			ctx.EndTile(x, y, w, h, worker)
 		})
 		ctx.Swap()
 		return true
@@ -233,9 +233,9 @@ func pixelizeOmpTiled(ctx *core.Ctx, nbIter int) int {
 	return ctx.ForIterations(nbIter, func(int) bool {
 		im := ctx.Cur()
 		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
-			ctx.DoTile(x, y, w, h, worker, func() {
-				pixelizeTile(im, x, y, w, h)
-			})
+			ctx.StartTile(worker)
+			pixelizeTile(im, x, y, w, h)
+			ctx.EndTile(x, y, w, h, worker)
 		})
 		return true
 	})

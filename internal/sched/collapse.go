@@ -90,9 +90,17 @@ type TileBody func(x, y, w, h, worker int)
 //	for (y = 0; y < DIM; y += TILE_H)
 //	  for (x = 0; x < DIM; x += TILE_W)
 //	    do_tile(x, y, TILE_W, TILE_H, omp_get_thread_num());
+//
+// The tile body rides through the pool's pre-allocated tile adapter, so
+// the call allocates nothing on a warm pool.
 func (p *Pool) ParallelForTiles(g TileGrid, pol Policy, body TileBody) {
-	p.ParallelFor(g.Tiles(), pol, func(tile, worker int) {
-		x, y, w, h := g.Coords(tile)
-		body(x, y, w, h, worker)
-	})
+	n := g.Tiles()
+	if n <= 0 {
+		return
+	}
+	p.loopMu.Lock()
+	defer p.loopMu.Unlock()
+	p.loop.tile = body
+	p.loop.grid = g
+	p.forRangesLocked(n, pol, p.tileAdapter)
 }

@@ -1,7 +1,7 @@
 package sched
 
 import (
-	"sync"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -16,13 +16,17 @@ type RangeBody func(lo, hi, worker int)
 
 // ParallelFor executes body for every index in [0, n) using the given
 // scheduling policy, blocking until all iterations complete (the implicit
-// barrier of "#pragma omp for").
+// barrier of "#pragma omp for"). The element body is carried through the
+// pool's pre-allocated adapter, so the call allocates nothing on a warm
+// pool.
 func (p *Pool) ParallelFor(n int, pol Policy, body Body) {
-	p.ParallelForRanges(n, pol, func(lo, hi, worker int) {
-		for i := lo; i < hi; i++ {
-			body(i, worker)
-		}
-	})
+	if n <= 0 {
+		return
+	}
+	p.loopMu.Lock()
+	defer p.loopMu.Unlock()
+	p.loop.elem = body
+	p.forRangesLocked(n, pol, p.elemAdapter)
 }
 
 // ParallelForRanges executes body over chunks of [0, n) according to the
@@ -35,20 +39,26 @@ func (p *Pool) ParallelForRanges(n int, pol Policy, body RangeBody) {
 	}
 	p.loopMu.Lock()
 	defer p.loopMu.Unlock()
-	switch pol.Kind {
-	case Static:
-		p.runStatic(n, body)
-	case StaticChunk:
-		p.runStaticChunk(n, pol.chunkOrDefault(), body)
-	case Dynamic:
-		p.runDynamic(n, pol.chunkOrDefault(), body)
-	case Guided:
-		p.runGuided(n, pol.chunkOrDefault(), body)
-	case Nonmonotonic:
-		p.runNonmonotonic(n, pol.chunkOrDefault(), body)
-	default:
-		p.runStatic(n, body)
+	p.forRangesLocked(n, pol, body)
+}
+
+// forRangesLocked fills the pool's loop descriptor and dispatches it.
+// Callers must hold loopMu.
+func (p *Pool) forRangesLocked(n int, pol Policy, body RangeBody) {
+	d := &p.loop
+	d.kind = pol.Kind // unknown kinds fall back to static in runShare
+	d.n = n
+	d.chunk = pol.chunkOrDefault()
+	d.body = body
+	d.cursor.Store(0)
+	if d.kind == Nonmonotonic {
+		for w := 0; w < p.workers; w++ {
+			lo, hi := staticBlock(n, p.workers, w)
+			p.queues[w].reset(lo, hi, d.chunk)
+		}
+		d.remain.Store(int64(n))
 	}
+	p.dispatch()
 }
 
 // staticBlock returns worker w's contiguous block [lo, hi) of [0, n) under
@@ -67,37 +77,6 @@ func staticBlock(n, workers, w int) (lo, hi int) {
 	return
 }
 
-func (p *Pool) runStatic(n int, body RangeBody) {
-	p.run(func(w int) {
-		lo, hi := staticBlock(n, p.workers, w)
-		if lo < hi {
-			body(lo, hi, w)
-		}
-	})
-}
-
-func (p *Pool) runStaticChunk(n, chunk int, body RangeBody) {
-	p.run(func(w int) {
-		for lo := w * chunk; lo < n; lo += p.workers * chunk {
-			hi := min(lo+chunk, n)
-			body(lo, hi, w)
-		}
-	})
-}
-
-func (p *Pool) runDynamic(n, chunk int, body RangeBody) {
-	var next atomic.Int64
-	p.run(func(w int) {
-		for {
-			lo := int(next.Add(int64(chunk))) - chunk
-			if lo >= n {
-				return
-			}
-			body(lo, min(lo+chunk, n), w)
-		}
-	})
-}
-
 // guidedGrant returns the number of iterations one grab acquires under
 // schedule(guided, minChunk) when remaining iterations are left:
 // ceil(remaining / workers), never below minChunk (except when fewer than
@@ -114,131 +93,144 @@ func guidedGrant(remaining, workers, minChunk int) int {
 	return size
 }
 
-// runGuided implements schedule(guided, k) using guidedGrant under a shared
-// cursor.
-func (p *Pool) runGuided(n, minChunk int, body RangeBody) {
-	var mu sync.Mutex
-	next := 0
-	p.run(func(w int) {
+// maxStealAttempts bounds how many times a thief that keeps losing steal
+// races rescans the queues before giving up. Losing a race means another
+// worker acquired the chunk, so abandoning the hunt never strands work —
+// every queued chunk is drained by its owner or the winning thief.
+const maxStealAttempts = 8
+
+// runShare executes member w's share of a worksharing loop over [0, n)
+// for a team of the given size. It is the single copy of the five
+// scheduling protocols, shared by pool-level loops (Pool.execute) and
+// team-level loops (TeamCtx.executeLoop): cursor backs the dynamic
+// fetch-add and guided CAS grants, queues/remain back nonmonotonic
+// stealing. chunk is the policy's effective chunk (minimum grant for
+// guided).
+func runShare(w, size, n int, kind PolicyKind, chunk int, cursor *atomic.Int64,
+	queues []chunkQueue, remain *atomic.Int64, body RangeBody) {
+	switch kind {
+	case StaticChunk:
+		for lo := w * chunk; lo < n; lo += size * chunk {
+			body(lo, min(lo+chunk, n), w)
+		}
+	case Dynamic:
 		for {
-			mu.Lock()
-			if next >= n {
-				mu.Unlock()
+			lo := int(cursor.Add(int64(chunk))) - chunk
+			if lo >= n {
 				return
 			}
-			size := guidedGrant(n-next, p.workers, minChunk)
-			lo := next
-			next += size
-			mu.Unlock()
-			body(lo, lo+size, w)
+			body(lo, min(lo+chunk, n), w)
 		}
-	})
-}
-
-// runNonmonotonic implements the "static steal" strategy behind OpenMP 5's
-// schedule(nonmonotonic:dynamic): every worker starts with its static
-// contiguous block, split into chunks; a worker exhausting its own queue
-// steals chunks from the back of the most loaded victim. Fig. 4c of the
-// paper shows the resulting pattern: static at first, corrected by stealing
-// wherever load imbalance appears.
-func (p *Pool) runNonmonotonic(n, chunk int, body RangeBody) {
-	queues := make([]*chunkDeque, p.workers)
-	for w := 0; w < p.workers; w++ {
-		lo, hi := staticBlock(n, p.workers, w)
-		queues[w] = newChunkDeque(lo, hi, chunk)
-	}
-	var remaining atomic.Int64
-	remaining.Store(int64(n))
-	p.run(func(w int) {
-		own := queues[w]
-		for remaining.Load() > 0 {
-			c, ok := own.popFront()
+	case Guided:
+		for {
+			cur := cursor.Load()
+			if cur >= int64(n) {
+				return
+			}
+			grant := int64(guidedGrant(n-int(cur), size, chunk))
+			if cursor.CompareAndSwap(cur, cur+grant) {
+				body(int(cur), int(cur+grant), w)
+			}
+		}
+	case Nonmonotonic:
+		own := &queues[w]
+		for remain.Load() > 0 {
+			c, ok := own.take()
 			if !ok {
-				// Own queue drained: steal from the back of the
-				// fullest victim queue.
-				c, ok = stealFrom(queues, w)
+				c, ok = stealFromQueues(queues, w)
 				if !ok {
-					// Nothing visible to steal. Other workers may
-					// still be finishing their last chunks; there is
-					// no more work to acquire either way.
-					return
+					if !anyClaimable(queues) {
+						// Every queue is empty: the remaining iterations
+						// are in flight on other members. Nothing left
+						// to acquire, so this member retires.
+						return
+					}
+					// Queues still hold work; the thief only lost its
+					// bounded ration of steal races. Back off with a
+					// yield and re-enter the hunt — retiring here would
+					// drain the loop tail with fewer members than
+					// available, the imbalance nonmonotonic exists to fix.
+					runtime.Gosched()
+					continue
 				}
 			}
 			body(c.lo, c.hi, w)
-			remaining.Add(int64(c.lo - c.hi))
+			remain.Add(int64(c.lo - c.hi))
 		}
-	})
-}
-
-// stealFrom scans all queues except thief's own and steals one chunk from
-// the back of the longest queue. It returns ok=false when every queue is
-// empty.
-func stealFrom(queues []*chunkDeque, thief int) (chunk indexChunk, ok bool) {
-	for {
-		victim, best := -1, 0
-		for v, q := range queues {
-			if v == thief {
-				continue
-			}
-			if l := q.len(); l > best {
-				victim, best = v, l
-			}
+	default: // Static
+		lo, hi := staticBlock(n, size, w)
+		if lo < hi {
+			body(lo, hi, w)
 		}
-		if victim < 0 {
-			return indexChunk{}, false
-		}
-		if c, got := queues[victim].popBack(); got {
-			return c, true
-		}
-		// Lost the race on that victim; rescan.
 	}
 }
 
 // indexChunk is a half-open range of loop indices [lo, hi).
 type indexChunk struct{ lo, hi int }
 
-// chunkDeque is a mutex-protected deque of chunks. The owner pops from the
-// front (preserving its static order, which keeps locality); thieves pop
-// from the back (taking the work farthest from the owner's progress).
-type chunkDeque struct {
-	mu     sync.Mutex
+// chunkQueue is the lock-free owner-front/thief-back work queue behind
+// nonmonotonic scheduling, in the spirit of the Chase-Lev deque but
+// simplified for a pre-populated chunk array: the head (owner side) and
+// tail (thief side) indices are packed into one 64-bit word, so take and
+// steal are single-CAS operations on the same word and can never both
+// claim the last chunk. The chunk array is immutable during a loop and its
+// backing storage is reused across loops, so steady-state operation
+// allocates nothing.
+type chunkQueue struct {
 	chunks []indexChunk
-	head   int
+	ht     atomic.Uint64 // head in the high 32 bits, tail (exclusive) low
+	_      [32]byte      // keep neighbouring queues off this cache line
 }
 
-// newChunkDeque pre-splits [lo, hi) into chunks of the given size.
-func newChunkDeque(lo, hi, chunk int) *chunkDeque {
-	d := &chunkDeque{}
+func packHT(head, tail int) uint64 { return uint64(head)<<32 | uint64(uint32(tail)) }
+
+func unpackHT(v uint64) (head, tail int) { return int(v >> 32), int(uint32(v)) }
+
+// reset re-splits [lo, hi) into chunks of the given size, reusing the
+// backing array from previous loops.
+func (q *chunkQueue) reset(lo, hi, chunk int) {
+	q.chunks = q.chunks[:0]
 	for c := lo; c < hi; c += chunk {
-		d.chunks = append(d.chunks, indexChunk{c, min(c+chunk, hi)})
+		q.chunks = append(q.chunks, indexChunk{c, min(c+chunk, hi)})
 	}
-	return d
+	q.ht.Store(packHT(0, len(q.chunks)))
 }
 
-func (d *chunkDeque) len() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.chunks) - d.head
+// size returns how many chunks are currently claimable.
+func (q *chunkQueue) size() int {
+	head, tail := unpackHT(q.ht.Load())
+	if tail <= head {
+		return 0
+	}
+	return tail - head
 }
 
-func (d *chunkDeque) popFront() (indexChunk, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.head >= len(d.chunks) {
-		return indexChunk{}, false
+// take claims the chunk at the front (owner side): the owner consumes its
+// static share in order, preserving locality.
+func (q *chunkQueue) take() (indexChunk, bool) {
+	for {
+		v := q.ht.Load()
+		head, tail := unpackHT(v)
+		if head >= tail {
+			return indexChunk{}, false
+		}
+		if q.ht.CompareAndSwap(v, packHT(head+1, tail)) {
+			return q.chunks[head], true
+		}
 	}
-	c := d.chunks[d.head]
-	d.head++
-	return c, true
 }
 
-func (d *chunkDeque) popBack() (indexChunk, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.head >= len(d.chunks) {
-		return indexChunk{}, false
+// steal claims the chunk at the back (thief side): thieves take the work
+// farthest from the owner's progress.
+func (q *chunkQueue) steal() (indexChunk, bool) {
+	for {
+		v := q.ht.Load()
+		head, tail := unpackHT(v)
+		if head >= tail {
+			return indexChunk{}, false
+		}
+		if q.ht.CompareAndSwap(v, packHT(head, tail-1)) {
+			return q.chunks[tail-1], true
+		}
 	}
-	c := d.chunks[len(d.chunks)-1]
-	d.chunks = d.chunks[:len(d.chunks)-1]
-	return c, true
 }

@@ -426,36 +426,59 @@ func TestBarrierPanicsOnBadSize(t *testing.T) {
 	NewBarrier(0)
 }
 
-func TestChunkDeque(t *testing.T) {
-	d := newChunkDeque(0, 10, 3)
-	if got := d.len(); got != 4 {
-		t.Fatalf("len = %d, want 4 chunks", got)
+func TestChunkQueue(t *testing.T) {
+	var q chunkQueue
+	q.reset(0, 10, 3)
+	if got := q.size(); got != 4 {
+		t.Fatalf("size = %d, want 4 chunks", got)
 	}
-	front, ok := d.popFront()
+	front, ok := q.take()
 	if !ok || front != (indexChunk{0, 3}) {
-		t.Errorf("popFront = %v %v", front, ok)
+		t.Errorf("take = %v %v", front, ok)
 	}
-	back, ok := d.popBack()
+	back, ok := q.steal()
 	if !ok || back != (indexChunk{9, 10}) {
-		t.Errorf("popBack = %v %v", back, ok)
+		t.Errorf("steal = %v %v", back, ok)
 	}
-	if d.len() != 2 {
-		t.Errorf("len after pops = %d, want 2", d.len())
+	if q.size() != 2 {
+		t.Errorf("size after pops = %d, want 2", q.size())
 	}
-	d.popFront()
-	d.popFront()
-	if _, ok := d.popFront(); ok {
-		t.Error("popFront on empty deque succeeded")
+	q.take()
+	q.take()
+	if _, ok := q.take(); ok {
+		t.Error("take on empty queue succeeded")
 	}
-	if _, ok := d.popBack(); ok {
-		t.Error("popBack on empty deque succeeded")
+	if _, ok := q.steal(); ok {
+		t.Error("steal on empty queue succeeded")
 	}
 }
 
-func TestChunkDequeEmptyRange(t *testing.T) {
-	d := newChunkDeque(5, 5, 2)
-	if d.len() != 0 {
-		t.Errorf("empty range deque has len %d", d.len())
+func TestChunkQueueEmptyRange(t *testing.T) {
+	var q chunkQueue
+	q.reset(5, 5, 2)
+	if q.size() != 0 {
+		t.Errorf("empty range queue has size %d", q.size())
+	}
+}
+
+// TestChunkQueueReuseNoGrowth verifies the zero-allocation contract of the
+// steal queues: resetting to a same-or-smaller chunk count must reuse the
+// backing array.
+func TestChunkQueueReuseNoGrowth(t *testing.T) {
+	var q chunkQueue
+	q.reset(0, 1000, 4)
+	base := cap(q.chunks)
+	for round := 0; round < 10; round++ {
+		q.reset(0, 1000, 4)
+		for {
+			if _, ok := q.take(); !ok {
+				break
+			}
+		}
+		if cap(q.chunks) != base {
+			t.Fatalf("round %d: backing array reallocated (cap %d -> %d)",
+				round, base, cap(q.chunks))
+		}
 	}
 }
 

@@ -4,12 +4,26 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a fixed team of persistent worker goroutines, the analogue of the
 // OpenMP thread team EASYPAP kernels run on. Worker ranks are stable for
 // the lifetime of the pool, which is what lets the monitoring windows and
 // EASYVIEW assign each "CPU" a consistent color across iterations.
+//
+// Dispatch is epoch-based (DESIGN.md §2): workers park on a condition
+// variable keyed by an epoch counter; publishing a worksharing construct
+// stores its descriptor in the pool, bumps the epoch and broadcasts. The
+// descriptor, the per-worker steal queues and the element/tile adapters are
+// all pre-allocated, so a ParallelFor on a warm pool performs zero heap
+// allocations and zero channel operations — the dispatch overhead the
+// paper's scheduling comparisons (Fig. 4) must not drown in.
+//
+// The dispatching goroutine is team member 0, exactly as the master thread
+// is thread 0 of an OpenMP team: a pool of n workers runs n-1 background
+// goroutines, and a single-worker pool executes constructs inline with no
+// handoff at all.
 //
 // A Pool must be created with NewPool and released with Close. All methods
 // are safe for concurrent use by multiple goroutines, but a single
@@ -18,11 +32,47 @@ import (
 // worksharing construct.
 type Pool struct {
 	workers int
-	jobs    []chan func(worker int)
-	wg      sync.WaitGroup // tracks live workers for Close
-	loopMu  sync.Mutex     // serializes worksharing constructs
+
+	mu      sync.Mutex // guards epoch, active, closing
+	workCnd *sync.Cond // workers wait here for a new epoch
+	doneCnd *sync.Cond // the dispatcher waits here for completion
+	epoch   uint64     // bumped once per dispatched construct
+	active  int        // workers still executing the current construct
+	closing bool
 	closed  bool
-	mu      sync.Mutex // guards closed
+	wg      sync.WaitGroup // tracks live workers for Close
+
+	loopMu sync.Mutex // serializes worksharing constructs
+
+	// loop is the descriptor of the in-flight construct. It lives in the
+	// pool (not per call) so dispatch never allocates; the epoch handoff
+	// under mu publishes it to the workers.
+	loop loopDesc
+
+	// queues are the per-worker steal queues for nonmonotonic scheduling,
+	// reused (including their chunk backing arrays) across loops.
+	queues []chunkQueue
+
+	// elemAdapter and tileAdapter are allocated once in NewPool so that
+	// ParallelFor and ParallelForTiles need no per-call closure: the
+	// element/tile body travels through the descriptor instead.
+	elemAdapter RangeBody
+	tileAdapter RangeBody
+}
+
+// loopDesc describes one worksharing construct (or bare parallel region).
+// Exactly one of region/body is active per epoch.
+type loopDesc struct {
+	kind   PolicyKind
+	n      int
+	chunk  int
+	body   RangeBody        // worksharing constructs
+	region func(worker int) // Run/Team regions
+	elem   Body             // ParallelFor element body (via elemAdapter)
+	tile   TileBody         // ParallelForTiles body (via tileAdapter)
+	grid   TileGrid
+	cursor atomic.Int64 // dynamic fetch-add / guided CAS cursor
+	remain atomic.Int64 // nonmonotonic outstanding iterations
 }
 
 // NewPool creates a pool of n persistent workers. If n <= 0, the pool uses
@@ -34,21 +84,150 @@ func NewPool(n int) *Pool {
 	}
 	p := &Pool{
 		workers: n,
-		jobs:    make([]chan func(worker int), n),
+		queues:  make([]chunkQueue, n),
 	}
-	for w := 0; w < n; w++ {
-		p.jobs[w] = make(chan func(worker int), 1)
-		p.wg.Add(1)
+	p.workCnd = sync.NewCond(&p.mu)
+	p.doneCnd = sync.NewCond(&p.mu)
+	p.elemAdapter = func(lo, hi, worker int) {
+		body := p.loop.elem
+		for i := lo; i < hi; i++ {
+			body(i, worker)
+		}
+	}
+	p.tileAdapter = func(lo, hi, worker int) {
+		body, g := p.loop.tile, p.loop.grid
+		for tile := lo; tile < hi; tile++ {
+			x, y, w, h := g.Coords(tile)
+			body(x, y, w, h, worker)
+		}
+	}
+	p.wg.Add(n - 1)
+	for w := 1; w < n; w++ {
 		go p.workerLoop(w)
 	}
 	return p
 }
 
+// workerLoop parks until the epoch advances, executes the published
+// construct, and reports completion. The last finisher wakes the
+// dispatcher.
 func (p *Pool) workerLoop(rank int) {
 	defer p.wg.Done()
-	for fn := range p.jobs[rank] {
-		fn(rank)
+	var seen uint64
+	for {
+		p.mu.Lock()
+		for p.epoch == seen && !p.closing {
+			p.workCnd.Wait()
+		}
+		if p.epoch == seen { // closing with no new work
+			p.mu.Unlock()
+			return
+		}
+		seen = p.epoch
+		p.mu.Unlock()
+
+		p.execute(rank)
+
+		p.mu.Lock()
+		p.active--
+		if p.active == 0 {
+			p.doneCnd.Signal()
+		}
+		p.mu.Unlock()
 	}
+}
+
+// dispatch publishes the descriptor already stored in p.loop to the team,
+// executes member 0's share on the calling goroutine, and blocks until the
+// background members finished too. Callers must hold loopMu.
+func (p *Pool) dispatch() {
+	if p.closed {
+		// The old channel dispatch panicked ("send on closed channel") on
+		// use-after-Close; keep that failure loud instead of deadlocking
+		// on a join that no worker will ever signal.
+		panic("sched: construct dispatched on a closed Pool")
+	}
+	if p.workers == 1 {
+		// clearLoop in a defer so a panicking body cannot leak a stale
+		// descriptor into the next construct.
+		defer p.clearLoop()
+		p.execute(0)
+		return
+	}
+
+	p.mu.Lock()
+	p.active = p.workers - 1
+	p.epoch++
+	p.workCnd.Broadcast()
+	p.mu.Unlock()
+	if p.loop.sharedWork() {
+		// Give the woken members a scheduling chance before member 0
+		// starts consuming shared work: without this, a caller on a
+		// saturated (or single-CPU) machine can drain a dynamic cursor or
+		// steal every queue before the others ever run, destroying the
+		// owner-locality the policies are supposed to exhibit. Static
+		// shares are untouchable by member 0, so they skip the yield.
+		runtime.Gosched()
+	}
+
+	// Join in a defer: even when the body panics on member 0 (the
+	// caller), the background members must finish the construct before
+	// the descriptor is cleared or the panic unwinds into code that
+	// could dispatch again — otherwise a late-waking worker would read a
+	// nil body, and a recovered caller would overlap two constructs.
+	// Loop constructs always terminate on the background members, so the
+	// join is safe there and the panic is re-raised after it. A *region*
+	// (Run/Team) is different: members 1..n-1 may be blocked at a
+	// barrier member 0 will never reach, so the team cannot be joined —
+	// fail as loudly as the old channel dispatch did (which crashed the
+	// process from a worker goroutine) instead of deadlocking silently.
+	defer func() {
+		r := recover()
+		if r != nil && p.loop.region != nil {
+			go func() {
+				panic(fmt.Sprintf("sched: parallel region panicked on member 0 "+
+					"with the team possibly blocked at a barrier: %v", r))
+			}()
+			select {} // unreachable: the goroutine above kills the process
+		}
+		p.mu.Lock()
+		for p.active != 0 {
+			p.doneCnd.Wait()
+		}
+		p.mu.Unlock()
+		p.clearLoop()
+		if r != nil {
+			panic(r)
+		}
+	}()
+
+	p.execute(0)
+}
+
+// clearLoop drops the descriptor references so a retained pool does not
+// pin kernel state and a stale construct can never leak into the next.
+func (p *Pool) clearLoop() {
+	p.loop.body = nil
+	p.loop.region = nil
+	p.loop.elem = nil
+	p.loop.tile = nil
+}
+
+// sharedWork reports whether member 0 could consume other members' share
+// of the current construct (shared cursor, steal queues, or an arbitrary
+// region body such as the task engine's ready queue).
+func (d *loopDesc) sharedWork() bool {
+	return d.region != nil || d.kind == Dynamic || d.kind == Guided || d.kind == Nonmonotonic
+}
+
+// execute runs this worker's share of the current construct.
+func (p *Pool) execute(w int) {
+	d := &p.loop
+	if d.region != nil {
+		d.region(w)
+		return
+	}
+	runShare(w, p.workers, d.n, d.kind, d.chunk, &d.cursor, p.queues, &d.remain, d.body)
 }
 
 // Workers returns the number of workers in the pool.
@@ -57,16 +236,16 @@ func (p *Pool) Workers() int { return p.workers }
 // Close shuts the workers down and waits for them to exit. The pool must
 // not be used afterwards. Close is idempotent.
 func (p *Pool) Close() {
-	p.mu.Lock()
+	p.loopMu.Lock()
+	defer p.loopMu.Unlock()
 	if p.closed {
-		p.mu.Unlock()
 		return
 	}
 	p.closed = true
+	p.mu.Lock()
+	p.closing = true
+	p.workCnd.Broadcast()
 	p.mu.Unlock()
-	for _, ch := range p.jobs {
-		close(ch)
-	}
 	p.wg.Wait()
 }
 
@@ -76,21 +255,14 @@ func (p *Pool) Close() {
 func (p *Pool) Run(fn func(worker int)) {
 	p.loopMu.Lock()
 	defer p.loopMu.Unlock()
-	p.run(fn)
+	p.runLocked(fn)
 }
 
-// run dispatches fn to every worker without taking loopMu; callers must
-// hold it.
-func (p *Pool) run(fn func(worker int)) {
-	var wg sync.WaitGroup
-	wg.Add(p.workers)
-	for w := 0; w < p.workers; w++ {
-		p.jobs[w] <- func(rank int) {
-			defer wg.Done()
-			fn(rank)
-		}
-	}
-	wg.Wait()
+// runLocked dispatches fn to every worker without taking loopMu; callers
+// must hold it.
+func (p *Pool) runLocked(fn func(worker int)) {
+	p.loop.region = fn
+	p.dispatch()
 }
 
 // Barrier is a reusable cyclic barrier for n participants, the analogue of

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -33,14 +34,15 @@ type teamShared struct {
 	critMu        sync.Mutex
 }
 
-// loopState is the descriptor of the in-flight worksharing loop.
+// loopState is the descriptor of the in-flight worksharing loop. Dynamic
+// and guided loops share the atomic cursor (fetch-add and CAS grants
+// respectively); nonmonotonic loops use per-member lock-free chunk queues,
+// the same protocol as the pool-level loops.
 type loopState struct {
 	n      int
 	pol    Policy
-	next   atomic.Int64 // dynamic/guided cursor (guided uses mu below)
-	mu     sync.Mutex
-	gNext  int
-	queues []*chunkDeque
+	next   atomic.Int64 // dynamic fetch-add / guided CAS cursor
+	queues []chunkQueue
 	remain atomic.Int64
 }
 
@@ -51,7 +53,7 @@ func (p *Pool) Team(fn func(tc *TeamCtx)) {
 	defer p.loopMu.Unlock()
 	shared := &teamShared{}
 	barrier := NewBarrier(p.workers)
-	p.run(func(rank int) {
+	p.runLocked(func(rank int) {
 		fn(&TeamCtx{rank: rank, size: p.workers, barrier: barrier, shared: shared})
 	})
 }
@@ -128,10 +130,10 @@ func (tc *TeamCtx) ForRanges(n int, pol Policy, body RangeBody) {
 	if tc.shared.curLoop == nil {
 		st := &loopState{n: n, pol: pol}
 		if pol.Kind == Nonmonotonic {
-			st.queues = make([]*chunkDeque, tc.size)
+			st.queues = make([]chunkQueue, tc.size)
 			for w := 0; w < tc.size; w++ {
 				lo, hi := staticBlock(n, tc.size, w)
-				st.queues[w] = newChunkDeque(lo, hi, pol.chunkOrDefault())
+				st.queues[w].reset(lo, hi, pol.chunkOrDefault())
 			}
 			st.remain.Store(int64(n))
 		}
@@ -154,53 +156,59 @@ func (tc *TeamCtx) ForRanges(n int, pol Policy, body RangeBody) {
 }
 
 func (tc *TeamCtx) executeLoop(st *loopState, body RangeBody) {
-	w := tc.rank
-	switch st.pol.Kind {
-	case Static:
-		lo, hi := staticBlock(st.n, tc.size, w)
-		if lo < hi {
-			body(lo, hi, w)
-		}
-	case StaticChunk:
-		chunk := st.pol.chunkOrDefault()
-		for lo := w * chunk; lo < st.n; lo += tc.size * chunk {
-			body(lo, min(lo+chunk, st.n), w)
-		}
-	case Dynamic:
-		chunk := st.pol.chunkOrDefault()
-		for {
-			lo := int(st.next.Add(int64(chunk))) - chunk
-			if lo >= st.n {
-				return
+	runShare(tc.rank, tc.size, st.n, st.pol.Kind, st.pol.chunkOrDefault(),
+		&st.next, st.queues, &st.remain, body)
+}
+
+// stealFromQueues scans all queues except the thief's own and steals one
+// chunk from the back of the longest one. It returns ok=false when every
+// queue looks empty, or after maxStealAttempts lost races (previously this
+// rescanned unboundedly, spinning while queues drained concurrently). A
+// lost race means another worker acquired the chunk, so giving up never
+// strands work: every queued chunk is drained by its owner or the winning
+// thief.
+func stealFromQueues(queues []chunkQueue, thief int) (indexChunk, bool) {
+	yielded := false
+	for attempt := 0; ; attempt++ {
+		victim, best := -1, 0
+		for v := range queues {
+			if v == thief {
+				continue
 			}
-			body(lo, min(lo+chunk, st.n), w)
-		}
-	case Guided:
-		minChunk := st.pol.chunkOrDefault()
-		for {
-			st.mu.Lock()
-			if st.gNext >= st.n {
-				st.mu.Unlock()
-				return
+			if l := queues[v].size(); l > best {
+				victim, best = v, l
 			}
-			size := guidedGrant(st.n-st.gNext, tc.size, minChunk)
-			lo := st.gNext
-			st.gNext += size
-			st.mu.Unlock()
-			body(lo, lo+size, w)
 		}
-	case Nonmonotonic:
-		own := st.queues[w]
-		for st.remain.Load() > 0 {
-			c, ok := own.popFront()
-			if !ok {
-				c, ok = stealFrom(st.queues, w)
-				if !ok {
-					return
-				}
-			}
-			body(c.lo, c.hi, w)
-			st.remain.Add(int64(c.lo - c.hi))
+		if victim < 0 {
+			return indexChunk{}, false
+		}
+		if !yielded {
+			// Yield once before raiding a live queue: on an oversubscribed
+			// (or single-CPU) machine the owner may simply not have run
+			// yet, and the paper's Fig. 4c pattern — static first, stealing
+			// only where imbalance appears — depends on owners getting
+			// first crack at their own blocks. A loop ending with all
+			// queues empty never reaches this and retires yield-free.
+			yielded = true
+			runtime.Gosched()
+			continue // rescan: the owner may have drained it meanwhile
+		}
+		if c, ok := queues[victim].steal(); ok {
+			return c, true
+		}
+		if attempt >= maxStealAttempts {
+			return indexChunk{}, false
+		}
+		runtime.Gosched() // lost the race; let the winners drain
+	}
+}
+
+// anyClaimable reports whether any queue still holds unclaimed chunks.
+func anyClaimable(queues []chunkQueue) bool {
+	for v := range queues {
+		if queues[v].size() > 0 {
+			return true
 		}
 	}
+	return false
 }
