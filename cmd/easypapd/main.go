@@ -1,0 +1,94 @@
+// Command easypapd is the EASYPAP compute daemon: it serves kernel runs
+// over HTTP with job queueing, admission control, warm-pool reuse, result
+// caching and cancellation (see internal/serve and DESIGN.md §6).
+//
+//	easypapd -addr :8080
+//
+//	# submit a job
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	     -d '{"config":{"kernel":"mandel","dim":512,"iterations":10}}'
+//	# poll it
+//	curl -s localhost:8080/v1/jobs/j-000001
+//	# cancel it
+//	curl -s -X DELETE localhost:8080/v1/jobs/j-000001
+//	# live frames (gfx stream records: "EZFRAME <win> <iter> <len>\n<png>")
+//	curl -s localhost:8080/v1/jobs/j-000002/frames > frames.ezf
+//	# service counters
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"easypap/internal/core"
+	_ "easypap/internal/kernels" // register all predefined kernels
+	"easypap/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "easypapd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("easypapd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		queue     = fs.Int("queue", 64, "submission queue depth (admission control bound)")
+		workers   = fs.Int("workers", 0, "concurrent job runners (default GOMAXPROCS)")
+		cacheCap  = fs.Int("cache", 128, "result cache capacity (entries)")
+		idlePools = fs.Int("idle-pools", 4, "warm pools kept per thread count")
+		coldPools = fs.Bool("cold-pools", false, "disable warm-pool reuse (every job builds its own pool)")
+		recvTO    = fs.Duration("mpi-recv-timeout", 2*time.Second, "MPI receive watchdog for distributed jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mgr := serve.NewManager(serve.Options{
+		QueueDepth:       *queue,
+		Workers:          *workers,
+		CacheCapacity:    *cacheCap,
+		MaxIdlePools:     *idlePools,
+		DisableWarmPools: *coldPools,
+		RecvTimeout:      *recvTO,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(mgr)}
+
+	// Graceful shutdown: stop accepting, cancel running jobs, drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("easypapd: serving %d kernels on %s", len(core.KernelNames()), *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		mgr.Close()
+		return err
+	case <-ctx.Done():
+		log.Printf("easypapd: shutting down")
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := srv.Shutdown(shctx)
+		mgr.Close()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -9,8 +9,31 @@
 // internal/ezview), the experiment/plot pipeline (internal/expt,
 // internal/plot) and the predefined kernels (internal/kernels).
 //
-// Executables live under cmd/ (easypap, easyview, easyplot, easybench) and
-// runnable examples under examples/. The benchmarks in bench_test.go
-// regenerate every figure of the paper's evaluation; see DESIGN.md and
-// EXPERIMENTS.md.
+// Executables live under cmd/ (easypap, easypapd, easyview, easyplot,
+// easybench) and runnable examples under examples/. The benchmarks in
+// bench_test.go regenerate every figure of the paper's evaluation; see
+// DESIGN.md and EXPERIMENTS.md.
+//
+// # The compute daemon
+//
+// easypapd (cmd/easypapd, backed by internal/serve) serves kernel runs
+// over HTTP with job queueing and admission control, warm worker-pool
+// reuse across jobs, a result cache keyed by canonical config hash, live
+// frame streaming and mid-run cancellation (DESIGN.md §6):
+//
+//	easypapd -addr :8080 -queue 64 -workers 2 -cache 128
+//
+//	# submit (429 when the queue is full)
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	     -d '{"config":{"kernel":"mandel","dim":512,"iterations":10}}'
+//	# poll status + result
+//	curl -s localhost:8080/v1/jobs/j-000001
+//	# cancel mid-run
+//	curl -s -X DELETE localhost:8080/v1/jobs/j-000001
+//	# queue depth, cache hit/miss, per-kernel throughput
+//	curl -s localhost:8080/v1/stats
+//
+// Parameter sweeps fan out to a daemon by setting expt.Sweep.Remote to a
+// serve/client.Client, picking up the daemon's result cache for repeated
+// combinations.
 package easypap

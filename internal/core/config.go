@@ -17,34 +17,37 @@ import (
 )
 
 // Config selects and parameterizes a run. Zero fields take the same
-// defaults the easypap binary applies (see Normalize).
+// defaults the easypap binary applies (see Normalize). The JSON form is
+// the wire format of the easypapd submission API (internal/serve);
+// sched.Policy marshals as its OMP_SCHEDULE string, so a submission reads
+// e.g. {"kernel":"mandel","dim":512,"schedule":"dynamic,4"}.
 type Config struct {
-	Kernel  string // --kernel
-	Variant string // --variant
-	Dim     int    // --size (images are square, like EASYPAP)
-	TileW   int    // --tile-width (or --tile-size / --grain for square tiles)
-	TileH   int    // --tile-height
+	Kernel  string `json:"kernel"`            // --kernel
+	Variant string `json:"variant,omitempty"` // --variant
+	Dim     int    `json:"dim,omitempty"`     // --size (images are square, like EASYPAP)
+	TileW   int    `json:"tile_w,omitempty"`  // --tile-width (or --tile-size / --grain for square tiles)
+	TileH   int    `json:"tile_h,omitempty"`  // --tile-height
 
-	Iterations int          // --iterations
-	Threads    int          // OMP_NUM_THREADS analogue (--threads)
-	Schedule   sched.Policy // OMP_SCHEDULE analogue (--schedule)
+	Iterations int          `json:"iterations,omitempty"` // --iterations
+	Threads    int          `json:"threads,omitempty"`    // OMP_NUM_THREADS analogue (--threads)
+	Schedule   sched.Policy `json:"schedule"`             // OMP_SCHEDULE analogue (--schedule)
 
-	Monitoring bool   // --monitoring: per-iteration activity + tiling stats
-	HeatMode   bool   // --heat-map: tiling window colors by task duration
-	TracePath  string // --trace[=path]: record an execution trace
-	NoDisplay  bool   // --no-display: performance mode
+	Monitoring bool   `json:"monitoring,omitempty"` // --monitoring: per-iteration activity + tiling stats
+	HeatMode   bool   `json:"heat_mode,omitempty"`  // --heat-map: tiling window colors by task duration
+	TracePath  string `json:"trace_path,omitempty"` // --trace[=path]: record an execution trace
+	NoDisplay  bool   `json:"no_display,omitempty"` // --no-display: performance mode
 
-	OutputDir  string // --output-dir: where frames and windows are written
-	FrameEvery int    // --frames n: keep one frame every n iterations
+	OutputDir  string `json:"output_dir,omitempty"`  // --output-dir: where frames and windows are written
+	FrameEvery int    `json:"frame_every,omitempty"` // --frames n: keep one frame every n iterations
 
-	MPIRanks int    // --mpirun "-np N": number of simulated MPI processes
-	Debug    string // --debug flags; 'M' shows windows of every MPI process
+	MPIRanks int    `json:"mpi_ranks,omitempty"` // --mpirun "-np N": number of simulated MPI processes
+	Debug    string `json:"debug,omitempty"`     // --debug flags; 'M' shows windows of every MPI process
 
-	Arg  string // free-form kernel argument (e.g. life pattern name)
-	Seed int64  // deterministic seed for randomized kernels
+	Arg  string `json:"arg,omitempty"`  // free-form kernel argument (e.g. life pattern name)
+	Seed int64  `json:"seed,omitempty"` // deterministic seed for randomized kernels
 
 	// Label tags the run in CSV output (defaults to the host name).
-	Label string
+	Label string `json:"label,omitempty"`
 }
 
 // Normalize fills defaults and validates the configuration against the
@@ -129,11 +132,12 @@ func isMPIVariant(v string) bool {
 }
 
 // Result is what a run reports: the performance-mode wall clock plus
-// everything the analysis tools consume.
+// everything the analysis tools consume. WallTime marshals as
+// nanoseconds, like time.Duration everywhere else.
 type Result struct {
-	Config     Config
-	WallTime   time.Duration
-	Iterations int // iterations actually computed (lazy kernels may stop early)
+	Config     Config        `json:"config"`
+	WallTime   time.Duration `json:"wall_ns"`
+	Iterations int           `json:"iterations"` // iterations actually computed (lazy kernels may stop early)
 }
 
 // String renders the performance-mode report line, e.g.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"easypap/internal/img2d"
@@ -32,6 +33,7 @@ type Ctx struct {
 	curIter atomic.Int32
 	iters   int // completed iterations (run loop bookkeeping)
 	priv    any
+	goCtx   context.Context // run cancellation (never nil inside a run)
 }
 
 // Cur returns the current (read) image — the cur_img macro.
@@ -146,6 +148,12 @@ func (ctx *Ctx) EndTask(x, y, w, h, worker int) {
 func (ctx *Ctx) ForIterations(nbIter int, body func(it int) bool) int {
 	done := 0
 	for it := 1; it <= nbIter; it++ {
+		// Cancellation is honored at iteration boundaries: the construct in
+		// flight finishes (workers join at its implicit barrier), so the
+		// pool is idle and reusable the moment the run returns.
+		if ctx.goCtx != nil && ctx.goCtx.Err() != nil {
+			break
+		}
 		iter := ctx.iters + it
 		ctx.curIter.Store(int32(iter))
 		if ctx.mon != nil {
@@ -186,6 +194,17 @@ func (ctx *Ctx) TraceNow() int64 {
 		return 0
 	}
 	return ctx.rec.Now()
+}
+
+// Context returns the run's cancellation context. Kernels with long
+// single iterations may poll it to abort early; ForIterations already
+// checks it at every iteration boundary. It is context.Background() for
+// runs started without RunContext.
+func (ctx *Ctx) Context() context.Context {
+	if ctx.goCtx == nil {
+		return context.Background()
+	}
+	return ctx.goCtx
 }
 
 // Rank returns the MPI rank (0 when not distributed).

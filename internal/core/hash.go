@@ -1,0 +1,42 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Canonical returns the canonical textual form of the configuration: the
+// config is normalized first, so two configs that normalize identically
+// canonicalize identically (e.g. TileW=0 and TileW=32 on a 1024 image).
+//
+// Only the fields that determine *what is computed* participate —
+// kernel, variant, geometry, iteration count, execution resources and the
+// kernel inputs. Presentation and instrumentation fields (Label, output
+// directories, tracing, monitoring, display mode) are excluded: they
+// change what is recorded about a run, never its result. This is the key
+// of the daemon's result cache (internal/serve), so widening it would
+// silently turn cache hits into misses and narrowing it would serve wrong
+// results.
+func (c Config) Canonical() (string, error) {
+	n, err := c.Normalize()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(
+		"kernel=%s variant=%s dim=%d tile=%dx%d iters=%d threads=%d sched=%s ranks=%d arg=%q seed=%d",
+		n.Kernel, n.Variant, n.Dim, n.TileW, n.TileH, n.Iterations,
+		n.Threads, n.Schedule, n.MPIRanks, n.Arg, n.Seed), nil
+}
+
+// Hash returns the hex SHA-256 of the canonical form — a stable identity
+// for "this exact computation" suitable as a cache key or a job
+// deduplication handle.
+func (c Config) Hash() (string, error) {
+	s, err := c.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:]), nil
+}

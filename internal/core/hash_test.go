@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"easypap/internal/sched"
+)
+
+// Two configs that normalize identically must canonicalize (and hash)
+// identically: the zero-value defaults and their explicit spellings are
+// the same computation.
+func TestHashNormalizationEquivalence(t *testing.T) {
+	implicit := Config{Kernel: "testgrad"}
+	n, err := implicit.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := Config{
+		Kernel: "testgrad", Variant: "seq", Dim: 1024,
+		TileW: 32, TileH: 32, Iterations: 1, Threads: n.Threads,
+	}
+
+	h1, err := implicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		c1, _ := implicit.Canonical()
+		c2, _ := explicit.Canonical()
+		t.Errorf("defaulted and explicit configs hash differently:\n  %s\n  %s", c1, c2)
+	}
+}
+
+// Label (and other presentation fields) must not participate: they change
+// what is recorded about a run, never its result.
+func TestHashIgnoresPresentationFields(t *testing.T) {
+	base := Config{Kernel: "testgrad", Dim: 256}
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, variant := range map[string]Config{
+		"label":      {Kernel: "testgrad", Dim: 256, Label: "bench-box"},
+		"no-display": {Kernel: "testgrad", Dim: 256, NoDisplay: true},
+		"monitoring": {Kernel: "testgrad", Dim: 256, Monitoring: true},
+		"trace":      {Kernel: "testgrad", Dim: 256, TracePath: "/tmp/t.evt"},
+	} {
+		h, err := variant.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != h0 {
+			t.Errorf("%s changed the hash but does not change the computation", name)
+		}
+	}
+}
+
+// Differing grain, schedule or variant select different computations and
+// must hash differently.
+func TestHashSeparatesComputeParameters(t *testing.T) {
+	base := Config{Kernel: "testgrad", Dim: 256, TileW: 32, Iterations: 4}
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{"base": h0}
+	for name, variant := range map[string]Config{
+		"grain":      {Kernel: "testgrad", Dim: 256, TileW: 16, Iterations: 4},
+		"schedule":   {Kernel: "testgrad", Dim: 256, TileW: 32, Iterations: 4, Schedule: sched.DynamicPolicy(2)},
+		"variant":    {Kernel: "testgrad", Variant: "omp_tiled", Dim: 256, TileW: 32, Iterations: 4},
+		"iterations": {Kernel: "testgrad", Dim: 256, TileW: 32, Iterations: 5},
+		"dim":        {Kernel: "testgrad", Dim: 512, TileW: 32, Iterations: 4},
+	} {
+		h, err := variant.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for prev, ph := range seen {
+			if h == ph {
+				t.Errorf("%s and %s hash identically but select different computations", name, prev)
+			}
+		}
+		seen[name] = h
+	}
+}
+
+func TestHashInvalidConfig(t *testing.T) {
+	if _, err := (Config{Kernel: "no-such-kernel"}).Hash(); err == nil {
+		t.Error("expected an error hashing an unknown kernel")
+	}
+	if _, err := (Config{}).Hash(); err == nil {
+		t.Error("expected an error hashing an empty config")
+	}
+}
+
+func TestCanonicalIsHumanReadable(t *testing.T) {
+	c, err := Config{Kernel: "testgrad", Dim: 256}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"kernel=testgrad", "dim=256", "sched=static"} {
+		if !strings.Contains(c, want) {
+			t.Errorf("canonical form %q missing %q", c, want)
+		}
+	}
+}

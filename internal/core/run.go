@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -29,8 +30,48 @@ type RunOutput struct {
 // Run executes a configured kernel to completion: it normalizes the
 // configuration, spins up the worker pool (and the MPI world if requested),
 // drives the iteration loop, and returns the collected output. It is the
-// programmatic equivalent of invoking the easypap binary.
+// programmatic equivalent of invoking the easypap binary. Run is
+// RunContext with a background context.
 func Run(cfg Config) (*RunOutput, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled, the iteration
+// loop stops at the next iteration boundary (and any in-flight mpi.Recv
+// wakes up immediately), the run returns an error wrapping ctx.Err(), and
+// the worker pool is left reusable. This is what lets a serving frontend
+// abort a long job without tearing the process down.
+func RunContext(ctx context.Context, cfg Config) (*RunOutput, error) {
+	return RunWith(ctx, cfg, RunOptions{})
+}
+
+// RunOptions customizes how a run executes without changing what it
+// computes. The zero value reproduces Run's behavior exactly.
+type RunOptions struct {
+	// Pool, when non-nil, is the worker pool the run executes on instead
+	// of building (and tearing down) its own. The caller retains ownership
+	// and must Close it; its worker count must match the normalized
+	// Threads. Leasing a warm pool across runs removes pool construction
+	// from the per-job cost (see internal/serve). Incompatible with
+	// MPIRanks > 1, where every rank owns a private pool.
+	Pool *sched.Pool
+
+	// Sink, when non-nil, receives the rendered frames instead of the
+	// sink derived from the configuration (PNG sequences or Null). The
+	// caller retains ownership and must Close it. Setting a sink forces
+	// the per-iteration display path even without an OutputDir, which is
+	// how the daemon streams frames for jobs that request them.
+	Sink gfx.FrameSink
+
+	// RecvTimeout overrides the MPI receive watchdog for distributed runs
+	// (zero keeps mpi.DefaultRecvTimeout). A serving frontend sets a tight
+	// bound so a wedged student program fails its job quickly instead of
+	// holding a worker for the default 10 s.
+	RecvTimeout time.Duration
+}
+
+// RunWith is RunContext with explicit execution options.
+func RunWith(ctx context.Context, cfg Config, opts RunOptions) (*RunOutput, error) {
 	cfg, err := cfg.Normalize()
 	if err != nil {
 		return nil, err
@@ -41,17 +82,24 @@ func Run(cfg Config) (*RunOutput, error) {
 	}
 	compute := k.Variants[cfg.Variant]
 
-	sink, err := makeSink(cfg)
-	if err != nil {
-		return nil, err
+	sink := opts.Sink
+	if sink == nil {
+		s, err := makeSink(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close()
+		sink = s
 	}
-	defer sink.Close()
 
 	if cfg.MPIRanks > 1 {
-		return runMPI(cfg, k, compute, sink)
+		if opts.Pool != nil {
+			return nil, fmt.Errorf("core: a leased pool cannot serve %d MPI ranks (each rank owns a private pool)", cfg.MPIRanks)
+		}
+		return runMPI(ctx, cfg, k, compute, sink, opts)
 	}
 	out := &RunOutput{}
-	if err := runRank(cfg, k, compute, sink, nil, out); err != nil {
+	if err := runRank(ctx, cfg, k, compute, sink, opts.Pool, opts.Sink != nil, nil, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -69,15 +117,15 @@ func makeSink(cfg Config) (gfx.FrameSink, error) {
 // runMPI runs one rank group per simulated process. Rank 0 is the master:
 // it owns the display (and, with --debug M, every rank additionally
 // renders its own monitoring windows, as in the paper's Fig. 13).
-func runMPI(cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink) (*RunOutput, error) {
+func runMPI(ctx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, opts RunOptions) (*RunOutput, error) {
 	out := &RunOutput{Monitors: make([]*monitor.Monitor, cfg.MPIRanks)}
 	var sinkMu sync.Mutex
 	lockedSink := &lockedSink{inner: sink, mu: &sinkMu}
 	perRankTraces := make([]*trace.Trace, cfg.MPIRanks)
 
-	err := mpi.Run(cfg.MPIRanks, func(comm *mpi.Comm) error {
+	err := mpi.RunContext(ctx, cfg.MPIRanks, mpi.Config{RecvTimeout: opts.RecvTimeout}, func(comm *mpi.Comm) error {
 		rankOut := &RunOutput{}
-		if err := runRank(cfg, k, compute, lockedSink, comm, rankOut); err != nil {
+		if err := runRank(ctx, cfg, k, compute, lockedSink, nil, opts.Sink != nil, comm, rankOut); err != nil {
 			return err
 		}
 		out.Monitors[comm.Rank()] = rankMonitor(rankOut)
@@ -149,21 +197,28 @@ func (s *lockedSink) Frame(w string, iter int, img *img2d.Image) error {
 func (s *lockedSink) Close() error { return nil } // owner closes the inner sink
 
 // runRank executes the kernel on one rank (or locally when comm is nil)
-// and fills out.
-func runRank(cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, comm *mpi.Comm, out *RunOutput) error {
-	pool := sched.NewPool(cfg.Threads)
-	defer pool.Close()
+// and fills out. A non-nil pool is a lease: the caller owns its lifecycle
+// and runRank only borrows it for the duration of the run.
+func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, pool *sched.Pool, forceDisplay bool, comm *mpi.Comm, out *RunOutput) error {
+	if pool == nil {
+		pool = sched.NewPool(cfg.Threads)
+		defer pool.Close()
+	} else if pool.Workers() != cfg.Threads {
+		return fmt.Errorf("core: leased pool has %d workers, config wants %d threads",
+			pool.Workers(), cfg.Threads)
+	}
 	grid, err := sched.NewTileGrid(cfg.Dim, cfg.TileW, cfg.TileH)
 	if err != nil {
 		return err
 	}
 
 	ctx := &Ctx{
-		Cfg:  cfg,
-		Buf:  img2d.NewBuffers(cfg.Dim),
-		Pool: pool,
-		Grid: grid,
-		Comm: comm,
+		Cfg:   cfg,
+		Buf:   img2d.NewBuffers(cfg.Dim),
+		Pool:  pool,
+		Grid:  grid,
+		Comm:  comm,
+		goCtx: goCtx,
 	}
 	rank := 0
 	if comm != nil {
@@ -194,14 +249,14 @@ func runRank(cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, com
 		}
 	}
 
-	displaying := !cfg.NoDisplay && cfg.OutputDir != ""
+	displaying := forceDisplay || (!cfg.NoDisplay && cfg.OutputDir != "")
 	start := time.Now()
 	total := 0
 	if displaying {
 		// Display mode: the framework regains control after every
 		// iteration to refresh the windows, exactly like the interactive
 		// SDL loop.
-		for total < cfg.Iterations {
+		for total < cfg.Iterations && goCtx.Err() == nil {
 			n := compute(ctx, 1)
 			if n < 1 {
 				break // converged
@@ -214,11 +269,20 @@ func runRank(cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, com
 		}
 	} else {
 		// Performance mode: one bulk call; ForIterations inside the kernel
-		// still brackets iterations for the monitor and the tracer.
+		// still brackets iterations for the monitor and the tracer (and
+		// checks goCtx at every iteration boundary).
 		total = compute(ctx, cfg.Iterations)
 		ctx.iters += total
 	}
 	wall := time.Since(start)
+
+	// A canceled run returns promptly with the context's error instead of a
+	// truncated result: the caller (e.g. the daemon's job runner) must be
+	// able to distinguish "converged early" from "aborted". The pool is
+	// idle at this point — a leased pool stays reusable.
+	if err := goCtx.Err(); err != nil {
+		return fmt.Errorf("core: run canceled after %d iterations (%v): %w", total, wall, err)
+	}
 
 	// Final refresh so out.Final reflects the last iteration even in
 	// performance mode.

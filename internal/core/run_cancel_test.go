@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"easypap/internal/sched"
+)
+
+// testslow iterates forever at ~1ms per iteration — a controlled stand-in
+// for a long mandel job in cancellation tests.
+var testSlowOnce = func() bool {
+	Register(&Kernel{
+		Name:        "testslow",
+		Description: "1ms-per-iteration kernel for cancellation tests",
+		Variants: map[string]ComputeFunc{
+			"seq": func(ctx *Ctx, nbIter int) int {
+				return ctx.ForIterations(nbIter, func(it int) bool {
+					time.Sleep(time.Millisecond)
+					return true
+				})
+			},
+			// Communication-free mpi variant: exists so tests can reach the
+			// distributed code paths without a real exchange pattern.
+			"mpi": func(ctx *Ctx, nbIter int) int {
+				return ctx.ForIterations(nbIter, func(it int) bool {
+					time.Sleep(time.Millisecond)
+					return true
+				})
+			},
+		},
+		DefaultVariant: "seq",
+	})
+	return true
+}()
+
+func TestRunContextCancelMidIteration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	type res struct {
+		err error
+		at  time.Time
+	}
+	done := make(chan res, 1)
+	go func() {
+		_, err := RunContext(ctx, Config{
+			Kernel: "testslow", Dim: 64, Iterations: 100000, NoDisplay: true, Threads: 1,
+		})
+		done <- res{err, time.Now()}
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let it get a few iterations in
+	canceledAt := time.Now()
+	cancel()
+
+	select {
+	case r := <-done:
+		if r.err == nil {
+			t.Fatal("canceled run returned no error")
+		}
+		if !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("error %v does not wrap context.Canceled", r.err)
+		}
+		if lat := r.at.Sub(canceledAt); lat > 100*time.Millisecond {
+			t.Errorf("run took %v to honor cancellation, want < 100ms", lat)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled run did not return")
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, Config{
+		Kernel: "testslow", Dim: 64, Iterations: 100000, NoDisplay: true, Threads: 1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("pre-canceled run took %v", el)
+	}
+}
+
+// A leased pool must survive a canceled run: the next job reuses it.
+func TestLeasedPoolReusableAfterCancel(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunWith(ctx, Config{
+			Kernel: "testslow", Dim: 64, Iterations: 100000, NoDisplay: true, Threads: 2,
+		}, RunOptions{Pool: pool})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first run: %v", err)
+	}
+
+	if err := pool.Reset(); err != nil {
+		t.Fatalf("pool not resettable after canceled run: %v", err)
+	}
+
+	out, err := RunWith(context.Background(), Config{
+		Kernel: "testgrad", Variant: "omp_tiled", Dim: 128, TileW: 32,
+		Iterations: 3, NoDisplay: true, Threads: 2,
+	}, RunOptions{Pool: pool})
+	if err != nil {
+		t.Fatalf("pool unusable after canceled lease: %v", err)
+	}
+	if out.Iterations != 3 {
+		t.Errorf("second run computed %d iterations, want 3", out.Iterations)
+	}
+}
+
+func TestRunWithPoolThreadMismatch(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	_, err := RunWith(context.Background(), Config{
+		Kernel: "testgrad", Dim: 64, Iterations: 1, NoDisplay: true, Threads: 3,
+	}, RunOptions{Pool: pool})
+	if err == nil {
+		t.Fatal("expected an error leasing a 2-worker pool for 3 threads")
+	}
+}
+
+func TestRunWithPoolRejectedForMPI(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	_, err := RunWith(context.Background(), Config{
+		Kernel: "testslow", Dim: 64, Iterations: 1, NoDisplay: true,
+		Threads: 2, MPIRanks: 2, Variant: "mpi",
+	}, RunOptions{Pool: pool})
+	if err == nil {
+		t.Fatal("expected an error leasing a pool for an MPI run")
+	}
+}
+
+// Cancellation must reach distributed runs too: every rank stops at its
+// next iteration boundary.
+func TestRunContextCancelMPI(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, Config{
+			Kernel: "testslow", Variant: "mpi", Dim: 64, Iterations: 100000,
+			NoDisplay: true, Threads: 1, MPIRanks: 2,
+		})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v does not wrap context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled MPI run did not return")
+	}
+}

@@ -37,6 +37,20 @@ type Sweep struct {
 
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+
+	// Remote, when non-nil, executes every run through this backend
+	// instead of in-process — typically a serve/client.Client pointed at
+	// an easypapd daemon, which adds job queueing, warm-pool reuse and
+	// result caching to the sweep (repeated combinations come back
+	// instantly). The in-process path remains the default.
+	Remote Runner
+}
+
+// Runner executes one configuration and returns its result. It is the
+// multi-backend seam of the experiment layer: core.Run behind a trivial
+// adapter is the local backend, serve/client.Client is the remote one.
+type Runner interface {
+	RunConfig(cfg core.Config) (core.Result, error)
 }
 
 // orDefault returns vals, or the single fallback when vals is empty.
@@ -77,20 +91,20 @@ func (s *Sweep) Execute() ([]core.Result, error) {
 								cfg.Schedule = pol
 								cfg.Arg = arg
 								cfg.NoDisplay = true
-								out, err := core.Run(cfg)
+								res, err := s.runOne(cfg)
 								if err != nil {
 									return results, fmt.Errorf("expt: %s/%s dim=%d grain=%d threads=%d %v: %w",
 										cfg.Kernel, variant, dim, grain, threads, pol, err)
 								}
-								results = append(results, out.Result)
+								results = append(results, res)
 								if s.CSVPath != "" {
-									if err := core.AppendCSV(s.CSVPath, out.Result); err != nil {
+									if err := core.AppendCSV(s.CSVPath, res); err != nil {
 										return results, err
 									}
 								}
 								if s.Progress != nil {
 									fmt.Fprintf(s.Progress, "%s/%s dim=%d grain=%d threads=%d sched=%v run=%d: %v\n",
-										cfg.Kernel, variant, dim, grain, threads, pol, run, out.WallTime)
+										cfg.Kernel, variant, dim, grain, threads, pol, run, res.WallTime)
 								}
 							}
 						}
@@ -100,6 +114,18 @@ func (s *Sweep) Execute() ([]core.Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// runOne executes a single combination on the selected backend.
+func (s *Sweep) runOne(cfg core.Config) (core.Result, error) {
+	if s.Remote != nil {
+		return s.Remote.RunConfig(cfg)
+	}
+	out, err := core.Run(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return out.Result, nil
 }
 
 // Best returns, for each unique configuration, the minimum wall time over

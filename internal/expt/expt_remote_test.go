@@ -1,0 +1,58 @@
+package expt
+
+// The Remote backend: a sweep fans its runs out to an easypapd service
+// instead of executing in-process, picking up the daemon's result cache
+// for repeated combinations.
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"easypap/internal/core"
+	"easypap/internal/serve"
+	"easypap/internal/serve/client"
+)
+
+func TestSweepRemoteBackend(t *testing.T) {
+	mgr := serve.NewManager(serve.Options{Workers: 2, QueueDepth: 32})
+	ts := httptest.NewServer(serve.NewHandler(mgr))
+	defer func() {
+		ts.Close()
+		mgr.Close()
+	}()
+
+	s := &Sweep{
+		Base: core.Config{Kernel: "mandel", Variant: "seq", Dim: 64, TileW: 16,
+			Iterations: 2, Threads: 1},
+		Grains: []int{8, 16},
+		Runs:   2, // repeats hit the daemon's result cache
+		Remote: client.New(ts.URL),
+	}
+	if got, want := s.Size(), 4; got != want {
+		t.Fatalf("Size() = %d, want %d", got, want)
+	}
+	results, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for i, r := range results {
+		if r.Iterations != 2 {
+			t.Errorf("result %d: %d iterations, want 2", i, r.Iterations)
+		}
+		if r.WallTime <= 0 {
+			t.Errorf("result %d: wall time %v", i, r.WallTime)
+		}
+	}
+
+	stats := mgr.Stats()
+	// 2 unique combinations computed, 2 repeats served from cache.
+	if stats.CacheHits != 2 {
+		t.Errorf("cache hits = %d, want 2 (one per repeated combination)", stats.CacheHits)
+	}
+	if ks := stats.Kernels["mandel"]; ks.Jobs != 2 {
+		t.Errorf("computed jobs = %d, want 2", ks.Jobs)
+	}
+}

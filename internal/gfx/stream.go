@@ -1,0 +1,134 @@
+package gfx
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"easypap/internal/img2d"
+)
+
+// The frame stream format is how easypapd serves live frames over HTTP
+// (GET /v1/jobs/{id}/frames): a sequence of self-delimiting records, each
+// a one-line ASCII header followed by the PNG bytes:
+//
+//	EZFRAME <window> <iter> <png-bytes>\n
+//	<png-bytes bytes of PNG data>
+//
+// The header is trivially greppable, the payload is a standard PNG, and a
+// reader needs no state beyond "read a line, then N bytes" — deliberately
+// simpler than multipart MIME so curl users can split it with a ten-line
+// script.
+
+// streamMagic starts every frame header line.
+const streamMagic = "EZFRAME"
+
+// StreamFrame is one decoded record of a frame stream.
+type StreamFrame struct {
+	Window string // source window ("main", "tiling", "activity-rank2", ...)
+	Iter   int    // 1-based iteration the frame belongs to
+	PNG    []byte // the encoded image
+}
+
+// Decode parses the PNG payload back into an image.
+func (f *StreamFrame) Decode() (*img2d.Image, error) {
+	return img2d.DecodePNG(bytes.NewReader(f.PNG))
+}
+
+// WriteFrame encodes img as PNG and writes one stream record to w.
+// Window names must not contain whitespace (the run loop's names never
+// do).
+func WriteFrame(w io.Writer, window string, iter int, img *img2d.Image) error {
+	if strings.ContainsAny(window, " \t\n") {
+		return fmt.Errorf("gfx: window name %q contains whitespace", window)
+	}
+	var buf bytes.Buffer
+	if err := img.EncodePNG(&buf); err != nil {
+		return fmt.Errorf("gfx: encoding frame %s/%d: %w", window, iter, err)
+	}
+	if _, err := fmt.Fprintf(w, "%s %s %d %d\n", streamMagic, window, iter, buf.Len()); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadFrame reads the next record from a frame stream. It returns io.EOF
+// at a clean end of stream and io.ErrUnexpectedEOF on a truncated record.
+func ReadFrame(r *bufio.Reader) (*StreamFrame, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line == "" {
+			return nil, io.EOF
+		}
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	var magic, window string
+	var iter, size int
+	if _, err := fmt.Sscanf(strings.TrimSuffix(line, "\n"), "%s %s %d %d", &magic, &window, &iter, &size); err != nil || magic != streamMagic {
+		return nil, fmt.Errorf("gfx: malformed frame header %q", line)
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("gfx: negative frame size in header %q", line)
+	}
+	png := make([]byte, size)
+	if _, err := io.ReadFull(r, png); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return &StreamFrame{Window: window, Iter: iter, PNG: png}, nil
+}
+
+// StreamSink is a FrameSink that appends stream records to an io.Writer —
+// the live-frames backend of the daemon. If the writer also implements
+// Flush() error (e.g. a bufio.Writer or an HTTP response wrapper), every
+// frame is flushed so subscribers see it as soon as it is rendered.
+type StreamSink struct {
+	W io.Writer
+
+	// Windows, when non-empty, selects which windows are streamed
+	// (typically just "main"); others are dropped.
+	Windows []string
+}
+
+// NewStreamSink streams every window's frames to w.
+func NewStreamSink(w io.Writer) *StreamSink { return &StreamSink{W: w} }
+
+// Frame implements FrameSink.
+func (s *StreamSink) Frame(window string, iter int, img *img2d.Image) error {
+	if len(s.Windows) > 0 {
+		keep := false
+		for _, w := range s.Windows {
+			if w == window {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			return nil
+		}
+	}
+	if err := WriteFrame(s.W, window, iter, img); err != nil {
+		return err
+	}
+	if f, ok := s.W.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// Close implements FrameSink; the underlying writer is owned by the
+// caller.
+func (s *StreamSink) Close() error {
+	if f, ok := s.W.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package gfx
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"easypap/internal/img2d"
+)
+
+func gradientImage(dim int) *img2d.Image {
+	im := img2d.New(dim)
+	for y := 0; y < dim; y++ {
+		for x := 0; x < dim; x++ {
+			im.Set(y, x, img2d.RGB(uint8(x), uint8(y), 128))
+		}
+	}
+	return im
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewStreamSink(&buf)
+	im1, im2 := gradientImage(16), gradientImage(32)
+	if err := sink.Frame("main", 1, im1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Frame("tiling", 2, im2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := bufio.NewReader(&buf)
+	f1, err := ReadFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Window != "main" || f1.Iter != 1 {
+		t.Errorf("frame 1 = %s/%d, want main/1", f1.Window, f1.Iter)
+	}
+	got, err := f1.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != 16 || got.Get(3, 5) != im1.Get(3, 5) {
+		t.Error("frame 1 pixels did not survive the round trip")
+	}
+	f2, err := ReadFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Window != "tiling" || f2.Iter != 2 {
+		t.Errorf("frame 2 = %s/%d, want tiling/2", f2.Window, f2.Iter)
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Errorf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestStreamWindowFilter(t *testing.T) {
+	var buf bytes.Buffer
+	sink := &StreamSink{W: &buf, Windows: []string{"main"}}
+	im := gradientImage(8)
+	if err := sink.Frame("main", 1, im); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Frame("tiling", 1, im); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	if f, err := ReadFrame(r); err != nil || f.Window != "main" {
+		t.Fatalf("first frame %v, %v", f, err)
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Errorf("tiling frame was not filtered: %v", err)
+	}
+}
+
+func TestStreamTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, "main", 1, gradientImage(8)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(trunc))); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated record: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestStreamMalformedHeader(t *testing.T) {
+	if _, err := ReadFrame(bufio.NewReader(strings.NewReader("BOGUS main 1 4\nabcd"))); err == nil {
+		t.Error("malformed magic accepted")
+	}
+}
+
+func TestStreamRejectsWhitespaceWindow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, "bad window", 1, gradientImage(8)); err == nil {
+		t.Error("whitespace window name accepted")
+	}
+}

@@ -72,20 +72,15 @@ func (im *Image) SavePNG(path string) error {
 	return f.Close()
 }
 
-// LoadPNG reads a square PNG file into an Image.
-func LoadPNG(path string) (*Image, error) {
-	f, err := os.Open(path)
+// DecodePNG reads a square PNG stream into an Image.
+func DecodePNG(r io.Reader) (*Image, error) {
+	src, err := png.Decode(r)
 	if err != nil {
-		return nil, fmt.Errorf("img2d: %w", err)
-	}
-	defer f.Close()
-	src, err := png.Decode(f)
-	if err != nil {
-		return nil, fmt.Errorf("img2d: decoding %s: %w", path, err)
+		return nil, fmt.Errorf("img2d: decoding png: %w", err)
 	}
 	b := src.Bounds()
 	if b.Dx() != b.Dy() {
-		return nil, fmt.Errorf("img2d: %s is %dx%d, want square", path, b.Dx(), b.Dy())
+		return nil, fmt.Errorf("img2d: image is %dx%d, want square", b.Dx(), b.Dy())
 	}
 	im := New(b.Dx())
 	for y := 0; y < im.dim; y++ {
@@ -93,6 +88,20 @@ func LoadPNG(path string) (*Image, error) {
 			r, g, bl, a := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
 			im.Set(y, x, RGBA(uint8(r>>8), uint8(g>>8), uint8(bl>>8), uint8(a>>8)))
 		}
+	}
+	return im, nil
+}
+
+// LoadPNG reads a square PNG file into an Image.
+func LoadPNG(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("img2d: %w", err)
+	}
+	defer f.Close()
+	im, err := DecodePNG(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err) // err already carries the img2d prefix
 	}
 	return im, nil
 }

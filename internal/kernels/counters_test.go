@@ -14,30 +14,55 @@ import (
 )
 
 func TestMandelWorkCountersRecorded(t *testing.T) {
-	out, err := core.Run(core.Config{
-		Kernel: "mandel", Variant: "omp_tiled", Dim: 128,
-		TileW: 16, TileH: 16, Iterations: 1, NoDisplay: true,
-		TracePath: filepath.Join(t.TempDir(), "m.evt"),
-		Threads:   4, Schedule: sched.DynamicPolicy(1),
-	})
-	if err != nil {
-		t.Fatal(err)
+	// Assertions here are on counter *presence and bounds*, which are
+	// deterministic properties of the computation. Duration-derived
+	// expectations (e.g. work/duration correlation) are deliberately NOT
+	// asserted: under oversubscription on a small CI box, tile durations
+	// include scheduling noise that swamps the signal and made this test
+	// ~5% flaky. The correlation contract is exercised by the EASYVIEW
+	// statistics tests on synthetic traces with controlled durations.
+	const dim = 128
+	run := func() trace.WorkStats {
+		out, err := core.Run(core.Config{
+			Kernel: "mandel", Variant: "omp_tiled", Dim: dim,
+			TileW: 16, TileH: 16, Iterations: 1, NoDisplay: true,
+			TracePath: filepath.Join(t.TempDir(), "m.evt"),
+			Threads:   4, Schedule: sched.DynamicPolicy(1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Trace.Events) == 0 {
+			t.Fatal("no events recorded")
+		}
+		ws := trace.Work(out.Trace.Events)
+		// Presence: every tile span carries a counter.
+		if ws.Count != len(out.Trace.Events) {
+			t.Errorf("%d of %d events carry counters", ws.Count, len(out.Trace.Events))
+		}
+		// Every mandel pixel performs at least one escape iteration, so
+		// each 16x16 tile reports at least 256 units and the total lies in
+		// [dim*dim, dim*dim*4096].
+		for _, e := range out.Trace.Events {
+			if e.Work < int64(e.W)*int64(e.H) {
+				t.Fatalf("tile at (%d,%d) reports %d units for %dx%d pixels",
+					e.X, e.Y, e.Work, e.W, e.H)
+			}
+		}
+		if minWork := int64(dim * dim); ws.TotalWork < minWork {
+			t.Errorf("total work %d below the per-pixel floor %d", ws.TotalWork, minWork)
+		}
+		if maxWork := int64(dim * dim * 4096); ws.TotalWork > maxWork {
+			t.Errorf("total work %d exceeds the theoretical bound %d", ws.TotalWork, maxWork)
+		}
+		return ws
 	}
-	ws := trace.Work(out.Trace.Events)
-	if ws.Count != len(out.Trace.Events) {
-		t.Errorf("%d of %d events carry counters", ws.Count, len(out.Trace.Events))
-	}
-	if ws.TotalWork <= 0 {
-		t.Fatal("no work recorded")
-	}
-	// The whole point of per-task counters: tile cost (escape iterations)
-	// explains tile duration. On mandel the correlation is strong.
-	if ws.Correlation < 0.6 {
-		t.Errorf("work/duration correlation = %.2f, expected strongly positive", ws.Correlation)
-	}
-	// Total escape iterations are bounded by pixels * budget.
-	if maxWork := int64(128 * 128 * 4096); ws.TotalWork > maxWork {
-		t.Errorf("total work %d exceeds the theoretical bound %d", ws.TotalWork, maxWork)
+	// Monotonicity/determinism: the counters are a pure function of the
+	// viewport, so a second run records exactly the same total.
+	first, second := run(), run()
+	if first.TotalWork != second.TotalWork {
+		t.Errorf("work counters nondeterministic across runs: %d vs %d",
+			first.TotalWork, second.TotalWork)
 	}
 }
 

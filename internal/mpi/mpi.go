@@ -16,6 +16,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,6 +29,11 @@ const DefaultRecvTimeout = 10 * time.Second
 
 // ErrDeadlock is wrapped by errors returned from receives that timed out.
 var ErrDeadlock = errors.New("mpi: deadlock suspected (receive timed out)")
+
+// ErrCanceled is wrapped by errors returned from ranks interrupted by the
+// world's context (alongside the context's own error, so callers can test
+// errors.Is(err, context.Canceled) as well).
+var ErrCanceled = errors.New("mpi: world canceled")
 
 // AnyTag matches any message tag in Recv.
 const AnyTag = -1
@@ -48,6 +54,7 @@ type world struct {
 	cond    *sync.Cond
 	queues  [][]message // per-destination mailbox
 	timeout time.Duration
+	ctx     context.Context // cancels blocked receives and barriers
 
 	// barrier state (central counter, phase-flipped)
 	barWaiting int
@@ -57,8 +64,9 @@ type world struct {
 // Comm is one rank's view of the world — the handle kernels receive, like
 // an MPI_Comm plus the rank.
 type Comm struct {
-	w    *world
-	rank int
+	w       *world
+	rank    int
+	timeout time.Duration // per-Comm watchdog override; 0 = world default
 }
 
 // Rank returns the caller's process rank (MPI_Comm_rank).
@@ -67,10 +75,31 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of ranks (MPI_Comm_size).
 func (c *Comm) Size() int { return c.w.size }
 
+// SetRecvTimeout overrides the deadlock watchdog delay for this rank's
+// subsequent receives; d <= 0 restores the world default. A serving
+// frontend uses a short per-Comm deadline so a wedged student program is
+// reported (and its job failed) in milliseconds instead of the default
+// 10 s watchdog.
+func (c *Comm) SetRecvTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.timeout = d
+}
+
+// recvTimeout returns the effective watchdog delay for this Comm.
+func (c *Comm) recvTimeout() time.Duration {
+	if c.timeout > 0 {
+		return c.timeout
+	}
+	return c.w.timeout
+}
+
 // Config adjusts the runtime.
 type Config struct {
 	// RecvTimeout overrides the deadlock watchdog delay; zero keeps
-	// DefaultRecvTimeout.
+	// DefaultRecvTimeout. Individual ranks can further override it with
+	// Comm.SetRecvTimeout.
 	RecvTimeout time.Duration
 }
 
@@ -79,23 +108,52 @@ type Config struct {
 // (all ranks are still joined); the first error is returned, wrapped with
 // its rank.
 func Run(np int, fn func(c *Comm) error) error {
-	return RunConfig(np, Config{}, fn)
+	return RunContext(context.Background(), np, Config{}, fn)
 }
 
 // RunConfig is Run with explicit configuration.
 func RunConfig(np int, cfg Config, fn func(c *Comm) error) error {
+	return RunContext(context.Background(), np, cfg, fn)
+}
+
+// RunContext is RunConfig with cancellation: when ctx is canceled, every
+// rank blocked in Recv (or a collective built on it, or Barrier) wakes up
+// immediately and returns an error wrapping both ErrCanceled and the
+// context's error. Ranks that never block must observe the context
+// themselves — the runtime can only interrupt communication.
+func RunContext(ctx context.Context, np int, cfg Config, fn func(c *Comm) error) error {
 	if np <= 0 {
 		return fmt.Errorf("mpi: invalid process count %d", np)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	w := &world{
 		size:    np,
 		queues:  make([][]message, np),
 		timeout: cfg.RecvTimeout,
+		ctx:     ctx,
 	}
 	if w.timeout <= 0 {
 		w.timeout = DefaultRecvTimeout
 	}
 	w.cond = sync.NewCond(&w.mu)
+
+	// The watcher turns a context cancellation into a condvar broadcast so
+	// blocked ranks recheck ctx.Err(); it exits when the world completes.
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				w.mu.Lock()
+				w.cond.Broadcast()
+				w.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
 
 	errs := make([]error, np)
 	var wg sync.WaitGroup
@@ -138,10 +196,14 @@ func (c *Comm) Send(dst, tag int, payload any) error {
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload and actual source (MPI_Recv). src may be AnySource
 // and tag may be AnyTag. Messages from the same sender with the same tag
-// are received in send order (the MPI non-overtaking guarantee).
+// are received in send order (the MPI non-overtaking guarantee). A
+// canceled world context interrupts the wait immediately; otherwise the
+// per-Comm watchdog (SetRecvTimeout, defaulting to the world's
+// RecvTimeout) bounds it.
 func (c *Comm) Recv(src, tag int) (payload any, from int, err error) {
-	deadline := time.Now().Add(c.w.timeout)
-	timer := time.AfterFunc(c.w.timeout, func() {
+	timeout := c.recvTimeout()
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
 		c.w.mu.Lock()
 		c.w.cond.Broadcast()
 		c.w.mu.Unlock()
@@ -151,6 +213,9 @@ func (c *Comm) Recv(src, tag int) (payload any, from int, err error) {
 	c.w.mu.Lock()
 	defer c.w.mu.Unlock()
 	for {
+		if cerr := c.w.ctx.Err(); cerr != nil {
+			return nil, -1, fmt.Errorf("%w: rank %d receive interrupted: %w", ErrCanceled, c.rank, cerr)
+		}
 		q := c.w.queues[c.rank]
 		for i, m := range q {
 			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
@@ -160,13 +225,17 @@ func (c *Comm) Recv(src, tag int) (payload any, from int, err error) {
 		}
 		if time.Now().After(deadline) {
 			return nil, -1, fmt.Errorf("%w: rank %d waiting for src=%d tag=%d after %v",
-				ErrDeadlock, c.rank, src, tag, c.w.timeout)
+				ErrDeadlock, c.rank, src, tag, timeout)
 		}
 		c.w.cond.Wait()
 	}
 }
 
-// Barrier blocks until every rank has entered it (MPI_Barrier).
+// Barrier blocks until every rank has entered it (MPI_Barrier). When the
+// world context is canceled while waiting, Barrier panics with a
+// descriptive message: the barrier protocol cannot complete (and has no
+// error return), and the rank wrapper in Run recovers the panic into the
+// rank's error.
 func (c *Comm) Barrier() {
 	c.w.mu.Lock()
 	phase := c.w.barPhase
@@ -179,6 +248,13 @@ func (c *Comm) Barrier() {
 		return
 	}
 	for phase == c.w.barPhase {
+		if cerr := c.w.ctx.Err(); cerr != nil {
+			// Undo our registration so a broadcast cannot release a future
+			// phase with a stale count.
+			c.w.barWaiting--
+			c.w.mu.Unlock()
+			panic(fmt.Sprintf("mpi: rank %d barrier interrupted: %v", c.rank, cerr))
+		}
 		c.w.cond.Wait()
 	}
 	c.w.mu.Unlock()

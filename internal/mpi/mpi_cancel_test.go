@@ -1,0 +1,115 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Canceling the world context must wake a blocked Recv immediately — the
+// daemon's cancellation path for wedged MPI jobs — instead of waiting out
+// the 10 s watchdog.
+func TestRunContextCancelsBlockedRecv(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := RunContext(ctx, 2, Config{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			_, _, err := c.Recv(1, 7) // rank 1 never sends: wedged program
+			return err
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("canceled world returned no error")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("error %v does not wrap ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("cancellation took %v, the watchdog must not be the wakeup path", el)
+	}
+}
+
+// A pre-canceled context fails receives without blocking at all.
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := RunContext(ctx, 2, Config{}, func(c *Comm) error {
+		_, _, err := c.Recv(AnySource, AnyTag)
+		return err
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("error %v does not wrap ErrCanceled", err)
+	}
+}
+
+// SetRecvTimeout tightens the watchdog for one rank only.
+func TestPerCommRecvTimeout(t *testing.T) {
+	start := time.Now()
+	err := RunConfig(2, Config{RecvTimeout: 30 * time.Second}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SetRecvTimeout(50 * time.Millisecond)
+			_, _, err := c.Recv(1, 9) // rank 1 never sends
+			return err
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("error %v does not wrap ErrDeadlock", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("per-Comm timeout ignored: receive waited %v", el)
+	}
+}
+
+// SetRecvTimeout(0) restores the world default.
+func TestPerCommRecvTimeoutRestore(t *testing.T) {
+	err := RunConfig(2, Config{RecvTimeout: 80 * time.Millisecond}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SetRecvTimeout(time.Millisecond)
+			c.SetRecvTimeout(0)
+			// With the 1ms override still active this receive would race the
+			// sender's sleep; at the 80ms world default it comfortably wins.
+			got, _, err := c.Recv(1, 1)
+			if err != nil {
+				return err
+			}
+			if got.(int) != 42 {
+				t.Errorf("got %v", got)
+			}
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+		return c.Send(0, 1, 42)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cancellation interrupts a barrier that can never complete (one rank
+// already returned); the panic is recovered into the rank's error.
+func TestRunContextCancelsBarrier(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := RunContext(ctx, 2, Config{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Barrier() // rank 1 exits immediately: barrier never completes
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("interrupted barrier returned no error")
+	}
+}

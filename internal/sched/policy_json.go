@@ -1,0 +1,36 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the policy as its OMP_SCHEDULE string ("dynamic,4"),
+// the form users type on the command line and in easypapd submissions.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON accepts the OMP_SCHEDULE string form, or the legacy
+// {"Kind":k,"Chunk":n} object form for round-tripping structures encoded
+// before the string form existed.
+func (p *Policy) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		parsed, err := ParsePolicy(s)
+		if err != nil {
+			return err
+		}
+		*p = parsed
+		return nil
+	}
+	var obj struct {
+		Kind  PolicyKind
+		Chunk int
+	}
+	if err := json.Unmarshal(b, &obj); err != nil {
+		return fmt.Errorf("sched: policy must be an OMP_SCHEDULE string or {Kind,Chunk} object: %w", err)
+	}
+	*p = Policy{Kind: obj.Kind, Chunk: obj.Chunk}
+	return nil
+}

@@ -233,6 +233,33 @@ func (p *Pool) execute(w int) {
 // Workers returns the number of workers in the pool.
 func (p *Pool) Workers() int { return p.workers }
 
+// Reset prepares the pool for reuse by a new lease holder (see
+// internal/serve's warm-pool set): it waits for any in-flight construct to
+// finish, drops every descriptor and steal-queue reference so the pool
+// pins no state from the previous job, and verifies the team is idle.
+// It returns an error if the pool has been closed, or if a worker is
+// somehow still active after the construct lock was acquired — both mean
+// the pool must not be handed to another job.
+func (p *Pool) Reset() error {
+	p.loopMu.Lock()
+	defer p.loopMu.Unlock()
+	if p.closed {
+		return fmt.Errorf("sched: Reset on a closed Pool")
+	}
+	p.mu.Lock()
+	active := p.active
+	p.mu.Unlock()
+	if active != 0 {
+		return fmt.Errorf("sched: Reset with %d workers still executing a construct", active)
+	}
+	p.clearLoop()
+	for i := range p.queues {
+		p.queues[i].chunks = p.queues[i].chunks[:0]
+		p.queues[i].ht.Store(0)
+	}
+	return nil
+}
+
 // Close shuts the workers down and waits for them to exit. The pool must
 // not be used afterwards. Close is idempotent.
 func (p *Pool) Close() {

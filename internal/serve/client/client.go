@@ -1,0 +1,224 @@
+// Package client is the Go client for the easypapd compute service
+// (internal/serve). Beyond the obvious verb-per-endpoint methods it
+// implements the expt.Runner contract (RunConfig), which is how a
+// parameter sweep fans its runs out to a daemon instead of executing
+// in-process — the first multi-backend path in the repo.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"easypap/internal/core"
+	"easypap/internal/gfx"
+	"easypap/internal/serve"
+)
+
+// Client talks to one daemon. The zero HTTP client uses
+// http.DefaultClient; Base is e.g. "http://127.0.0.1:8080".
+type Client struct {
+	Base string
+	HTTP *http.Client
+
+	// Poll is the status polling interval of Wait/RunConfig (default
+	// 20ms — jobs on a local daemon finish in milliseconds).
+	Poll time.Duration
+}
+
+// New returns a client for the daemon at base.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) poll() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	return 20 * time.Millisecond
+}
+
+// apiError decodes the {"error": ...} body of a non-2xx response.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+		return fmt.Errorf("client: daemon returned %s: %s", resp.Status, body.Error)
+	}
+	return fmt.Errorf("client: daemon returned %s", resp.Status)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit sends a job; with frames=true the daemon keeps a live frame
+// stream readable via Frames. A cache hit returns an already-done status.
+func (c *Client) Submit(ctx context.Context, cfg core.Config, frames bool) (*serve.JobStatus, error) {
+	payload, err := json.Marshal(serve.SubmitRequest{Config: cfg, Frames: frames})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(ctx context.Context, id string) (*serve.JobStatus, error) {
+	var st serve.JobStatus
+	if err := c.getJSON(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) (*serve.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string) (*serve.JobStatus, error) {
+	ticker := time.NewTicker(c.poll())
+	defer ticker.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats(ctx context.Context) (*serve.Stats, error) {
+	var s serve.Stats
+	if err := c.getJSON(ctx, "/v1/stats", &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Kernels lists the daemon's registered kernels.
+func (c *Client) Kernels(ctx context.Context) ([]serve.KernelInfo, error) {
+	var ks []serve.KernelInfo
+	if err := c.getJSON(ctx, "/v1/kernels", &ks); err != nil {
+		return nil, err
+	}
+	return ks, nil
+}
+
+// Frames streams the job's frames, invoking fn for each decoded record
+// until the stream ends, fn returns false, or ctx expires.
+func (c *Client) Frames(ctx context.Context, id string, fn func(f *gfx.StreamFrame) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/frames", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	for {
+		f, err := gfx.ReadFrame(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(f) {
+			return nil
+		}
+	}
+}
+
+// RunConfig submits cfg, waits for completion, and returns the result —
+// the expt.Runner contract. Failed and canceled jobs surface as errors.
+func (c *Client) RunConfig(cfg core.Config) (core.Result, error) {
+	ctx := context.Background()
+	st, err := c.Submit(ctx, cfg, false)
+	if err != nil {
+		return core.Result{}, err
+	}
+	if !st.State.Terminal() {
+		if st, err = c.Wait(ctx, st.ID); err != nil {
+			return core.Result{}, err
+		}
+	}
+	if st.State != serve.JobDone || st.Result == nil {
+		return core.Result{}, fmt.Errorf("client: job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	return *st.Result, nil
+}

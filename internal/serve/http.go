@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"easypap/internal/core"
+)
+
+// The /v1 API:
+//
+//	POST   /v1/jobs           submit {"config": {...}, "frames": bool}
+//	GET    /v1/jobs/{id}      status + result
+//	GET    /v1/jobs/{id}/frames  live frame stream (gfx stream records)
+//	DELETE /v1/jobs/{id}      cancel
+//	GET    /v1/stats          queue depth, cache hits, per-kernel throughput
+//	GET    /v1/kernels        registered kernels and variants
+//
+// Errors are {"error": "..."} with 400 (bad config), 404 (unknown job),
+// 409 (no frame stream), 429 (queue full) or 503 (shutting down).
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	Config core.Config `json:"config"`
+	// Frames requests live frame streaming for this job (disables result
+	// caching for it).
+	Frames bool `json:"frames,omitempty"`
+}
+
+// KernelInfo is one entry of GET /v1/kernels.
+type KernelInfo struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description,omitempty"`
+	Variants    []string `json:"variants"`
+}
+
+// NewHandler wires a Manager into an http.Handler serving the /v1 API.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding submission: %w", err))
+			return
+		}
+		st, err := m.Submit(req.Config, req.Frames)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return
+		}
+		code := http.StatusAccepted
+		if st.State.Terminal() {
+			code = http.StatusOK // cache hit: the result is already here
+		}
+		writeJSON(w, code, st)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, jobStatusCode(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, jobStatusCode(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/frames", func(w http.ResponseWriter, r *http.Request) {
+		rd, err := m.FrameStream(r.PathValue("id"))
+		if err != nil {
+			writeError(w, jobStatusCode(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-easypap-frames")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		buf := make([]byte, 64<<10)
+		for {
+			n, rerr := rd.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return // client went away
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+
+	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
+		names := core.KernelNames()
+		infos := make([]KernelInfo, 0, len(names))
+		for _, n := range names {
+			k, err := core.Lookup(n)
+			if err != nil {
+				continue
+			}
+			infos = append(infos, KernelInfo{Name: k.Name, Description: k.Description, Variants: k.VariantNames()})
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+
+	return mux
+}
+
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest // config did not normalize
+	}
+}
+
+func jobStatusCode(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNoFrames):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"io"
+	"sync"
+)
+
+// frameHub buffers a job's encoded frame stream (gfx stream records) and
+// lets any number of late or live subscribers read it from the beginning.
+// The run loop writes through it as an io.Writer; HTTP handlers attach a
+// reader per request. Jobs are finite and frames are kept for the job's
+// lifetime, so the buffer is append-only — a subscriber is just an offset.
+type frameHub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newFrameHub() *frameHub {
+	h := &frameHub{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// Write implements io.Writer for the run's StreamSink.
+func (h *frameHub) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	h.buf = append(h.buf, p...)
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	return len(p), nil
+}
+
+// closeHub marks the stream complete and wakes all subscribers.
+func (h *frameHub) closeHub() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// reader returns a new subscriber positioned at the start of the stream.
+func (h *frameHub) reader() *hubReader { return &hubReader{h: h} }
+
+// hubReader streams the hub's bytes, blocking until more are written or
+// the hub closes. It satisfies io.Reader; Read returns io.EOF only after
+// the hub is closed and fully drained.
+type hubReader struct {
+	h   *frameHub
+	off int
+}
+
+func (r *hubReader) Read(p []byte) (int, error) {
+	h := r.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for r.off >= len(h.buf) && !h.closed {
+		h.cond.Wait()
+	}
+	if r.off >= len(h.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.buf[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,602 @@
+// Package serve is the compute-service subsystem behind easypapd: it
+// turns the one-shot core.Run of the paper's CLI workflow into a
+// multi-tenant job service. A Manager owns
+//
+//   - a bounded submission queue with admission control (submissions
+//     beyond the queue depth are rejected, not buffered — the McKenney
+//     discipline for a shared backend),
+//   - a fixed team of job runners,
+//   - a warm-pool set (internal: poolSet) so jobs lease reusable
+//     sched.Pools instead of building their own,
+//   - a result cache keyed by core.Config.Hash with hit/miss counters,
+//   - per-job cancellation threaded through core.RunContext down to the
+//     iteration loop and mpi.Recv.
+//
+// The HTTP layer in http.go exposes it as the /v1 API; internal/serve/client
+// is the Go client, which also plugs into expt.Sweep as a remote backend.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"easypap/internal/core"
+	"easypap/internal/gfx"
+	"easypap/internal/sched"
+)
+
+// Errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull is returned by Submit when admission control rejects
+	// the job (HTTP 429).
+	ErrQueueFull = errors.New("serve: queue full, submission rejected")
+	// ErrUnknownJob is returned for ids that do not exist (HTTP 404).
+	ErrUnknownJob = errors.New("serve: unknown job")
+	// ErrNoFrames is returned when streaming is requested for a job that
+	// was not submitted with frames enabled (HTTP 409).
+	ErrNoFrames = errors.New("serve: job was not submitted with frames enabled")
+	// ErrClosed is returned by Submit after the manager shut down.
+	ErrClosed = errors.New("serve: manager closed")
+)
+
+// JobState is the lifecycle of a submission.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Options tunes a Manager. The zero value is a sane single-node setup.
+type Options struct {
+	// QueueDepth bounds how many jobs may wait for a runner (default 64).
+	// Submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// Workers is the number of concurrent job runners (default
+	// GOMAXPROCS). Each running job additionally owns its leased pool's
+	// worker team, so on a small machine 1–2 runners is plenty.
+	Workers int
+	// CacheCapacity bounds the result cache in entries (default 128).
+	CacheCapacity int
+	// MaxIdlePools bounds how many warm pools are kept per thread count
+	// (default 4). Zero disables warm reuse: every job builds and closes
+	// its own pool, which is what the serving benchmark compares against.
+	MaxIdlePools int
+	// DisableWarmPools turns pool reuse off even with a nonzero
+	// MaxIdlePools (the cold baseline of BENCH_serve.json).
+	DisableWarmPools bool
+	// RecvTimeout bounds the MPI receive watchdog for distributed jobs
+	// (zero keeps mpi.DefaultRecvTimeout).
+	RecvTimeout time.Duration
+	// MaxJobHistory bounds how many *terminal* job records (and their
+	// frame buffers) are kept for status queries (default 4096). Oldest
+	// finished jobs are forgotten first; active jobs are never evicted.
+	MaxJobHistory int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheCapacity <= 0 {
+		o.CacheCapacity = 128
+	}
+	if o.MaxIdlePools <= 0 {
+		o.MaxIdlePools = 4
+	}
+	if o.DisableWarmPools {
+		o.MaxIdlePools = 0
+	}
+	if o.MaxJobHistory <= 0 {
+		o.MaxJobHistory = 4096
+	}
+	return o
+}
+
+// JobStatus is the externally visible snapshot of a job — the JSON body
+// of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID     string   `json:"id"`
+	State  JobState `json:"state"`
+	Cached bool     `json:"cached,omitempty"` // result came from the cache, no recompute
+	Frames bool     `json:"frames,omitempty"` // job streams frames
+	Hash   string   `json:"hash"`             // canonical config hash (the cache key)
+
+	Config core.Config  `json:"config"`           // normalized
+	Result *core.Result `json:"result,omitempty"` // present once done
+	Error  string       `json:"error,omitempty"`  // present when failed/canceled
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	QueuedNS    int64     `json:"queued_ns,omitempty"` // time spent waiting for a runner
+	RanNS       int64     `json:"ran_ns,omitempty"`    // time spent executing
+}
+
+// job is the internal record.
+type job struct {
+	id     string
+	hash   string
+	cfg    core.Config // normalized, scrubbed
+	frames *frameHub   // nil unless the submission requested frames
+	cancel context.CancelFunc
+	ctx    context.Context
+	done   chan struct{} // closed when the job reaches a terminal state
+
+	mu        sync.Mutex
+	state     JobState
+	cached    bool
+	result    *core.Result
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// snapshot builds the external view under the job lock.
+func (j *job) snapshot() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := &JobStatus{
+		ID: j.id, State: j.state, Cached: j.cached, Frames: j.frames != nil,
+		Hash: j.hash, Config: j.cfg, Result: j.result, Error: j.errMsg,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		s.QueuedNS = j.started.Sub(j.submitted).Nanoseconds()
+		if !j.finished.IsZero() {
+			s.RanNS = j.finished.Sub(j.started).Nanoseconds()
+		}
+	}
+	return s
+}
+
+// kernelStats accumulates per-kernel serving throughput.
+type kernelStats struct {
+	jobs       int64
+	iterations int64
+	wallNS     int64
+}
+
+// Manager is the job service. Create with NewManager, shut down with
+// Close. All methods are safe for concurrent use.
+type Manager struct {
+	opts  Options
+	start time.Time
+
+	baseCtx context.Context
+	stopAll context.CancelFunc
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex // guards jobs map, doneOrder and closed
+	jobs      map[string]*job
+	doneOrder []string // terminal job ids, oldest first (history eviction)
+	closed    bool
+
+	cache *resultCache
+	pools *poolSet
+
+	nextID    atomic.Int64
+	running   atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	rejected  atomic.Int64
+
+	kmu     sync.Mutex
+	kernels map[string]*kernelStats
+}
+
+// NewManager starts the runner team and returns a ready manager.
+func NewManager(opts Options) *Manager {
+	opts = opts.withDefaults()
+	m := &Manager{
+		opts:    opts,
+		start:   time.Now(),
+		queue:   make(chan *job, opts.QueueDepth),
+		jobs:    make(map[string]*job),
+		cache:   newResultCache(opts.CacheCapacity),
+		pools:   newPoolSet(opts.MaxIdlePools),
+		kernels: make(map[string]*kernelStats),
+	}
+	m.baseCtx, m.stopAll = context.WithCancel(context.Background())
+	m.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go m.runner()
+	}
+	return m
+}
+
+// Submit normalizes and admits a job. Identical resubmissions (same
+// canonical config hash) of non-frames jobs are answered from the result
+// cache without recomputation: the returned job is already done with
+// Cached set. Jobs that stream frames bypass the cache — their value is
+// the live stream, and display-mode timing must not pollute cached
+// performance results.
+func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
+	// The daemon never touches the server filesystem on behalf of a
+	// client: output and trace paths are scrubbed, performance mode is
+	// forced, and frames (when requested) stream from memory.
+	cfg.OutputDir = ""
+	cfg.TracePath = ""
+	cfg.NoDisplay = true
+	if !wantFrames {
+		// Monitoring/heat-map instrumentation is excluded from the config
+		// hash (it never changes what is computed), so a cacheable run must
+		// not carry its timing overhead either — otherwise an instrumented
+		// submission would poison the cache entry its uninstrumented twin
+		// hits. Frames jobs keep it: it enables the tiling/activity windows
+		// in the live stream, and they bypass the cache anyway.
+		cfg.Monitoring = false
+		cfg.HeatMode = false
+	}
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := cfg.Hash()
+	if err != nil {
+		return nil, err
+	}
+
+	j := &job{
+		hash:      hash,
+		cfg:       cfg,
+		state:     JobQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	if wantFrames {
+		j.frames = newFrameHub()
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	j.id = fmt.Sprintf("j-%06d", m.nextID.Add(1))
+
+	if !wantFrames {
+		if r, ok := m.cache.get(hash); ok {
+			now := time.Now()
+			j.state = JobDone
+			j.cached = true
+			j.result = &r
+			j.started, j.finished = now, now
+			close(j.done)
+			m.jobs[j.id] = j
+			m.retireLocked(j.id)
+			m.submitted.Add(1)
+			m.completed.Add(1)
+			m.mu.Unlock()
+			return j.snapshot(), nil
+		}
+	}
+
+	j.ctx, j.cancel = context.WithCancel(m.baseCtx)
+	select {
+	case m.queue <- j:
+		m.jobs[j.id] = j
+		m.submitted.Add(1)
+		m.mu.Unlock()
+		return j.snapshot(), nil
+	default:
+		m.mu.Unlock()
+		// Release the child context immediately: a rejected submission must
+		// not stay registered with baseCtx (under sustained overload —
+		// exactly when rejections fire — that would grow without bound).
+		j.cancel()
+		m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// runner executes queued jobs until the queue closes.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob drives one job through lease → run → release → publish.
+func (m *Manager) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != JobQueued {
+		j.mu.Unlock()
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		// Canceled (or manager shut down) while still queued.
+		m.finish(j, nil, err)
+		j.mu.Unlock()
+		m.retire(j.id)
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	m.running.Add(1)
+	defer m.running.Add(-1)
+
+	opts := core.RunOptions{RecvTimeout: m.opts.RecvTimeout}
+	var leased *sched.Pool
+	if j.cfg.MPIRanks <= 1 {
+		// Distributed jobs own one private pool per rank inside core; only
+		// single-process jobs can lease a warm pool.
+		leased = m.pools.lease(j.cfg.Threads)
+		opts.Pool = leased
+	}
+	var sink *gfx.StreamSink
+	if j.frames != nil {
+		sink = gfx.NewStreamSink(j.frames)
+		opts.Sink = sink
+	}
+
+	out, err := core.RunWith(j.ctx, j.cfg, opts)
+
+	if leased != nil {
+		m.pools.release(leased)
+	}
+
+	j.mu.Lock()
+	m.finish(j, out, err)
+	j.mu.Unlock()
+	m.retire(j.id)
+}
+
+// finish moves a job to its terminal state and publishes the result.
+// Callers hold j.mu (except for never-started cache hits, which finish
+// inside Submit).
+func (m *Manager) finish(j *job, out *core.RunOutput, err error) {
+	now := time.Now()
+	if j.started.IsZero() {
+		j.started = now
+	}
+	j.finished = now
+	switch {
+	case err != nil && errors.Is(err, context.Canceled):
+		j.state = JobCanceled
+		j.errMsg = err.Error()
+		m.canceled.Add(1)
+	case err != nil:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+		m.failed.Add(1)
+	default:
+		j.state = JobDone
+		j.result = &out.Result
+		m.completed.Add(1)
+		if j.frames == nil {
+			m.cache.put(j.hash, out.Result)
+		}
+		m.recordKernel(out.Result)
+	}
+	if j.frames != nil {
+		// Every terminal path must end the stream — a job canceled while
+		// still queued (or drained at shutdown) has subscribers blocked in
+		// hubReader.Read too.
+		j.frames.closeHub()
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	close(j.done)
+}
+
+// retire records a terminal job in the bounded history, evicting the
+// oldest finished jobs beyond MaxJobHistory (active jobs are never in
+// doneOrder, so they are never evicted). Frame buffers go with the job
+// record, which is what keeps a long-lived daemon's memory bounded.
+func (m *Manager) retire(id string) {
+	m.mu.Lock()
+	m.retireLocked(id)
+	m.mu.Unlock()
+}
+
+// retireLocked is retire with m.mu held.
+func (m *Manager) retireLocked(id string) {
+	m.doneOrder = append(m.doneOrder, id)
+	for len(m.doneOrder) > m.opts.MaxJobHistory {
+		delete(m.jobs, m.doneOrder[0])
+		m.doneOrder = m.doneOrder[1:]
+	}
+}
+
+// recordKernel accumulates per-kernel throughput counters.
+func (m *Manager) recordKernel(r core.Result) {
+	m.kmu.Lock()
+	defer m.kmu.Unlock()
+	ks := m.kernels[r.Config.Kernel]
+	if ks == nil {
+		ks = &kernelStats{}
+		m.kernels[r.Config.Kernel] = ks
+	}
+	ks.jobs++
+	ks.iterations += int64(r.Iterations)
+	ks.wallNS += r.WallTime.Nanoseconds()
+}
+
+// lookup finds a job by id.
+func (m *Manager) lookup(id string) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Get returns the current status of a job.
+func (m *Manager) Get(id string) (*JobStatus, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.snapshot(), nil
+}
+
+// Cancel requests cancellation and returns the job's status immediately;
+// a running job transitions to canceled as soon as its iteration loop
+// observes the context (Wait on the job to observe the transition).
+func (m *Manager) Cancel(id string) (*JobStatus, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	queued := j.state == JobQueued
+	j.mu.Unlock()
+	if j.cancel != nil {
+		j.cancel()
+	}
+	if queued {
+		// A queued job has no runner to observe the context yet; finish it
+		// here so DELETE is immediate. The runner skips non-queued jobs.
+		j.mu.Lock()
+		finished := j.state == JobQueued
+		if finished {
+			m.finish(j, nil, context.Canceled)
+		}
+		j.mu.Unlock()
+		if finished {
+			m.retire(j.id)
+		}
+	}
+	return j.snapshot(), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (m *Manager) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// FrameStream returns a reader over the job's frame stream (gfx stream
+// records, decodable with gfx.ReadFrame). Late subscribers replay from
+// the first frame; the reader ends when the job finishes.
+func (m *Manager) FrameStream(id string) (io.Reader, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if j.frames == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoFrames, id)
+	}
+	return j.frames.reader(), nil
+}
+
+// Stats is the GET /v1/stats body.
+type Stats struct {
+	UptimeSec     float64 `json:"uptime_sec"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Running       int64   `json:"running"`
+	Workers       int     `json:"workers"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheSize   int   `json:"cache_size"`
+
+	PoolWarmLeases int64 `json:"pool_warm_leases"`
+	PoolColdLeases int64 `json:"pool_cold_leases"`
+	PoolsIdle      int   `json:"pools_idle"`
+
+	// Kernels maps kernel name to serving throughput.
+	Kernels map[string]KernelThroughput `json:"kernels"`
+}
+
+// KernelThroughput is the per-kernel serving record.
+type KernelThroughput struct {
+	Jobs        int64   `json:"jobs"`
+	Iterations  int64   `json:"iterations"`
+	WallNS      int64   `json:"wall_ns"`
+	ItersPerSec float64 `json:"iters_per_sec"` // computed iterations per compute-second
+}
+
+// Stats returns a consistent snapshot of the service counters.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		UptimeSec:      time.Since(m.start).Seconds(),
+		QueueDepth:     len(m.queue),
+		QueueCapacity:  cap(m.queue),
+		Running:        m.running.Load(),
+		Workers:        m.opts.Workers,
+		Submitted:      m.submitted.Load(),
+		Completed:      m.completed.Load(),
+		Failed:         m.failed.Load(),
+		Canceled:       m.canceled.Load(),
+		Rejected:       m.rejected.Load(),
+		CacheHits:      m.cache.hits.Load(),
+		CacheMisses:    m.cache.misses.Load(),
+		CacheSize:      m.cache.len(),
+		PoolWarmLeases: m.pools.warm.Load(),
+		PoolColdLeases: m.pools.cold.Load(),
+		PoolsIdle:      m.pools.idleCount(),
+		Kernels:        make(map[string]KernelThroughput),
+	}
+	m.kmu.Lock()
+	for name, ks := range m.kernels {
+		kt := KernelThroughput{Jobs: ks.jobs, Iterations: ks.iterations, WallNS: ks.wallNS}
+		if ks.wallNS > 0 {
+			kt.ItersPerSec = float64(ks.iterations) / (float64(ks.wallNS) / 1e9)
+		}
+		s.Kernels[name] = kt
+	}
+	m.kmu.Unlock()
+	return s
+}
+
+// Close shuts the service down: running jobs are canceled, queued jobs
+// finish as canceled, the runner team drains, and every warm pool is
+// closed. Close blocks until the teardown completes and is idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	m.stopAll()
+	close(m.queue)
+	m.wg.Wait()
+	m.pools.close()
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"easypap/internal/sched"
+)
+
+// poolSet is the warm-pool registry: instead of every job building and
+// tearing down its own sched.Pool (goroutine spawns, first-dispatch page
+// faults), completed jobs return their pool here and the next job with
+// the same thread count leases it back warm. Pools are keyed by worker
+// count because a lease must match the job's Threads exactly
+// (core.RunWith enforces it).
+type poolSet struct {
+	mu      sync.Mutex
+	idle    map[int][]*sched.Pool // worker count -> idle pools
+	maxIdle int                   // per worker count; beyond it pools are closed
+	closed  bool
+
+	warm atomic.Int64 // leases satisfied from the warm set
+	cold atomic.Int64 // leases that had to build a pool
+}
+
+func newPoolSet(maxIdle int) *poolSet {
+	if maxIdle < 0 {
+		maxIdle = 0
+	}
+	return &poolSet{idle: make(map[int][]*sched.Pool), maxIdle: maxIdle}
+}
+
+// lease returns a pool with exactly `threads` workers, warm if one is
+// available.
+func (ps *poolSet) lease(threads int) *sched.Pool {
+	ps.mu.Lock()
+	if q := ps.idle[threads]; len(q) > 0 {
+		p := q[len(q)-1]
+		ps.idle[threads] = q[:len(q)-1]
+		ps.mu.Unlock()
+		ps.warm.Add(1)
+		return p
+	}
+	ps.mu.Unlock()
+	ps.cold.Add(1)
+	return sched.NewPool(threads)
+}
+
+// release returns a pool to the warm set after resetting it; pools that
+// fail the reset, exceed the idle capacity, or arrive after close are
+// closed instead.
+func (ps *poolSet) release(p *sched.Pool) {
+	if err := p.Reset(); err != nil {
+		p.Close()
+		return
+	}
+	ps.mu.Lock()
+	if !ps.closed && len(ps.idle[p.Workers()]) < ps.maxIdle {
+		ps.idle[p.Workers()] = append(ps.idle[p.Workers()], p)
+		ps.mu.Unlock()
+		return
+	}
+	ps.mu.Unlock()
+	p.Close()
+}
+
+// idleCount returns how many pools are currently parked warm.
+func (ps *poolSet) idleCount() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	n := 0
+	for _, q := range ps.idle {
+		n += len(q)
+	}
+	return n
+}
+
+// close shuts down every idle pool and refuses future releases.
+func (ps *poolSet) close() {
+	ps.mu.Lock()
+	pools := make([]*sched.Pool, 0)
+	for _, q := range ps.idle {
+		pools = append(pools, q...)
+	}
+	ps.idle = make(map[int][]*sched.Pool)
+	ps.closed = true
+	ps.mu.Unlock()
+	for _, p := range pools {
+		p.Close()
+	}
+}
