@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -60,12 +61,18 @@ func run(args []string, out *os.File) error {
 		seed       = fs.Int64("seed", 0, "deterministic seed for randomized kernels")
 		csvPath    = fs.String("csv", "", "append the performance result to this CSV file")
 		list       = fs.Bool("list", false, "list registered kernels and variants")
+		listJSON   = fs.Bool("list-json", false, "list kernels as JSON (same shape as the daemon's GET /v1/kernels)")
 		asciiDump  = fs.Bool("ascii", false, "print an ASCII preview of the final image")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *listJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(core.KernelList())
+	}
 	if *list {
 		for _, name := range core.KernelNames() {
 			k, err := core.Lookup(name)

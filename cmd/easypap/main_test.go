@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"easypap/internal/core"
 )
 
 func TestParseMPIRun(t *testing.T) {
@@ -73,6 +76,53 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestRunList(t *testing.T) {
 	if err := run([]string{"--list"}, os.Stdout); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunListJSON: --list-json emits the same machine-readable shape as
+// the daemon's GET /v1/kernels (core.KernelInfo records).
+func TestRunListJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "list.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"--list-json"}, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []core.KernelInfo
+	if err := json.Unmarshal(data, &infos); err != nil {
+		t.Fatalf("--list-json output is not valid JSON: %v\n%s", err, data)
+	}
+	found := map[string]core.KernelInfo{}
+	for _, info := range infos {
+		found[info.Name] = info
+		if info.DefaultVariant == "" || len(info.Variants) == 0 {
+			t.Errorf("kernel %q missing default_variant or variants", info.Name)
+		}
+	}
+	life, ok := found["life"]
+	if !ok {
+		t.Fatal("life missing from --list-json")
+	}
+	hasLazy := false
+	for _, v := range life.Variants {
+		if v == "lazy" {
+			hasLazy = true
+		}
+	}
+	if !hasLazy {
+		t.Errorf("life variants %v missing lazy", life.Variants)
+	}
+	for _, name := range []string{"fire", "sandpile", "asandpile"} {
+		if _, ok := found[name]; !ok {
+			t.Errorf("%s missing from --list-json", name)
+		}
 	}
 }
 

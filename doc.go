@@ -36,4 +36,19 @@
 // Parameter sweeps fan out to a daemon by setting expt.Sweep.Remote to a
 // serve/client.Client, picking up the daemon's result cache for repeated
 // combinations.
+//
+// # The lazy tile-activity engine
+//
+// internal/tilegrid is the shared frontier behind every lazy kernel
+// variant (DESIGN.md §7): workers mark changed tiles' neighbourhoods
+// with lock-free bitset ORs, and sched.Pool.ParallelForActive dispatches
+// the compacted active list — per-iteration cost proportional to active
+// tiles, not grid size. life ("lazy", "mpi_omp"), sandpile and asandpile
+// ("lazy_omp") and the frontier-native fire kernel ride it; lazy jobs
+// report their frontier through Result.Activity, the "frontier" monitor
+// window, and the daemon's live status JSON:
+//
+//	easypap --kernel fire --variant lazy --size 512 --iterations 200 \
+//	        --no-display
+//	easypap --list-json   # machine-readable kernels, same shape as /v1/kernels
 package easypap

@@ -64,8 +64,8 @@ func (c Config) Normalize() (Config, error) {
 		c.Variant = k.DefaultVariant
 	}
 	if _, ok := k.Variants[c.Variant]; !ok {
-		return c, fmt.Errorf("core: kernel %q has no variant %q (have %v)",
-			c.Kernel, c.Variant, k.VariantNames())
+		return c, fmt.Errorf("core: kernel %q has no variant %q%s (registered: %v)",
+			c.Kernel, c.Variant, didYouMean(c.Variant, k.VariantNames()), k.VariantNames())
 	}
 	if c.Dim == 0 {
 		c.Dim = 1024
@@ -79,7 +79,18 @@ func (c Config) Normalize() (Config, error) {
 	if c.TileH == 0 {
 		c.TileH = c.TileW
 	}
+	// sched.NewTileGrid is the authority on valid decompositions (tile
+	// sizes must divide the image: a truncated grid would silently drop
+	// the board's right/bottom fringe in every tiled kernel). On the
+	// divisibility failure, swap in an actionable error naming the
+	// offending dimension and the nearest sizes that do divide.
 	if _, err := sched.NewTileGrid(c.Dim, c.TileW, c.TileH); err != nil {
+		if c.TileW > 0 && c.Dim%c.TileW != 0 {
+			return c, tileDividesError(c.Dim, "tile width", c.TileW)
+		}
+		if c.TileH > 0 && c.Dim%c.TileH != 0 {
+			return c, tileDividesError(c.Dim, "tile height", c.TileH)
+		}
 		return c, err
 	}
 	if c.Iterations == 0 {
@@ -113,6 +124,35 @@ func (c Config) Normalize() (Config, error) {
 	return c, nil
 }
 
+// tileDividesError builds the non-dividing-tile rejection, suggesting
+// the nearest divisors of the image size. Only called when dim%tile != 0.
+func tileDividesError(dim int, what string, tile int) error {
+	below, above := 0, 0
+	for t := tile - 1; t >= 1; t-- {
+		if dim%t == 0 {
+			below = t
+			break
+		}
+	}
+	for t := tile + 1; t <= dim; t++ {
+		if dim%t == 0 {
+			above = t
+			break
+		}
+	}
+	suggest := ""
+	switch {
+	case below > 0 && above > 0:
+		suggest = fmt.Sprintf(" (nearest dividing sizes: %d or %d)", below, above)
+	case below > 0:
+		suggest = fmt.Sprintf(" (nearest dividing size: %d)", below)
+	case above > 0:
+		suggest = fmt.Sprintf(" (nearest dividing size: %d)", above)
+	}
+	return fmt.Errorf("core: %s %d does not divide image size %d — the tile grid would silently drop the board's fringe%s",
+		what, tile, dim, suggest)
+}
+
 // defaultTile mirrors EASYPAP's default decomposition: 32x32 tiles for
 // images at least 512 wide, otherwise the largest power-of-two divisor up
 // to 32.
@@ -138,6 +178,12 @@ type Result struct {
 	Config     Config        `json:"config"`
 	WallTime   time.Duration `json:"wall_ns"`
 	Iterations int           `json:"iterations"` // iterations actually computed (lazy kernels may stop early)
+
+	// Activity is the per-iteration tile-frontier series reported by lazy
+	// kernel variants (nil for eager variants): the job's frontier-collapse
+	// curve. Under MPI the per-rank band series are summed into whole-grid
+	// counts (ranks iterate in lockstep).
+	Activity []IterActivity `json:"activity,omitempty"`
 }
 
 // String renders the performance-mode report line, e.g.

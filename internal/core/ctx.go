@@ -34,6 +34,19 @@ type Ctx struct {
 	iters   int // completed iterations (run loop bookkeeping)
 	priv    any
 	goCtx   context.Context // run cancellation (never nil inside a run)
+
+	activity   []IterActivity     // per-iteration frontier sizes (lazy kernels)
+	onActivity func(IterActivity) // live observer (RunOptions.OnActivity)
+}
+
+// IterActivity is one iteration's tile-frontier size, as reported by lazy
+// kernel variants through ReportActivity: how many of the Total owned
+// tiles were dispatched. The per-run series (Result.Activity) is the
+// job's "frontier collapse" curve a serving client can watch.
+type IterActivity struct {
+	Iter   int `json:"iter"`
+	Active int `json:"active"`
+	Total  int `json:"total"`
 }
 
 // Cur returns the current (read) image — the cur_img macro.
@@ -101,6 +114,28 @@ func (ctx *Ctx) DoTile(x, y, w, h, worker int, body func()) {
 	body()
 	ctx.EndTile(x, y, w, h, worker)
 }
+
+// ReportActivity records the tile frontier a lazy kernel dispatches this
+// iteration: active of total owned tiles, with the active tile indices
+// (tiles may be nil when the caller tracks counts only). The series lands
+// in Result.Activity, feeds the monitor's frontier heat map, and fires the
+// run's live activity observer — the plumbing that lets easypapd clients
+// watch a frontier collapse. Call it once per iteration, before or after
+// the dispatch; eager variants simply never call it.
+func (ctx *Ctx) ReportActivity(active, total int, tiles []int32) {
+	a := IterActivity{Iter: ctx.Iter(), Active: active, Total: total}
+	ctx.activity = append(ctx.activity, a)
+	if ctx.mon != nil {
+		ctx.mon.RecordActivity(active, total, tiles, ctx.Grid.TilesX, ctx.Grid.TilesY)
+	}
+	if ctx.onActivity != nil {
+		ctx.onActivity(a)
+	}
+}
+
+// Activity returns the per-iteration frontier series reported so far (nil
+// for kernels that never report).
+func (ctx *Ctx) Activity() []IterActivity { return ctx.activity }
 
 // AddWork accumulates per-task performance-counter units into the
 // worker's open tile/task span (no-op without an active tracer). Kernels

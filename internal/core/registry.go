@@ -70,15 +70,64 @@ func Register(k *Kernel) {
 	registry[k.Name] = k
 }
 
-// Lookup finds a registered kernel by name.
+// Lookup finds a registered kernel by name. The not-found error lists the
+// registered kernels and, when the name looks like a typo, the nearest
+// match — so `easypap --kernel mandle` tells the student about "mandel"
+// instead of leaving them to diff strings by eye.
 func Lookup(name string) (*Kernel, error) {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
 	k, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown kernel %q (have %v)", name, kernelNamesLocked())
+		return nil, fmt.Errorf("core: unknown kernel %q%s (registered: %v)",
+			name, didYouMean(name, kernelNamesLocked()), kernelNamesLocked())
 	}
 	return k, nil
+}
+
+// didYouMean returns a " (did you mean ...?)" fragment naming the
+// candidate closest to name, or "" when nothing is plausibly close
+// (edit distance greater than half the name's length).
+func didYouMean(name string, candidates []string) string {
+	best, bestDist := "", len(name)/2+1
+	for _, c := range candidates {
+		if d := editDistance(name, c); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return fmt.Sprintf(" — did you mean %q?", best)
+}
+
+// editDistance is the Damerau-Levenshtein (optimal string alignment)
+// distance between two short names: insertions, deletions, substitutions
+// and adjacent transpositions all cost 1 — "sqe" is one typo away from
+// "seq", not two.
+func editDistance(a, b string) int {
+	prev2 := make([]int, len(b)+1)
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d := min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				d = min(d, prev2[j-2]+1)
+			}
+			cur[j] = d
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[len(b)]
 }
 
 // KernelNames lists all registered kernels, sorted.
@@ -95,4 +144,31 @@ func kernelNamesLocked() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// KernelInfo is the machine-readable description of one registered kernel
+// — the shared shape of `easypap --list-json` and the daemon's GET
+// /v1/kernels, so CLI and service clients parse one format.
+type KernelInfo struct {
+	Name           string   `json:"name"`
+	Description    string   `json:"description,omitempty"`
+	DefaultVariant string   `json:"default_variant"`
+	Variants       []string `json:"variants"`
+}
+
+// KernelList returns the registry as KernelInfo records, sorted by name.
+func KernelList() []KernelInfo {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	infos := make([]KernelInfo, 0, len(registry))
+	for _, name := range kernelNamesLocked() {
+		k := registry[name]
+		infos = append(infos, KernelInfo{
+			Name:           k.Name,
+			Description:    k.Description,
+			DefaultVariant: k.DefaultVariant,
+			Variants:       k.VariantNames(),
+		})
+	}
+	return infos
 }

@@ -68,6 +68,12 @@ type RunOptions struct {
 	// bound so a wedged student program fails its job quickly instead of
 	// holding a worker for the default 10 s.
 	RecvTimeout time.Duration
+
+	// OnActivity, when non-nil, observes every IterActivity a lazy kernel
+	// reports, live — the hook easypapd uses to expose a running job's
+	// frontier size in its status JSON. Called from the computing
+	// goroutine (rank 0 only under MPI); keep it cheap and do not block.
+	OnActivity func(IterActivity)
 }
 
 // RunWith is RunContext with explicit execution options.
@@ -99,7 +105,7 @@ func RunWith(ctx context.Context, cfg Config, opts RunOptions) (*RunOutput, erro
 		return runMPI(ctx, cfg, k, compute, sink, opts)
 	}
 	out := &RunOutput{}
-	if err := runRank(ctx, cfg, k, compute, sink, opts.Pool, opts.Sink != nil, nil, out); err != nil {
+	if err := runRank(ctx, cfg, k, compute, sink, opts.Pool, opts.Sink != nil, opts.OnActivity, nil, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -122,14 +128,16 @@ func runMPI(ctx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sin
 	var sinkMu sync.Mutex
 	lockedSink := &lockedSink{inner: sink, mu: &sinkMu}
 	perRankTraces := make([]*trace.Trace, cfg.MPIRanks)
+	perRankActivity := make([][]IterActivity, cfg.MPIRanks)
 
 	err := mpi.RunContext(ctx, cfg.MPIRanks, mpi.Config{RecvTimeout: opts.RecvTimeout}, func(comm *mpi.Comm) error {
 		rankOut := &RunOutput{}
-		if err := runRank(ctx, cfg, k, compute, lockedSink, nil, opts.Sink != nil, comm, rankOut); err != nil {
+		if err := runRank(ctx, cfg, k, compute, lockedSink, nil, opts.Sink != nil, opts.OnActivity, comm, rankOut); err != nil {
 			return err
 		}
 		out.Monitors[comm.Rank()] = rankMonitor(rankOut)
 		perRankTraces[comm.Rank()] = rankOut.Trace
+		perRankActivity[comm.Rank()] = rankOut.Result.Activity
 		if comm.Rank() == 0 {
 			out.Result = rankOut.Result
 			out.Final = rankOut.Final
@@ -140,6 +148,7 @@ func runMPI(ctx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sin
 		return nil, err
 	}
 	out.Trace = mergeTraces(perRankTraces)
+	out.Result.Activity = mergeActivity(perRankActivity)
 	if !monitorsPresent(out.Monitors) {
 		out.Monitors = nil
 	}
@@ -160,6 +169,25 @@ func monitorsPresent(ms []*monitor.Monitor) bool {
 		}
 	}
 	return false
+}
+
+// mergeActivity sums per-rank frontier series element-wise: ranks report
+// their own band's activity in lockstep (the convergence vote is
+// collective), so entry i of every rank describes the same iteration and
+// the sums are whole-grid counts. Nil if no rank reported.
+func mergeActivity(perRank [][]IterActivity) []IterActivity {
+	var merged []IterActivity
+	for _, series := range perRank {
+		for i, a := range series {
+			if i == len(merged) {
+				merged = append(merged, a)
+				continue
+			}
+			merged[i].Active += a.Active
+			merged[i].Total += a.Total
+		}
+	}
+	return merged
 }
 
 // mergeTraces concatenates per-rank traces into one (nil if none traced).
@@ -199,7 +227,7 @@ func (s *lockedSink) Close() error { return nil } // owner closes the inner sink
 // runRank executes the kernel on one rank (or locally when comm is nil)
 // and fills out. A non-nil pool is a lease: the caller owns its lifecycle
 // and runRank only borrows it for the duration of the run.
-func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, pool *sched.Pool, forceDisplay bool, comm *mpi.Comm, out *RunOutput) error {
+func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, pool *sched.Pool, forceDisplay bool, onActivity func(IterActivity), comm *mpi.Comm, out *RunOutput) error {
 	if pool == nil {
 		pool = sched.NewPool(cfg.Threads)
 		defer pool.Close()
@@ -221,6 +249,9 @@ func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, 
 		goCtx: goCtx,
 	}
 	rank := 0
+	if comm == nil || comm.Rank() == 0 {
+		ctx.onActivity = onActivity
+	}
 	if comm != nil {
 		rank = comm.Rank()
 		ctx.Band = mpi.BandFor(cfg.Dim, comm.Size(), rank)
@@ -290,7 +321,7 @@ func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, 
 		k.Refresh(ctx)
 	}
 
-	out.Result = Result{Config: cfg, WallTime: wall, Iterations: total}
+	out.Result = Result{Config: cfg, WallTime: wall, Iterations: total, Activity: ctx.activity}
 	if ctx.IsMaster() {
 		out.Final = ctx.Cur().Clone()
 	}
@@ -354,5 +385,14 @@ func refreshDisplay(ctx *Ctx, k *Kernel, sink gfx.FrameSink, iter int) error {
 		return err
 	}
 	activity := monitor.ActivityImage(last, ctx.mon.IdlenessHistory(), 512)
-	return sink.Frame("activity"+suffix, iter, activity)
+	if err := sink.Frame("activity"+suffix, iter, activity); err != nil {
+		return err
+	}
+	// Lazy kernels additionally get the frontier heat map: cumulative
+	// tile-activity residency, the window where a collapsing frontier is
+	// visible at a glance.
+	if frontier := monitor.FrontierImage(ctx.mon, 512); frontier != nil {
+		return sink.Frame("frontier"+suffix, iter, frontier)
+	}
+	return nil
 }

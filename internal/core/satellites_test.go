@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// registerTestKernel adds a throwaway kernel for registry tests.
+func registerTestKernel(t *testing.T, name string) {
+	t.Helper()
+	Register(&Kernel{
+		Name:     name,
+		Variants: map[string]ComputeFunc{"seq": func(*Ctx, int) int { return 0 }},
+	})
+}
+
+func TestLookupSuggestsNearestKernel(t *testing.T) {
+	registerTestKernel(t, "zebra-kernel")
+	_, err := Lookup("zebra-kernal")
+	if err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `did you mean "zebra-kernel"?`) {
+		t.Errorf("no nearest-match suggestion in %q", msg)
+	}
+	if !strings.Contains(msg, "registered:") {
+		t.Errorf("no kernel listing in %q", msg)
+	}
+}
+
+func TestLookupNoSuggestionForGibberish(t *testing.T) {
+	_, err := Lookup("qqqqqqqqqqqqqqqqqqqq")
+	if err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("implausible suggestion offered: %q", err.Error())
+	}
+}
+
+func TestNormalizeSuggestsNearestVariant(t *testing.T) {
+	registerTestKernel(t, "varitest")
+	_, err := Config{Kernel: "varitest", Variant: "sqe", Dim: 64}.Normalize()
+	if err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	if !strings.Contains(err.Error(), `did you mean "seq"?`) {
+		t.Errorf("no variant suggestion in %q", err.Error())
+	}
+}
+
+// TestNormalizeRejectsNonDividingTiles: tile sizes that would truncate
+// the tile grid are rejected with actionable divisor suggestions, never
+// silently accepted.
+func TestNormalizeRejectsNonDividingTiles(t *testing.T) {
+	registerTestKernel(t, "tiletest")
+	_, err := Config{Kernel: "tiletest", Dim: 100, TileW: 48, TileH: 10}.Normalize()
+	if err == nil {
+		t.Fatal("non-dividing tile width accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "tile width 48") || !strings.Contains(msg, "100") {
+		t.Errorf("unhelpful divisibility error: %q", msg)
+	}
+	// Nearest divisors of 100 around 48 are 25 and 50.
+	if !strings.Contains(msg, "25") || !strings.Contains(msg, "50") {
+		t.Errorf("no divisor suggestions in %q", msg)
+	}
+
+	// Height is checked too.
+	_, err = Config{Kernel: "tiletest", Dim: 100, TileW: 10, TileH: 7}.Normalize()
+	if err == nil || !strings.Contains(err.Error(), "tile height 7") {
+		t.Fatalf("non-dividing tile height not rejected: %v", err)
+	}
+
+	// Dividing sizes still pass.
+	cfg, err := Config{Kernel: "tiletest", Dim: 100, TileW: 10, TileH: 20}.Normalize()
+	if err != nil {
+		t.Fatalf("valid tiling rejected: %v", err)
+	}
+	if cfg.TileW != 10 || cfg.TileH != 20 {
+		t.Fatalf("tiling mangled: %dx%d", cfg.TileW, cfg.TileH)
+	}
+}
+
+func TestKernelListShape(t *testing.T) {
+	infos := KernelList()
+	if len(infos) == 0 {
+		t.Fatal("empty kernel list")
+	}
+	byName := make(map[string]KernelInfo, len(infos))
+	for i, info := range infos {
+		byName[info.Name] = info
+		if i > 0 && infos[i-1].Name >= info.Name {
+			t.Errorf("kernel list not sorted: %q before %q", infos[i-1].Name, info.Name)
+		}
+		if info.DefaultVariant == "" || len(info.Variants) == 0 {
+			t.Errorf("kernel %q missing default variant or variants", info.Name)
+		}
+	}
+	// The predefined kernels live in internal/kernels (not imported by
+	// this test binary); the listing of the full registry is covered by
+	// the easypap --list-json test. Here: a registered kernel appears.
+	registerTestKernel(t, "listtest")
+	found := false
+	for _, info := range KernelList() {
+		if info.Name == "listtest" {
+			found = true
+			if info.DefaultVariant != "seq" {
+				t.Errorf("listtest default variant = %q, want seq", info.DefaultVariant)
+			}
+		}
+	}
+	if !found {
+		t.Error("registered kernel missing from KernelList")
+	}
+}

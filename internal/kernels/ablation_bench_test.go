@@ -86,6 +86,37 @@ func BenchmarkAblationLifeLazy(b *testing.B) {
 	}
 }
 
+// BenchmarkLazyEngineKernels measures the tilegrid engine's eager-vs-lazy
+// gain for every kernel pair sharing it: life on the sparse diag dataset,
+// the synchronous sandpile mid-avalanche, and the fire front sweeping a
+// full forest. These are the BENCH_lazy.json rows.
+func BenchmarkLazyEngineKernels(b *testing.B) {
+	cases := []struct {
+		name  string
+		cfg   core.Config
+		eager string
+		lazy  string
+	}{
+		{"life-diag-512", core.Config{Kernel: "life", Dim: 512, TileW: 8, TileH: 8,
+			Iterations: 10, Arg: "diag", Schedule: sched.DynamicPolicy(1)}, "omp_tiled", "lazy"},
+		{"sandpile-256", core.Config{Kernel: "sandpile", Dim: 256, TileW: 16, TileH: 16,
+			Iterations: 50, Schedule: sched.DynamicPolicy(1)}, "omp_tiled", "lazy_omp"},
+		{"fire-full-512", core.Config{Kernel: "fire", Dim: 512, TileW: 16, TileH: 16,
+			Iterations: 60, Arg: "full", Schedule: sched.DynamicPolicy(1)}, "omp_tiled", "lazy"},
+	}
+	for _, tc := range cases {
+		for _, variant := range []string{tc.eager, tc.lazy} {
+			b.Run(tc.name+"/"+variant, func(b *testing.B) {
+				cfg := tc.cfg
+				cfg.Variant = variant
+				for i := 0; i < b.N; i++ {
+					benchRun(b, cfg)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationBlurTileShape compares square and row-shaped tiles for
 // the stencil: wide tiles stream rows (cache friendly), squares maximize
 // reuse across iterations.

@@ -14,6 +14,7 @@ import (
 
 	"easypap/internal/core"
 	"easypap/internal/img2d"
+	"easypap/internal/tilegrid"
 )
 
 func init() {
@@ -25,21 +26,28 @@ func init() {
 		Variants: map[string]core.ComputeFunc{
 			"seq":       asandSeq,
 			"omp_tiled": asandOmpTiled,
+			"lazy_omp":  asandLazyOmp,
 		},
 		DefaultVariant: "seq",
 	})
 }
 
 // asandState is the grain grid. Parallel variants mutate cells with
-// atomics; the absorbing one-cell border stays at zero.
+// atomics; the absorbing one-cell border stays at zero. The frontier
+// tracks which tiles may still topple (lazy variant + convergence).
 type asandState struct {
 	dim   int
 	cells []uint32
+	tileW int
+	tileH int
+	fr    *tilegrid.Frontier
 }
 
 func asandInit(ctx *core.Ctx) error {
 	dim := ctx.Dim()
-	st := &asandState{dim: dim, cells: make([]uint32, dim*dim)}
+	st := &asandState{dim: dim, cells: make([]uint32, dim*dim),
+		tileW: ctx.Cfg.TileW, tileH: ctx.Cfg.TileH, fr: tilegrid.New(ctx.Grid)}
+	st.fr.Advance() // first iteration sweeps every tile
 	for y := 1; y < dim-1; y++ {
 		for x := 1; x < dim-1; x++ {
 			st.cells[y*dim+x] = 5
@@ -156,6 +164,28 @@ func asandOmpTiled(ctx *core.Ctx, nbIter int) int {
 			ctx.EndTile(x, y, w, h, worker)
 		})
 		return activeFlag.Load()
+	})
+}
+
+// asandLazyOmp sweeps only the frontier: a tile that toppled re-enters it
+// together with its 8 neighbours (a topple on a tile edge pushes grains
+// across the border, so the neighbour may have become unstable). A tile
+// that toppled nothing is steady until a neighbour's topple re-marks it —
+// grains only ever arrive through topples, so every unstable tile is
+// always in the frontier. The stable board is byte-identical to every
+// other variant by the Abelian property.
+func asandLazyOmp(ctx *core.Ctx, nbIter int) int {
+	st := asandStateOf(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		ctx.ReportActivity(st.fr.Count(), st.fr.Total(), st.fr.Active())
+		ctx.Pool.ParallelForActive(ctx.Grid, st.fr.Active(), ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			ctx.StartTile(worker)
+			if st.asandAtomicTile(x, y, w, h) {
+				st.fr.MarkChanged(x/st.tileW, y/st.tileH)
+			}
+			ctx.EndTile(x, y, w, h, worker)
+		})
+		return st.fr.Advance() > 0
 	})
 }
 

@@ -1,0 +1,214 @@
+package kernels
+
+// Forest-fire percolation: a deterministic synchronous automaton born
+// frontier-native. Cells are empty ground, trees, burning trees or ash; a
+// burning tree turns to ash and ignites its 4-neighbour trees. All
+// activity lives on the fire front — a one-cell-thick ring expanding
+// through the forest — so the tile frontier starts at the ignition point,
+// grows to the ring's tiles, and collapses to zero when the fire burns
+// out. Unlike life or the sandpiles (which grew lazy variants after the
+// fact), fire was written against internal/tilegrid from the start: the
+// proof that the engine's API generalizes to new stencil kernels.
+//
+// The density of the (seeded, deterministic) random forest puts the run
+// on either side of the percolation threshold: dense forests burn wall to
+// wall, sparse ones starve the fire early — two very different
+// frontier-collapse curves from one kernel, a nice serving-demo workload.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"easypap/internal/core"
+	"easypap/internal/img2d"
+	"easypap/internal/tilegrid"
+)
+
+func init() {
+	core.Register(&core.Kernel{
+		Name:        "fire",
+		Description: "forest-fire percolation on the tile frontier",
+		Init:        fireInit,
+		Refresh:     fireRefresh,
+		Variants: map[string]core.ComputeFunc{
+			"seq":       fireSeq,
+			"omp_tiled": fireOmpTiled,
+			"lazy":      fireLazy,
+		},
+		DefaultVariant: "lazy",
+	})
+}
+
+// Cell states (uint8).
+const (
+	fireEmpty   = 0 // bare ground: never changes
+	fireTree    = 1 // flammable
+	fireBurning = 2 // burns for exactly one iteration
+	fireAsh     = 3 // burnt out: never changes again
+)
+
+// fireState is the double-buffered cell grid plus the tile frontier.
+type fireState struct {
+	dim       int
+	cur, next []uint8
+	tileW     int
+	tileH     int
+	fr        *tilegrid.Frontier
+}
+
+// fireInit seeds the forest according to cfg.Arg:
+//
+//	"forest" — random trees at 65% density (above the percolation
+//	           threshold), center tree ignited (default)
+//	"sparse" — 45% density: the fire starves quickly
+//	"full"   — every cell a tree, center ignited: the frontier is a
+//	           clean expanding diamond
+func fireInit(ctx *core.Ctx) error {
+	dim := ctx.Dim()
+	st := &fireState{
+		dim:   dim,
+		cur:   make([]uint8, dim*dim),
+		next:  make([]uint8, dim*dim),
+		tileW: ctx.Cfg.TileW,
+		tileH: ctx.Cfg.TileH,
+		fr:    tilegrid.New(ctx.Grid),
+	}
+	st.fr.Advance() // first iteration scans the whole forest
+
+	pattern := ctx.Cfg.Arg
+	if pattern == "" {
+		pattern = "forest"
+	}
+	density := 0.0
+	switch pattern {
+	case "forest":
+		density = 0.65
+	case "sparse":
+		density = 0.45
+	case "full":
+		density = 1.0
+	default:
+		return fmt.Errorf("fire: unknown pattern %q (have forest, sparse, full)", pattern)
+	}
+	rng := rand.New(rand.NewSource(ctx.Cfg.Seed + 7))
+	for i := range st.cur {
+		// Always draw so the forest layout for a given seed does not
+		// depend on the density.
+		if rng.Float64() < density {
+			st.cur[i] = fireTree
+		}
+	}
+	c := dim / 2
+	st.cur[c*dim+c] = fireBurning
+	copy(st.next, st.cur)
+	ctx.SetPriv(st)
+	fireRefresh(ctx)
+	return nil
+}
+
+func fireStateOf(ctx *core.Ctx) *fireState { return ctx.Priv().(*fireState) }
+
+func fireRefresh(ctx *core.Ctx) {
+	st := fireStateOf(ctx)
+	im := ctx.Cur()
+	palette := [4]img2d.Pixel{
+		img2d.RGB(24, 20, 12),   // empty: dark soil
+		img2d.RGB(30, 140, 40),  // tree
+		img2d.RGB(255, 120, 20), // burning
+		img2d.RGB(70, 70, 74),   // ash
+	}
+	for y := 0; y < st.dim; y++ {
+		row := im.Row(y)
+		for x := 0; x < st.dim; x++ {
+			row[x] = palette[st.cur[y*st.dim+x]&3]
+		}
+	}
+}
+
+// fireStepCell computes a cell's next state: burning → ash; a tree with a
+// burning 4-neighbour ignites; everything else is inert.
+func (s *fireState) fireStepCell(y, x int) uint8 {
+	v := s.cur[y*s.dim+x]
+	switch v {
+	case fireBurning:
+		return fireAsh
+	case fireTree:
+		if (x > 0 && s.cur[y*s.dim+x-1] == fireBurning) ||
+			(x < s.dim-1 && s.cur[y*s.dim+x+1] == fireBurning) ||
+			(y > 0 && s.cur[(y-1)*s.dim+x] == fireBurning) ||
+			(y < s.dim-1 && s.cur[(y+1)*s.dim+x] == fireBurning) {
+			return fireBurning
+		}
+	}
+	return v
+}
+
+// fireStepTile advances every cell of the tile, returning whether any cell
+// changed. Every cell is written, maintaining the tilegrid no-copy
+// invariant for skipped tiles.
+func (s *fireState) fireStepTile(x, y, w, h int) bool {
+	changed := false
+	for yy := y; yy < y+h; yy++ {
+		for xx := x; xx < x+w; xx++ {
+			v := s.fireStepCell(yy, xx)
+			if v != s.cur[yy*s.dim+xx] {
+				changed = true
+			}
+			s.next[yy*s.dim+xx] = v
+		}
+	}
+	return changed
+}
+
+func (s *fireState) swap() { s.cur, s.next = s.next, s.cur }
+
+func fireSeq(ctx *core.Ctx, nbIter int) int {
+	st := fireStateOf(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		changed := st.fireStepTile(0, 0, st.dim, st.dim)
+		st.swap()
+		return changed
+	})
+}
+
+func fireOmpTiled(ctx *core.Ctx, nbIter int) int {
+	st := fireStateOf(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			ctx.StartTile(worker)
+			if st.fireStepTile(x, y, w, h) {
+				st.fr.MarkChanged(x/st.tileW, y/st.tileH)
+			}
+			ctx.EndTile(x, y, w, h, worker)
+		})
+		st.swap()
+		return st.fr.Advance() > 0
+	})
+}
+
+// fireLazy is the frontier-native variant: only tiles touching the fire
+// front are dispatched, so per-iteration cost tracks the front's length,
+// not the forest's area.
+func fireLazy(ctx *core.Ctx, nbIter int) int {
+	st := fireStateOf(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		ctx.ReportActivity(st.fr.Count(), st.fr.Total(), st.fr.Active())
+		ctx.Pool.ParallelForActive(ctx.Grid, st.fr.Active(), ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			ctx.StartTile(worker)
+			if st.fireStepTile(x, y, w, h) {
+				st.fr.MarkChanged(x/st.tileW, y/st.tileH)
+			}
+			ctx.EndTile(x, y, w, h, worker)
+		})
+		st.swap()
+		return st.fr.Advance() > 0
+	})
+}
+
+// FireCellsSnapshot exposes a copy of the cell grid for tests.
+func FireCellsSnapshot(ctx *core.Ctx) []uint8 {
+	st := fireStateOf(ctx)
+	out := make([]uint8, len(st.cur))
+	copy(out, st.cur)
+	return out
+}

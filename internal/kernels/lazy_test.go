@@ -1,0 +1,228 @@
+package kernels
+
+// Lazy/eager equivalence: for every kernel with both variants, the lazy
+// (sparse-dispatch) variant must produce a byte-identical final image and
+// the same iteration count as the eager ones, across several seeds and
+// datasets. This is the acceptance gate of the tilegrid engine: the
+// no-copy invariant and the neighbourhood marking must never skip a tile
+// that would have changed.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"easypap/internal/core"
+	"easypap/internal/sched"
+)
+
+// imageHash is the hex SHA-256 of the final image's raw pixels.
+func imageHash(t *testing.T, out *core.RunOutput) string {
+	t.Helper()
+	if out.Final == nil {
+		t.Fatal("run produced no final image")
+	}
+	h := sha256.New()
+	for _, p := range out.Final.Pixels() {
+		h.Write([]byte{byte(p), byte(p >> 8), byte(p >> 16), byte(p >> 24)})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// assertLazyMatchesEager runs the eager reference and every other listed
+// variant over the seeds and asserts identical image hash and iteration
+// count.
+func assertLazyMatchesEager(t *testing.T, kernel string, dim, tile, iters int,
+	eager string, others []string, seeds []int64, arg string) {
+	t.Helper()
+	for _, seed := range seeds {
+		ref := runKernel(t, core.Config{Kernel: kernel, Variant: eager, Dim: dim,
+			TileW: tile, TileH: tile, Iterations: iters, Seed: seed, Arg: arg,
+			Threads: 4, Schedule: sched.DynamicPolicy(1)})
+		refHash := imageHash(t, ref)
+		for _, v := range others {
+			for _, pol := range testSchedules {
+				out := runKernel(t, core.Config{Kernel: kernel, Variant: v, Dim: dim,
+					TileW: tile, TileH: tile, Iterations: iters, Seed: seed, Arg: arg,
+					Threads: 4, Schedule: pol})
+				if got := imageHash(t, out); got != refHash {
+					t.Errorf("%s/%s seed=%d arg=%q sched=%v: final image hash %s != eager %s",
+						kernel, v, seed, arg, pol, got[:12], refHash[:12])
+				}
+				if out.Iterations != ref.Iterations {
+					t.Errorf("%s/%s seed=%d arg=%q sched=%v: %d iterations, eager did %d",
+						kernel, v, seed, arg, pol, out.Iterations, ref.Iterations)
+				}
+			}
+		}
+	}
+}
+
+func TestLifeLazyEagerHashEquivalence(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	// Dense random board: most tiles stay active.
+	assertLazyMatchesEager(t, "life", 64, 8, 8, "omp_tiled",
+		[]string{"seq", "lazy"}, seeds, "random")
+	// Sparse gliders: the frontier hugs the diagonals.
+	assertLazyMatchesEager(t, "life", 64, 8, 12, "omp_tiled",
+		[]string{"seq", "lazy"}, []int64{1}, "diag")
+}
+
+// TestLifeLazyConvergesWithEager: datasets that reach a steady state (or
+// die out) must stop the lazy and eager variants at the same iteration.
+func TestLifeLazyConvergesWithEager(t *testing.T) {
+	for _, arg := range []string{"empty", "blinker"} {
+		eager := runKernel(t, core.Config{Kernel: "life", Variant: "omp_tiled",
+			Dim: 32, TileW: 8, TileH: 8, Iterations: 20, Arg: arg, Threads: 2})
+		lazy := runKernel(t, core.Config{Kernel: "life", Variant: "lazy",
+			Dim: 32, TileW: 8, TileH: 8, Iterations: 20, Arg: arg, Threads: 2})
+		if eager.Iterations != lazy.Iterations {
+			t.Errorf("arg=%q: lazy ran %d iterations, eager %d",
+				arg, lazy.Iterations, eager.Iterations)
+		}
+		// "empty" is steady immediately; "blinker" oscillates forever and
+		// must NOT converge (its two tiles keep changing).
+		if arg == "empty" && lazy.Iterations != 1 {
+			t.Errorf("empty board: lazy ran %d iterations, want 1", lazy.Iterations)
+		}
+		if arg == "blinker" && lazy.Iterations != 20 {
+			t.Errorf("blinker: lazy stopped at %d, want all 20", lazy.Iterations)
+		}
+	}
+}
+
+// TestLifeMPIFrontierMatchesSeq: the MPI variant forwards frontier flags
+// across rank boundaries; gliders crossing a band boundary must survive.
+func TestLifeMPIFrontierMatchesSeq(t *testing.T) {
+	for _, seed := range []int64{3, 9} {
+		for _, arg := range []string{"diag", "random"} {
+			ref := runKernel(t, core.Config{Kernel: "life", Variant: "seq",
+				Dim: 64, TileW: 8, TileH: 8, Iterations: 10, Seed: seed, Arg: arg})
+			mpi := runKernel(t, core.Config{Kernel: "life", Variant: "mpi_omp",
+				Dim: 64, TileW: 8, TileH: 8, Iterations: 10, Seed: seed, Arg: arg,
+				Threads: 2, MPIRanks: 4, Schedule: sched.DynamicPolicy(1)})
+			if imageHash(t, ref) != imageHash(t, mpi) {
+				t.Errorf("seed=%d arg=%q: mpi_omp image differs from seq", seed, arg)
+			}
+			if ref.Iterations != mpi.Iterations {
+				t.Errorf("seed=%d arg=%q: mpi_omp ran %d iterations, seq %d",
+					seed, arg, mpi.Iterations, ref.Iterations)
+			}
+			// Per-rank band activity merges to whole-grid counts.
+			if len(mpi.Result.Activity) != mpi.Iterations {
+				t.Fatalf("mpi activity series has %d entries for %d iterations",
+					len(mpi.Result.Activity), mpi.Iterations)
+			}
+			total := (64 / 8) * (64 / 8)
+			if first := mpi.Result.Activity[0]; first.Total != total || first.Active != total {
+				t.Errorf("merged mpi activity[0] = %d/%d, want whole grid %d/%d",
+					first.Active, first.Total, total, total)
+			}
+		}
+	}
+}
+
+func TestSandpileLazyEagerHashEquivalence(t *testing.T) {
+	// The sandpile init is seed-independent; vary geometry instead. Run
+	// both truncated (still toppling) and to convergence.
+	for _, tc := range []struct{ dim, tile, iters int }{
+		{32, 8, 10},
+		{32, 8, 1 << 20}, // to convergence
+		{48, 8, 25},
+	} {
+		assertLazyMatchesEager(t, "sandpile", tc.dim, tc.tile, tc.iters,
+			"omp_tiled", []string{"seq", "lazy_omp"}, []int64{0}, "")
+	}
+}
+
+// TestASandpileLazyStableEquivalence: the asynchronous lazy variant must
+// stabilize to the same board as every other topple order (Abelian
+// property). Iteration counts may legitimately differ — only the stable
+// board is compared.
+func TestASandpileLazyStableEquivalence(t *testing.T) {
+	run := func(variant string, pol sched.Policy) *core.RunOutput {
+		out := runKernel(t, core.Config{Kernel: "asandpile", Variant: variant,
+			Dim: 32, TileW: 8, TileH: 8, Iterations: 1 << 20,
+			Threads: 4, Schedule: pol})
+		if out.Iterations >= 1<<20 {
+			t.Fatalf("asandpile/%s did not stabilize", variant)
+		}
+		return out
+	}
+	ref := imageHash(t, run("seq", sched.StaticPolicy))
+	for _, pol := range testSchedules {
+		if got := imageHash(t, run("lazy_omp", pol)); got != ref {
+			t.Errorf("lazy_omp (%v): stable board differs from seq", pol)
+		}
+	}
+}
+
+func TestFireLazyEagerHashEquivalence(t *testing.T) {
+	seeds := []int64{1, 5, 13}
+	for _, arg := range []string{"forest", "sparse", "full"} {
+		// Truncated runs (front mid-board) and convergence runs (fire
+		// burnt out) both must match.
+		assertLazyMatchesEager(t, "fire", 64, 8, 12, "omp_tiled",
+			[]string{"seq", "lazy"}, seeds, arg)
+	}
+	assertLazyMatchesEager(t, "fire", 64, 8, 1<<20, "omp_tiled",
+		[]string{"seq", "lazy"}, []int64{1}, "full")
+}
+
+// TestLazyVariantsReportActivity: lazy variants must publish their
+// frontier-collapse series through Result.Activity — full grid on the
+// first iteration, and on sparse datasets a strict subset afterwards.
+func TestLazyVariantsReportActivity(t *testing.T) {
+	out := runKernel(t, core.Config{Kernel: "life", Variant: "lazy",
+		Dim: 64, TileW: 8, TileH: 8, Iterations: 10, Arg: "diag", Threads: 2})
+	if len(out.Result.Activity) != out.Iterations {
+		t.Fatalf("activity series has %d entries for %d iterations",
+			len(out.Result.Activity), out.Iterations)
+	}
+	first := out.Result.Activity[0]
+	total := (64 / 8) * (64 / 8)
+	if first.Active != total || first.Total != total {
+		t.Errorf("first iteration activity = %d/%d, want full grid %d/%d",
+			first.Active, first.Total, total, total)
+	}
+	last := out.Result.Activity[len(out.Result.Activity)-1]
+	if last.Active >= total {
+		t.Errorf("sparse diag dataset: last iteration still dispatches the full grid (%d/%d)",
+			last.Active, last.Total)
+	}
+	for i, a := range out.Result.Activity {
+		if a.Iter != i+1 {
+			t.Errorf("activity[%d].Iter = %d, want %d", i, a.Iter, i+1)
+		}
+	}
+
+	// Eager variants never report.
+	eager := runKernel(t, core.Config{Kernel: "life", Variant: "omp_tiled",
+		Dim: 64, TileW: 8, TileH: 8, Iterations: 5, Arg: "diag", Threads: 2})
+	if eager.Result.Activity != nil {
+		t.Errorf("eager variant reported activity: %v", eager.Result.Activity)
+	}
+}
+
+// TestFireFrontierCollapses: the fire's frontier must grow from the
+// ignition tile and collapse back to zero when the fire burns out — the
+// curve a serving client watches.
+func TestFireFrontierCollapses(t *testing.T) {
+	out := runKernel(t, core.Config{Kernel: "fire", Variant: "lazy",
+		Dim: 64, TileW: 8, TileH: 8, Iterations: 1 << 20, Arg: "full", Threads: 2})
+	acts := out.Result.Activity
+	if len(acts) < 10 {
+		t.Fatalf("full burn finished in %d iterations, expected a long front sweep", len(acts))
+	}
+	// After the first full-grid scan the frontier shrinks to the front...
+	if acts[1].Active >= acts[0].Active {
+		t.Errorf("frontier did not shrink after the initial scan: %d -> %d",
+			acts[0].Active, acts[1].Active)
+	}
+	// ...and the final iteration's frontier is small (the dying front).
+	lastAct := acts[len(acts)-1]
+	if lastAct.Active > lastAct.Total/4 {
+		t.Errorf("frontier never collapsed: last iteration dispatched %d/%d tiles",
+			lastAct.Active, lastAct.Total)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"easypap/internal/core"
 	"easypap/internal/img2d"
 	"easypap/internal/mpi"
+	"easypap/internal/tilegrid"
 )
 
 func init() {
@@ -35,16 +36,22 @@ func init() {
 
 // lifeState is the kernel-private board: two byte grids (cur/next) instead
 // of pixel buffers — the "own, low memory footprint data structures"
-// requirement of §III-D — plus per-tile change tracking for laziness.
+// requirement of §III-D — plus the shared tile-activity frontier
+// (internal/tilegrid) that replaces the changed[]/prevChange[] arrays this
+// kernel used to maintain privately.
 type lifeState struct {
-	dim        int
-	cur, next  []uint8
-	tilesX     int
-	tilesY     int
-	tileW      int
-	tileH      int
-	changed    []bool // per tile: changed during the current iteration
-	prevChange []bool // per tile: changed during the previous iteration
+	dim       int
+	cur, next []uint8
+	tilesX    int
+	tilesY    int
+	tileW     int
+	tileH     int
+
+	// fr tracks which tiles must be computed next iteration. Thanks to
+	// the frontier's no-copy invariant (tilegrid package doc), skipped
+	// tiles need no cur→next copy: their cells are already identical in
+	// both buffers.
+	fr *tilegrid.Frontier
 
 	// MPI mode: the rank's band and ghost rows (one above, one below).
 	band       mpi.Band
@@ -56,10 +63,9 @@ type lifeState struct {
 	bits *lifeBits
 }
 
-func (s *lifeState) at(y, x int) uint8        { return s.cur[y*s.dim+x] }
-func (s *lifeState) set(y, x int, v uint8)    { s.next[y*s.dim+x] = v }
-func (s *lifeState) swap()                    { s.cur, s.next = s.next, s.cur }
-func (s *lifeState) tileIndex(tx, ty int) int { return ty*s.tilesX + tx }
+func (s *lifeState) at(y, x int) uint8     { return s.cur[y*s.dim+x] }
+func (s *lifeState) set(y, x int, v uint8) { s.next[y*s.dim+x] = v }
+func (s *lifeState) swap()                 { s.cur, s.next = s.next, s.cur }
 
 // curAt reads a cell with ghost-row support: y == band.Lo-1 and y ==
 // band.Hi are served from the exchanged ghost rows in MPI mode; outside
@@ -102,12 +108,7 @@ func lifeInit(ctx *core.Ctx) error {
 		tilesY: dim / ctx.Cfg.TileH,
 		band:   mpi.Band{Lo: 0, Hi: dim, Dim: dim},
 	}
-	st.changed = make([]bool, st.tilesX*st.tilesY)
-	st.prevChange = make([]bool, st.tilesX*st.tilesY)
-	// Everything starts "changed" so the first lazy iteration computes all.
-	for i := range st.prevChange {
-		st.prevChange[i] = true
-	}
+	st.fr = tilegrid.New(ctx.Grid)
 
 	if ctx.Comm != nil {
 		st.band = ctx.Band
@@ -115,7 +116,11 @@ func lifeInit(ctx *core.Ctx) error {
 			return fmt.Errorf("life: band of %d rows not divisible by tile height %d",
 				st.band.Rows(), st.tileH)
 		}
+		st.fr.Restrict(st.band.Lo/st.tileH, st.band.Hi/st.tileH)
 	}
+	// Promote the initial all-active marking: the first iteration computes
+	// every (owned) tile, subsequent ones only the frontier.
+	st.fr.Advance()
 
 	pattern := ctx.Cfg.Arg
 	if pattern == "" {
@@ -249,45 +254,6 @@ func (s *lifeState) lifeComputeTile(x, y, w, h int) bool {
 	return changed
 }
 
-// copyTile copies the tile from cur to next (used when a lazy variant
-// skips a steady tile: the cells survive the buffer swap untouched).
-func (s *lifeState) copyTile(x, y, w, h int) {
-	for yy := y; yy < y+h; yy++ {
-		copy(s.next[yy*s.dim+x:yy*s.dim+x+w], s.cur[yy*s.dim+x:yy*s.dim+x+w])
-	}
-}
-
-// neighbourhoodChanged reports whether the tile or any of its 8 neighbour
-// tiles changed at the previous iteration — the lazy evaluation criterion.
-func (s *lifeState) neighbourhoodChanged(tx, ty int) bool {
-	for dy := -1; dy <= 1; dy++ {
-		for dx := -1; dx <= 1; dx++ {
-			nx, ny := tx+dx, ty+dy
-			if nx < 0 || nx >= s.tilesX || ny < 0 || ny >= s.tilesY {
-				continue
-			}
-			if s.prevChange[s.tileIndex(nx, ny)] {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// rotateChangeFlags promotes this iteration's change flags and clears the
-// next ones; it returns whether anything changed at all.
-func (s *lifeState) rotateChangeFlags() bool {
-	any := false
-	for i, c := range s.changed {
-		if c {
-			any = true
-		}
-		s.prevChange[i] = c
-		s.changed[i] = false
-	}
-	return any
-}
-
 func lifeSeq(ctx *core.Ctx, nbIter int) int {
 	st := lifeStateOf(ctx)
 	return ctx.ForIterations(nbIter, func(int) bool {
@@ -302,43 +268,48 @@ func lifeOmpTiled(ctx *core.Ctx, nbIter int) int {
 	return ctx.ForIterations(nbIter, func(int) bool {
 		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
 			ctx.StartTile(worker)
-			tx, ty := x/st.tileW, y/st.tileH
-			st.changed[st.tileIndex(tx, ty)] = st.lifeComputeTile(x, y, w, h)
+			if st.lifeComputeTile(x, y, w, h) {
+				st.fr.MarkChanged(x/st.tileW, y/st.tileH)
+			}
 			ctx.EndTile(x, y, w, h, worker)
 		})
 		st.swap()
-		return st.rotateChangeFlags()
+		// Eager variant: the frontier is consulted only for convergence
+		// (any change anywhere?), never to skip work.
+		return st.fr.Advance() > 0
 	})
 }
 
-// lifeLazy skips tiles whose 3x3 tile neighbourhood was steady at the
-// previous iteration. Skipped tiles are copied, not computed, and are NOT
-// instrumented — so the tiling window shows exactly which areas are being
-// computed, the visual check of §III-D ("areas where nothing changes are
-// not computed").
+// lifeLazy dispatches only the frontier: tiles whose 3x3 tile
+// neighbourhood changed at the previous iteration. Skipped tiles are not
+// visited at all — sparse dispatch costs O(active), not O(grid) — and are
+// NOT instrumented, so the tiling window shows exactly which areas are
+// being computed, the visual check of §III-D ("areas where nothing
+// changes are not computed"). No copy-tile fallback is needed: see the
+// tilegrid no-copy invariant.
 func lifeLazy(ctx *core.Ctx, nbIter int) int {
 	st := lifeStateOf(ctx)
 	return ctx.ForIterations(nbIter, func(int) bool {
-		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
-			tx, ty := x/st.tileW, y/st.tileH
-			if !st.neighbourhoodChanged(tx, ty) {
-				st.copyTile(x, y, w, h)
-				return
-			}
+		ctx.ReportActivity(st.fr.Count(), st.fr.Total(), st.fr.Active())
+		ctx.Pool.ParallelForActive(ctx.Grid, st.fr.Active(), ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
 			ctx.StartTile(worker)
-			st.changed[st.tileIndex(tx, ty)] = st.lifeComputeTile(x, y, w, h)
+			if st.lifeComputeTile(x, y, w, h) {
+				st.fr.MarkChanged(x/st.tileW, y/st.tileH)
+			}
 			ctx.EndTile(x, y, w, h, worker)
 		})
 		st.swap()
-		return st.rotateChangeFlags()
+		return st.fr.Advance() > 0
 	})
 }
 
 // lifeMPIOmp distributes row bands across ranks; each iteration exchanges
-// ghost-cell rows and per-tile steadiness meta-information with the
-// neighbouring ranks, computes the local band lazily with the worker pool,
-// and takes a global convergence vote (Allreduce OR). The structure is the
-// <150-line MPI+OpenMP solution the paper's students produce.
+// ghost-cell rows with the neighbouring ranks, computes the local band's
+// tile frontier with sparse dispatch, forwards the frontier flags its
+// changes induced in the neighbours' halo tile rows (replacing the old
+// ad-hoc changed-flag exchange), and takes a global convergence vote
+// (Allreduce OR). The structure is the <150-line MPI+OpenMP solution the
+// paper's students produce — now on the shared tile-activity engine.
 func lifeMPIOmp(ctx *core.Ctx, nbIter int) int {
 	st := lifeStateOf(ctx)
 	comm := ctx.Comm
@@ -364,50 +335,39 @@ func lifeMPIOmp(ctx *core.Ctx, nbIter int) int {
 		st.ghostAbove = toBytes(above)
 		st.ghostBelow = toBytes(below)
 
-		// 2. Steadiness meta-information: my boundary tile rows' change
-		// flags, so neighbours can stay lazy across the rank boundary.
-		topMeta := append([]bool(nil), st.prevChange[tyLo*st.tilesX:(tyLo+1)*st.tilesX]...)
-		botMeta := append([]bool(nil), st.prevChange[(tyHi-1)*st.tilesX:tyHi*st.tilesX]...)
-		metaAbove, metaBelow, err := comm.ExchangeGhostMeta(band, topMeta, botMeta)
-		if err != nil {
-			return false
-		}
-		if metaAbove != nil && tyLo > 0 {
-			copy(st.prevChange[(tyLo-1)*st.tilesX:tyLo*st.tilesX], metaAbove.([]bool))
-		}
-		if metaBelow != nil && tyHi < st.tilesY {
-			copy(st.prevChange[tyHi*st.tilesX:(tyHi+1)*st.tilesX], metaBelow.([]bool))
-		}
-
-		// 3. Lazy tiled computation of the local band.
-		localTiles := (tyHi - tyLo) * st.tilesX
-		ctx.Pool.ParallelFor(localTiles, ctx.Cfg.Schedule, func(t, worker int) {
-			ty := tyLo + t/st.tilesX
-			tx := t % st.tilesX
-			x, y := tx*st.tileW, ty*st.tileH
-			if !st.neighbourhoodChanged(tx, ty) {
-				st.copyTile(x, y, st.tileW, st.tileH)
-				return
-			}
+		// 2. Sparse computation of the local band: the frontier holds only
+		// owned tiles; changes mark the 3x3 neighbourhood, possibly
+		// spilling into the halo tile rows tyLo-1/tyHi owned by the
+		// neighbouring ranks.
+		ctx.ReportActivity(st.fr.Count(), st.fr.Total(), st.fr.Active())
+		ctx.Pool.ParallelForActive(ctx.Grid, st.fr.Active(), ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
 			ctx.StartTile(worker)
-			st.changed[st.tileIndex(tx, ty)] = st.lifeComputeTile(x, y, st.tileW, st.tileH)
-			ctx.EndTile(x, y, st.tileW, st.tileH, worker)
+			if st.lifeComputeTile(x, y, w, h) {
+				st.fr.MarkChanged(x/st.tileW, y/st.tileH)
+			}
+			ctx.EndTile(x, y, w, h, worker)
 		})
 		st.swap()
 
-		// 4. Global convergence vote.
-		localAny := false
-		for ty := tyLo; ty < tyHi; ty++ {
-			for tx := 0; tx < st.tilesX; tx++ {
-				idx := st.tileIndex(tx, ty)
-				if st.changed[idx] {
-					localAny = true
-				}
-				st.prevChange[idx] = st.changed[idx]
-				st.changed[idx] = false
-			}
+		// 3. Frontier forwarding: the halo-row marks my changes produced
+		// belong to the neighbouring ranks; ship them over and merge the
+		// marks my neighbours produced in my boundary rows. RowFlags is
+		// nil at world edges, and ExchangeGhostMeta only talks to ranks
+		// that exist, so no special casing.
+		metaAbove, metaBelow, err := comm.ExchangeGhostMeta(band,
+			st.fr.RowFlags(tyLo-1), st.fr.RowFlags(tyHi))
+		if err != nil {
+			return false
 		}
-		globalAny, err := comm.AllreduceBool(localAny)
+		if metaAbove != nil {
+			st.fr.MergeRowFlags(tyLo, metaAbove.([]bool))
+		}
+		if metaBelow != nil {
+			st.fr.MergeRowFlags(tyHi-1, metaBelow.([]bool))
+		}
+
+		// 4. Promote the frontier and take the global convergence vote.
+		globalAny, err := comm.AllreduceBool(st.fr.Advance() > 0)
 		if err != nil {
 			return false
 		}

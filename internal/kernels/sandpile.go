@@ -9,6 +9,7 @@ package kernels
 import (
 	"easypap/internal/core"
 	"easypap/internal/img2d"
+	"easypap/internal/tilegrid"
 )
 
 func init() {
@@ -20,21 +21,28 @@ func init() {
 		Variants: map[string]core.ComputeFunc{
 			"seq":       sandSeq,
 			"omp_tiled": sandOmpTiled,
+			"lazy_omp":  sandLazyOmp,
 		},
 		DefaultVariant: "seq",
 	})
 }
 
 // sandState is the kernel-private grain grid (uint32 per cell; counts can
-// exceed 255 transiently with large initial piles).
+// exceed 255 transiently with large initial piles) plus the shared
+// tile-activity frontier for the lazy variant and convergence tracking.
 type sandState struct {
 	dim       int
 	cur, next []uint32
+	tileW     int
+	tileH     int
+	fr        *tilegrid.Frontier
 }
 
 func sandInit(ctx *core.Ctx) error {
 	dim := ctx.Dim()
-	st := &sandState{dim: dim, cur: make([]uint32, dim*dim), next: make([]uint32, dim*dim)}
+	st := &sandState{dim: dim, cur: make([]uint32, dim*dim), next: make([]uint32, dim*dim),
+		tileW: ctx.Cfg.TileW, tileH: ctx.Cfg.TileH, fr: tilegrid.New(ctx.Grid)}
+	st.fr.Advance() // first iteration computes every tile
 	// EASYPAP's classic setup: every interior cell starts with 5 grains
 	// (unstable), the one-cell border stays empty and absorbs grains.
 	for y := 1; y < dim-1; y++ {
@@ -108,20 +116,39 @@ func sandSeq(ctx *core.Ctx, nbIter int) int {
 func sandOmpTiled(ctx *core.Ctx, nbIter int) int {
 	st := sandStateOf(ctx)
 	return ctx.ForIterations(nbIter, func(int) bool {
-		activeTiles := make([]bool, ctx.Grid.Tiles())
-		ctx.Pool.ParallelFor(ctx.Grid.Tiles(), ctx.Cfg.Schedule, func(tile, worker int) {
-			x, y, w, h := ctx.Grid.Coords(tile)
+		ctx.Pool.ParallelForTiles(ctx.Grid, ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
 			ctx.StartTile(worker)
-			activeTiles[tile] = st.sandStepTile(x, y, w, h)
+			if st.sandStepTile(x, y, w, h) {
+				st.fr.MarkChanged(x/st.tileW, y/st.tileH)
+			}
 			ctx.EndTile(x, y, w, h, worker)
 		})
 		st.cur, st.next = st.next, st.cur
-		for _, a := range activeTiles {
-			if a {
-				return true
+		// Frontier used for convergence only (and without the []bool the
+		// old implementation allocated per iteration).
+		return st.fr.Advance() > 0
+	})
+}
+
+// sandLazyOmp dispatches only the active tiles: a tile re-enters the
+// frontier when it (or an 8-neighbour) changed or still holds an unstable
+// cell — the exact continuation criterion of the eager variants, so
+// iteration counts and final boards match them byte for byte. Skipped
+// tiles need no copy: see the tilegrid no-copy invariant (a skipped tile
+// was computed-and-steady, so both grain buffers already agree on it).
+func sandLazyOmp(ctx *core.Ctx, nbIter int) int {
+	st := sandStateOf(ctx)
+	return ctx.ForIterations(nbIter, func(int) bool {
+		ctx.ReportActivity(st.fr.Count(), st.fr.Total(), st.fr.Active())
+		ctx.Pool.ParallelForActive(ctx.Grid, st.fr.Active(), ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			ctx.StartTile(worker)
+			if st.sandStepTile(x, y, w, h) {
+				st.fr.MarkChanged(x/st.tileW, y/st.tileH)
 			}
-		}
-		return false
+			ctx.EndTile(x, y, w, h, worker)
+		})
+		st.cur, st.next = st.next, st.cur
+		return st.fr.Advance() > 0
 	})
 }
 

@@ -1,0 +1,77 @@
+package monitor
+
+import "testing"
+
+// TestRecordActivityIntoIterStats: frontier reports land in the
+// iteration snapshot and accumulate per-tile residency counts.
+func TestRecordActivityIntoIterStats(t *testing.T) {
+	m := New(2, 64)
+	m.StartIteration(1)
+	m.RecordActivity(3, 16, []int32{0, 5, 10}, 4, 4)
+	s := m.EndIteration()
+	if s.ActiveTiles != 3 || s.FrontierTotal != 16 {
+		t.Fatalf("IterStats activity = %d/%d, want 3/16", s.ActiveTiles, s.FrontierTotal)
+	}
+
+	m.StartIteration(2)
+	m.RecordActivity(2, 16, []int32{5, 10}, 4, 4)
+	s = m.EndIteration()
+	if s.ActiveTiles != 2 {
+		t.Fatalf("second iteration activity = %d, want 2", s.ActiveTiles)
+	}
+
+	counts, tx, ty, iters := m.ActivityGrid()
+	if tx != 4 || ty != 4 || iters != 2 {
+		t.Fatalf("ActivityGrid geometry = %dx%d over %d iters", tx, ty, iters)
+	}
+	want := map[int]int{0: 1, 5: 2, 10: 2}
+	for tile, n := range want {
+		if counts[tile] != n {
+			t.Errorf("tile %d residency = %d, want %d", tile, counts[tile], n)
+		}
+	}
+	if counts[1] != 0 {
+		t.Errorf("untouched tile has residency %d", counts[1])
+	}
+}
+
+// TestIterationWithoutActivityReportsZero: eager iterations leave the
+// frontier fields at zero (FrontierTotal == 0 means "not reported").
+func TestIterationWithoutActivityReportsZero(t *testing.T) {
+	m := New(1, 32)
+	m.StartIteration(1)
+	s := m.EndIteration()
+	if s.ActiveTiles != 0 || s.FrontierTotal != 0 {
+		t.Fatalf("eager iteration reports activity %d/%d", s.ActiveTiles, s.FrontierTotal)
+	}
+	if counts, _, _, _ := m.ActivityGrid(); counts != nil {
+		t.Fatal("eager monitor has a tile-activity grid")
+	}
+}
+
+// TestFrontierImage: the heat map renders nil without activity, and hot
+// tiles brighter than cold ones with it.
+func TestFrontierImage(t *testing.T) {
+	m := New(1, 32)
+	if img := FrontierImage(m, 64); img != nil {
+		t.Fatal("FrontierImage without activity should be nil")
+	}
+	m.StartIteration(1)
+	m.RecordActivity(2, 16, []int32{0, 15}, 4, 4)
+	m.EndIteration()
+	m.StartIteration(2)
+	m.RecordActivity(1, 16, []int32{15}, 4, 4)
+	m.EndIteration()
+	img := FrontierImage(m, 64)
+	if img == nil {
+		t.Fatal("FrontierImage with activity is nil")
+	}
+	// Tile 15 (bottom-right) was active twice, tile 0 once, tile 5 never.
+	hot := img.Get(60, 60)
+	warm := img.Get(2, 2)
+	cold := img.Get(20, 20)
+	if hot == cold || warm == cold {
+		t.Errorf("active tiles not distinguishable from inactive: hot=%v warm=%v cold=%v",
+			hot, warm, cold)
+	}
+}

@@ -41,6 +41,13 @@ type IterStats struct {
 	// the Activity Monitor graphs at the bottom of the window.
 	Idleness float64
 	Tiles    []TileRec
+
+	// ActiveTiles/FrontierTotal are the lazy tile-frontier size of the
+	// iteration as reported through Ctx.ReportActivity: ActiveTiles of
+	// FrontierTotal owned tiles were dispatched. FrontierTotal == 0 means
+	// the kernel does not report activity (eager variants).
+	ActiveTiles   int
+	FrontierTotal int
 }
 
 // MaxLoad and MinLoad return the extreme per-CPU loads.
@@ -97,6 +104,16 @@ type Monitor struct {
 	iterStart int64
 	history   []float64   // per-iteration idleness
 	iters     []IterStats // every completed iteration
+
+	// Frontier activity (lazy kernels, via Ctx.ReportActivity):
+	// tileActivity[tile] counts the iterations the tile spent in the
+	// frontier; activityIters is how many iterations reported, so the
+	// frontier heat map can normalize.
+	tileActivity     []int
+	tilesX, tilesY   int
+	activityIters    int
+	curActive        int // current iteration's frontier size
+	curFrontierTotal int
 }
 
 // mlane is one worker's private recording lane, padded against false
@@ -139,11 +156,42 @@ func (m *Monitor) now() int64 { return int64(time.Since(m.epoch)) }
 func (m *Monitor) StartIteration(iter int) {
 	m.iter = iter
 	m.iterStart = m.now()
+	m.curActive, m.curFrontierTotal = 0, 0
 	for w := range m.lanes {
 		m.lanes[w].busy = 0
 		m.lanes[w].tiles = m.lanes[w].tiles[:0]
 		m.lanes[w].open = false
 	}
+}
+
+// RecordActivity records the iteration's tile frontier: active of total
+// owned tiles were dispatched, tiles listing their indices in a tilesX x
+// tilesY decomposition (nil is allowed: counts only). Called by
+// Ctx.ReportActivity between StartIteration and EndIteration.
+func (m *Monitor) RecordActivity(active, total int, tiles []int32, tilesX, tilesY int) {
+	m.curActive, m.curFrontierTotal = active, total
+	if tilesX <= 0 || tilesY <= 0 {
+		return
+	}
+	if m.tileActivity == nil || m.tilesX != tilesX || m.tilesY != tilesY {
+		m.tileActivity = make([]int, tilesX*tilesY)
+		m.tilesX, m.tilesY = tilesX, tilesY
+		m.activityIters = 0
+	}
+	m.activityIters++
+	for _, t := range tiles {
+		if int(t) >= 0 && int(t) < len(m.tileActivity) {
+			m.tileActivity[t]++
+		}
+	}
+}
+
+// ActivityGrid returns the per-tile frontier residency counts (how many
+// iterations each tile of the tilesX x tilesY grid spent active) and the
+// number of reporting iterations. It returns (nil, 0, 0, 0) when the
+// kernel never reported activity.
+func (m *Monitor) ActivityGrid() (counts []int, tilesX, tilesY, iters int) {
+	return m.tileActivity, m.tilesX, m.tilesY, m.activityIters
 }
 
 // StartTile opens a tile span on worker w's lane
@@ -178,9 +226,11 @@ func (m *Monitor) EndIteration() IterStats {
 		dur = 1
 	}
 	stats := IterStats{
-		Iter:     m.iter,
-		Duration: time.Duration(dur),
-		Loads:    make([]float64, m.workers),
+		Iter:          m.iter,
+		Duration:      time.Duration(dur),
+		Loads:         make([]float64, m.workers),
+		ActiveTiles:   m.curActive,
+		FrontierTotal: m.curFrontierTotal,
 	}
 	var loadSum float64
 	for w := range m.lanes {

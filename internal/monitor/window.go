@@ -77,6 +77,39 @@ func drawTile(out *img2d.Image, rec TileRec, dim, size int, fill img2d.Pixel) {
 	}
 }
 
+// FrontierImage renders the lazy-kernel activity heat map: each tile's
+// brightness encodes the fraction of iterations it spent in the tile
+// frontier (1 = active every iteration, black = never computed). It is
+// the cumulative counterpart of TilingImage's per-iteration holes — the
+// visual of a frontier collapsing onto the areas that keep changing.
+// Returns nil when the monitor recorded no activity (eager kernels).
+func FrontierImage(m *Monitor, size int) *img2d.Image {
+	counts, tilesX, tilesY, iters := m.ActivityGrid()
+	if counts == nil || iters == 0 {
+		return nil
+	}
+	out := img2d.New(size)
+	out.Fill(img2d.Black)
+	for ty := 0; ty < tilesY; ty++ {
+		y0, y1 := ty*size/tilesY, (ty+1)*size/tilesY
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		for tx := 0; tx < tilesX; tx++ {
+			c := counts[ty*tilesX+tx]
+			if c == 0 {
+				continue
+			}
+			x0, x1 := tx*size/tilesX, (tx+1)*size/tilesX
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			out.FillRect(x0, y0, x1-x0, y1-y0, img2d.HeatColor(float64(c)/float64(iters)))
+		}
+	}
+	return out
+}
+
 // ActivityImage renders the Activity Monitor window: one vertical bar per
 // CPU (height = load, color = the CPU's color) over the top 3/4 of the
 // window, and the idleness history diagram across the bottom quarter.

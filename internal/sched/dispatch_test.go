@@ -94,6 +94,13 @@ func TestDispatchNoAllocs(t *testing.T) {
 	}); avg != 0 {
 		t.Errorf("ParallelForTiles: %.1f allocs per call, want 0", avg)
 	}
+	active := []int32{0, 3, 17, 42, 63}
+	pool.ParallelForActive(g, active, DynamicPolicy(2), tile)
+	if avg := testing.AllocsPerRun(20, func() {
+		pool.ParallelForActive(g, active, DynamicPolicy(2), tile)
+	}); avg != 0 {
+		t.Errorf("ParallelForActive: %.1f allocs per call, want 0", avg)
+	}
 }
 
 // TestDispatchAfterBodyPanic: a construct whose body panics on member 0

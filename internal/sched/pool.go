@@ -53,11 +53,13 @@ type Pool struct {
 	// reused (including their chunk backing arrays) across loops.
 	queues []chunkQueue
 
-	// elemAdapter and tileAdapter are allocated once in NewPool so that
-	// ParallelFor and ParallelForTiles need no per-call closure: the
-	// element/tile body travels through the descriptor instead.
-	elemAdapter RangeBody
-	tileAdapter RangeBody
+	// elemAdapter, tileAdapter and activeAdapter are allocated once in
+	// NewPool so that ParallelFor, ParallelForTiles and ParallelForActive
+	// need no per-call closure: the element/tile body travels through the
+	// descriptor instead.
+	elemAdapter   RangeBody
+	tileAdapter   RangeBody
+	activeAdapter RangeBody
 }
 
 // loopDesc describes one worksharing construct (or bare parallel region).
@@ -70,6 +72,7 @@ type loopDesc struct {
 	region func(worker int) // Run/Team regions
 	elem   Body             // ParallelFor element body (via elemAdapter)
 	tile   TileBody         // ParallelForTiles body (via tileAdapter)
+	active []int32          // ParallelForActive tile list (via activeAdapter)
 	grid   TileGrid
 	cursor atomic.Int64 // dynamic fetch-add / guided CAS cursor
 	remain atomic.Int64 // nonmonotonic outstanding iterations
@@ -98,6 +101,13 @@ func NewPool(n int) *Pool {
 		body, g := p.loop.tile, p.loop.grid
 		for tile := lo; tile < hi; tile++ {
 			x, y, w, h := g.Coords(tile)
+			body(x, y, w, h, worker)
+		}
+	}
+	p.activeAdapter = func(lo, hi, worker int) {
+		body, g, list := p.loop.tile, p.loop.grid, p.loop.active
+		for i := lo; i < hi; i++ {
+			x, y, w, h := g.Coords(int(list[i]))
 			body(x, y, w, h, worker)
 		}
 	}
@@ -211,6 +221,7 @@ func (p *Pool) clearLoop() {
 	p.loop.region = nil
 	p.loop.elem = nil
 	p.loop.tile = nil
+	p.loop.active = nil
 }
 
 // sharedWork reports whether member 0 could consume other members' share

@@ -1,0 +1,31 @@
+package sched
+
+// Sparse dispatch: the worksharing entry point behind the lazy tile-activity
+// engine (internal/tilegrid). Where ParallelForTiles iterates the full dense
+// tile grid, ParallelForActive iterates a compacted list of active tile
+// indices, so an iteration's cost is proportional to the frontier size, not
+// the grid size — the platform-level form of the paper's §III-D lazy
+// evaluation. The list rides through the same epoch-broadcast descriptor,
+// steal queues and policies as every other construct, and the pre-allocated
+// adapter keeps a warm-pool dispatch at zero heap allocations.
+
+// ParallelForActive executes body for every tile listed in active (indices
+// into g, in list order) using the given scheduling policy, blocking until
+// all of them complete. Scheduling policies see the *list positions* as the
+// iteration space: schedule(static) splits the active list — not the grid —
+// evenly, so load balance degrades gracefully as the frontier collapses.
+// An empty list returns immediately without waking the team.
+//
+// The caller must not mutate active until the call returns; a
+// tilegrid.Frontier's Active() slice is valid by construction.
+func (p *Pool) ParallelForActive(g TileGrid, active []int32, pol Policy, body TileBody) {
+	if len(active) == 0 {
+		return
+	}
+	p.loopMu.Lock()
+	defer p.loopMu.Unlock()
+	p.loop.tile = body
+	p.loop.grid = g
+	p.loop.active = active
+	p.forRangesLocked(len(active), pol, p.activeAdapter)
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"easypap/internal/core"
+	_ "easypap/internal/kernels"
+)
+
+// TestJobStatusExposesActivity: a lazy job's status carries the frontier
+// snapshot (live hook) and the full collapse series in the result.
+func TestJobStatusExposesActivity(t *testing.T) {
+	m := NewManager(Options{Workers: 1, QueueDepth: 4})
+	defer m.Close()
+
+	st, err := m.Submit(core.Config{Kernel: "life", Variant: "lazy", Dim: 64,
+		TileW: 8, TileH: 8, Iterations: 8, Arg: "diag", Threads: 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done, err := m.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != JobDone {
+		t.Fatalf("job state %s: %s", done.State, done.Error)
+	}
+	if done.Activity == nil {
+		t.Fatal("lazy job status has no activity snapshot")
+	}
+	total := (64 / 8) * (64 / 8)
+	if done.Activity.Total != total {
+		t.Errorf("activity total = %d, want %d", done.Activity.Total, total)
+	}
+	if done.Activity.Active <= 0 || done.Activity.Active > total {
+		t.Errorf("activity active = %d out of range (0, %d]", done.Activity.Active, total)
+	}
+	if r := done.Activity.Ratio; r <= 0 || r > 1 {
+		t.Errorf("activity ratio = %f out of range", r)
+	}
+	if done.Result == nil || len(done.Result.Activity) == 0 {
+		t.Fatal("result carries no activity series")
+	}
+	if done.Result.Activity[0].Active != total {
+		t.Errorf("first iteration dispatched %d tiles, want full grid %d",
+			done.Result.Activity[0].Active, total)
+	}
+
+	// Stats aggregate the dispatched/skipped tiles per kernel.
+	stats := m.Stats()
+	kt, ok := stats.Kernels["life"]
+	if !ok {
+		t.Fatal("no life kernel throughput")
+	}
+	if kt.TilesDispatched <= 0 {
+		t.Errorf("TilesDispatched = %d, want > 0", kt.TilesDispatched)
+	}
+	if kt.TilesSkipped <= 0 {
+		t.Errorf("TilesSkipped = %d, want > 0 on the sparse diag dataset", kt.TilesSkipped)
+	}
+
+	// An eager job leaves the activity fields empty.
+	st2, err := m.Submit(core.Config{Kernel: "life", Variant: "omp_tiled", Dim: 64,
+		TileW: 8, TileH: 8, Iterations: 3, Arg: "diag", Threads: 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2, err := m.Wait(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done2.Activity != nil {
+		t.Errorf("eager job status has activity %+v", done2.Activity)
+	}
+}
+
+// TestActivityInStatusJSON: the HTTP status body serializes the activity
+// snapshot under "activity" with the documented field names.
+func TestActivityInStatusJSON(t *testing.T) {
+	m := NewManager(Options{Workers: 1, QueueDepth: 4})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	st, err := m.Submit(core.Config{Kernel: "fire", Variant: "lazy", Dim: 64,
+		TileW: 8, TileH: 8, Iterations: 30, Arg: "full", Threads: 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := m.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Activity *struct {
+			Iter   int     `json:"iter"`
+			Active int     `json:"active_tiles"`
+			Total  int     `json:"total_tiles"`
+			Ratio  float64 `json:"ratio"`
+		} `json:"activity"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Activity == nil {
+		t.Fatal("status JSON has no activity object")
+	}
+	if body.Activity.Total != 64 || body.Activity.Iter == 0 {
+		t.Errorf("activity JSON = %+v", body.Activity)
+	}
+}

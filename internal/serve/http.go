@@ -30,12 +30,9 @@ type SubmitRequest struct {
 	Frames bool `json:"frames,omitempty"`
 }
 
-// KernelInfo is one entry of GET /v1/kernels.
-type KernelInfo struct {
-	Name        string   `json:"name"`
-	Description string   `json:"description,omitempty"`
-	Variants    []string `json:"variants"`
-}
+// KernelInfo is one entry of GET /v1/kernels — the same shape
+// `easypap --list-json` prints, so CLI and service clients share a parser.
+type KernelInfo = core.KernelInfo
 
 // NewHandler wires a Manager into an http.Handler serving the /v1 API.
 func NewHandler(m *Manager) http.Handler {
@@ -107,16 +104,7 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
-		names := core.KernelNames()
-		infos := make([]KernelInfo, 0, len(names))
-		for _, n := range names {
-			k, err := core.Lookup(n)
-			if err != nil {
-				continue
-			}
-			infos = append(infos, KernelInfo{Name: k.Name, Description: k.Description, Variants: k.VariantNames()})
-		}
-		writeJSON(w, http.StatusOK, infos)
+		writeJSON(w, http.StatusOK, core.KernelList())
 	})
 
 	return mux

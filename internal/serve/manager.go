@@ -123,9 +123,24 @@ type JobStatus struct {
 	Result *core.Result `json:"result,omitempty"` // present once done
 	Error  string       `json:"error,omitempty"`  // present when failed/canceled
 
+	// Activity is the latest tile-frontier report of a lazy kernel job —
+	// updated live while the job runs, so polling GET /v1/jobs/{id} shows
+	// the frontier collapsing. Absent for eager variants. The full
+	// per-iteration series lands in Result.Activity once done.
+	Activity *ActivityStatus `json:"activity,omitempty"`
+
 	SubmittedAt time.Time `json:"submitted_at"`
 	QueuedNS    int64     `json:"queued_ns,omitempty"` // time spent waiting for a runner
 	RanNS       int64     `json:"ran_ns,omitempty"`    // time spent executing
+}
+
+// ActivityStatus is the live frontier snapshot of a lazy job: at
+// iteration Iter, Active of Total owned tiles were dispatched.
+type ActivityStatus struct {
+	Iter   int     `json:"iter"`
+	Active int     `json:"active_tiles"`
+	Total  int     `json:"total_tiles"`
+	Ratio  float64 `json:"ratio"` // Active / Total
 }
 
 // job is the internal record.
@@ -143,6 +158,7 @@ type job struct {
 	cached    bool
 	result    *core.Result
 	errMsg    string
+	activity  *ActivityStatus // latest lazy-frontier report (nil for eager)
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -155,7 +171,7 @@ func (j *job) snapshot() *JobStatus {
 	s := &JobStatus{
 		ID: j.id, State: j.state, Cached: j.cached, Frames: j.frames != nil,
 		Hash: j.hash, Config: j.cfg, Result: j.result, Error: j.errMsg,
-		SubmittedAt: j.submitted,
+		Activity: j.activity, SubmittedAt: j.submitted,
 	}
 	if !j.started.IsZero() {
 		s.QueuedNS = j.started.Sub(j.submitted).Nanoseconds()
@@ -171,6 +187,8 @@ type kernelStats struct {
 	jobs       int64
 	iterations int64
 	wallNS     int64
+	dispatched int64 // lazy frontier tiles actually computed
+	skipped    int64 // tiles the frontier let the kernel skip
 }
 
 // Manager is the job service. Create with NewManager, shut down with
@@ -340,6 +358,15 @@ func (m *Manager) runJob(j *job) {
 	defer m.running.Add(-1)
 
 	opts := core.RunOptions{RecvTimeout: m.opts.RecvTimeout}
+	opts.OnActivity = func(a core.IterActivity) {
+		st := &ActivityStatus{Iter: a.Iter, Active: a.Active, Total: a.Total}
+		if a.Total > 0 {
+			st.Ratio = float64(a.Active) / float64(a.Total)
+		}
+		j.mu.Lock()
+		j.activity = st
+		j.mu.Unlock()
+	}
 	var leased *sched.Pool
 	if j.cfg.MPIRanks <= 1 {
 		// Distributed jobs own one private pool per rank inside core; only
@@ -435,6 +462,10 @@ func (m *Manager) recordKernel(r core.Result) {
 	ks.jobs++
 	ks.iterations += int64(r.Iterations)
 	ks.wallNS += r.WallTime.Nanoseconds()
+	for _, a := range r.Activity {
+		ks.dispatched += int64(a.Active)
+		ks.skipped += int64(a.Total - a.Active)
+	}
 }
 
 // lookup finds a job by id.
@@ -547,6 +578,12 @@ type KernelThroughput struct {
 	Iterations  int64   `json:"iterations"`
 	WallNS      int64   `json:"wall_ns"`
 	ItersPerSec float64 `json:"iters_per_sec"` // computed iterations per compute-second
+
+	// TilesDispatched/TilesSkipped aggregate lazy-variant frontiers: how
+	// many tiles sparse dispatch actually computed vs. how many the
+	// tile-activity engine proved skippable (both 0 for eager-only load).
+	TilesDispatched int64 `json:"tiles_dispatched,omitempty"`
+	TilesSkipped    int64 `json:"tiles_skipped,omitempty"`
 }
 
 // Stats returns a consistent snapshot of the service counters.
@@ -572,7 +609,8 @@ func (m *Manager) Stats() Stats {
 	}
 	m.kmu.Lock()
 	for name, ks := range m.kernels {
-		kt := KernelThroughput{Jobs: ks.jobs, Iterations: ks.iterations, WallNS: ks.wallNS}
+		kt := KernelThroughput{Jobs: ks.jobs, Iterations: ks.iterations, WallNS: ks.wallNS,
+			TilesDispatched: ks.dispatched, TilesSkipped: ks.skipped}
 		if ks.wallNS > 0 {
 			kt.ItersPerSec = float64(ks.iterations) / (float64(ks.wallNS) / 1e9)
 		}

@@ -1,0 +1,241 @@
+// Package tilegrid is the shared lazy tile-activity engine behind every
+// lazy kernel variant (paper §III-D): a double-buffered frontier of active
+// tiles over a sched.TileGrid. Workers concurrently mark a tile (and its
+// neighbourhood) active for the *next* iteration with lock-free bitset
+// operations while the *current* iteration's active set is being consumed;
+// at the iteration boundary Advance compacts the marks into a dense active
+// list that sched.Pool.ParallelForActive dispatches — cost proportional to
+// the number of active tiles, not the grid size.
+//
+// Before this package, life, sandpile and asandpile each carried a private
+// changed[]/prevChange[] implementation of the same idea, and lazy variants
+// still paid a full-grid scan per iteration to decide which tiles to skip.
+// The frontier replaces those three copies and removes the scan.
+//
+// The no-copy invariant (why skipped tiles need no copy-tile fallback):
+// double-buffered stencil kernels historically copied every skipped tile
+// from cur to next so the cells survived the buffer swap. With the frontier
+// discipline — "a tile that changes marks itself and its 8 neighbours
+// active for the next iteration, and every computed tile writes all its
+// cells" — the copy is provably unnecessary: a tile inactive at iteration k
+// was computed-and-unchanged (or not computed) at k-1, so the write at k-1
+// made both buffers equal on that tile; inductively they stay equal for as
+// long as the tile stays out of the frontier, and the swap is harmless.
+// DESIGN.md §7 spells out the induction.
+package tilegrid
+
+import (
+	"fmt"
+	mathbits "math/bits"
+	"sync/atomic"
+
+	"easypap/internal/sched"
+)
+
+// Frontier is the double-buffered tile-activity set. The marking side
+// (Mark, MarkChanged, MergeRowFlags) is safe for concurrent use by any
+// number of workers; the boundary side (Advance, Active, Count) must be
+// called from one goroutine between parallel constructs, exactly like a
+// buffer swap.
+type Frontier struct {
+	grid sched.TileGrid
+
+	// next collects marks for the following iteration (atomic bitset,
+	// one bit per tile). cur is the snapshot being consumed: Advance
+	// swaps the two and clears the new next, so steady-state operation
+	// allocates nothing.
+	next []uint64
+	cur  []uint64
+
+	// active is the compacted list of cur's set bits (band rows only),
+	// reused across iterations.
+	active []int32
+
+	// tyLo/tyHi restrict Advance's compaction to the owned tile rows
+	// [tyLo, tyHi) — the MPI band of this rank. Marks may still land in
+	// the halo rows tyLo-1 and tyHi; they are exported to the owning
+	// rank with RowFlags, never dispatched locally.
+	tyLo, tyHi int
+}
+
+// New builds a frontier over the grid with every tile marked active, so
+// the first Advance dispatches the full grid — the "first lazy iteration
+// computes everything" rule lazy kernels start from.
+func New(grid sched.TileGrid) *Frontier {
+	words := (grid.Tiles() + 63) / 64
+	f := &Frontier{
+		grid:   grid,
+		next:   make([]uint64, words),
+		cur:    make([]uint64, words),
+		active: make([]int32, 0, grid.Tiles()),
+		tyLo:   0,
+		tyHi:   grid.TilesY,
+	}
+	f.MarkAll()
+	return f
+}
+
+// Restrict limits the frontier to tile rows [tyLo, tyHi) — one MPI rank's
+// band. Initial marks outside the band are discarded; subsequent marks may
+// still spread one row into the halo (tyLo-1, tyHi) for export to the
+// neighbouring rank. Restrict panics on an empty or out-of-range band:
+// that is a decomposition bug, not a runtime condition.
+func (f *Frontier) Restrict(tyLo, tyHi int) {
+	if tyLo < 0 || tyHi > f.grid.TilesY || tyLo >= tyHi {
+		panic(fmt.Sprintf("tilegrid: band [%d,%d) outside grid of %d tile rows",
+			tyLo, tyHi, f.grid.TilesY))
+	}
+	f.tyLo, f.tyHi = tyLo, tyHi
+	// Re-seed: only the owned rows start active.
+	for i := range f.next {
+		f.next[i] = 0
+	}
+	f.markRowRange(tyLo, tyHi)
+}
+
+// Grid returns the tile decomposition the frontier tracks.
+func (f *Frontier) Grid() sched.TileGrid { return f.grid }
+
+// MarkAll marks every owned tile active for the next iteration.
+func (f *Frontier) MarkAll() { f.markRowRange(f.tyLo, f.tyHi) }
+
+func (f *Frontier) markRowRange(tyLo, tyHi int) {
+	for ty := tyLo; ty < tyHi; ty++ {
+		f.orSpan(ty*f.grid.TilesX, (ty+1)*f.grid.TilesX-1)
+	}
+}
+
+// Mark marks the single tile (tx, ty) active for the next iteration.
+func (f *Frontier) Mark(tx, ty int) {
+	if tx < 0 || tx >= f.grid.TilesX || ty < 0 || ty >= f.grid.TilesY {
+		return
+	}
+	f.orSpan(ty*f.grid.TilesX+tx, ty*f.grid.TilesX+tx)
+}
+
+// MarkChanged records that tile (tx, ty) changed during the current
+// iteration: the tile and its 8 neighbours become active for the next one
+// — the neighbourhood criterion of §III-D, inverted from "did my
+// neighbourhood change?" (a full-grid query per tile) into "spread my
+// change to my neighbourhood" (a few atomic ORs per *changed* tile).
+// Safe for concurrent use; marks outside the grid are clamped away, marks
+// in another rank's halo row are kept for export.
+func (f *Frontier) MarkChanged(tx, ty int) {
+	x0, x1 := tx-1, tx+1
+	if x0 < 0 {
+		x0 = 0
+	}
+	if x1 >= f.grid.TilesX {
+		x1 = f.grid.TilesX - 1
+	}
+	for ny := ty - 1; ny <= ty+1; ny++ {
+		if ny < 0 || ny >= f.grid.TilesY {
+			continue
+		}
+		base := ny * f.grid.TilesX
+		f.orSpan(base+x0, base+x1)
+	}
+}
+
+// orSpan sets bits [lo, hi] (inclusive) of the next bitset. A cheap
+// read-first test skips the RMW when the bits are already set — in steady
+// state the same frontier tiles are re-marked by up to nine neighbours per
+// iteration, and the loads keep those cache lines shared instead of
+// ping-ponging in exclusive mode.
+func (f *Frontier) orSpan(lo, hi int) {
+	for w := lo >> 6; w <= hi>>6; w++ {
+		mask := ^uint64(0)
+		if w == lo>>6 {
+			mask &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if w == hi>>6 {
+			mask &= (uint64(2) << (uint(hi) & 63)) - 1
+		}
+		if atomic.LoadUint64(&f.next[w])&mask != mask {
+			atomic.OrUint64(&f.next[w], mask)
+		}
+	}
+}
+
+// Advance ends an iteration: it promotes the next-iteration marks to the
+// current active set, clears the marking buffer, and compacts the owned
+// tiles into the active list. It returns the number of active tiles —
+// zero means the computation converged. Advance allocates nothing in
+// steady state (the list's backing array is reused).
+func (f *Frontier) Advance() int {
+	f.cur, f.next = f.next, f.cur
+	for i := range f.next {
+		f.next[i] = 0
+	}
+	f.active = f.active[:0]
+	tilesX := f.grid.TilesX
+	lo, hi := f.tyLo*tilesX, f.tyHi*tilesX
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		bits := f.cur[w]
+		if bits == 0 {
+			continue
+		}
+		base := w << 6
+		for bits != 0 {
+			tile := base + mathbits.TrailingZeros64(bits)
+			bits &= bits - 1
+			if tile >= lo && tile < hi {
+				f.active = append(f.active, int32(tile))
+			}
+		}
+	}
+	return len(f.active)
+}
+
+// Active returns the compacted list of tiles active in the current
+// iteration (ascending tile index). The slice is valid until the next
+// Advance and must not be mutated — hand it to ParallelForActive as is.
+func (f *Frontier) Active() []int32 { return f.active }
+
+// Count returns the number of tiles active in the current iteration.
+func (f *Frontier) Count() int { return len(f.active) }
+
+// Total returns the number of owned tiles (the band's tiles, or the whole
+// grid when unrestricted) — the denominator of activity ratios.
+func (f *Frontier) Total() int { return (f.tyHi - f.tyLo) * f.grid.TilesX }
+
+// IsActive reports whether the tile is in the current active set.
+func (f *Frontier) IsActive(tile int) bool {
+	if tile < 0 || tile >= f.grid.Tiles() {
+		return false
+	}
+	return f.cur[tile>>6]&(1<<(uint(tile)&63)) != 0
+}
+
+// RowFlags reads the next-iteration marks of tile row ty as a []bool —
+// the frontier flags a rank forwards to the neighbour owning that row
+// (the halo rows tyLo-1 and tyHi). It returns nil for rows outside the
+// grid, so band edges need no special casing. RowFlags must be called
+// between the marking phase and Advance (Advance clears the marks).
+func (f *Frontier) RowFlags(ty int) []bool {
+	if ty < 0 || ty >= f.grid.TilesY {
+		return nil
+	}
+	flags := make([]bool, f.grid.TilesX)
+	base := ty * f.grid.TilesX
+	for tx := range flags {
+		tile := base + tx
+		flags[tx] = atomic.LoadUint64(&f.next[tile>>6])&(1<<(uint(tile)&63)) != 0
+	}
+	return flags
+}
+
+// MergeRowFlags ORs a neighbour rank's forwarded frontier flags into tile
+// row ty (no neighbourhood spreading — the sender already spread its
+// changes when marking). nil flags (world edge) are a no-op.
+func (f *Frontier) MergeRowFlags(ty int, flags []bool) {
+	if flags == nil || ty < 0 || ty >= f.grid.TilesY {
+		return
+	}
+	base := ty * f.grid.TilesX
+	for tx, on := range flags {
+		if on && tx < f.grid.TilesX {
+			f.orSpan(base+tx, base+tx)
+		}
+	}
+}

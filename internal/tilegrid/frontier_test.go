@@ -1,0 +1,205 @@
+package tilegrid
+
+import (
+	"sync"
+	"testing"
+
+	"easypap/internal/sched"
+)
+
+func activeSet(f *Frontier) map[int]bool {
+	set := make(map[int]bool)
+	for _, t := range f.Active() {
+		set[int(t)] = true
+	}
+	return set
+}
+
+// TestNewStartsFullyActive: the first Advance must dispatch every tile —
+// the "first lazy iteration computes everything" rule.
+func TestNewStartsFullyActive(t *testing.T) {
+	g := sched.MustTileGrid(128, 16, 16)
+	f := New(g)
+	if n := f.Advance(); n != g.Tiles() {
+		t.Fatalf("first Advance: %d active tiles, want %d", n, g.Tiles())
+	}
+	for tile := 0; tile < g.Tiles(); tile++ {
+		if !f.IsActive(tile) {
+			t.Fatalf("tile %d not active after initial MarkAll", tile)
+		}
+	}
+	// Nothing marked during the iteration: the frontier collapses.
+	if n := f.Advance(); n != 0 {
+		t.Fatalf("second Advance with no marks: %d active, want 0", n)
+	}
+}
+
+// TestMarkChangedSpreadsToNeighbourhood: a changed tile activates its 3x3
+// neighbourhood, clamped at the grid borders.
+func TestMarkChangedSpreadsToNeighbourhood(t *testing.T) {
+	g := sched.MustTileGrid(64, 8, 8) // 8x8 tiles
+	f := New(g)
+	f.Advance() // consume the initial full marking
+
+	f.MarkChanged(3, 4)
+	f.Advance()
+	set := activeSet(f)
+	if len(set) != 9 {
+		t.Fatalf("interior change: %d active tiles, want 9: %v", len(set), set)
+	}
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			tile := (4+dy)*8 + 3 + dx
+			if !set[tile] {
+				t.Errorf("neighbour tile %d not active", tile)
+			}
+		}
+	}
+
+	// Corner change: clamped to the 4 in-grid tiles.
+	f.MarkChanged(0, 0)
+	f.Advance()
+	set = activeSet(f)
+	want := map[int]bool{0: true, 1: true, 8: true, 9: true}
+	if len(set) != len(want) {
+		t.Fatalf("corner change: active %v, want %v", set, want)
+	}
+	for tile := range want {
+		if !set[tile] {
+			t.Errorf("corner neighbour %d not active", tile)
+		}
+	}
+}
+
+// TestMarkSingleTile: Mark activates exactly one tile, and out-of-grid
+// marks are ignored.
+func TestMarkSingleTile(t *testing.T) {
+	g := sched.MustTileGrid(64, 8, 8)
+	f := New(g)
+	f.Advance()
+	f.Mark(5, 5)
+	f.Mark(-1, 0)
+	f.Mark(0, 8)
+	if n := f.Advance(); n != 1 || f.Active()[0] != 5*8+5 {
+		t.Fatalf("single mark: active = %v, want [45]", f.Active())
+	}
+}
+
+// TestWordBoundarySpans: neighbourhood spans crossing 64-bit word
+// boundaries must set exactly the right bits (tilesX=67 keeps rows and
+// words misaligned).
+func TestWordBoundarySpans(t *testing.T) {
+	g := sched.MustTileGrid(67*4, 4, 4) // 67x67 tiles
+	f := New(g)
+	f.Advance()
+	for _, tx := range []int{62, 63, 64, 65} {
+		f.MarkChanged(tx, 31)
+	}
+	f.Advance()
+	set := activeSet(f)
+	for ty := 30; ty <= 32; ty++ {
+		for tx := 61; tx <= 66; tx++ {
+			if !set[ty*67+tx] {
+				t.Errorf("tile (%d,%d) missing from word-boundary span", tx, ty)
+			}
+		}
+	}
+	if len(set) != 3*6 {
+		t.Errorf("%d active tiles, want %d", len(set), 3*6)
+	}
+}
+
+// TestRestrictAndRowFlags: a band-restricted frontier dispatches only its
+// own rows, keeps halo marks for export, and merges a neighbour's flags.
+func TestRestrictAndRowFlags(t *testing.T) {
+	g := sched.MustTileGrid(64, 8, 8) // 8x8 tiles
+	f := New(g)
+	f.Restrict(4, 8) // bottom half: rows 4..7
+	if n := f.Advance(); n != 4*8 {
+		t.Fatalf("restricted initial frontier: %d tiles, want %d", n, 4*8)
+	}
+	if f.Total() != 32 {
+		t.Fatalf("Total() = %d, want 32", f.Total())
+	}
+
+	// A change in the band's first row spreads into halo row 3 (owned by
+	// the neighbour above): exported via RowFlags, never dispatched here.
+	f.MarkChanged(2, 4)
+	halo := f.RowFlags(3)
+	wantHalo := []bool{false, true, true, true, false, false, false, false}
+	for i, w := range wantHalo {
+		if halo[i] != w {
+			t.Fatalf("halo row flags = %v, want %v", halo, wantHalo)
+		}
+	}
+	f.Advance()
+	for _, tile := range f.Active() {
+		if int(tile) < 4*8 {
+			t.Fatalf("dispatched tile %d outside the band", tile)
+		}
+	}
+
+	// Merging a neighbour's forwarded flags activates band tiles directly.
+	f.MergeRowFlags(4, []bool{false, false, false, false, false, true, false, false})
+	f.MergeRowFlags(-1, []bool{true}) // out of grid: no-op
+	f.MergeRowFlags(4, nil)           // world edge: no-op
+	f.Advance()
+	if n := f.Count(); n != 1 || int(f.Active()[0]) != 4*8+5 {
+		t.Fatalf("merged flags: active = %v, want [37]", f.Active())
+	}
+
+	// RowFlags outside the grid (world edges) is nil.
+	if f.RowFlags(-1) != nil || f.RowFlags(8) != nil {
+		t.Fatal("RowFlags outside the grid must be nil")
+	}
+}
+
+// TestConcurrentMarking: racing markers from many goroutines lose no
+// marks (run with -race in CI).
+func TestConcurrentMarking(t *testing.T) {
+	g := sched.MustTileGrid(256, 8, 8) // 32x32 tiles
+	f := New(g)
+	f.Advance()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ty := 0; ty < 32; ty++ {
+				f.MarkChanged(w*4, ty)
+			}
+		}(w)
+	}
+	wg.Wait()
+	f.Advance()
+	set := activeSet(f)
+	for w := 0; w < 8; w++ {
+		for ty := 0; ty < 32; ty++ {
+			for dx := -1; dx <= 1; dx++ {
+				tx := w*4 + dx
+				if tx < 0 || tx >= 32 {
+					continue
+				}
+				if !set[ty*32+tx] {
+					t.Fatalf("concurrent mark lost: tile (%d,%d)", tx, ty)
+				}
+			}
+		}
+	}
+}
+
+// TestAdvanceSteadyStateAllocs: the swap-and-compact boundary must not
+// allocate once warm.
+func TestAdvanceSteadyStateAllocs(t *testing.T) {
+	g := sched.MustTileGrid(256, 8, 8)
+	f := New(g)
+	f.Advance()
+	allocs := testing.AllocsPerRun(100, func() {
+		f.MarkChanged(5, 5)
+		f.MarkChanged(20, 20)
+		f.Advance()
+	})
+	if allocs != 0 {
+		t.Errorf("Advance allocates %.1f objects per iteration, want 0", allocs)
+	}
+}
