@@ -15,6 +15,17 @@
 //	curl -s localhost:8080/v1/jobs/j-000002/frames > frames.ezf
 //	# service counters
 //	curl -s localhost:8080/v1/stats
+//
+// With -self and -peers the daemon joins a cluster (DESIGN.md §8):
+// submissions are routed by consistent hash of their canonical config to
+// the node whose result cache owns them, any node answers for any job
+// id, and a dead peer's jobs fail over to the next ring replica.
+//
+//	easypapd -addr :8080 -self http://hostA:8080 \
+//	         -peers http://hostB:8080,http://hostC:8080
+//
+//	curl -s hostA:8080/v1/cluster          # membership + health
+//	curl -s hostA:8080/v1/cluster/stats    # cluster-aggregated counters
 package main
 
 import (
@@ -26,12 +37,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"easypap/internal/core"
 	_ "easypap/internal/kernels" // register all predefined kernels
 	"easypap/internal/serve"
+	"easypap/internal/serve/cluster"
 )
 
 func main() {
@@ -51,6 +64,10 @@ func run(args []string) error {
 		idlePools = fs.Int("idle-pools", 4, "warm pools kept per thread count")
 		coldPools = fs.Bool("cold-pools", false, "disable warm-pool reuse (every job builds its own pool)")
 		recvTO    = fs.Duration("mpi-recv-timeout", 2*time.Second, "MPI receive watchdog for distributed jobs")
+		self      = fs.String("self", "", "cluster mode: this node's advertised base URL (e.g. http://10.0.0.3:8080)")
+		peers     = fs.String("peers", "", "cluster mode: comma-separated peer base URLs")
+		vnodes    = fs.Int("vnodes", 0, "cluster mode: virtual ring points per node (default 64)")
+		probe     = fs.Duration("probe", time.Second, "cluster mode: peer health-probe interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,7 +82,31 @@ func run(args []string) error {
 		RecvTimeout:      *recvTO,
 	})
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(mgr)}
+	handler := serve.NewHandler(mgr)
+	var node *cluster.Node
+	if *self != "" || *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		var err error
+		node, err = cluster.NewNode(mgr, cluster.Options{
+			Self:          *self,
+			Peers:         peerList,
+			VirtualNodes:  *vnodes,
+			ProbeInterval: *probe,
+		})
+		if err != nil {
+			mgr.Close()
+			return err
+		}
+		handler = node.Handler()
+		log.Printf("easypapd: cluster node %s (%d peers)", node.ID(), len(peerList))
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	// Graceful shutdown: stop accepting, cancel running jobs, drain.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -76,8 +117,14 @@ func run(args []string) error {
 		errc <- srv.ListenAndServe()
 	}()
 
+	stopNode := func() {
+		if node != nil {
+			node.Close()
+		}
+	}
 	select {
 	case err := <-errc:
+		stopNode()
 		mgr.Close()
 		return err
 	case <-ctx.Done():
@@ -85,6 +132,7 @@ func run(args []string) error {
 		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		err := srv.Shutdown(shctx)
+		stopNode()
 		mgr.Close()
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err

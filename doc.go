@@ -37,6 +37,24 @@
 // serve/client.Client, picking up the daemon's result cache for repeated
 // combinations.
 //
+// # Cluster mode
+//
+// With -self and -peers, daemons form a ring (internal/serve/cluster,
+// DESIGN.md §8): submissions are routed by consistent hash of their
+// canonical config to the node whose result cache owns them, any node
+// answers for any job id (the "nXXXXXXXX.j-000017" prefix names the
+// owner), and a dead peer's arc fails over to the next replica:
+//
+//	easypapd -addr :8080 -self http://hostA:8080 \
+//	         -peers http://hostB:8080,http://hostC:8080
+//
+//	curl -s hostA:8080/v1/cluster          # membership + health
+//	curl -s hostA:8080/v1/cluster/stats    # aggregated cluster counters
+//
+// serve/client.NewMulti takes every endpoint, learns the ring, and
+// submits each config straight to its owner; as an expt.Runner it fans
+// a sweep across the whole cluster and survives nodes dying mid-sweep.
+//
 // # The lazy tile-activity engine
 //
 // internal/tilegrid is the shared frontier behind every lazy kernel

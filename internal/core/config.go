@@ -12,6 +12,7 @@ import (
 	"os"
 	"runtime"
 	"time"
+	"unicode/utf8"
 
 	"easypap/internal/sched"
 )
@@ -113,6 +114,14 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.FrameEvery < 0 {
 		return c, fmt.Errorf("core: invalid --frames %d", c.FrameEvery)
+	}
+	// Arg participates in the canonical hash and travels as JSON, which
+	// replaces invalid UTF-8 with U+FFFD — a config that cannot round-trip
+	// the wire unchanged would hash differently on the client and on the
+	// daemon, splitting its cache entry across cluster nodes. Reject it
+	// here instead (found by FuzzConfigCanonicalHash).
+	if !utf8.ValidString(c.Arg) {
+		return c, fmt.Errorf("core: kernel argument is not valid UTF-8")
 	}
 	if c.Label == "" {
 		host, err := os.Hostname()

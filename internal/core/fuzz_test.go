@@ -1,0 +1,161 @@
+package core
+
+// FuzzConfigCanonicalHash guards the identity the whole serving and
+// cluster stack hangs off of: Config.Canonical/Hash is the result-cache
+// key of every daemon and the consistent-hash routing key of cluster
+// mode, so
+//
+//   - canonicalization must be idempotent (normalizing a normalized
+//     config changes nothing — otherwise a proxied submission would
+//     re-normalize on the owner and land under a different key),
+//   - the hash must depend only on the computation, not on how the
+//     config was spelled (JSON field order, explicit vs defaulted
+//     values),
+//   - distinct canonical configs must never collide in the corpus (a
+//     collision would silently serve one computation's cached result
+//     for another).
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"easypap/internal/sched"
+)
+
+// fuzzPolicies is the schedule axis the fuzzer indexes into (free-form
+// policy strings rarely parse; indexing keeps the corpus productive).
+var fuzzPolicies = []sched.Policy{
+	sched.StaticPolicy,
+	sched.GuidedPolicy,
+	sched.DynamicPolicy(1),
+	sched.DynamicPolicy(4),
+	sched.DynamicPolicy(16),
+}
+
+// hashCorpus records canonical -> hash across every fuzz execution in
+// this process, the collision oracle.
+var hashCorpus sync.Map // hash -> canonical
+
+func FuzzConfigCanonicalHash(f *testing.F) {
+	variants := []string{"", "seq", "omp_tiled", "converge2"}
+	f.Add(uint8(0), 0, 0, 0, 0, 0, uint8(0), "", int64(0))
+	f.Add(uint8(1), 1024, 32, 32, 10, 4, uint8(1), "random", int64(42))
+	f.Add(uint8(2), 256, 16, 8, 3, 2, uint8(3), "glider", int64(-7))
+	f.Add(uint8(3), 64, 0, 0, 1, 1, uint8(4), "x", int64(1<<40))
+	f.Fuzz(func(t *testing.T, variantIdx uint8, dim, tileW, tileH, iters, threads int, polIdx uint8, arg string, seed int64) {
+		cfg := Config{
+			Kernel:     "testgrad",
+			Variant:    variants[int(variantIdx)%len(variants)],
+			Dim:        dim,
+			TileW:      tileW,
+			TileH:      tileH,
+			Iterations: iters,
+			Threads:    threads,
+			Schedule:   fuzzPolicies[int(polIdx)%len(fuzzPolicies)],
+			Arg:        arg,
+			Seed:       seed,
+		}
+		n, err := cfg.Normalize()
+		if err != nil {
+			// Invalid geometry etc. — the only contract is that Canonical
+			// and Hash reject it too instead of keying garbage.
+			if _, cerr := cfg.Canonical(); cerr == nil {
+				t.Fatalf("Normalize rejected %+v but Canonical accepted it", cfg)
+			}
+			if _, herr := cfg.Hash(); herr == nil {
+				t.Fatalf("Normalize rejected %+v but Hash accepted it", cfg)
+			}
+			return
+		}
+
+		// Idempotence: normalizing a normalized config is the identity,
+		// canonically. (The daemon normalizes on submit; the owner it
+		// proxies to normalizes again.)
+		n2, err := n.Normalize()
+		if err != nil {
+			t.Fatalf("re-normalizing valid config failed: %v", err)
+		}
+		c1, err := cfg.Canonical()
+		if err != nil {
+			t.Fatalf("Canonical(%+v): %v", cfg, err)
+		}
+		cn, err := n.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn2, err := n2.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1 != cn || cn != cn2 {
+			t.Fatalf("canonicalization not idempotent:\n  raw:    %s\n  norm:   %s\n  norm^2: %s", c1, cn, cn2)
+		}
+
+		h, err := cfg.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Field-order stability: the same config decoded from JSON with
+		// keys in reverse order must hash identically — the wire form of
+		// a submission must never influence its cache key.
+		var reordered Config
+		if err := json.Unmarshal(reverseKeys(t, n), &reordered); err != nil {
+			t.Fatalf("decoding reordered JSON: %v", err)
+		}
+		rh, err := reordered.Hash()
+		if err != nil {
+			t.Fatalf("hashing reordered config: %v", err)
+		}
+		if rh != h {
+			rc, _ := reordered.Canonical()
+			t.Fatalf("JSON field order changed the hash:\n  %s\n  %s", c1, rc)
+		}
+
+		// HashPoint is total and stable on valid hashes.
+		if HashPoint(h) != HashPoint(h) {
+			t.Fatal("HashPoint not deterministic")
+		}
+
+		// Collision oracle over everything this process has hashed:
+		// same hash must always mean same canonical form.
+		if prev, loaded := hashCorpus.LoadOrStore(h, c1); loaded && prev.(string) != c1 {
+			t.Fatalf("hash collision:\n  %s\n  %s\n  both -> %s", prev, c1, h)
+		}
+	})
+}
+
+// reverseKeys re-encodes cfg's JSON object with keys in reverse sorted
+// order. Go's decoder is order-independent by design; this pins the
+// property the cluster relies on, so a future hand-rolled fast path
+// cannot quietly break it.
+func reverseKeys(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &fields); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(keys)))
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%s", k, fields[k])
+	}
+	b.WriteByte('}')
+	return []byte(b.String())
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 )
 
 // Canonical returns the canonical textual form of the configuration: the
@@ -39,4 +41,19 @@ func (c Config) Hash() (string, error) {
 	}
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// HashPoint maps a Config.Hash value onto the uint64 key space used by
+// consistent-hash routing (internal/serve/cluster): the first 64 bits of
+// the SHA-256, which are uniformly distributed over the ring. Non-hash
+// inputs (short or non-hex strings) fall back to hashing the raw string,
+// so the mapping is total — every job routes somewhere deterministic.
+func HashPoint(hash string) uint64 {
+	if len(hash) >= 16 {
+		if v, err := strconv.ParseUint(hash[:16], 16, 64); err == nil {
+			return v
+		}
+	}
+	sum := sha256.Sum256([]byte(hash))
+	return binary.BigEndian.Uint64(sum[:8])
 }

@@ -39,10 +39,14 @@ type Sweep struct {
 	Progress io.Writer
 
 	// Remote, when non-nil, executes every run through this backend
-	// instead of in-process — typically a serve/client.Client pointed at
-	// an easypapd daemon, which adds job queueing, warm-pool reuse and
-	// result caching to the sweep (repeated combinations come back
-	// instantly). The in-process path remains the default.
+	// instead of in-process — a serve/client.Client pointed at one
+	// easypapd daemon, or a serve/client.Multi over a whole cluster
+	// (hash-aware routing sends each combination to the node whose
+	// result cache owns it, and a node dying mid-sweep fails over to
+	// the next ring replica). Either way the sweep picks up job
+	// queueing, warm-pool reuse and result caching — repeated
+	// combinations come back instantly. The in-process path remains
+	// the default.
 	Remote Runner
 }
 

@@ -1,0 +1,176 @@
+package gfx_test
+
+// Golden-file regression for the frame stream wire format. The cluster
+// layer proxies /v1/jobs/{id}/frames byte-for-byte between nodes, so
+// any drift in the encoder — header layout, PNG encoding, record
+// framing — would silently corrupt every proxied stream. This test
+// encodes a fixed, fully deterministic frame sequence and compares it
+// against a checked-in golden file.
+//
+// Refresh after an *intentional* format change with:
+//
+//	go test ./internal/gfx/ -run TestStreamGolden -update
+//
+// (Go's image/png output is deterministic for a given Go release; a
+// toolchain major bump may legitimately re-golden this file — the
+// decode-level assertions below tell that case apart from real
+// corruption.)
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"easypap/internal/gfx"
+	"easypap/internal/img2d"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+const goldenPath = "testdata/stream.golden"
+
+// goldenSequence is the fixed frame sequence: three windows across two
+// iterations, tiny deterministic images with distinct patterns per
+// window so a swapped or truncated record cannot compare equal.
+func goldenSequence() []struct {
+	window string
+	iter   int
+	img    *img2d.Image
+} {
+	mk := func(dim int, f func(y, x int) img2d.Pixel) *img2d.Image {
+		im := img2d.New(dim)
+		for y := 0; y < dim; y++ {
+			for x := 0; x < dim; x++ {
+				im.Set(y, x, f(y, x))
+			}
+		}
+		return im
+	}
+	gradient := func(iter int) *img2d.Image {
+		return mk(16, func(y, x int) img2d.Pixel {
+			return img2d.RGB(uint8(x*16), uint8(y*16), uint8(iter*40))
+		})
+	}
+	checker := func(iter int) *img2d.Image {
+		return mk(8, func(y, x int) img2d.Pixel {
+			if (x+y+iter)%2 == 0 {
+				return img2d.RGB(255, 255, 255)
+			}
+			return img2d.RGB(0, 0, 0)
+		})
+	}
+	diag := func(iter int) *img2d.Image {
+		return mk(12, func(y, x int) img2d.Pixel {
+			return img2d.RGB(uint8((x*y+iter)%256), uint8(x*21), uint8(y*21))
+		})
+	}
+	return []struct {
+		window string
+		iter   int
+		img    *img2d.Image
+	}{
+		{"main", 1, gradient(1)},
+		{"tiling", 1, checker(1)},
+		{"activity", 1, diag(1)},
+		{"main", 2, gradient(2)},
+		{"tiling", 2, checker(2)},
+		{"activity", 2, diag(2)},
+	}
+}
+
+func encodeGoldenSequence(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, f := range goldenSequence() {
+		if err := gfx.WriteFrame(&buf, f.window, f.iter, f.img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestStreamGolden(t *testing.T) {
+	got := encodeGoldenSequence(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+
+	// Structural check first: if the bytes differ, report whether the
+	// stream still *decodes* to the same frames — that distinguishes a
+	// benign PNG-encoder change (re-golden) from format corruption
+	// (fix the encoder).
+	if !bytes.Equal(got, want) {
+		structural := "and no longer decodes to the same frames — the stream format broke"
+		if framesEquivalent(t, got, want) {
+			structural = "but still decodes to identical frames — likely a PNG encoder change; re-golden with -update if intentional"
+		}
+		t.Fatalf("encoded stream differs from %s (%d vs %d bytes), %s",
+			goldenPath, len(got), len(want), structural)
+	}
+
+	// The golden bytes must round-trip through the reader: headers,
+	// sizes and pixel content all intact.
+	r := bufio.NewReader(bytes.NewReader(want))
+	seq := goldenSequence()
+	for i, exp := range seq {
+		f, err := gfx.ReadFrame(r)
+		if err != nil {
+			t.Fatalf("decoding golden record %d: %v", i, err)
+		}
+		if f.Window != exp.window || f.Iter != exp.iter {
+			t.Fatalf("record %d = %s/%d, want %s/%d", i, f.Window, f.Iter, exp.window, exp.iter)
+		}
+		im, err := f.Decode()
+		if err != nil {
+			t.Fatalf("record %d PNG: %v", i, err)
+		}
+		if !im.Equal(exp.img) {
+			t.Errorf("record %d: decoded pixels differ from source image", i)
+		}
+	}
+	if _, err := gfx.ReadFrame(r); err != io.EOF {
+		t.Fatalf("expected clean EOF after %d records, got %v", len(seq), err)
+	}
+}
+
+// framesEquivalent reports whether two encoded streams decode to
+// identical frame sequences (same windows, iterations and pixels).
+func framesEquivalent(t *testing.T, a, b []byte) bool {
+	t.Helper()
+	ra, rb := bufio.NewReader(bytes.NewReader(a)), bufio.NewReader(bytes.NewReader(b))
+	for {
+		fa, erra := gfx.ReadFrame(ra)
+		fb, errb := gfx.ReadFrame(rb)
+		if erra == io.EOF && errb == io.EOF {
+			return true
+		}
+		if erra != nil || errb != nil {
+			return false
+		}
+		if fa.Window != fb.Window || fa.Iter != fb.Iter {
+			return false
+		}
+		ia, ea := fa.Decode()
+		ib, eb := fb.Decode()
+		if ea != nil || eb != nil || !ia.Equal(ib) {
+			return false
+		}
+	}
+}

@@ -51,16 +51,34 @@ func (c *Client) poll() time.Duration {
 	return 20 * time.Millisecond
 }
 
+// APIError is a non-2xx daemon response: the endpoint is alive and
+// answered, it just said no. Failover logic uses the distinction — a
+// transport error means "try the next endpoint", a 400 means the config
+// is bad everywhere.
+type APIError struct {
+	StatusCode int    // HTTP status code
+	Status     string // HTTP status line, e.g. "404 Not Found"
+	Message    string // decoded {"error": ...} body, possibly empty
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("client: daemon returned %s: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("client: daemon returned %s", e.Status)
+}
+
 // apiError decodes the {"error": ...} body of a non-2xx response.
 func apiError(resp *http.Response) error {
 	defer resp.Body.Close()
+	e := &APIError{StatusCode: resp.StatusCode, Status: resp.Status}
 	var body struct {
 		Error string `json:"error"`
 	}
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
-		return fmt.Errorf("client: daemon returned %s: %s", resp.Status, body.Error)
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil {
+		e.Message = body.Error
 	}
-	return fmt.Errorf("client: daemon returned %s", resp.Status)
+	return e
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {

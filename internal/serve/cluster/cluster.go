@@ -1,0 +1,598 @@
+// Package cluster turns a set of easypapd daemons into one horizontally
+// scalable compute service. Every node runs the full single-box stack
+// (internal/serve: queueing, warm pools, result cache) plus this layer:
+//
+//   - a peer registry with static membership (the --peers flag) and
+//     /v1/cluster join/health endpoints,
+//   - a consistent-hash ring (Ring) over the canonical config hash
+//     (core.Config.Hash via serve.NormalizeSubmission), so identical
+//     configs always land on the node whose result cache already holds
+//     them — cache locality without a shared cache,
+//   - transparent proxying: any node accepts any request; submissions
+//     hop to the owning node, status/cancel/frames follow the node
+//     prefix embedded in cluster job ids ("n1a2b3c4.j-000017"),
+//   - retry-on-next-replica failover: when the owner is unreachable the
+//     submission walks the ring to the next distinct node, the dead peer
+//     is marked unhealthy, and the background prober brings it back when
+//     it recovers.
+//
+// The coordination path is deliberately lock-light: health is atomic
+// flags, the ring is immutable and swapped whole under a short mutex on
+// membership change, and the proxy path takes no node-wide lock at all.
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"easypap/internal/core"
+	"easypap/internal/serve"
+)
+
+// HopHeader marks a proxied request so the receiving node serves it
+// locally instead of re-routing — one hop max, so divergent membership
+// views degrade to an extra network hop, never a forwarding loop.
+const HopHeader = "X-Easypap-Cluster-Hop"
+
+// NodeID derives the stable node id advertised for a base URL: "n" plus
+// the first 8 hex digits of its SHA-256. Ids are embedded in cluster job
+// ids, so they must be short, path-safe and identical on every node that
+// knows the URL.
+func NodeID(baseURL string) string {
+	sum := sha256.Sum256([]byte(strings.TrimRight(baseURL, "/")))
+	return "n" + hex.EncodeToString(sum[:4])
+}
+
+// Options configures a Node.
+type Options struct {
+	// Self is this node's advertised base URL (e.g. "http://10.0.0.3:8080"),
+	// the address peers use to reach it. Required.
+	Self string
+	// Peers are the other members' base URLs (Self may be included; it is
+	// recognized and deduplicated). Static membership: the list every node
+	// is started with should agree.
+	Peers []string
+	// VirtualNodes is the ring points per node (DefaultVirtualNodes if 0).
+	VirtualNodes int
+	// ProbeInterval is the health-probe period (default 1s; negative
+	// disables active probing — passive marking on proxy failure remains).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 500ms).
+	ProbeTimeout time.Duration
+	// HTTP is the client used for proxying and probing. The default has
+	// no overall timeout (frame-stream proxies are long-lived); probes
+	// are bounded per-request.
+	HTTP *http.Client
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Self == "" {
+		return o, fmt.Errorf("cluster: Options.Self (advertised base URL) is required")
+	}
+	o.Self = strings.TrimRight(o.Self, "/")
+	if o.VirtualNodes <= 0 {
+		o.VirtualNodes = DefaultVirtualNodes
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 500 * time.Millisecond
+	}
+	if o.HTTP == nil {
+		o.HTTP = &http.Client{}
+	}
+	return o, nil
+}
+
+// member is one node of the cluster as seen from here. Health is
+// written by the prober and the proxy path, read lock-free everywhere.
+type member struct {
+	id   string
+	url  string
+	self bool
+
+	healthy  atomic.Bool
+	lastSeen atomic.Int64 // unix nanos of the last successful contact
+	failures atomic.Int64 // probe + proxy failures observed
+}
+
+// Node is one cluster member: the local Manager plus the routing layer.
+// Create with NewNode, expose with Handler, shut down with Close (the
+// Manager's lifecycle stays with its owner).
+type Node struct {
+	opts Options
+	id   string
+	mgr  *serve.Manager
+
+	mu      sync.RWMutex
+	members map[string]*member // id -> member (includes self)
+	ring    *Ring
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// Counters surfaced in ClusterStats.
+	jobsOwned     atomic.Int64 // cluster submissions served by the local manager
+	jobsProxied   atomic.Int64 // submissions forwarded to their owning peer
+	statusProxied atomic.Int64 // status/cancel/frames calls forwarded by id prefix
+	failovers     atomic.Int64 // submissions re-routed past an unreachable replica
+}
+
+// NewNode builds the routing layer around mgr and starts the health
+// prober. The node immediately considers every configured peer healthy
+// and lets probing/proxying correct that — optimistic start means a
+// cluster booting in any order routes correctly as soon as peers are up.
+func NewNode(mgr *serve.Manager, opts Options) (*Node, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		opts:    opts,
+		id:      NodeID(opts.Self),
+		mgr:     mgr,
+		members: make(map[string]*member),
+		stop:    make(chan struct{}),
+	}
+	self := &member{id: n.id, url: opts.Self, self: true}
+	self.healthy.Store(true)
+	self.lastSeen.Store(time.Now().UnixNano())
+	n.members[n.id] = self
+	for _, p := range opts.Peers {
+		n.addMemberLocked(p)
+	}
+	n.rebuildRingLocked()
+	if opts.ProbeInterval > 0 {
+		n.wg.Add(1)
+		go n.probeLoop()
+	}
+	return n, nil
+}
+
+// ID returns this node's id (NodeID of its advertised URL).
+func (n *Node) ID() string { return n.id }
+
+// Manager returns the wrapped local manager.
+func (n *Node) Manager() *serve.Manager { return n.mgr }
+
+// Close stops the prober. It does not close the Manager.
+func (n *Node) Close() {
+	close(n.stop)
+	n.wg.Wait()
+}
+
+// addMemberLocked registers a peer URL; the caller holds no lock during
+// NewNode (single-threaded) or n.mu elsewhere. Returns true when new.
+func (n *Node) addMemberLocked(baseURL string) bool {
+	baseURL = strings.TrimRight(baseURL, "/")
+	if baseURL == "" {
+		return false
+	}
+	id := NodeID(baseURL)
+	if _, ok := n.members[id]; ok {
+		return false
+	}
+	m := &member{id: id, url: baseURL}
+	m.healthy.Store(true) // optimistic: the prober demotes dead peers
+	n.members[id] = m
+	return true
+}
+
+// AddMember registers a peer at runtime (the join endpoint) and rebuilds
+// the ring. Returns true when the peer was new.
+func (n *Node) AddMember(baseURL string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.addMemberLocked(baseURL) {
+		return false
+	}
+	n.rebuildRingLocked()
+	return true
+}
+
+func (n *Node) rebuildRingLocked() {
+	ids := make([]string, 0, len(n.members))
+	for id := range n.members {
+		ids = append(ids, id)
+	}
+	n.ring = NewRing(ids, n.opts.VirtualNodes)
+}
+
+// snapshot returns the current ring and a stable member list.
+func (n *Node) snapshot() (*Ring, []*member) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ms := make([]*member, 0, len(n.members))
+	for _, m := range n.members {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].id < ms[j].id })
+	return n.ring, ms
+}
+
+func (n *Node) memberByID(id string) *member {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.members[id]
+}
+
+// candidates returns the failover chain for a routing key: every member
+// in ring order starting at the owner, healthy nodes first (ring order
+// preserved within each class). Unhealthy nodes stay in the chain — the
+// health view may be stale, and trying them last costs nothing when a
+// healthy replica answered first.
+func (n *Node) candidates(key uint64) []*member {
+	ring, _ := n.snapshot()
+	ids := ring.Replicas(key, 0)
+	healthy := make([]*member, 0, len(ids))
+	var suspect []*member
+	for _, id := range ids {
+		m := n.memberByID(id)
+		if m == nil {
+			continue
+		}
+		if m.healthy.Load() {
+			healthy = append(healthy, m)
+		} else {
+			suspect = append(suspect, m)
+		}
+	}
+	return append(healthy, suspect...)
+}
+
+// markDown records a failed contact with a peer: proxy and probe
+// failures both land here, so a dead node is demoted on first contact
+// rather than on the next probe tick.
+func (n *Node) markDown(m *member) {
+	if m.self {
+		return
+	}
+	m.healthy.Store(false)
+	m.failures.Add(1)
+}
+
+func (n *Node) markUp(m *member) {
+	m.healthy.Store(true)
+	m.lastSeen.Store(time.Now().UnixNano())
+}
+
+// --- health probing -------------------------------------------------
+
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	n.announce() // tell configured peers we exist (no-op if they know)
+	n.probeAll()
+	ticker := time.NewTicker(n.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			n.probeAll()
+		}
+	}
+}
+
+// probeAll checks every peer concurrently. Probes are cheap (a static
+// JSON body) and bounded by ProbeTimeout, so a wedged peer costs one
+// goroutine-interval, not a head-of-line stall for the others.
+func (n *Node) probeAll() {
+	_, ms := n.snapshot()
+	var wg sync.WaitGroup
+	for _, m := range ms {
+		if m.self {
+			continue
+		}
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			if n.probe(m) {
+				n.markUp(m)
+			} else {
+				n.markDown(m)
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+func (n *Node) probe(m *member) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url+"/v1/cluster/health", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := n.opts.HTTP.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// announce joins this node to every known peer and merges the
+// membership each returns, so a node pointed at any live member learns
+// the whole cluster. Rounds repeat while the merge keeps teaching us
+// new members (bounded: membership only grows), so members discovered
+// *from* a join response are announced to as well — otherwise they
+// would never learn about us and the cluster would run with divergent
+// rings. Best-effort: static --peers lists remain the source of truth
+// when every node is started with the full list.
+func (n *Node) announce() {
+	announced := map[string]bool{n.id: true}
+	for round := 0; round < 8; round++ {
+		if !n.announceRound(announced) {
+			return // everyone known has been told
+		}
+	}
+}
+
+// announceRound joins to every not-yet-announced member and returns
+// whether any new announcements were made.
+func (n *Node) announceRound(announced map[string]bool) bool {
+	_, ms := n.snapshot()
+	progressed := false
+	for _, m := range ms {
+		if m.self || announced[m.id] {
+			continue
+		}
+		announced[m.id] = true
+		progressed = true
+		ctx, cancel := context.WithTimeout(context.Background(), n.opts.ProbeTimeout)
+		body, _ := json.Marshal(JoinRequest{URL: n.opts.Self})
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.url+"/v1/cluster/join", strings.NewReader(string(body)))
+		if err != nil {
+			cancel()
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := n.opts.HTTP.Do(req)
+		cancel()
+		if err != nil {
+			continue
+		}
+		var mem Membership
+		if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&mem) == nil {
+			for _, mi := range mem.Members {
+				if mi.URL != "" {
+					n.AddMember(mi.URL)
+				}
+			}
+		}
+		resp.Body.Close()
+	}
+	return progressed
+}
+
+// --- wire types ------------------------------------------------------
+
+// JoinRequest is the POST /v1/cluster/join body.
+type JoinRequest struct {
+	URL string `json:"url"`
+}
+
+// MemberInfo is one row of the membership document.
+type MemberInfo struct {
+	ID       string    `json:"id"`
+	URL      string    `json:"url"`
+	Self     bool      `json:"self,omitempty"`
+	Healthy  bool      `json:"healthy"`
+	LastSeen time.Time `json:"last_seen,omitempty"`
+	Failures int64     `json:"failures,omitempty"`
+}
+
+// Membership is the GET /v1/cluster body: this node's view of the ring.
+type Membership struct {
+	Self         string       `json:"self"` // this node's id
+	VirtualNodes int          `json:"virtual_nodes"`
+	Members      []MemberInfo `json:"members"`
+}
+
+// Membership returns this node's current membership view.
+func (n *Node) Membership() Membership {
+	_, ms := n.snapshot()
+	out := Membership{Self: n.id, VirtualNodes: n.opts.VirtualNodes}
+	for _, m := range ms {
+		mi := MemberInfo{
+			ID: m.id, URL: m.url, Self: m.self,
+			Healthy: m.healthy.Load(), Failures: m.failures.Load(),
+		}
+		if ns := m.lastSeen.Load(); ns > 0 {
+			mi.LastSeen = time.Unix(0, ns)
+		}
+		out.Members = append(out.Members, mi)
+	}
+	return out
+}
+
+// ClusterStats is the per-node routing section added to /v1/stats.
+type ClusterStats struct {
+	NodeID    string       `json:"node_id"`
+	SelfURL   string       `json:"self_url"`
+	RingNodes int          `json:"ring_nodes"`
+	RingShare float64      `json:"ring_share"` // fraction of the key space this node owns
+	Members   []MemberInfo `json:"members"`
+
+	JobsOwned     int64 `json:"jobs_owned"`     // cluster submissions run locally
+	JobsProxied   int64 `json:"jobs_proxied"`   // submissions forwarded to a peer
+	StatusProxied int64 `json:"status_proxied"` // status/cancel/frames forwarded by id prefix
+	Failovers     int64 `json:"failovers"`      // submissions re-routed past a dead replica
+}
+
+// NodeStats is the cluster-mode GET /v1/stats body: the single-node
+// serve.Stats flattened, plus the routing section.
+type NodeStats struct {
+	serve.Stats
+	Cluster ClusterStats `json:"cluster"`
+}
+
+// Stats returns the local stats with the routing section attached.
+func (n *Node) Stats() NodeStats {
+	ring, _ := n.snapshot()
+	mem := n.Membership()
+	return NodeStats{
+		Stats: n.mgr.Stats(),
+		Cluster: ClusterStats{
+			NodeID:        n.id,
+			SelfURL:       n.opts.Self,
+			RingNodes:     ring.Len(),
+			RingShare:     ring.Shares()[n.id],
+			Members:       mem.Members,
+			JobsOwned:     n.jobsOwned.Load(),
+			JobsProxied:   n.jobsProxied.Load(),
+			StatusProxied: n.statusProxied.Load(),
+			Failovers:     n.failovers.Load(),
+		},
+	}
+}
+
+// ClusterTotals sums the headline counters across reachable members.
+type ClusterTotals struct {
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
+	Rejected    int64 `json:"rejected"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	JobsOwned   int64 `json:"jobs_owned"`
+	JobsProxied int64 `json:"jobs_proxied"`
+	Failovers   int64 `json:"failovers"`
+}
+
+// MemberStats is one member's contribution to the aggregate (Stats nil
+// when the member was unreachable).
+type MemberStats struct {
+	ID      string     `json:"id"`
+	URL     string     `json:"url"`
+	Healthy bool       `json:"healthy"`
+	Error   string     `json:"error,omitempty"`
+	Stats   *NodeStats `json:"stats,omitempty"`
+}
+
+// ClusterAggregate is the GET /v1/cluster/stats body: every member's
+// /v1/stats merged into cluster-wide totals.
+type ClusterAggregate struct {
+	Nodes   int           `json:"nodes"`
+	Healthy int           `json:"healthy"`
+	Totals  ClusterTotals `json:"totals"`
+	Members []MemberStats `json:"members"`
+}
+
+// AggregateStats fans GET /v1/stats out to every member (self answers
+// locally) and merges the results. Unreachable members appear with an
+// error and contribute nothing to the totals.
+func (n *Node) AggregateStats(ctx context.Context) ClusterAggregate {
+	_, ms := n.snapshot()
+	agg := ClusterAggregate{Nodes: len(ms)}
+	results := make([]MemberStats, len(ms))
+	var wg sync.WaitGroup
+	for i, m := range ms {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			r := MemberStats{ID: m.id, URL: m.url}
+			if m.self {
+				st := n.Stats()
+				r.Stats, r.Healthy = &st, true
+			} else if st, err := n.fetchStats(ctx, m); err != nil {
+				r.Error = err.Error()
+			} else {
+				r.Stats, r.Healthy = st, true
+			}
+			results[i] = r
+		}(i, m)
+	}
+	wg.Wait()
+	for _, r := range results {
+		agg.Members = append(agg.Members, r)
+		if r.Stats == nil {
+			continue
+		}
+		agg.Healthy++
+		s := r.Stats
+		agg.Totals.Submitted += s.Submitted
+		agg.Totals.Completed += s.Completed
+		agg.Totals.Failed += s.Failed
+		agg.Totals.Canceled += s.Canceled
+		agg.Totals.Rejected += s.Rejected
+		agg.Totals.CacheHits += s.CacheHits
+		agg.Totals.CacheMisses += s.CacheMisses
+		agg.Totals.JobsOwned += s.Cluster.JobsOwned
+		agg.Totals.JobsProxied += s.Cluster.JobsProxied
+		agg.Totals.Failovers += s.Cluster.Failovers
+	}
+	return agg
+}
+
+func (n *Node) fetchStats(ctx context.Context, m *member) (*NodeStats, error) {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.opts.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s returned %s", m.url, resp.Status)
+	}
+	var st NodeStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// --- routing keys and job ids ----------------------------------------
+
+// RouteKey computes the routing key of a submission: the canonical hash
+// the owner's cache will use, mapped onto the ring's key space. Frames
+// submissions route identically — they bypass the cache, but keeping
+// them on the owner means the whole lifecycle of a config lives on one
+// node.
+//
+// It also returns the normalized config, and the router forwards THAT,
+// not the raw client body: normalization fills machine-dependent
+// defaults (Threads defaults to the local GOMAXPROCS), so on a
+// heterogeneous cluster the owner re-deriving defaults from the raw
+// config could compute a different hash than the one it was routed by,
+// splitting one submission's cache entry across nodes. Forwarding the
+// normalized form makes the entry node's canonicalization authoritative
+// — normalization is idempotent (FuzzConfigCanonicalHash), so the owner
+// lands on exactly the routed hash.
+func RouteKey(cfg core.Config, frames bool) (core.Config, string, uint64, error) {
+	norm, hash, err := serve.NormalizeSubmission(cfg, frames)
+	if err != nil {
+		return cfg, "", 0, err
+	}
+	return norm, hash, core.HashPoint(hash), nil
+}
+
+// prefixID namespaces a manager-local job id with this node's id.
+func (n *Node) prefixID(local string) string { return n.id + "." + local }
+
+// SplitJobID splits a cluster job id "n1a2b3c4.j-000017" into node and
+// local parts. Unprefixed ids return ("", id, false).
+func SplitJobID(id string) (node, local string, ok bool) {
+	i := strings.IndexByte(id, '.')
+	if i <= 0 || i == len(id)-1 {
+		return "", id, false
+	}
+	return id[:i], id[i+1:], true
+}

@@ -1,0 +1,198 @@
+package cluster_test
+
+// Chaos coverage: a node dies mid-sweep. The sweep must still complete
+// with correct results — the multi-endpoint client skips the dead
+// endpoint and the surviving daemons re-route the dead node's ring arc
+// to the next replica — and the survivors' /v1/stats must report the
+// peer unhealthy.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"easypap/internal/core"
+	"easypap/internal/expt"
+	_ "easypap/internal/kernels"
+	"easypap/internal/serve"
+	"easypap/internal/serve/client"
+	"easypap/internal/serve/cluster"
+)
+
+// killOnFirstWrite is an expt.Sweep Progress writer that runs f once,
+// on the first completed run — "mid-sweep" made deterministic.
+type killOnFirstWrite struct {
+	once sync.Once
+	f    func()
+}
+
+func (k *killOnFirstWrite) Write(p []byte) (int, error) {
+	k.once.Do(k.f)
+	return len(p), nil
+}
+
+func TestClusterFailoverMidSweep(t *testing.T) {
+	tc := startCluster(t, 3, serve.Options{Workers: 2, QueueDepth: 32})
+	ctx := context.Background()
+
+	// Kill the node that owns the sweep's *last* combination, so work
+	// that belongs to the dead node is still ahead when it dies and the
+	// replica-retry path must carry it.
+	grains := []int{8, 16, 32}
+	victim := tc.ownerIndex(core.Config{Kernel: "mandel", Variant: "seq", Dim: 64,
+		TileW: grains[len(grains)-1], Iterations: 2, Threads: 1}, false)
+
+	multi := client.NewMulti(tc.urls...)
+	if err := multi.RefreshRing(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sweep := &expt.Sweep{
+		Base: core.Config{Kernel: "mandel", Variant: "seq", Dim: 64,
+			Iterations: 2, Threads: 1},
+		Grains:   grains,
+		Runs:     2,
+		Remote:   multi,
+		Progress: &killOnFirstWrite{f: func() { tc.kill(victim) }},
+	}
+	results, err := sweep.Execute()
+	if err != nil {
+		t.Fatalf("sweep did not survive the node kill: %v", err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want 6", len(results))
+	}
+	for i, r := range results {
+		if r.Iterations != 2 {
+			t.Errorf("result %d: %d iterations, want 2", i, r.Iterations)
+		}
+		if r.WallTime <= 0 {
+			t.Errorf("result %d: wall time %v", i, r.WallTime)
+		}
+	}
+
+	// The dead node's combination ran somewhere that is still alive:
+	// every computed job is accounted for by a surviving manager.
+	victimID := cluster.NodeID(tc.urls[victim])
+	var survivorJobs int64
+	for i, mgr := range tc.mgrs {
+		if i == victim {
+			continue
+		}
+		survivorJobs += mgr.Stats().Kernels["mandel"].Jobs
+	}
+	if survivorJobs < 1 {
+		t.Error("no surviving node computed anything")
+	}
+
+	// Survivors report the dead peer unhealthy (passive marking on the
+	// failed proxy, or the next probe tick — give it a probe interval).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		unhealthySeen := true
+		for i, node := range tc.nodes {
+			if i == victim {
+				continue
+			}
+			found := false
+			for _, m := range node.Stats().Cluster.Members {
+				if m.ID == victimID && !m.Healthy {
+					found = true
+				}
+			}
+			if !found {
+				unhealthySeen = false
+			}
+		}
+		if unhealthySeen {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("survivors never marked the dead peer unhealthy in /v1/stats")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The aggregated view agrees: 2 of 3 healthy, the dead member
+	// carries an error instead of stats.
+	agg, err := multi.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Nodes != 3 || agg.Healthy != 2 {
+		t.Errorf("aggregate %d/%d healthy, want 2/3", agg.Healthy, agg.Nodes)
+	}
+	for _, m := range agg.Members {
+		if m.ID == victimID {
+			if m.Error == "" || m.Stats != nil {
+				t.Errorf("dead member reported as reachable: %+v", m)
+			}
+		}
+	}
+	// All 6 sweep results exist, but only 3 unique combinations were
+	// ever computed cluster-wide... unless the kill landed between a
+	// combination's first run and its repeat, in which case the repeat
+	// recomputes on the failover replica. Either way: computed + cache
+	// hits == 6 across the survivors and the victim.
+	var computed, hits int64
+	for i, mgr := range tc.mgrs {
+		if i == victim {
+			continue
+		}
+		s := mgr.Stats()
+		computed += s.Kernels["mandel"].Jobs
+		hits += s.CacheHits
+	}
+	if computed+hits < 4 { // victim handled at most its own arc before dying
+		t.Errorf("survivors computed %d + %d cached, implausibly low", computed, hits)
+	}
+}
+
+// TestClusterFailoverOnDirectSubmit: with the owner already dead, a
+// submission through a surviving node must be served by a replica (the
+// daemon-side failover, no client cooperation involved).
+func TestClusterFailoverOnDirectSubmit(t *testing.T) {
+	tc := startCluster(t, 3, serve.Options{Workers: 1, QueueDepth: 16})
+	ctx := context.Background()
+
+	cfg := mandelCfg(4, 8)
+	victim := tc.ownerIndex(cfg, false)
+	tc.kill(victim)
+
+	submitter := (victim + 1) % 3
+	cl := client.New(tc.urls[submitter])
+	st, err := cl.Submit(ctx, cfg, false)
+	if err != nil {
+		t.Fatalf("submission with dead owner failed: %v", err)
+	}
+	if st, err = cl.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serve.JobDone || st.Result == nil || st.Result.Iterations != 4 {
+		t.Fatalf("failover job ended %s: %+v", st.State, st.Result)
+	}
+	node, _, _ := cluster.SplitJobID(st.ID)
+	if node == cluster.NodeID(tc.urls[victim]) {
+		t.Fatal("job id claims the dead node ran it")
+	}
+
+	// The dead owner was detected: either the submission hit it first
+	// and recorded a failover, or the prober demoted it before the
+	// submission arrived (a 50ms race this test must not depend on).
+	var failovers int64
+	victimUnhealthy := false
+	for i, n := range tc.nodes {
+		if i == victim {
+			continue
+		}
+		failovers += n.Stats().Cluster.Failovers
+		for _, m := range n.Stats().Cluster.Members {
+			if m.ID == cluster.NodeID(tc.urls[victim]) && !m.Healthy {
+				victimUnhealthy = true
+			}
+		}
+	}
+	if failovers < 1 && !victimUnhealthy {
+		t.Errorf("dead owner neither failed over past nor marked unhealthy")
+	}
+}

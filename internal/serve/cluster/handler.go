@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"easypap/internal/core"
+	"easypap/internal/serve"
+)
+
+// Handler serves the cluster-mode /v1 API. It is a superset of the
+// single-node API (internal/serve/http.go): the job endpoints route by
+// ring ownership and job-id prefix, /v1/stats gains a "cluster"
+// section, and /v1/cluster* expose membership, health, join and the
+// aggregated view.
+//
+//	POST   /v1/jobs                submit — proxied to the ring owner
+//	GET    /v1/jobs/{id}           status — follows the id's node prefix
+//	DELETE /v1/jobs/{id}           cancel — follows the id's node prefix
+//	GET    /v1/jobs/{id}/frames    frame stream — follows the id's node prefix
+//	GET    /v1/stats               local stats + cluster section
+//	GET    /v1/kernels             local kernel registry
+//	GET    /v1/cluster             membership + health view
+//	GET    /v1/cluster/health      liveness probe
+//	POST   /v1/cluster/join        add a member {"url": "..."}
+//	GET    /v1/cluster/stats       cluster-aggregated stats
+//	GET    /v1/cluster/owner/{hash} ring ownership of a config hash
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", n.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", n.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", n.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/frames", n.handleFrames)
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, n.Stats())
+	})
+	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, core.KernelList())
+	})
+
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, n.Membership())
+	})
+	mux.HandleFunc("GET /v1/cluster/health", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, map[string]any{"ok": true, "id": n.id, "url": n.opts.Self})
+	})
+	mux.HandleFunc("POST /v1/cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		var req JoinRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil || req.URL == "" {
+			serve.WriteError(w, http.StatusBadRequest, fmt.Errorf("cluster: join needs {\"url\": \"...\"}"))
+			return
+		}
+		n.AddMember(req.URL)
+		serve.WriteJSON(w, http.StatusOK, n.Membership())
+	})
+	mux.HandleFunc("GET /v1/cluster/stats", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, n.AggregateStats(r.Context()))
+	})
+	mux.HandleFunc("GET /v1/cluster/owner/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		hash := r.PathValue("hash")
+		key := core.HashPoint(hash)
+		ring, _ := n.snapshot()
+		replicas := ring.Replicas(key, 0)
+		resp := map[string]any{"hash": hash, "key": key, "replicas": replicas}
+		if len(replicas) > 0 {
+			resp["owner"] = replicas[0]
+			if m := n.memberByID(replicas[0]); m != nil {
+				resp["url"] = m.url
+			}
+		}
+		serve.WriteJSON(w, http.StatusOK, resp)
+	})
+
+	return mux
+}
+
+// handleSubmit routes a submission to the owner of its canonical config
+// hash, walking the ring to the next distinct replica when a peer is
+// unreachable. A request that already hopped once is served locally.
+func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, fmt.Errorf("reading submission: %w", err))
+		return
+	}
+	var req serve.SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding submission: %w", err))
+		return
+	}
+	if r.Header.Get(HopHeader) != "" {
+		n.submitLocal(w, req)
+		return
+	}
+	norm, _, key, err := RouteKey(req.Config, req.Frames)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Forward the normalized config, not the raw body: the entry node's
+	// canonicalization is authoritative (see RouteKey), so the owner's
+	// cache key always equals the hash this request was routed by.
+	req.Config = norm
+	fwd, err := json.Marshal(req)
+	if err != nil {
+		serve.WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	var lastErr error
+	for _, m := range n.candidates(key) {
+		if m.self {
+			n.submitLocal(w, req)
+			return
+		}
+		ok, err := n.proxy(w, r, m, "/v1/jobs", fwd)
+		if ok {
+			n.jobsProxied.Add(1)
+			return
+		}
+		// The replica is unreachable (or draining): demote it and walk on.
+		n.markDown(m)
+		n.failovers.Add(1)
+		lastErr = err
+	}
+	serve.WriteError(w, http.StatusBadGateway,
+		fmt.Errorf("cluster: no reachable replica for submission (last error: %v)", lastErr))
+}
+
+// submitLocal admits the job on the local manager and namespaces its id.
+func (n *Node) submitLocal(w http.ResponseWriter, req serve.SubmitRequest) {
+	st, err := n.mgr.Submit(req.Config, req.Frames)
+	if err != nil {
+		serve.WriteError(w, serve.SubmitStatusCode(err), err)
+		return
+	}
+	n.jobsOwned.Add(1)
+	st.ID = n.prefixID(st.ID)
+	code := http.StatusAccepted
+	if st.State.Terminal() {
+		code = http.StatusOK // cache hit: the result is already here
+	}
+	serve.WriteJSON(w, code, st)
+}
+
+// handleJob serves GET (status) and DELETE (cancel), following the job
+// id's node prefix: local ids are answered by the local manager, remote
+// ids proxy to the owning node. There is no failover for these — the
+// job record lives exactly where the id says.
+func (n *Node) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	node, local, prefixed := SplitJobID(id)
+	if !prefixed || node == n.id {
+		var st *serve.JobStatus
+		var err error
+		if r.Method == http.MethodDelete {
+			st, err = n.mgr.Cancel(local)
+		} else {
+			st, err = n.mgr.Get(local)
+		}
+		if err != nil {
+			serve.WriteError(w, serve.JobStatusCode(err), err)
+			return
+		}
+		st.ID = n.prefixID(st.ID)
+		serve.WriteJSON(w, http.StatusOK, st)
+		return
+	}
+	n.proxyJobRequest(w, r, node, "/v1/jobs/"+id)
+}
+
+// handleFrames streams a job's frames, proxying when the job lives on a
+// peer. The proxy path flushes per chunk so live frames stay live
+// through the extra hop.
+func (n *Node) handleFrames(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	node, local, prefixed := SplitJobID(id)
+	if !prefixed || node == n.id {
+		rd, err := n.mgr.FrameStream(local)
+		if err != nil {
+			serve.WriteError(w, serve.JobStatusCode(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-easypap-frames")
+		w.WriteHeader(http.StatusOK)
+		streamAll(w, rd)
+		return
+	}
+	n.proxyJobRequest(w, r, node, "/v1/jobs/"+id+"/frames")
+}
+
+// proxyJobRequest forwards a status/cancel/frames call to the node a job
+// id names.
+func (n *Node) proxyJobRequest(w http.ResponseWriter, r *http.Request, nodeID, path string) {
+	m := n.memberByID(nodeID)
+	if m == nil {
+		serve.WriteError(w, http.StatusNotFound,
+			fmt.Errorf("cluster: job id names unknown node %q", nodeID))
+		return
+	}
+	ok, err := n.proxy(w, r, m, path, nil)
+	if ok {
+		n.statusProxied.Add(1)
+		return
+	}
+	n.markDown(m)
+	serve.WriteError(w, http.StatusBadGateway,
+		fmt.Errorf("cluster: node %s (%s) unreachable: %v", m.id, m.url, err))
+}
+
+// proxy forwards the request to m and relays the response. It returns
+// (false, err) when the peer must be considered unreachable — transport
+// error, or a gateway/drain status — and nothing was written to w, so
+// the caller can fail over. Any other response (including 4xx and 429)
+// is relayed verbatim and counts as reached.
+func (n *Node) proxy(w http.ResponseWriter, r *http.Request, m *member, path string, body []byte) (bool, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, m.url+path, rd)
+	if err != nil {
+		return false, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set(HopHeader, n.id)
+	resp, err := n.opts.HTTP.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		// 503 is serve's "manager draining" answer; treat like a dead peer
+		// so in-flight sweeps fail over instead of erroring out.
+		return false, fmt.Errorf("cluster: %s returned %s", m.url, resp.Status)
+	}
+	n.markUp(m)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	if rerr := streamAll(w, resp.Body); rerr != nil && rerr != io.EOF {
+		// The upstream died mid-stream. Ending the chunked response
+		// normally would hand the client a clean EOF on a truncated
+		// stream — abort the connection instead so the truncation is
+		// visible (net/http treats ErrAbortHandler as a deliberate
+		// mid-response abort).
+		panic(http.ErrAbortHandler)
+	}
+	return true, nil
+}
+
+// streamAll copies rd to w, flushing after every chunk — both the local
+// frame stream and the proxied one must deliver frames as they render,
+// not when the job ends. It returns rd's terminal error (io.EOF on a
+// clean end; nil only when the client went away first).
+func streamAll(w http.ResponseWriter, rd io.Reader) error {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 64<<10)
+	for {
+		nr, rerr := rd.Read(buf)
+		if nr > 0 {
+			if _, werr := w.Write(buf[:nr]); werr != nil {
+				return nil // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+}

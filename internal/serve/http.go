@@ -40,43 +40,43 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req SubmitRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding submission: %w", err))
+			WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding submission: %w", err))
 			return
 		}
 		st, err := m.Submit(req.Config, req.Frames)
 		if err != nil {
-			writeError(w, submitStatus(err), err)
+			WriteError(w, SubmitStatusCode(err), err)
 			return
 		}
 		code := http.StatusAccepted
 		if st.State.Terminal() {
 			code = http.StatusOK // cache hit: the result is already here
 		}
-		writeJSON(w, code, st)
+		WriteJSON(w, code, st)
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := m.Get(r.PathValue("id"))
 		if err != nil {
-			writeError(w, jobStatusCode(err), err)
+			WriteError(w, JobStatusCode(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, st)
+		WriteJSON(w, http.StatusOK, st)
 	})
 
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := m.Cancel(r.PathValue("id"))
 		if err != nil {
-			writeError(w, jobStatusCode(err), err)
+			WriteError(w, JobStatusCode(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, st)
+		WriteJSON(w, http.StatusOK, st)
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}/frames", func(w http.ResponseWriter, r *http.Request) {
 		rd, err := m.FrameStream(r.PathValue("id"))
 		if err != nil {
-			writeError(w, jobStatusCode(err), err)
+			WriteError(w, JobStatusCode(err), err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/x-easypap-frames")
@@ -100,17 +100,19 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.Stats())
+		WriteJSON(w, http.StatusOK, m.Stats())
 	})
 
 	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, core.KernelList())
+		WriteJSON(w, http.StatusOK, core.KernelList())
 	})
 
 	return mux
 }
 
-func submitStatus(err error) int {
+// SubmitStatusCode maps a Submit error to its HTTP status. Exported for
+// the cluster layer, which serves the same API through its own handler.
+func SubmitStatusCode(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
@@ -121,7 +123,8 @@ func submitStatus(err error) int {
 	}
 }
 
-func jobStatusCode(err error) int {
+// JobStatusCode maps a job-lookup error to its HTTP status.
+func JobStatusCode(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound
@@ -132,7 +135,8 @@ func jobStatusCode(err error) int {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON writes v as an indented JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -140,6 +144,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// WriteError writes err as the {"error": ...} body every /v1 endpoint uses.
+func WriteError(w http.ResponseWriter, code int, err error) {
+	WriteJSON(w, code, map[string]string{"error": err.Error()})
 }

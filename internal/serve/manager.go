@@ -243,16 +243,16 @@ func NewManager(opts Options) *Manager {
 	return m
 }
 
-// Submit normalizes and admits a job. Identical resubmissions (same
-// canonical config hash) of non-frames jobs are answered from the result
-// cache without recomputation: the returned job is already done with
-// Cached set. Jobs that stream frames bypass the cache — their value is
-// the live stream, and display-mode timing must not pollute cached
-// performance results.
-func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
-	// The daemon never touches the server filesystem on behalf of a
-	// client: output and trace paths are scrubbed, performance mode is
-	// forced, and frames (when requested) stream from memory.
+// NormalizeSubmission applies the daemon's submission discipline to a
+// client config and returns the normalized config plus its canonical
+// hash — the cache key, and the routing key of cluster mode. The daemon
+// never touches the server filesystem on behalf of a client: output and
+// trace paths are scrubbed, performance mode is forced, and frames (when
+// requested) stream from memory. Every layer that needs to know where a
+// submission lands (Manager.Submit, the cluster router, the hash-aware
+// multi-endpoint client) must use this one function, or identical
+// submissions would route and cache under different keys.
+func NormalizeSubmission(cfg core.Config, wantFrames bool) (core.Config, string, error) {
 	cfg.OutputDir = ""
 	cfg.TracePath = ""
 	cfg.NoDisplay = true
@@ -268,9 +268,23 @@ func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
 	}
 	cfg, err := cfg.Normalize()
 	if err != nil {
-		return nil, err
+		return cfg, "", err
 	}
 	hash, err := cfg.Hash()
+	if err != nil {
+		return cfg, "", err
+	}
+	return cfg, hash, nil
+}
+
+// Submit normalizes and admits a job. Identical resubmissions (same
+// canonical config hash) of non-frames jobs are answered from the result
+// cache without recomputation: the returned job is already done with
+// Cached set. Jobs that stream frames bypass the cache — their value is
+// the live stream, and display-mode timing must not pollute cached
+// performance results.
+func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
+	cfg, hash, err := NormalizeSubmission(cfg, wantFrames)
 	if err != nil {
 		return nil, err
 	}
