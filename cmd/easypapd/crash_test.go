@@ -1,0 +1,315 @@
+package main
+
+// The crash/restart acceptance test of the persistence layer, against a
+// REAL daemon process: build easypapd, run it on a data dir, warm the
+// disk cache, SIGKILL it mid-sweep (no goodbye, no flush — the crash the
+// journal exists for), restart on the same dir, and assert
+//
+//   - the journaled in-flight jobs are re-run under their original ids,
+//   - every pre-crash result is served from disk without recompute
+//     (stats: disk_hits > 0, computed == 0 for the replayed set),
+//   - the disk entries — result AND frames bytes — are byte-identical
+//     to what the pre-crash daemon wrote.
+//
+// Skipped under -short: it builds a binary and kills processes, which
+// is meaningful only as a non-race integration step (CI runs it in a
+// dedicated job).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"easypap/internal/core"
+	"easypap/internal/serve"
+)
+
+// daemonProc is one generation of the real daemon.
+type daemonProc struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	base string
+}
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "easypapd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building easypapd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+func startDaemon(t *testing.T, bin string, port int, dataDir string, extra ...string) *daemonProc {
+	t.Helper()
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	args := append([]string{"-addr", addr, "-workers", "1", "-data-dir", dataDir}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemonProc{t: t, cmd: cmd, base: "http://" + addr}
+	t.Cleanup(func() { d.kill() })
+	// Wait for the daemon to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := http.Get(d.base + "/v1/stats"); err == nil {
+			return d
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("daemon on %s never came up", addr)
+	return nil
+}
+
+// kill SIGKILLs the daemon — the crash under test, not a shutdown.
+func (d *daemonProc) kill() {
+	if d.cmd.Process != nil {
+		_ = d.cmd.Process.Signal(syscall.SIGKILL)
+		_, _ = d.cmd.Process.Wait()
+	}
+}
+
+func (d *daemonProc) getJSON(path string, out any) error {
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s returned %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (d *daemonProc) submit(cfg core.Config) (*serve.JobStatus, error) {
+	body, err := json.Marshal(serve.SubmitRequest{Config: cfg})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("submit returned %s", resp.Status)
+	}
+	var st serve.JobStatus
+	return &st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func (d *daemonProc) wait(id string, timeout time.Duration) (*serve.JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var st serve.JobStatus
+		if err := d.getJSON("/v1/jobs/"+id, &st); err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return &st, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("job %s never finished", id)
+}
+
+func (d *daemonProc) stats(t *testing.T) serve.Stats {
+	t.Helper()
+	var st serve.Stats
+	if err := d.getJSON("/v1/stats", &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// entryBytes reads the raw on-disk object file for a config hash (the
+// layout is pinned by the store golden test).
+func entryBytes(t *testing.T, dataDir, hash string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dataDir, "objects", hash[:2], hash))
+	if err != nil {
+		t.Fatalf("reading disk entry for %s: %v", hash, err)
+	}
+	return raw
+}
+
+func TestCrashRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process crash test; skipped under -short")
+	}
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+	port := freePort(t)
+
+	// --- generation 1: warm the disk, crash mid-sweep ----------------
+	d1 := startDaemon(t, bin, port, dataDir)
+
+	fast := []core.Config{
+		{Kernel: "mandel", Variant: "seq", Dim: 64, TileW: 8, Iterations: 3, Threads: 1},
+		{Kernel: "mandel", Variant: "seq", Dim: 64, TileW: 16, Iterations: 3, Threads: 1},
+		{Kernel: "mandel", Variant: "seq", Dim: 64, TileW: 32, Iterations: 3, Threads: 1},
+	}
+	hashes := make([]string, len(fast))
+	for i, cfg := range fast {
+		st, err := d1.submit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err = d1.wait(st.ID, 10*time.Second); err != nil {
+			t.Fatal(err)
+		} else if st.State != serve.JobDone {
+			t.Fatalf("warmup job %d: %+v", i, st)
+		}
+		hashes[i] = st.Hash
+	}
+	// Wait for the write-behind spiller before crashing.
+	deadline := time.Now().Add(10 * time.Second)
+	for d1.stats(t).Spills < int64(len(fast)) && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := d1.stats(t); got.Spills < int64(len(fast)) {
+		t.Fatalf("spills=%d, want %d", got.Spills, len(fast))
+	}
+	preCrash := make([][]byte, len(hashes))
+	for i, h := range hashes {
+		preCrash[i] = entryBytes(t, dataDir, h)
+	}
+
+	// A slow job plus one queued behind it (1 worker): both will be
+	// in-flight when the process dies.
+	slow := core.Config{Kernel: "mandel", Variant: "seq", Dim: 256, TileW: 8, Iterations: 60, Threads: 1}
+	queued := core.Config{Kernel: "mandel", Variant: "seq", Dim: 128, TileW: 8, Iterations: 10, Threads: 1}
+	stSlow, err := d1.submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stQueued, err := d1.submit(queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the slow job reach the running state, then crash.
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var st serve.JobStatus
+		if err := d1.getJSON("/v1/jobs/"+stSlow.ID, &st); err == nil && st.State == serve.JobRunning {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	d1.kill()
+
+	// --- generation 2: recover on the same data dir ------------------
+	d2 := startDaemon(t, bin, port, dataDir)
+
+	// The journaled jobs re-run under their ORIGINAL ids.
+	for _, id := range []string{stSlow.ID, stQueued.ID} {
+		st, err := d2.wait(id, 60*time.Second)
+		if err != nil {
+			t.Fatalf("recovered job %s: %v", id, err)
+		}
+		if st.State != serve.JobDone || !st.Recovered {
+			t.Fatalf("recovered job %s: %+v", id, st)
+		}
+	}
+	afterRecovery := d2.stats(t)
+	if afterRecovery.RecoveredJobs != 2 {
+		t.Fatalf("recovered_jobs=%d, want 2", afterRecovery.RecoveredJobs)
+	}
+
+	// Replay the pre-crash sweep: every config must be served from disk
+	// — computed stays frozen, disk_hits counts every replay, frames
+	// are byte-identical to what generation 1 wrote.
+	for i, cfg := range fast {
+		st, err := d2.submit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.State.Terminal() {
+			if st, err = d2.wait(st.ID, 10*time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st.State != serve.JobDone || !st.Cached || !st.DiskHit {
+			t.Fatalf("replayed config %d not served from disk: %+v", i, st)
+		}
+		if st.Hash != hashes[i] {
+			t.Fatalf("replayed config %d hashed %s, want %s", i, st.Hash, hashes[i])
+		}
+		if got := entryBytes(t, dataDir, st.Hash); !bytes.Equal(got, preCrash[i]) {
+			t.Fatalf("disk entry %d changed across the crash (%d vs %d bytes)", i, len(got), len(preCrash[i]))
+		}
+		if !strings.Contains(string(preCrash[i]), "EZFRAME final ") {
+			t.Fatalf("entry %d carries no frame record", i)
+		}
+	}
+	final := d2.stats(t)
+	if final.DiskHits < int64(len(fast)) {
+		t.Fatalf("disk_hits=%d, want >= %d", final.DiskHits, len(fast))
+	}
+	if final.Computed != afterRecovery.Computed {
+		t.Fatalf("replayed set recomputed: computed went %d -> %d",
+			afterRecovery.Computed, final.Computed)
+	}
+}
+
+// TestCrashRestartInterruptPolicy: with -recover interrupt the crashed
+// jobs come back terminal with the typed "interrupted" status instead
+// of re-running.
+func TestCrashRestartInterruptPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process crash test; skipped under -short")
+	}
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+	port := freePort(t)
+
+	d1 := startDaemon(t, bin, port, dataDir)
+	slow := core.Config{Kernel: "mandel", Variant: "seq", Dim: 256, TileW: 8, Iterations: 60, Threads: 1}
+	st, err := d1.submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var cur serve.JobStatus
+		if err := d1.getJSON("/v1/jobs/"+st.ID, &cur); err == nil && cur.State == serve.JobRunning {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	d1.kill()
+
+	d2 := startDaemon(t, bin, port, dataDir, "-recover", "interrupt")
+	var got serve.JobStatus
+	if err := d2.getJSON("/v1/jobs/"+st.ID, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != serve.JobInterrupted || !got.Recovered {
+		t.Fatalf("interrupt policy: %+v", got)
+	}
+	if s := d2.stats(t); s.InterruptedJobs != 1 || s.Computed != 0 {
+		t.Fatalf("interrupted=%d computed=%d, want 1/0", s.InterruptedJobs, s.Computed)
+	}
+}

@@ -26,6 +26,18 @@
 //
 //	curl -s hostA:8080/v1/cluster          # membership + health
 //	curl -s hostA:8080/v1/cluster/stats    # cluster-aggregated counters
+//
+// With -data-dir the daemon is durable (DESIGN.md §9): completed
+// results spill to a disk-backed content-addressed cache that survives
+// restarts (resubmitting a known config after a crash is a disk hit,
+// not a recompute — stats report disk_hits/disk_entries), and a
+// write-ahead journal re-enqueues the jobs that were queued or running
+// when the process died, under their original ids. -recover interrupt
+// marks them with the terminal "interrupted" status instead; sweep
+// clients (serve/client) resubmit interrupted jobs automatically.
+//
+//	easypapd -addr :8080 -data-dir /var/lib/easypapd \
+//	         -cache-max-bytes 268435456 -recover requeue
 package main
 
 import (
@@ -45,6 +57,7 @@ import (
 	_ "easypap/internal/kernels" // register all predefined kernels
 	"easypap/internal/serve"
 	"easypap/internal/serve/cluster"
+	"easypap/internal/serve/store"
 )
 
 func main() {
@@ -68,9 +81,31 @@ func run(args []string) error {
 		peers     = fs.String("peers", "", "cluster mode: comma-separated peer base URLs")
 		vnodes    = fs.Int("vnodes", 0, "cluster mode: virtual ring points per node (default 64)")
 		probe     = fs.Duration("probe", time.Second, "cluster mode: peer health-probe interval")
+		dataDir   = fs.String("data-dir", "", "persistence: directory for the disk result cache and job journal (empty = in-memory only)")
+		cacheMax  = fs.Int64("cache-max-bytes", 0, "persistence: disk cache budget in bytes (default 256 MiB)")
+		recovery  = fs.String("recover", "requeue", "persistence: fate of journaled in-flight jobs on restart (requeue|interrupt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var st *store.Store
+	var recoverPolicy serve.RecoverPolicy
+	if *dataDir != "" {
+		switch serve.RecoverPolicy(*recovery) {
+		case serve.RecoverRequeue, serve.RecoverInterrupt:
+			recoverPolicy = serve.RecoverPolicy(*recovery)
+		default:
+			return fmt.Errorf("invalid -recover %q (want requeue or interrupt)", *recovery)
+		}
+		var err error
+		st, err = store.Open(*dataDir, store.Options{MaxBytes: *cacheMax})
+		if err != nil {
+			return fmt.Errorf("opening data dir: %w", err)
+		}
+		defer st.Close()
+		log.Printf("easypapd: data dir %s (%d cached results, %d bytes; %d journaled jobs to recover)",
+			*dataDir, st.Cache.Len(), st.Cache.Bytes(), len(st.Journal.Recovered()))
 	}
 
 	mgr := serve.NewManager(serve.Options{
@@ -80,6 +115,8 @@ func run(args []string) error {
 		MaxIdlePools:     *idlePools,
 		DisableWarmPools: *coldPools,
 		RecvTimeout:      *recvTO,
+		Store:            st,
+		Recover:          recoverPolicy,
 	})
 
 	handler := serve.NewHandler(mgr)

@@ -55,6 +55,27 @@
 // submits each config straight to its owner; as an expt.Runner it fans
 // a sweep across the whole cluster and survives nodes dying mid-sweep.
 //
+// # Durability
+//
+// With -data-dir, a daemon survives its own death (internal/serve/store,
+// DESIGN.md §9). Completed results spill asynchronously to a
+// disk-backed, content-addressed cache (CRC'd entry files + append-only
+// index) layered under the in-memory LRU, and a write-ahead journal
+// records every admitted job, so a restart re-enqueues the jobs that
+// were queued or running — under their original ids — and serves every
+// previously computed config from disk instead of recomputing it:
+//
+//	easypapd -addr :8080 -data-dir /var/lib/easypapd \
+//	         -cache-max-bytes 268435456 -recover requeue
+//
+//	# after a crash + restart: same config, no recompute
+//	curl -s localhost:8080/v1/stats | jq '{disk_hits, disk_entries, recovered_jobs}'
+//
+// -recover interrupt marks journaled in-flight jobs with the terminal
+// "interrupted" status instead of re-running them; serve/client's
+// RunConfig (and therefore expt sweeps) resubmits interrupted jobs
+// automatically, so a parameter study rides through a rolling deploy.
+//
 // # The lazy tile-activity engine
 //
 // internal/tilegrid is the shared frontier behind every lazy kernel

@@ -1,0 +1,96 @@
+package serve
+
+// Manager-level chaos for the persistence layer: concurrent identical
+// and distinct submissions against a 1-entry memory tier, so every code
+// path — memory hit, disk hit with promotion, singleflight disk read,
+// compute, write-behind spill, journal begin/end — races with itself.
+// CI runs this under -race -count=2 (the race-concurrency job).
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"easypap/internal/core"
+	"easypap/internal/serve/store"
+)
+
+func TestPersistConcurrentSubmitChaos(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m := NewManager(Options{Workers: 2, CacheCapacity: 1, QueueDepth: 256, Store: s})
+	defer m.Close()
+
+	// Four distinct configs cycling through a 1-entry memory LRU: most
+	// lookups fall through to the disk tier or compute.
+	configs := []core.Config{testCfg(16), testCfg(32), testCfg(48), testCfg(64)}
+
+	const workers = 8
+	const rounds = 30
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				cfg := configs[(w+i)%len(configs)]
+				st, err := m.Submit(cfg, false)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !st.State.Terminal() {
+					if st, err = m.Wait(ctx, st.ID); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if st.State != JobDone || st.Result == nil {
+					t.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+					return
+				}
+				// Whatever tier answered, the result must be the right
+				// computation.
+				if st.Result.Config.Dim != cfg.Dim {
+					t.Errorf("job %s returned dim %d, want %d", st.ID, st.Result.Config.Dim, cfg.Dim)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := m.Stats()
+	if st.Completed != workers*rounds {
+		t.Fatalf("completed=%d, want %d", st.Completed, workers*rounds)
+	}
+	// The whole point of the two tiers: most submissions are served from
+	// cache. Some recomputation is expected — there is deliberately no
+	// compute-level singleflight, and a result is only durable once the
+	// write-behind spill lands — but anywhere near one compute per
+	// submission means the tiers collapsed.
+	if st.Computed > workers*rounds/2 {
+		t.Fatalf("computed=%d of %d — caching collapsed under concurrency (stats %+v)",
+			st.Computed, workers*rounds, st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatalf("no disk hits despite a 1-entry memory tier: %+v", st)
+	}
+	if st.DiskCorrupt != 0 {
+		t.Fatalf("disk tier served/dropped %d corrupt entries", st.DiskCorrupt)
+	}
+
+	// After the storm the journal must hold no open jobs: every admitted
+	// job reached a terminal record.
+	m.Close()
+	if got := s.Journal.OpenCount(); got != 0 {
+		t.Fatalf("journal left %d jobs open after a clean drain", got)
+	}
+}

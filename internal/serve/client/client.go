@@ -224,19 +224,30 @@ func (c *Client) Frames(ctx context.Context, id string, fn func(f *gfx.StreamFra
 
 // RunConfig submits cfg, waits for completion, and returns the result —
 // the expt.Runner contract. Failed and canceled jobs surface as errors.
+// A job that comes back "interrupted" — the daemon restarted mid-job and
+// did not re-enqueue it — is resubmitted automatically, so a parameter
+// sweep rides through a daemon deploy instead of dying with it.
 func (c *Client) RunConfig(cfg core.Config) (core.Result, error) {
 	ctx := context.Background()
-	st, err := c.Submit(ctx, cfg, false)
-	if err != nil {
-		return core.Result{}, err
-	}
-	if !st.State.Terminal() {
-		if st, err = c.Wait(ctx, st.ID); err != nil {
+	var last *serve.JobStatus
+	for attempt := 0; attempt < 3; attempt++ {
+		st, err := c.Submit(ctx, cfg, false)
+		if err != nil {
 			return core.Result{}, err
 		}
+		if !st.State.Terminal() {
+			if st, err = c.Wait(ctx, st.ID); err != nil {
+				return core.Result{}, err
+			}
+		}
+		if st.State == serve.JobInterrupted {
+			last = st
+			continue // the daemon restarted under us: resubmit
+		}
+		if st.State != serve.JobDone || st.Result == nil {
+			return core.Result{}, fmt.Errorf("client: job %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+		return *st.Result, nil
 	}
-	if st.State != serve.JobDone || st.Result == nil {
-		return core.Result{}, fmt.Errorf("client: job %s ended %s: %s", st.ID, st.State, st.Error)
-	}
-	return *st.Result, nil
+	return core.Result{}, fmt.Errorf("client: job %s interrupted repeatedly: %s", last.ID, last.Error)
 }

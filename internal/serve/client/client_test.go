@@ -1,0 +1,129 @@
+package client
+
+// Scripted-daemon tests of the client's restart-riding behavior: a job
+// that ends "interrupted" (its daemon restarted mid-job without
+// re-enqueueing it) must be resubmitted automatically by RunConfig —
+// both the single-endpoint Client and the cluster-aware Multi — so
+// expt.Sweep studies survive daemon deploys without user intervention.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"easypap/internal/core"
+	_ "easypap/internal/kernels"
+	"easypap/internal/serve"
+)
+
+// scriptedDaemon fakes the /v1 surface: the first submission is
+// accepted then reported interrupted (the restart happened under it);
+// the second submission — the client's automatic retry — completes.
+type scriptedDaemon struct {
+	submits atomic.Int64
+	polls   atomic.Int64
+}
+
+func (d *scriptedDaemon) handler(t *testing.T) http.Handler {
+	result := core.Result{
+		Config:     core.Config{Kernel: "mandel", Variant: "seq", Dim: 64},
+		WallTime:   42 * time.Millisecond,
+		Iterations: 3,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		n := d.submits.Add(1)
+		if n == 1 {
+			serve.WriteJSON(w, http.StatusAccepted, serve.JobStatus{
+				ID: "j-000001", State: serve.JobQueued,
+			})
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, serve.JobStatus{
+			ID: "j-000002", State: serve.JobDone, Cached: true, DiskHit: true,
+			Result: &result,
+		})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		d.polls.Add(1)
+		serve.WriteJSON(w, http.StatusOK, serve.JobStatus{
+			ID: r.PathValue("id"), State: serve.JobInterrupted, Recovered: true,
+			Error: "daemon restarted while the job was queued or running",
+		})
+	})
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteError(w, http.StatusNotFound, errNotClustered)
+	})
+	return mux
+}
+
+var errNotClustered = jsonErr("not clustered")
+
+type jsonErr string
+
+func (e jsonErr) Error() string { return string(e) }
+
+func TestClientResubmitsInterruptedJob(t *testing.T) {
+	d := &scriptedDaemon{}
+	srv := httptest.NewServer(d.handler(t))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Poll = time.Millisecond
+	res, err := c.RunConfig(core.Config{Kernel: "mandel", Dim: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("got result %+v", res)
+	}
+	if got := d.submits.Load(); got != 2 {
+		t.Fatalf("daemon saw %d submissions, want 2 (original + resubmit)", got)
+	}
+}
+
+func TestMultiResubmitsInterruptedJob(t *testing.T) {
+	d := &scriptedDaemon{}
+	srv := httptest.NewServer(d.handler(t))
+	defer srv.Close()
+
+	m := NewMulti(srv.URL)
+	res, err := m.RunConfig(core.Config{Kernel: "mandel", Dim: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("got result %+v", res)
+	}
+	if got := d.submits.Load(); got != 2 {
+		t.Fatalf("daemon saw %d submissions, want 2 (original + resubmit)", got)
+	}
+}
+
+// TestClientGivesUpAfterRepeatedInterrupts pins the retry bound: a
+// daemon stuck in a crash loop must surface an error, not hang a sweep.
+func TestClientGivesUpAfterRepeatedInterrupts(t *testing.T) {
+	var submits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		n := submits.Add(1)
+		_ = json.NewDecoder(r.Body).Decode(&struct{}{})
+		serve.WriteJSON(w, http.StatusOK, serve.JobStatus{
+			ID: "j-00000" + string(rune('0'+n)), State: serve.JobInterrupted,
+		})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Poll = time.Millisecond
+	if _, err := c.RunConfig(core.Config{Kernel: "mandel", Dim: 64}); err == nil {
+		t.Fatal("crash-looping daemon did not surface an error")
+	}
+	if got := submits.Load(); got != 3 {
+		t.Fatalf("client tried %d times, want exactly 3", got)
+	}
+}

@@ -254,7 +254,10 @@ func (m *Multi) ensureRing() {
 // as a transient wait failure; the config is then resubmitted, which
 // routes past the dead node (both this client and the daemons' own
 // replica failover skip it), so a sweep completes as long as any node
-// survives.
+// survives. A job ending "interrupted" — its node restarted mid-job
+// without re-enqueueing it — is likewise resubmitted: on the second
+// pass the restarted node usually answers straight from its warm disk
+// cache, so a sweep rides through a rolling deploy.
 func (m *Multi) RunConfig(cfg core.Config) (core.Result, error) {
 	m.ensureRing()
 	ctx := context.Background()
@@ -272,6 +275,10 @@ func (m *Multi) RunConfig(cfg core.Config) (core.Result, error) {
 				lastErr = err
 				continue
 			}
+		}
+		if st.State == serve.JobInterrupted {
+			lastErr = fmt.Errorf("client: job %s interrupted by a daemon restart", st.ID)
+			continue
 		}
 		if st.State != serve.JobDone || st.Result == nil {
 			return core.Result{}, fmt.Errorf("client: job %s ended %s: %s", st.ID, st.State, st.Error)

@@ -27,6 +27,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -104,6 +105,11 @@ type member struct {
 	healthy  atomic.Bool
 	lastSeen atomic.Int64 // unix nanos of the last successful contact
 	failures atomic.Int64 // probe + proxy failures observed
+	// warmDisk is the peer's advertised disk-cache entry count, learned
+	// from health probes. A restarted node re-advertises its warm disk
+	// tier here, making "route back to it, it still owns its results"
+	// visible in the membership view instead of a matter of faith.
+	warmDisk atomic.Int64
 }
 
 // Node is one cluster member: the local Manager plus the routing layer.
@@ -319,7 +325,18 @@ func (n *Node) probe(m *member) bool {
 		return false
 	}
 	defer resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	// The health body advertises cache warmth; record the peer's disk
+	// tier so the membership view shows which members hold durable
+	// results (a just-restarted peer reports disk_entries > 0 while its
+	// memory tier is still empty).
+	var h HealthInfo
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h) == nil {
+		m.warmDisk.Store(h.DiskEntries)
+	}
+	return true
 }
 
 // announce joins this node to every known peer and merges the
@@ -383,6 +400,18 @@ type JoinRequest struct {
 	URL string `json:"url"`
 }
 
+// HealthInfo is the GET /v1/cluster/health body: liveness plus cache
+// warmth, so peers (and operators) can see that a restarted node still
+// owns its previously computed results on disk.
+type HealthInfo struct {
+	OK           bool   `json:"ok"`
+	ID           string `json:"id"`
+	URL          string `json:"url"`
+	CacheEntries int    `json:"cache_entries"` // in-memory tier
+	DiskEntries  int64  `json:"disk_entries"`  // durable tier (0 without --data-dir)
+	DiskBytes    int64  `json:"disk_bytes,omitempty"`
+}
+
 // MemberInfo is one row of the membership document.
 type MemberInfo struct {
 	ID       string    `json:"id"`
@@ -391,6 +420,9 @@ type MemberInfo struct {
 	Healthy  bool      `json:"healthy"`
 	LastSeen time.Time `json:"last_seen,omitempty"`
 	Failures int64     `json:"failures,omitempty"`
+	// DiskEntries is the member's advertised durable-cache size (its
+	// last health probe; self reads its own store directly).
+	DiskEntries int64 `json:"disk_entries,omitempty"`
 }
 
 // Membership is the GET /v1/cluster body: this node's view of the ring.
@@ -408,6 +440,11 @@ func (n *Node) Membership() Membership {
 		mi := MemberInfo{
 			ID: m.id, URL: m.url, Self: m.self,
 			Healthy: m.healthy.Load(), Failures: m.failures.Load(),
+			DiskEntries: m.warmDisk.Load(),
+		}
+		if m.self {
+			_, disk, _ := n.mgr.CacheSizes()
+			mi.DiskEntries = int64(disk)
 		}
 		if ns := m.lastSeen.Load(); ns > 0 {
 			mi.LastSeen = time.Unix(0, ns)
@@ -462,11 +499,17 @@ func (n *Node) Stats() NodeStats {
 type ClusterTotals struct {
 	Submitted   int64 `json:"submitted"`
 	Completed   int64 `json:"completed"`
+	Computed    int64 `json:"computed"`
 	Failed      int64 `json:"failed"`
 	Canceled    int64 `json:"canceled"`
 	Rejected    int64 `json:"rejected"`
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+	DiskHits    int64 `json:"disk_hits"`
+	Spills      int64 `json:"spills"`
+	DiskEntries int64 `json:"disk_entries"`
+	Recovered   int64 `json:"recovered_jobs"`
+	Interrupted int64 `json:"interrupted_jobs"`
 	JobsOwned   int64 `json:"jobs_owned"`
 	JobsProxied int64 `json:"jobs_proxied"`
 	Failovers   int64 `json:"failovers"`
@@ -525,11 +568,17 @@ func (n *Node) AggregateStats(ctx context.Context) ClusterAggregate {
 		s := r.Stats
 		agg.Totals.Submitted += s.Submitted
 		agg.Totals.Completed += s.Completed
+		agg.Totals.Computed += s.Computed
 		agg.Totals.Failed += s.Failed
 		agg.Totals.Canceled += s.Canceled
 		agg.Totals.Rejected += s.Rejected
 		agg.Totals.CacheHits += s.CacheHits
 		agg.Totals.CacheMisses += s.CacheMisses
+		agg.Totals.DiskHits += s.DiskHits
+		agg.Totals.Spills += s.Spills
+		agg.Totals.DiskEntries += int64(s.DiskEntries)
+		agg.Totals.Recovered += s.RecoveredJobs
+		agg.Totals.Interrupted += s.InterruptedJobs
 		agg.Totals.JobsOwned += s.Cluster.JobsOwned
 		agg.Totals.JobsProxied += s.Cluster.JobsProxied
 		agg.Totals.Failovers += s.Cluster.Failovers

@@ -46,7 +46,11 @@ func (n *Node) Handler() http.Handler {
 		serve.WriteJSON(w, http.StatusOK, n.Membership())
 	})
 	mux.HandleFunc("GET /v1/cluster/health", func(w http.ResponseWriter, r *http.Request) {
-		serve.WriteJSON(w, http.StatusOK, map[string]any{"ok": true, "id": n.id, "url": n.opts.Self})
+		mem, disk, diskBytes := n.mgr.CacheSizes()
+		serve.WriteJSON(w, http.StatusOK, HealthInfo{
+			OK: true, ID: n.id, URL: n.opts.Self,
+			CacheEntries: mem, DiskEntries: int64(disk), DiskBytes: diskBytes,
+		})
 	})
 	mux.HandleFunc("POST /v1/cluster/join", func(w http.ResponseWriter, r *http.Request) {
 		var req JoinRequest

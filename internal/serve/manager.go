@@ -8,7 +8,12 @@
 //   - a fixed team of job runners,
 //   - a warm-pool set (internal: poolSet) so jobs lease reusable
 //     sched.Pools instead of building their own,
-//   - a result cache keyed by core.Config.Hash with hit/miss counters,
+//   - a two-tier result cache keyed by core.Config.Hash — an in-memory
+//     LRU over an optional disk-backed content-addressed store
+//     (internal/serve/store) that survives restarts,
+//   - a write-ahead job journal (same store) so a crashed daemon's
+//     queued and running jobs are re-enqueued, or marked interrupted,
+//     on the next boot,
 //   - per-job cancellation threaded through core.RunContext down to the
 //     iteration loop and mpi.Recv.
 //
@@ -17,6 +22,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -28,7 +34,9 @@ import (
 
 	"easypap/internal/core"
 	"easypap/internal/gfx"
+	"easypap/internal/img2d"
 	"easypap/internal/sched"
+	"easypap/internal/serve/store"
 )
 
 // Errors the HTTP layer maps to status codes.
@@ -54,11 +62,18 @@ const (
 	JobDone     JobState = "done"
 	JobFailed   JobState = "failed"
 	JobCanceled JobState = "canceled"
+	// JobInterrupted is the typed status of a job that was queued or
+	// running when the daemon died and was not automatically re-enqueued
+	// on restart (frames jobs — their subscribers are gone — or any job
+	// under RecoverInterrupt policy, or recovery overflowing the queue).
+	// Clients treat it as "resubmit me": expt sweeps running through
+	// serve/client resubmit interrupted jobs automatically.
+	JobInterrupted JobState = "interrupted"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == JobDone || s == JobFailed || s == JobCanceled
+	return s == JobDone || s == JobFailed || s == JobCanceled || s == JobInterrupted
 }
 
 // Options tunes a Manager. The zero value is a sane single-node setup.
@@ -86,7 +101,29 @@ type Options struct {
 	// frame buffers) are kept for status queries (default 4096). Oldest
 	// finished jobs are forgotten first; active jobs are never evicted.
 	MaxJobHistory int
+	// Store, when non-nil, adds the persistence layer: a disk-backed
+	// second cache tier under the in-memory LRU (looked up on memory
+	// miss, filled by an async spiller on job completion) and a
+	// write-ahead job journal whose open jobs are recovered — under
+	// their original ids — when the manager starts. The caller owns the
+	// store and closes it after Close.
+	Store *store.Store
+	// Recover selects what happens to journaled in-flight jobs on
+	// startup: RecoverRequeue (the default) re-enqueues them,
+	// RecoverInterrupt marks them with the terminal JobInterrupted
+	// status and lets clients resubmit. Frames jobs are always
+	// interrupted — their stream subscribers did not survive the
+	// restart.
+	Recover RecoverPolicy
 }
+
+// RecoverPolicy selects the restart fate of journaled in-flight jobs.
+type RecoverPolicy string
+
+const (
+	RecoverRequeue   RecoverPolicy = "requeue"
+	RecoverInterrupt RecoverPolicy = "interrupt"
+)
 
 func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
@@ -115,9 +152,15 @@ func (o Options) withDefaults() Options {
 type JobStatus struct {
 	ID     string   `json:"id"`
 	State  JobState `json:"state"`
-	Cached bool     `json:"cached,omitempty"` // result came from the cache, no recompute
-	Frames bool     `json:"frames,omitempty"` // job streams frames
-	Hash   string   `json:"hash"`             // canonical config hash (the cache key)
+	Cached bool     `json:"cached,omitempty"` // result came from a cache tier, no recompute
+	// DiskHit marks a cached result that was served from the disk tier
+	// (a restarted daemon's warm cache) rather than the in-memory LRU.
+	DiskHit bool `json:"disk_hit,omitempty"`
+	// Recovered marks a job re-enqueued (or interrupted) from the
+	// write-ahead journal after a daemon restart.
+	Recovered bool   `json:"recovered,omitempty"`
+	Frames    bool   `json:"frames,omitempty"` // job streams frames
+	Hash      string `json:"hash"`             // canonical config hash (the cache key)
 
 	Config core.Config  `json:"config"`           // normalized
 	Result *core.Result `json:"result,omitempty"` // present once done
@@ -156,6 +199,8 @@ type job struct {
 	mu        sync.Mutex
 	state     JobState
 	cached    bool
+	diskHit   bool
+	recovered bool
 	result    *core.Result
 	errMsg    string
 	activity  *ActivityStatus // latest lazy-frontier report (nil for eager)
@@ -169,7 +214,8 @@ func (j *job) snapshot() *JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	s := &JobStatus{
-		ID: j.id, State: j.state, Cached: j.cached, Frames: j.frames != nil,
+		ID: j.id, State: j.state, Cached: j.cached, DiskHit: j.diskHit,
+		Recovered: j.recovered, Frames: j.frames != nil,
 		Hash: j.hash, Config: j.cfg, Result: j.result, Error: j.errMsg,
 		Activity: j.activity, SubmittedAt: j.submitted,
 	}
@@ -207,17 +253,30 @@ type Manager struct {
 	jobs      map[string]*job
 	doneOrder []string // terminal job ids, oldest first (history eviction)
 	closed    bool
+	closing   atomic.Bool // set by Close before jobs are drained
 
 	cache *resultCache
 	pools *poolSet
 
-	nextID    atomic.Int64
-	running   atomic.Int64
-	submitted atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
-	rejected  atomic.Int64
+	store   *store.Store  // nil without persistence
+	spill   chan spillReq // completion → disk write-behind queue
+	spillWg sync.WaitGroup
+
+	nextID      atomic.Int64
+	running     atomic.Int64
+	submitted   atomic.Int64
+	completed   atomic.Int64
+	computed    atomic.Int64 // jobs that actually ran a kernel (no cache tier answered)
+	failed      atomic.Int64
+	canceled    atomic.Int64
+	rejected    atomic.Int64
+	diskHits    atomic.Int64
+	diskMisses  atomic.Int64
+	spills      atomic.Int64
+	spillErrs   atomic.Int64
+	spillDrops  atomic.Int64
+	recovered   atomic.Int64 // journaled jobs re-enqueued on startup
+	interrupted atomic.Int64 // journaled jobs marked JobInterrupted on startup
 
 	kmu     sync.Mutex
 	kernels map[string]*kernelStats
@@ -236,11 +295,104 @@ func NewManager(opts Options) *Manager {
 		kernels: make(map[string]*kernelStats),
 	}
 	m.baseCtx, m.stopAll = context.WithCancel(context.Background())
+	if opts.Store != nil {
+		m.store = opts.Store
+		m.spill = make(chan spillReq, 256)
+		m.spillWg.Add(1)
+		go m.spiller()
+		m.recoverJournal()
+	}
 	m.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go m.runner()
 	}
 	return m
+}
+
+// spillReq is one completed result on its way to the disk tier.
+type spillReq struct {
+	hash   string
+	result core.Result
+	final  *img2d.Image
+}
+
+// spiller is the write-behind worker of the disk tier: it encodes the
+// final image as a gfx frame-stream record and persists the entry.
+// Spilling at completion (not at memory eviction) is what makes a crash
+// lose nothing — an entry that never got evicted must still be on disk
+// when the daemon dies.
+func (m *Manager) spiller() {
+	defer m.spillWg.Done()
+	for req := range m.spill {
+		e := &store.Entry{Hash: req.hash, Result: req.result}
+		if req.final != nil {
+			var buf bytes.Buffer
+			if err := gfx.WriteFrame(&buf, "final", req.result.Iterations, req.final); err == nil {
+				e.Frames = buf.Bytes()
+			}
+		}
+		if err := m.store.Cache.Put(e); err != nil {
+			m.spillErrs.Add(1)
+			continue
+		}
+		m.spills.Add(1)
+	}
+}
+
+// recoverJournal replays the write-ahead journal: every job that was
+// queued or running when the previous daemon died is re-admitted under
+// its ORIGINAL id — a client that submitted before the crash keeps
+// polling the same id across the restart. Non-frames jobs are
+// re-enqueued (RecoverRequeue) or marked interrupted
+// (RecoverInterrupt); frames jobs are always interrupted, since their
+// stream subscribers did not survive. The id sequence resumes past
+// every journaled id so new submissions never collide with recovered
+// ones.
+func (m *Manager) recoverJournal() {
+	recs := m.store.Journal.Recovered()
+	if max := m.store.Journal.MaxID(); max > m.nextID.Load() {
+		m.nextID.Store(max)
+	}
+	for _, rec := range recs {
+		j := &job{
+			id:        rec.ID,
+			hash:      rec.Hash,
+			cfg:       rec.Config,
+			state:     JobQueued,
+			recovered: true,
+			submitted: time.Now(),
+			done:      make(chan struct{}),
+		}
+		requeue := m.opts.Recover != RecoverInterrupt && !rec.Frames
+		m.mu.Lock()
+		if requeue {
+			j.ctx, j.cancel = context.WithCancel(m.baseCtx)
+			select {
+			case m.queue <- j:
+				m.jobs[j.id] = j
+				m.mu.Unlock()
+				m.submitted.Add(1)
+				m.recovered.Add(1)
+				continue
+			default:
+				// Recovery outgrew the queue; fall through to interrupt so
+				// the journal does not replay this job forever.
+				j.cancel()
+				j.ctx, j.cancel = nil, nil
+			}
+		}
+		now := time.Now()
+		j.state = JobInterrupted
+		j.errMsg = "daemon restarted while the job was queued or running"
+		j.started, j.finished = now, now
+		close(j.done)
+		m.jobs[j.id] = j
+		m.retireLocked(j.id)
+		m.mu.Unlock()
+		m.submitted.Add(1)
+		m.interrupted.Add(1)
+		_ = m.store.Journal.End(j.id, string(JobInterrupted))
+	}
 }
 
 // NormalizeSubmission applies the daemon's submission discipline to a
@@ -309,22 +461,58 @@ func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
 
 	if !wantFrames {
 		if r, ok := m.cache.get(hash); ok {
-			now := time.Now()
-			j.state = JobDone
-			j.cached = true
-			j.result = &r
-			j.started, j.finished = now, now
-			close(j.done)
-			m.jobs[j.id] = j
-			m.retireLocked(j.id)
-			m.submitted.Add(1)
-			m.completed.Add(1)
+			m.finishCachedLocked(j, r, false)
 			m.mu.Unlock()
 			return j.snapshot(), nil
 		}
 	}
+	m.mu.Unlock()
+
+	// Memory missed: try the disk tier before paying a recompute. The
+	// read happens outside m.mu (it is file I/O) and is deduplicated
+	// per hash inside the store, so a herd of identical submissions
+	// costs one read.
+	if !wantFrames && m.store != nil {
+		if ent, ok := m.store.Cache.Get(hash); ok {
+			m.diskHits.Add(1)
+			m.cache.put(hash, ent.Result) // promote to the memory tier
+			m.mu.Lock()
+			if m.closed {
+				m.mu.Unlock()
+				return nil, ErrClosed
+			}
+			m.finishCachedLocked(j, ent.Result, true)
+			m.mu.Unlock()
+			return j.snapshot(), nil
+		}
+		m.diskMisses.Add(1)
+	}
+
+	// Write-ahead: the journal records the job before it can run, so a
+	// crash at any later point recovers it. (Rejection below writes the
+	// matching terminal record.) Shed load BEFORE touching the journal:
+	// under sustained overload — when rejections fire at full rate — the
+	// admission-control path must stay free of disk I/O. The check is
+	// advisory (the queue may fill right after), so the enqueue below
+	// still handles the race with a journaled reject.
+	if m.store != nil {
+		if len(m.queue) == cap(m.queue) {
+			m.rejected.Add(1)
+			return nil, ErrQueueFull
+		}
+		_ = m.store.Journal.Begin(j.id, hash, wantFrames, cfg)
+	}
 
 	j.ctx, j.cancel = context.WithCancel(m.baseCtx)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		j.cancel()
+		if m.store != nil {
+			_ = m.store.Journal.End(j.id, string(JobCanceled))
+		}
+		return nil, ErrClosed
+	}
 	select {
 	case m.queue <- j:
 		m.jobs[j.id] = j
@@ -337,9 +525,29 @@ func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
 		// not stay registered with baseCtx (under sustained overload —
 		// exactly when rejections fire — that would grow without bound).
 		j.cancel()
+		if m.store != nil {
+			_ = m.store.Journal.End(j.id, "rejected")
+		}
 		m.rejected.Add(1)
 		return nil, ErrQueueFull
 	}
+}
+
+// finishCachedLocked completes a submission straight from a cache tier.
+// Caller holds m.mu; the job was never enqueued, so no journal record
+// exists for it.
+func (m *Manager) finishCachedLocked(j *job, r core.Result, disk bool) {
+	now := time.Now()
+	j.state = JobDone
+	j.cached = true
+	j.diskHit = disk
+	j.result = &r
+	j.started, j.finished = now, now
+	close(j.done)
+	m.jobs[j.id] = j
+	m.retireLocked(j.id)
+	m.submitted.Add(1)
+	m.completed.Add(1)
 }
 
 // runner executes queued jobs until the queue closes.
@@ -428,10 +636,32 @@ func (m *Manager) finish(j *job, out *core.RunOutput, err error) {
 		j.state = JobDone
 		j.result = &out.Result
 		m.completed.Add(1)
+		m.computed.Add(1)
 		if j.frames == nil {
 			m.cache.put(j.hash, out.Result)
+			if m.spill != nil {
+				// Write-behind to the disk tier. Dropping under a full spill
+				// queue is safe — the entry is merely not durable yet and a
+				// resubmission would recompute it.
+				select {
+				case m.spill <- spillReq{hash: j.hash, result: out.Result, final: out.Final}:
+				default:
+					m.spillDrops.Add(1)
+				}
+			}
 		}
 		m.recordKernel(out.Result)
+	}
+	if m.store != nil {
+		if j.state == JobCanceled && m.closing.Load() {
+			// Shutdown-induced cancellation: leave the open record in the
+			// journal so the NEXT daemon generation recovers the job. This
+			// is what makes a rolling deploy (SIGTERM, graceful drain) as
+			// survivable as a crash — writing "canceled" here would erase
+			// the recovery set precisely when the restart is planned.
+		} else {
+			_ = m.store.Journal.End(j.id, string(j.state))
+		}
 	}
 	if j.frames != nil {
 		// Every terminal path must end the stream — a job canceled while
@@ -570,13 +800,31 @@ type Stats struct {
 
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
-	Failed    int64 `json:"failed"`
-	Canceled  int64 `json:"canceled"`
-	Rejected  int64 `json:"rejected"`
+	// Computed counts jobs that actually ran a kernel — no cache tier
+	// answered. completed - computed is the number of cache-served jobs.
+	Computed int64 `json:"computed"`
+	Failed   int64 `json:"failed"`
+	Canceled int64 `json:"canceled"`
+	Rejected int64 `json:"rejected"`
 
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	CacheSize   int   `json:"cache_size"`
+
+	// Persistence counters (all zero when the daemon runs without
+	// --data-dir). DiskHits/DiskMisses count second-tier lookups after a
+	// memory miss; Spills counts results written behind to disk;
+	// DiskCorrupt counts entries rejected by CRC and dropped.
+	DiskHits        int64 `json:"disk_hits"`
+	DiskMisses      int64 `json:"disk_misses"`
+	Spills          int64 `json:"spills"`
+	SpillErrors     int64 `json:"spill_errors,omitempty"`
+	SpillDropped    int64 `json:"spill_dropped,omitempty"`
+	DiskEntries     int   `json:"disk_entries"`
+	DiskBytes       int64 `json:"disk_bytes"`
+	DiskCorrupt     int64 `json:"disk_corrupt,omitempty"`
+	RecoveredJobs   int64 `json:"recovered_jobs,omitempty"`
+	InterruptedJobs int64 `json:"interrupted_jobs,omitempty"`
 
 	PoolWarmLeases int64 `json:"pool_warm_leases"`
 	PoolColdLeases int64 `json:"pool_cold_leases"`
@@ -610,6 +858,7 @@ func (m *Manager) Stats() Stats {
 		Workers:        m.opts.Workers,
 		Submitted:      m.submitted.Load(),
 		Completed:      m.completed.Load(),
+		Computed:       m.computed.Load(),
 		Failed:         m.failed.Load(),
 		Canceled:       m.canceled.Load(),
 		Rejected:       m.rejected.Load(),
@@ -620,6 +869,18 @@ func (m *Manager) Stats() Stats {
 		PoolColdLeases: m.pools.cold.Load(),
 		PoolsIdle:      m.pools.idleCount(),
 		Kernels:        make(map[string]KernelThroughput),
+	}
+	if m.store != nil {
+		s.DiskHits = m.diskHits.Load()
+		s.DiskMisses = m.diskMisses.Load()
+		s.Spills = m.spills.Load()
+		s.SpillErrors = m.spillErrs.Load()
+		s.SpillDropped = m.spillDrops.Load()
+		s.DiskEntries = m.store.Cache.Len()
+		s.DiskBytes = m.store.Cache.Bytes()
+		s.DiskCorrupt = m.store.Cache.Corrupt()
+		s.RecoveredJobs = m.recovered.Load()
+		s.InterruptedJobs = m.interrupted.Load()
 	}
 	m.kmu.Lock()
 	for name, ks := range m.kernels {
@@ -647,8 +908,28 @@ func (m *Manager) Close() {
 	m.closed = true
 	m.mu.Unlock()
 
+	m.closing.Store(true)
 	m.stopAll()
 	close(m.queue)
 	m.wg.Wait()
+	if m.spill != nil {
+		// Runners are done, so no more spills can arrive; drain the
+		// write-behind queue so every completed result is on disk before
+		// the caller closes the store.
+		close(m.spill)
+		m.spillWg.Wait()
+	}
 	m.pools.close()
+}
+
+// CacheSizes reports the warmth of both cache tiers — what a cluster
+// node advertises so peers can see a restarted member still owns its
+// results (memory empties on restart, disk does not).
+func (m *Manager) CacheSizes() (memEntries, diskEntries int, diskBytes int64) {
+	memEntries = m.cache.len()
+	if m.store != nil {
+		diskEntries = m.store.Cache.Len()
+		diskBytes = m.store.Cache.Bytes()
+	}
+	return memEntries, diskEntries, diskBytes
 }

@@ -1,0 +1,374 @@
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the disk tier of the daemon's two-tier result cache: entry
+// files content-addressed by config hash under objects/, plus an
+// append-only CRC'd index (cache.idx) that makes boot O(live entries)
+// instead of a directory walk. It survives SIGKILL by construction —
+// entry files are written to a temp name and renamed into place, index
+// records are self-checking, and replay tolerates a torn tail — so a
+// restarted daemon serves yesterday's results without recomputing them.
+//
+// Eviction is LRU by byte budget. Reads are deduplicated per hash
+// (singleflight): a thundering herd of identical submissions costs one
+// disk read, everyone else blocks on it.
+type Cache struct {
+	dir      string // objects root
+	maxBytes int64
+
+	mu      sync.Mutex
+	idx     *os.File // append handle on cache.idx
+	idxPath string
+	entries map[string]*list.Element // hash -> element whose Value is *diskEntry
+	order   *list.List               // front = most recently used
+	bytes   int64
+	stale   int // index records superseded since the last compaction
+
+	flight map[string]*flightCall // in-progress disk reads, per hash
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	corrupt atomic.Int64 // entries rejected by CRC/decode and dropped
+}
+
+type diskEntry struct {
+	hash string
+	size int64
+}
+
+// flightCall is one in-flight disk read shared by concurrent getters.
+type flightCall struct {
+	done chan struct{}
+	e    *Entry
+	ok   bool
+}
+
+// openCache opens (or initializes) the disk cache under dir, replaying
+// the index. Entries whose file has vanished are dropped.
+func openCache(dir string, maxBytes int64) (*Cache, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		dir:      filepath.Join(dir, "objects"),
+		maxBytes: maxBytes,
+		idxPath:  filepath.Join(dir, "cache.idx"),
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		flight:   make(map[string]*flightCall),
+	}
+	if data, err := os.ReadFile(c.idxPath); err == nil {
+		recs := ReadIndex(bytes.NewReader(data))
+		// Last record wins per hash — a put/del/put history (spill, evict,
+		// re-spill between compactions) must replay as exactly ONE live
+		// entry, positioned by its LAST put: later records are more recent
+		// activity, so replaying in last-occurrence order seeds the LRU
+		// with the log's tail at the front.
+		live := make(map[string]IndexRec, len(recs))
+		lastPos := make(map[string]int, len(recs))
+		for i, rec := range recs {
+			switch rec.Op {
+			case opPut:
+				live[rec.Hash] = rec
+				lastPos[rec.Hash] = i
+			case opDel:
+				delete(live, rec.Hash)
+				delete(lastPos, rec.Hash)
+			}
+		}
+		hashes := make([]string, 0, len(live))
+		for h := range live {
+			hashes = append(hashes, h)
+		}
+		sort.Slice(hashes, func(a, b int) bool { return lastPos[hashes[a]] < lastPos[hashes[b]] })
+		for _, h := range hashes {
+			rec := live[h]
+			if fi, err := os.Stat(c.objectPath(h)); err != nil || fi.Size() != rec.Size {
+				continue // vanished or resized behind our back: not trustworthy
+			}
+			c.entries[h] = c.order.PushFront(&diskEntry{hash: h, size: rec.Size})
+			c.bytes += rec.Size
+		}
+		c.stale = len(recs) - c.order.Len()
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	c.sweepOrphans()
+	idx, err := os.OpenFile(c.idxPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	c.idx = idx
+	// A recovered index usually carries dead weight; start clean.
+	c.mu.Lock()
+	c.maybeCompactLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// sweepOrphans removes object files the index does not reference: a
+// crash between the object rename and the index append (or a torn
+// index tail) leaves files no replay can see — without this sweep they
+// would be invisible to the byte budget and accumulate forever. Also
+// clears abandoned .tmp- files from interrupted Puts. Runs once at
+// open, before any concurrent access.
+func (c *Cache) sweepOrphans() {
+	prefixes, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, p := range prefixes {
+		if !p.IsDir() {
+			continue
+		}
+		sub := filepath.Join(c.dir, p.Name())
+		files, err := os.ReadDir(sub)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if _, ok := c.entries[f.Name()]; !ok {
+				os.Remove(filepath.Join(sub, f.Name()))
+			}
+		}
+	}
+}
+
+func (c *Cache) objectPath(hash string) string {
+	prefix := hash
+	if len(prefix) > 2 {
+		prefix = prefix[:2]
+	}
+	return filepath.Join(c.dir, prefix, hash)
+}
+
+// Get returns the entry stored for hash, verifying its CRC. A corrupt
+// or vanished entry is dropped and reported as a miss — the store never
+// serves bytes it cannot vouch for. Concurrent gets of the same hash
+// share one disk read.
+func (c *Cache) Get(hash string) (*Entry, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[hash]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	if f, inflight := c.flight[hash]; inflight {
+		c.mu.Unlock()
+		<-f.done
+		if f.ok {
+			c.hits.Add(1)
+		} else {
+			c.misses.Add(1)
+		}
+		return f.e, f.ok
+	}
+	f := &flightCall{done: make(chan struct{})}
+	c.flight[hash] = f
+	c.order.MoveToFront(el)
+	c.mu.Unlock()
+
+	e, err := c.readObject(hash)
+	switch {
+	case err == nil:
+		f.e, f.ok = e, true
+	case os.IsNotExist(err):
+		// Not corruption: a concurrent eviction (or delete) won the race
+		// between our index lookup and the read. Plain miss.
+	default:
+		c.corrupt.Add(1)
+		c.Delete(hash)
+	}
+
+	c.mu.Lock()
+	delete(c.flight, hash)
+	c.mu.Unlock()
+	close(f.done)
+	if f.ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return f.e, f.ok
+}
+
+func (c *Cache) readObject(hash string) (*Entry, error) {
+	rf, err := os.Open(c.objectPath(hash))
+	if err != nil {
+		return nil, err
+	}
+	defer rf.Close()
+	e, err := DecodeEntry(rf)
+	if err != nil {
+		return nil, err
+	}
+	if e.Hash != hash {
+		return nil, fmt.Errorf("store: object %s contains entry for %s", hash, e.Hash)
+	}
+	return e, nil
+}
+
+// Put stores an entry, evicting least-recently-used entries beyond the
+// byte budget. The object file lands via temp-file + rename so a crash
+// mid-write can never leave a half-entry under its final name.
+func (c *Cache) Put(e *Entry) error {
+	if !validToken(e.Hash) {
+		return fmt.Errorf("store: invalid entry hash %q", e.Hash)
+	}
+	var buf bytes.Buffer
+	if err := EncodeEntry(&buf, e); err != nil {
+		return err
+	}
+	size := int64(buf.Len())
+	if size > maxPayload {
+		// The index decoder rejects sizes beyond maxPayload; storing a
+		// bigger entry (possible with an unbounded budget) would replay
+		// as dead and be swept at the next boot — refuse it up front.
+		return fmt.Errorf("store: entry %s (%d bytes) exceeds the on-disk record limit (%d)", e.Hash, size, int64(maxPayload))
+	}
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return fmt.Errorf("store: entry %s (%d bytes) exceeds the cache budget (%d)", e.Hash, size, c.maxBytes)
+	}
+
+	path := c.objectPath(e.Hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-"+e.Hash+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+
+	rec := IndexRec{Op: opPut, Hash: e.Hash, Size: size, PayloadCRC: checksum(buf.Bytes())}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.Hash]; ok {
+		// Content-addressed: same hash, same bytes. Refresh recency and
+		// byte accounting (the rewrite may differ only if the entry was
+		// built by an older encoder).
+		c.bytes += size - el.Value.(*diskEntry).size
+		el.Value.(*diskEntry).size = size
+		c.order.MoveToFront(el)
+		c.stale++
+	} else {
+		c.entries[e.Hash] = c.order.PushFront(&diskEntry{hash: e.Hash, size: size})
+		c.bytes += size
+	}
+	if _, err := c.idx.WriteString(encodeIndexRec(rec)); err != nil {
+		return err
+	}
+	c.evictLocked()
+	c.maybeCompactLocked()
+	return nil
+}
+
+// Delete removes an entry (used for corrupt objects and tests).
+func (c *Cache) Delete(hash string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deleteLocked(hash)
+	c.maybeCompactLocked()
+}
+
+func (c *Cache) deleteLocked(hash string) {
+	el, ok := c.entries[hash]
+	if !ok {
+		return
+	}
+	c.bytes -= el.Value.(*diskEntry).size
+	c.order.Remove(el)
+	delete(c.entries, hash)
+	os.Remove(c.objectPath(hash))
+	_, _ = c.idx.WriteString(encodeIndexRec(IndexRec{Op: opDel, Hash: hash}))
+	c.stale += 2 // the del record plus the put it killed
+}
+
+// evictLocked drops least-recently-used entries until under budget.
+func (c *Cache) evictLocked() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.maxBytes && c.order.Len() > 1 {
+		last := c.order.Back()
+		c.deleteLocked(last.Value.(*diskEntry).hash)
+	}
+}
+
+// maybeCompactLocked rewrites the index once dead records dominate it:
+// live entries in LRU order (oldest first, so replay reconstructs the
+// same recency), written to a temp file and renamed over cache.idx.
+func (c *Cache) maybeCompactLocked() {
+	if c.stale <= c.order.Len()+64 {
+		return
+	}
+	var buf bytes.Buffer
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		de := el.Value.(*diskEntry)
+		buf.WriteString(encodeIndexRec(IndexRec{Op: opPut, Hash: de.hash, Size: de.size}))
+	}
+	tmp := c.idxPath + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return // keep appending to the old index; compaction is advisory
+	}
+	if err := os.Rename(tmp, c.idxPath); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	idx, err := os.OpenFile(c.idxPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	c.idx.Close()
+	c.idx = idx
+	c.stale = 0
+}
+
+// Len returns the number of live disk entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Bytes returns the total size of live entry files.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Hits, Misses and Corrupt expose the read counters.
+func (c *Cache) Hits() int64    { return c.hits.Load() }
+func (c *Cache) Misses() int64  { return c.misses.Load() }
+func (c *Cache) Corrupt() int64 { return c.corrupt.Load() }
+
+func (c *Cache) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.Close()
+}

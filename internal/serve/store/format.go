@@ -1,0 +1,394 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"strings"
+
+	"easypap/internal/core"
+)
+
+// The three on-disk record formats of the persistence layer. All follow
+// the repo's EZFRAME convention — a one-line ASCII header, then exact
+// byte-counted payloads — so `head` and `grep` work on every file the
+// daemon writes, and a decoder needs no state beyond "read a line, then
+// N bytes". Every record carries a CRC-32C so torn writes and bit rot
+// are detected, never served.
+//
+// Entry file (objects/<hh>/<hash>) — one cached computation:
+//
+//	EZSTORE1 <hash> <resultLen> <framesLen> <payloadCRC>\n
+//	<resultLen bytes: JSON core.Result>
+//	<framesLen bytes: gfx frame-stream records (EZFRAME ...)>
+//
+// Index record (cache.idx) — append-only log of the live entry set:
+//
+//	EZIDX <put|del> <hash> <size> <payloadCRC> <lineCRC>\n
+//
+// Journal record (journal.log) — write-ahead job log:
+//
+//	EZJRN open <id> <hash> <frames:0|1> <cfgLen> <payloadCRC> <lineCRC>\n
+//	<cfgLen bytes: JSON core.Config>\n
+//	EZJRN done <id> <state> 0 0 00000000 <lineCRC>\n
+//
+// <payloadCRC> and <lineCRC> are 8 lower-hex digits of CRC-32C. In an
+// entry file the payload CRC covers result+frames bytes; in an index
+// put record it covers the whole entry file; in a journal open record
+// it covers the config JSON. lineCRC covers the header line up to (not
+// including) the space before it, so
+// a flipped bit anywhere in a header invalidates exactly that record.
+// Replay is last-record-wins per key, which makes duplicated records
+// (a crash between append and in-memory update, or a retried write)
+// harmless. The format is pinned by testdata/store.golden.
+
+const (
+	entryMagic   = "EZSTORE1"
+	indexMagic   = "EZIDX"
+	journalMagic = "EZJRN"
+
+	// maxPayload bounds any single decoded payload (result JSON, config
+	// JSON, frame bytes) so a corrupt length field cannot make a decoder
+	// attempt a multi-gigabyte allocation.
+	maxPayload = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func checksum(parts ...[]byte) uint32 {
+	var c uint32
+	for _, p := range parts {
+		c = crc32.Update(c, crcTable, p)
+	}
+	return c
+}
+
+// validToken reports whether s is safe to embed in a space-separated
+// ASCII header: non-empty, printable, no whitespace.
+func validToken(s string) bool {
+	if s == "" || len(s) > 128 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] >= 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// --- entry files ------------------------------------------------------
+
+// Entry is one cached computation: the performance result plus the
+// run's rendered frames in the gfx frame-stream wire format (for cached
+// runs, a single "final" EZFRAME record of the finished image; empty
+// when the run produced no image).
+type Entry struct {
+	Hash   string
+	Result core.Result
+	Frames []byte
+}
+
+// EncodeEntry writes the entry-file form of e to w.
+func EncodeEntry(w io.Writer, e *Entry) error {
+	if !validToken(e.Hash) {
+		return fmt.Errorf("store: invalid entry hash %q", e.Hash)
+	}
+	res, err := json.Marshal(e.Result)
+	if err != nil {
+		return fmt.Errorf("store: encoding result for %s: %w", e.Hash, err)
+	}
+	crc := checksum(res, e.Frames)
+	if _, err := fmt.Fprintf(w, "%s %s %d %d %08x\n", entryMagic, e.Hash, len(res), len(e.Frames), crc); err != nil {
+		return err
+	}
+	if _, err := w.Write(res); err != nil {
+		return err
+	}
+	_, err = w.Write(e.Frames)
+	return err
+}
+
+// DecodeEntry parses one entry file, verifying the payload CRC and that
+// the payload really is a result. It never panics on corrupt input: any
+// truncation, length overflow or checksum mismatch is an error, and the
+// caller treats an error as a cache miss.
+func DecodeEntry(r io.Reader) (*Entry, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("store: reading entry header: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSuffix(line, "\n"))
+	if len(fields) != 5 || fields[0] != entryMagic {
+		return nil, fmt.Errorf("store: malformed entry header %q", line)
+	}
+	hash := fields[1]
+	if !validToken(hash) {
+		return nil, fmt.Errorf("store: invalid hash in entry header %q", line)
+	}
+	resLen, err1 := strconv.Atoi(fields[2])
+	frLen, err2 := strconv.Atoi(fields[3])
+	wantCRC, err3 := strconv.ParseUint(fields[4], 16, 32)
+	if err1 != nil || err2 != nil || err3 != nil ||
+		resLen < 0 || frLen < 0 || resLen > maxPayload || frLen > maxPayload {
+		return nil, fmt.Errorf("store: malformed entry header %q", line)
+	}
+	res := make([]byte, resLen)
+	if _, err := io.ReadFull(br, res); err != nil {
+		return nil, fmt.Errorf("store: truncated entry result: %w", err)
+	}
+	frames := make([]byte, frLen)
+	if _, err := io.ReadFull(br, frames); err != nil {
+		return nil, fmt.Errorf("store: truncated entry frames: %w", err)
+	}
+	if got := checksum(res, frames); uint32(wantCRC) != got {
+		return nil, fmt.Errorf("store: entry %s payload CRC mismatch (want %08x, got %08x)", hash, wantCRC, got)
+	}
+	e := &Entry{Hash: hash, Frames: frames}
+	if err := json.Unmarshal(res, &e.Result); err != nil {
+		return nil, fmt.Errorf("store: entry %s result does not decode: %w", hash, err)
+	}
+	return e, nil
+}
+
+// --- index records ----------------------------------------------------
+
+// indexOp is the operation of one index record.
+type indexOp string
+
+const (
+	opPut indexOp = "put"
+	opDel indexOp = "del"
+)
+
+// IndexRec is one decoded record of the cache index log.
+type IndexRec struct {
+	Op         indexOp
+	Hash       string
+	Size       int64  // total entry-file size in bytes (0 for del)
+	PayloadCRC uint32 // CRC of the entry payload (0 for del)
+}
+
+// appendLineCRC seals a header line: the line CRC over everything
+// written so far, then newline.
+func appendLineCRC(head string) string {
+	return fmt.Sprintf("%s %08x\n", head, checksum([]byte(head)))
+}
+
+// encodeIndexRec renders one index record line.
+func encodeIndexRec(rec IndexRec) string {
+	head := fmt.Sprintf("%s %s %s %d %08x", indexMagic, rec.Op, rec.Hash, rec.Size, rec.PayloadCRC)
+	return appendLineCRC(head)
+}
+
+// decodeIndexLine parses one index line (without trailing newline).
+func decodeIndexLine(line string) (IndexRec, error) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return IndexRec{}, fmt.Errorf("store: malformed index record %q", line)
+	}
+	wantCRC, err := strconv.ParseUint(line[i+1:], 16, 32)
+	if err != nil || len(line[i+1:]) != 8 || uint32(wantCRC) != checksum([]byte(line[:i])) {
+		return IndexRec{}, fmt.Errorf("store: index record CRC mismatch %q", line)
+	}
+	fields := strings.Fields(line[:i])
+	if len(fields) != 5 || fields[0] != indexMagic {
+		return IndexRec{}, fmt.Errorf("store: malformed index record %q", line)
+	}
+	rec := IndexRec{Op: indexOp(fields[1]), Hash: fields[2]}
+	if rec.Op != opPut && rec.Op != opDel {
+		return IndexRec{}, fmt.Errorf("store: unknown index op %q", fields[1])
+	}
+	if !validToken(rec.Hash) {
+		return IndexRec{}, fmt.Errorf("store: invalid hash in index record %q", line)
+	}
+	size, err1 := strconv.ParseInt(fields[3], 10, 64)
+	pcrc, err2 := strconv.ParseUint(fields[4], 16, 32)
+	if err1 != nil || err2 != nil || size < 0 || size > maxPayload {
+		return IndexRec{}, fmt.Errorf("store: malformed index record %q", line)
+	}
+	rec.Size, rec.PayloadCRC = size, uint32(pcrc)
+	return rec, nil
+}
+
+// ReadIndex decodes an index log. Corrupt records are skipped (a record
+// is self-contained on one line, so the decoder resynchronizes at the
+// next newline); a torn final record — the normal state after a crash
+// mid-append — is silently dropped. The valid records are returned in
+// file order; it is the caller's job to apply last-record-wins.
+func ReadIndex(r io.Reader) []IndexRec {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxPayload)
+	var recs []IndexRec
+	for sc.Scan() {
+		rec, err := decodeIndexLine(sc.Text())
+		if err != nil {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// --- journal records --------------------------------------------------
+
+// JournalRec is one decoded record of the job journal.
+type JournalRec struct {
+	Op     string // "open" or "done"
+	ID     string
+	Hash   string      // open only
+	Frames bool        // open only
+	Config core.Config // open only
+	State  string      // done only: the terminal JobState
+}
+
+// encodeJournalOpen renders a job-admitted record: header line plus the
+// config JSON on its own line (json.Marshal emits no raw newlines, so
+// the journal stays line-oriented and a decoder can resynchronize after
+// corruption).
+func encodeJournalOpen(id, hash string, frames bool, cfgJSON []byte) string {
+	fr := 0
+	if frames {
+		fr = 1
+	}
+	head := fmt.Sprintf("%s open %s %s %d %d %08x", journalMagic, id, hash, fr, len(cfgJSON), checksum(cfgJSON))
+	return appendLineCRC(head) + string(cfgJSON) + "\n"
+}
+
+// encodeJournalDone renders a job-terminal record.
+func encodeJournalDone(id, state string) string {
+	head := fmt.Sprintf("%s done %s %s 0 0 00000000", journalMagic, id, state)
+	return appendLineCRC(head)
+}
+
+// decodeJournalHeader parses one journal header line. For open records
+// the payload length is returned so the caller can consume the next
+// line as the config JSON.
+func decodeJournalHeader(line string) (rec JournalRec, cfgLen int, payloadCRC uint32, err error) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return rec, 0, 0, fmt.Errorf("store: malformed journal record %q", line)
+	}
+	wantCRC, perr := strconv.ParseUint(line[i+1:], 16, 32)
+	if perr != nil || len(line[i+1:]) != 8 || uint32(wantCRC) != checksum([]byte(line[:i])) {
+		return rec, 0, 0, fmt.Errorf("store: journal record CRC mismatch %q", line)
+	}
+	fields := strings.Fields(line[:i])
+	if len(fields) != 7 || fields[0] != journalMagic {
+		return rec, 0, 0, fmt.Errorf("store: malformed journal record %q", line)
+	}
+	rec.Op, rec.ID = fields[1], fields[2]
+	if !validToken(rec.ID) {
+		return rec, 0, 0, fmt.Errorf("store: invalid job id in journal record %q", line)
+	}
+	switch rec.Op {
+	case "open":
+		rec.Hash = fields[3]
+		if !validToken(rec.Hash) {
+			return rec, 0, 0, fmt.Errorf("store: invalid hash in journal record %q", line)
+		}
+		fr, err1 := strconv.Atoi(fields[4])
+		n, err2 := strconv.Atoi(fields[5])
+		pcrc, err3 := strconv.ParseUint(fields[6], 16, 32)
+		if err1 != nil || err2 != nil || err3 != nil || fr < 0 || fr > 1 || n < 0 || n > maxPayload {
+			return rec, 0, 0, fmt.Errorf("store: malformed journal record %q", line)
+		}
+		rec.Frames = fr == 1
+		return rec, n, uint32(pcrc), nil
+	case "done":
+		rec.State = fields[3]
+		if !validToken(rec.State) {
+			return rec, 0, 0, fmt.Errorf("store: invalid state in journal record %q", line)
+		}
+		return rec, 0, 0, nil
+	default:
+		return rec, 0, 0, fmt.Errorf("store: unknown journal op %q", rec.Op)
+	}
+}
+
+// ReadJournal decodes a journal log in file order. Like ReadIndex it
+// skips corrupt records and tolerates a torn tail, never panicking; an
+// open header whose config payload fails its CRC (or does not decode as
+// a config) invalidates just that record.
+func ReadJournal(r io.Reader) []JournalRec {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxPayload)
+	var recs []JournalRec
+	for sc.Scan() {
+		rec, cfgLen, payloadCRC, err := decodeJournalHeader(sc.Text())
+		if err != nil {
+			continue
+		}
+		if rec.Op == "open" {
+			if !sc.Scan() {
+				break // torn tail: header landed, payload did not
+			}
+			payload := sc.Bytes()
+			if len(payload) != cfgLen || checksum(payload) != payloadCRC {
+				continue
+			}
+			if json.Unmarshal(payload, &rec.Config) != nil {
+				continue
+			}
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// ReplayJournal reduces a journal log to the set of jobs that were
+// admitted but never reached a terminal state — the jobs a restarted
+// daemon must recover. Last-record-wins per id: duplicated opens
+// overwrite, a done for an unknown id is a no-op.
+func ReplayJournal(r io.Reader) []JournalRec {
+	return reduceOpen(ReadJournal(r))
+}
+
+// reduceOpen applies the replay semantics (last record wins per id) to
+// decoded records, returning the open set in admission order. The ONE
+// implementation of this reduction — openJournal recovery and the
+// fuzz/golden oracles must not be allowed to diverge.
+func reduceOpen(recs []JournalRec) []JournalRec {
+	open := make(map[string]JournalRec)
+	var order []string
+	seen := make(map[string]bool) // ids ever appended to order — an id
+	// resurrected by open/done/open must not enter order twice, or the
+	// job would be recovered (and re-run) twice.
+	for _, rec := range recs {
+		switch rec.Op {
+		case "open":
+			if !seen[rec.ID] {
+				seen[rec.ID] = true
+				order = append(order, rec.ID)
+			}
+			open[rec.ID] = rec
+		case "done":
+			delete(open, rec.ID)
+		}
+	}
+	out := make([]JournalRec, 0, len(open))
+	for _, id := range order {
+		if rec, ok := open[id]; ok {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// reencodeJournal renders the compacted journal: just the open records.
+func reencodeJournal(open []JournalRec) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, rec := range open {
+		cfgJSON, err := json.Marshal(rec.Config)
+		if err != nil {
+			return nil, err
+		}
+		buf.WriteString(encodeJournalOpen(rec.ID, rec.Hash, rec.Frames, cfgJSON))
+	}
+	return buf.Bytes(), nil
+}

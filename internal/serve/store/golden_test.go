@@ -1,0 +1,142 @@
+package store
+
+// Golden-file regression for the three on-disk record formats: entry
+// files, index records, journal records. A daemon upgrade must be able
+// to read the data directory its predecessor wrote — silently drifting
+// the encoding would turn every deployed cache cold (and orphan every
+// journaled job) on the next release. Mirrors
+// internal/gfx/stream_golden_test.go.
+//
+// Refresh after an *intentional* format change with:
+//
+//	go test ./internal/serve/store/ -run TestStoreGolden -update
+//
+// and document the migration story in DESIGN.md §9 when you do.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"easypap/internal/core"
+	"easypap/internal/sched"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+const goldenPath = "testdata/store.golden"
+
+// goldenEntry is a fixed, fully deterministic entry: every field that
+// could leak environment (hostname label, GOMAXPROCS threads) is pinned.
+func goldenEntry() *Entry {
+	return &Entry{
+		Hash: "00e9c52f7c2fbd637d2f300b2bd93a280e0c293ed0eb536eb7ec4b5bdbabd214",
+		Result: core.Result{
+			Config: core.Config{
+				Kernel: "mandel", Variant: "seq", Dim: 64, TileW: 8, TileH: 8,
+				Iterations: 3, Threads: 2, Schedule: sched.DynamicPolicy(4),
+				NoDisplay: true, Arg: "zoom", Seed: 42, Label: "golden-host",
+			},
+			WallTime:   1234567 * time.Nanosecond,
+			Iterations: 3,
+			Activity: []core.IterActivity{
+				{Iter: 1, Active: 64, Total: 64},
+				{Iter: 2, Active: 16, Total: 64},
+			},
+		},
+		// Frame payloads are opaque bytes to the store; a literal stream
+		// record keeps this golden independent of the PNG encoder (which
+		// has its own golden in internal/gfx).
+		Frames: []byte("EZFRAME final 3 8\n\x89PNGdata"),
+	}
+}
+
+// encodeGoldenStore renders the golden bytes: one entry file, an index
+// log (put/put/del), and a journal (open/done/open), separated by
+// section markers so a diff localizes which format drifted.
+func encodeGoldenStore(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	e := goldenEntry()
+
+	buf.WriteString("-- entry --\n")
+	if err := EncodeEntry(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.WriteString("\n-- index --\n")
+	other := "11f1d2a35c97bd2697f3001c3ce84b391f1d382fe1fc647fc8fd5c6cdcbce325"
+	buf.WriteString(encodeIndexRec(IndexRec{Op: opPut, Hash: e.Hash, Size: 4242, PayloadCRC: 0xdeadbeef}))
+	buf.WriteString(encodeIndexRec(IndexRec{Op: opPut, Hash: other, Size: 17, PayloadCRC: 0x00c0ffee}))
+	buf.WriteString(encodeIndexRec(IndexRec{Op: opDel, Hash: other}))
+
+	buf.WriteString("-- journal --\n")
+	cfgJSON := []byte(`{"kernel":"mandel","variant":"seq","dim":64,"tile_w":8,"tile_h":8,"iterations":3,"threads":2,"schedule":"dynamic,4","no_display":true,"arg":"zoom","seed":42,"label":"golden-host"}`)
+	buf.WriteString(encodeJournalOpen("j-000007", e.Hash, false, cfgJSON))
+	buf.WriteString(encodeJournalDone("j-000007", "done"))
+	buf.WriteString(encodeJournalOpen("j-000008", other, true, cfgJSON))
+	return buf.Bytes()
+}
+
+func TestStoreGolden(t *testing.T) {
+	got := encodeGoldenStore(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("on-disk store format drifted from %s (%d vs %d bytes) — a new daemon "+
+			"could not read an old data dir; re-golden with -update ONLY for an "+
+			"intentional, migration-documented format change", goldenPath, len(got), len(want))
+	}
+
+	// The golden bytes must also round-trip through the decoders —
+	// telling "format drift" apart from "decoder broke".
+	sections := strings.Split(string(want), "-- ")
+	if len(sections) != 4 {
+		t.Fatalf("golden file has %d sections, want 4", len(sections))
+	}
+	entryBytes := strings.TrimPrefix(sections[1], "entry --\n")
+	e, err := DecodeEntry(strings.NewReader(entryBytes))
+	if err != nil {
+		t.Fatalf("golden entry does not decode: %v", err)
+	}
+	wantE := goldenEntry()
+	if e.Hash != wantE.Hash || !reflect.DeepEqual(e.Result, wantE.Result) || !bytes.Equal(e.Frames, wantE.Frames) {
+		t.Fatalf("golden entry decodes to %+v, want %+v", e, wantE)
+	}
+
+	idx := ReadIndex(strings.NewReader(strings.TrimPrefix(sections[2], "index --\n")))
+	if len(idx) != 3 || idx[0].Op != opPut || idx[2].Op != opDel || idx[0].Size != 4242 {
+		t.Fatalf("golden index decodes to %+v", idx)
+	}
+
+	jr := ReadJournal(strings.NewReader(strings.TrimPrefix(sections[3], "journal --\n")))
+	if len(jr) != 3 || jr[0].Op != "open" || jr[1].Op != "done" || !jr[2].Frames {
+		t.Fatalf("golden journal decodes to %+v", jr)
+	}
+	if jr[0].Config.Kernel != "mandel" || jr[0].Config.Arg != "zoom" {
+		t.Fatalf("golden journal config lost fields: %+v", jr[0].Config)
+	}
+	open := ReplayJournal(strings.NewReader(strings.TrimPrefix(sections[3], "journal --\n")))
+	if len(open) != 1 || open[0].ID != "j-000008" {
+		t.Fatalf("golden journal replay: %+v", open)
+	}
+}

@@ -1,0 +1,198 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"easypap/internal/core"
+)
+
+// Journal is the write-ahead job log: every admitted job appends an
+// open record before it is queued, every terminal transition appends a
+// done record. After a crash the open-without-done set is exactly the
+// jobs that were queued or running — the manager re-enqueues them (or
+// marks them interrupted) under their original ids, so clients polling
+// across the restart keep working.
+type Journal struct {
+	path string
+
+	mu        sync.Mutex
+	f         *os.File
+	open      map[string]JournalRec // id -> last open record without a done
+	recovered []JournalRec          // open set found at Open time, in file order
+	maxID     int64                 // highest numeric "j-NNNNNN" id ever journaled
+	doneSince int                   // done records since the last compaction
+}
+
+// openJournal replays (and keeps appending to) the journal at path.
+func openJournal(path string) (*Journal, error) {
+	j := &Journal{path: path, open: make(map[string]JournalRec)}
+	if data, err := os.ReadFile(path); err == nil {
+		// One decode pass: every record's id feeds the high-water mark,
+		// then the shared reduction derives the open set.
+		recs := ReadJournal(bytes.NewReader(data))
+		for _, rec := range recs {
+			j.noteID(rec.ID)
+		}
+		j.recovered = reduceOpen(recs)
+		for _, rec := range j.recovered {
+			j.open[rec.ID] = rec
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	// Start each daemon generation from a compact journal: the id
+	// high-water mark, then the recovered open set. The hwm record goes
+	// FIRST — it is a done record, and a done following an open for the
+	// same id (the highest open job) would erase that job from replay.
+	compacted, err := reencodeJournal(j.recovered)
+	if err != nil {
+		return nil, err
+	}
+	compacted = append(j.hwmRecord(), compacted...)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, compacted, 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j.f = f
+	return j, nil
+}
+
+// hwmRecord renders the id high-water mark as a done record for the
+// highest id ever journaled ("hwm" state, a no-op for the open set but
+// seen by noteID on replay). Without it, compaction — which keeps only
+// open records — would forget completed jobs' ids, a restarted manager
+// would restart its id sequence, and a client still polling a
+// pre-restart id could be handed a different submitter's job.
+func (j *Journal) hwmRecord() []byte {
+	if j.maxID <= 0 {
+		return nil
+	}
+	return []byte(encodeJournalDone(fmt.Sprintf("j-%06d", j.maxID), "hwm"))
+}
+
+// noteID tracks the numeric suffix of manager-style job ids so a
+// restarted manager resumes its id sequence past every journaled job.
+func (j *Journal) noteID(id string) {
+	if rest, ok := strings.CutPrefix(id, "j-"); ok {
+		if n, err := strconv.ParseInt(rest, 10, 64); err == nil && n > j.maxID {
+			j.maxID = n
+		}
+	}
+}
+
+// Recovered returns the jobs that were open when the journal was last
+// opened — the recovery work list, in original admission order.
+func (j *Journal) Recovered() []JournalRec {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]JournalRec, len(j.recovered))
+	copy(out, j.recovered)
+	return out
+}
+
+// MaxID returns the highest numeric job id ever journaled.
+func (j *Journal) MaxID() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.maxID
+}
+
+// OpenCount returns the number of currently open (journaled,
+// non-terminal) jobs.
+func (j *Journal) OpenCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.open)
+}
+
+// Begin journals a job admission. It must be called before the job is
+// made runnable — write-ahead, so a crash after Begin recovers the job
+// and a crash before it loses nothing but the not-yet-acknowledged
+// submission.
+func (j *Journal) Begin(id, hash string, frames bool, cfg core.Config) error {
+	if !validToken(id) || !validToken(hash) {
+		return fmt.Errorf("store: invalid journal key id=%q hash=%q", id, hash)
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.noteID(id)
+	if _, err := j.f.WriteString(encodeJournalOpen(id, hash, frames, cfgJSON)); err != nil {
+		return err
+	}
+	j.open[id] = JournalRec{Op: "open", ID: id, Hash: hash, Frames: frames, Config: cfg}
+	return nil
+}
+
+// End journals a job's terminal state and triggers compaction once done
+// records dominate the log.
+func (j *Journal) End(id, state string) error {
+	if !validToken(id) || !validToken(state) {
+		return fmt.Errorf("store: invalid journal end id=%q state=%q", id, state)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.WriteString(encodeJournalDone(id, state)); err != nil {
+		return err
+	}
+	delete(j.open, id)
+	j.doneSince++
+	if j.doneSince > len(j.open)+64 {
+		j.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the journal with only the open records plus
+// the id high-water mark.
+func (j *Journal) compactLocked() {
+	recs := make([]JournalRec, 0, len(j.open))
+	for _, rec := range j.open {
+		recs = append(recs, rec)
+	}
+	data, err := reencodeJournal(recs)
+	if err != nil {
+		return
+	}
+	// hwm first: a done record after an open for the same id would
+	// erase the highest open job from replay.
+	data = append(j.hwmRecord(), data...)
+	tmp := j.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	j.f.Close()
+	j.f = f
+	j.doneSince = 0
+}
+
+func (j *Journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,84 @@
+// Package store is the persistence layer under easypapd (internal/serve):
+// a disk-backed, content-addressed result cache and a write-ahead job
+// journal sharing one data directory. It exists so a daemon restart — a
+// deploy, a crash, an OOM kill — costs a disk read per previously
+// computed config instead of a recompute, and so the parameter sweeps
+// that were in flight are resumed instead of silently lost (the PaPaS
+// requirement: long-lived studies must survive the infrastructure).
+//
+// Layout of a data directory:
+//
+//	<dir>/objects/<hh>/<hash>  entry files (EZSTORE1 records)
+//	<dir>/cache.idx            append-only CRC'd index of the entry set
+//	<dir>/journal.log          append-only CRC'd write-ahead job log
+//
+// Every record format is ASCII-headed, CRC-32C checked, and replayable
+// after arbitrary truncation (see format.go; pinned by
+// testdata/store.golden and fuzzed by FuzzStoreIndexDecode /
+// FuzzJournalReplay). Durability is crash-consistent, not power-fail
+// proof: appends are not fsynced — a SIGKILL loses nothing (the bytes
+// are in the page cache), a power cut may lose the tail, and CRC replay
+// makes either case a clean prefix, never a corrupt serve.
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// DefaultMaxBytes is the disk-cache budget when Options.MaxBytes is 0
+// (256 MiB — thousands of entries at typical result+frame sizes).
+const DefaultMaxBytes = 256 << 20
+
+// Options tunes a Store.
+type Options struct {
+	// MaxBytes bounds the disk cache in bytes (DefaultMaxBytes if 0;
+	// negative means unbounded).
+	MaxBytes int64
+}
+
+// Store bundles the two durable structures of one data directory.
+type Store struct {
+	dir     string
+	Cache   *Cache
+	Journal *Journal
+}
+
+// Open opens (creating if needed) the data directory and recovers both
+// structures: the cache index and journal are replayed, compacted, and
+// left open for appending.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxBytes == 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if opts.MaxBytes < 0 {
+		opts.MaxBytes = 0 // unbounded
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cache, err := openCache(dir, opts.MaxBytes)
+	if err != nil {
+		return nil, err
+	}
+	journal, err := openJournal(filepath.Join(dir, "journal.log"))
+	if err != nil {
+		cache.close()
+		return nil, err
+	}
+	return &Store{dir: dir, Cache: cache, Journal: journal}, nil
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the file handles. Entries already written stay valid;
+// Close is not what makes them durable (rename and CRC replay are).
+func (s *Store) Close() error {
+	err1 := s.Cache.close()
+	err2 := s.Journal.close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,514 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"easypap/internal/core"
+)
+
+// testEntry builds a deterministic entry for hash h. The Label is fixed
+// so encodings do not depend on the host name.
+func testEntry(h string, n int) *Entry {
+	return &Entry{
+		Hash: h,
+		Result: core.Result{
+			Config:     core.Config{Kernel: "mandel", Variant: "seq", Dim: 64, TileW: 8, TileH: 8, Iterations: n, Threads: 1, Label: "test"},
+			WallTime:   time.Duration(n) * time.Millisecond,
+			Iterations: n,
+		},
+		Frames: []byte(fmt.Sprintf("EZFRAME final %d 4\nPNG%d", n, n%10)),
+	}
+}
+
+func hashN(n int) string { return fmt.Sprintf("%064x", n) }
+
+func TestEntryRoundTrip(t *testing.T) {
+	e := testEntry(hashN(7), 3)
+	var buf bytes.Buffer
+	if err := EncodeEntry(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEntry(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash != e.Hash || !reflect.DeepEqual(got.Result, e.Result) || !bytes.Equal(got.Frames, e.Frames) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, e)
+	}
+
+	// Any single flipped bit in the payload must be rejected by the CRC.
+	raw := buf.Bytes()
+	headerEnd := bytes.IndexByte(raw, '\n') + 1
+	for _, off := range []int{headerEnd, headerEnd + 5, len(raw) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		if _, err := DecodeEntry(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at offset %d not detected", off)
+		}
+	}
+	// Truncation at every boundary must error, never panic.
+	for cut := 0; cut < len(raw); cut += 7 {
+		if _, err := DecodeEntry(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCachePutGetEvict(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	e := testEntry(hashN(1), 5)
+	if err := s.Cache.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Cache.Get(e.Hash)
+	if !ok || !reflect.DeepEqual(got.Result, e.Result) || !bytes.Equal(got.Frames, e.Frames) {
+		t.Fatalf("get after put: ok=%v got=%+v", ok, got)
+	}
+	if _, ok := s.Cache.Get(hashN(99)); ok {
+		t.Fatal("phantom hit")
+	}
+	if h, m := s.Cache.Hits(), s.Cache.Misses(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", h, m)
+	}
+
+	// Byte-budget eviction: reopen tight and stuff it.
+	s.Close()
+	one := int64(entryFileSize(t, e))
+	s2, err := Open(dir, Options{MaxBytes: 3 * one})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 2; i <= 6; i++ {
+		if err := s2.Cache.Put(testEntry(hashN(i), 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s2.Cache.Len(); n != 3 {
+		t.Fatalf("len=%d after eviction, want 3", n)
+	}
+	if b := s2.Cache.Bytes(); b != 3*one {
+		t.Fatalf("bytes=%d, want %d", b, 3*one)
+	}
+	// The most recent three survive.
+	for i := 4; i <= 6; i++ {
+		if _, ok := s2.Cache.Get(hashN(i)); !ok {
+			t.Fatalf("entry %d evicted, want newest retained", i)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		if _, ok := s2.Cache.Get(hashN(i)); ok {
+			t.Fatalf("entry %d survived past budget", i)
+		}
+	}
+}
+
+func entryFileSize(t *testing.T, e *Entry) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeEntry(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Len()
+}
+
+func TestCacheSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]*Entry)
+	for i := 0; i < 5; i++ {
+		e := testEntry(hashN(10+i), i+1)
+		want[e.Hash] = e
+		if err := s.Cache.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := s2.Cache.Len(); n != 5 {
+		t.Fatalf("recovered %d entries, want 5", n)
+	}
+	for h, e := range want {
+		got, ok := s2.Cache.Get(h)
+		if !ok {
+			t.Fatalf("entry %s lost across reopen", h)
+		}
+		if !reflect.DeepEqual(got.Result, e.Result) || !bytes.Equal(got.Frames, e.Frames) {
+			t.Fatalf("entry %s changed across reopen", h)
+		}
+	}
+}
+
+// TestCacheReopenAfterChurnHistory pins the put/del/put replay bug
+// (found in review): an entry spilled, evicted and re-spilled between
+// compactions must replay as exactly ONE live entry — the naive
+// first-occurrence replay double-inserted it, double-counting bytes and
+// orphaning a list element, which could drive evictLocked into an
+// infinite loop holding the cache mutex.
+func TestCacheReopenAfterChurnHistory(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(hashN(1), 2)
+	if err := s.Cache.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	s.Cache.Delete(e.Hash)
+	if err := s.Cache.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	// A second entry re-put (refresh) must replay at its LAST position:
+	// after put(old)/put(e2)/put(old refresh), "old" is the most recent.
+	old := testEntry(hashN(2), 3)
+	if err := s.Cache.Put(old); err != nil {
+		t.Fatal(err)
+	}
+	e3 := testEntry(hashN(3), 4)
+	if err := s.Cache.Put(e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cache.Put(old); err != nil { // refresh
+		t.Fatal(err)
+	}
+	wantBytes := s.Cache.Bytes()
+	s.Close()
+
+	s2, err := Open(dir, Options{MaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := s2.Cache.Len(); n != 3 {
+		t.Fatalf("replayed %d entries, want 3 (put/del/put must not double-insert)", n)
+	}
+	if b := s2.Cache.Bytes(); b != wantBytes {
+		t.Fatalf("replayed bytes=%d, want %d", b, wantBytes)
+	}
+	// Shrink the budget so exactly one entry must go: the eviction victim
+	// must be the LRU one (e3), not the refreshed "old".
+	s2.Close()
+	s3, err := Open(dir, Options{MaxBytes: wantBytes - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if err := s3.Cache.Put(testEntry(hashN(4), 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s3.Cache.Get(old.Hash); !ok {
+		t.Fatal("refreshed entry evicted — replay lost its recency")
+	}
+}
+
+func TestOpenSweepsOrphanObjects(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(hashN(1), 2)
+	if err := s.Cache.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Fabricate what a crash between rename and index append leaves: an
+	// object file (and a stale temp file) the index knows nothing about.
+	orphan := testEntry(hashN(2), 3)
+	var buf bytes.Buffer
+	if err := EncodeEntry(&buf, orphan); err != nil {
+		t.Fatal(err)
+	}
+	orphanPath := filepath.Join(dir, "objects", orphan.Hash[:2], orphan.Hash)
+	if err := os.MkdirAll(filepath.Dir(orphanPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(orphanPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmpPath := filepath.Join(dir, "objects", orphan.Hash[:2], ".tmp-"+orphan.Hash+"-123")
+	if err := os.WriteFile(tmpPath, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(orphanPath); !os.IsNotExist(err) {
+		t.Fatal("unindexed object file not swept at open")
+	}
+	if _, err := os.Stat(tmpPath); !os.IsNotExist(err) {
+		t.Fatal("stale temp file not swept at open")
+	}
+	if _, ok := s2.Cache.Get(e.Hash); !ok {
+		t.Fatal("sweep removed a live, indexed entry")
+	}
+}
+
+func TestCacheRejectsCorruptObject(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := testEntry(hashN(3), 2)
+	if err := s.Cache.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload bit behind the store's back.
+	path := s.Cache.objectPath(e.Hash)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Cache.Get(e.Hash); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if s.Cache.Corrupt() != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", s.Cache.Corrupt())
+	}
+	// The corrupt entry was dropped entirely.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt object file not removed")
+	}
+	if s.Cache.Len() != 0 {
+		t.Fatal("corrupt entry still indexed")
+	}
+}
+
+func TestIndexTornTailAndCorruptLines(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(encodeIndexRec(IndexRec{Op: opPut, Hash: hashN(1), Size: 100, PayloadCRC: 7}))
+	buf.WriteString(encodeIndexRec(IndexRec{Op: opPut, Hash: hashN(2), Size: 200, PayloadCRC: 8}))
+	buf.WriteString("EZIDX put garbage not-a-number xx yy\n") // corrupt middle line
+	buf.WriteString(encodeIndexRec(IndexRec{Op: opDel, Hash: hashN(1)}))
+	full := buf.String()
+	torn := full[:len(full)-9] // tear the final record
+
+	recs := ReadIndex(strings.NewReader(torn))
+	if len(recs) != 2 {
+		t.Fatalf("decoded %d records from torn log, want 2 (the del is torn, the garbage skipped)", len(recs))
+	}
+	recs = ReadIndex(strings.NewReader(full))
+	if len(recs) != 3 || recs[2].Op != opDel {
+		t.Fatalf("decoded %v from full log", recs)
+	}
+}
+
+func TestJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Kernel: "mandel", Dim: 64, Iterations: 3, Threads: 1, Label: "test"}
+	if err := s.Journal.Begin("j-000001", hashN(1), false, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Journal.Begin("j-000002", hashN(2), true, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Journal.Begin("j-000003", hashN(3), false, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Journal.End("j-000002", "done"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // simulated crash: j-000001 and j-000003 never finished
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec := s2.Journal.Recovered()
+	if len(rec) != 2 || rec[0].ID != "j-000001" || rec[1].ID != "j-000003" {
+		t.Fatalf("recovered %+v, want j-000001 and j-000003 in order", rec)
+	}
+	if rec[0].Hash != hashN(1) || rec[0].Frames || rec[0].Config.Kernel != "mandel" {
+		t.Fatalf("recovered record lost fields: %+v", rec[0])
+	}
+	if got := s2.Journal.MaxID(); got != 3 {
+		t.Fatalf("MaxID=%d, want 3", got)
+	}
+	// Recovery compacted: the journal now holds exactly the open set
+	// plus the id high-water-mark record.
+	data, err := os.ReadFile(filepath.Join(dir, "journal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ReadJournal(bytes.NewReader(data))); n != 3 {
+		t.Fatalf("journal holds %d records after compaction, want 3 (2 open + hwm)", n)
+	}
+}
+
+// TestJournalMaxIDSurvivesCompaction pins the id-reuse bug (found in
+// review): compaction keeps only open records, so without the
+// high-water-mark record a restart after all jobs completed would
+// restart the id sequence — and a client still polling a pre-restart id
+// could be handed a different submitter's job.
+func TestJournalMaxIDSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Kernel: "mandel", Dim: 64, Label: "test"}
+	for i := 1; i <= 100; i++ {
+		id := fmt.Sprintf("j-%06d", i)
+		if err := s.Journal.Begin(id, hashN(i), false, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Journal.End(id, "done"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close() // every job done; compaction has certainly run
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(s2.Journal.Recovered()) != 0 {
+		t.Fatal("nothing should be open")
+	}
+	if got := s2.Journal.MaxID(); got != 100 {
+		t.Fatalf("MaxID=%d after restart, want 100 — ids would be reused", got)
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	cfg := core.Config{Kernel: "mandel", Dim: 64, Label: "test"}
+	cfgJSON := []byte(`{"kernel":"mandel","dim":64,"schedule":"static","label":"test"}`)
+	var buf bytes.Buffer
+	buf.WriteString(encodeJournalOpen("j-000001", hashN(1), false, cfgJSON))
+	buf.WriteString(encodeJournalDone("j-000001", "done"))
+	buf.WriteString(encodeJournalOpen("j-000002", hashN(2), false, cfgJSON))
+	full := buf.String()
+
+	for cut := 0; cut <= len(full); cut++ {
+		recs := ReplayJournal(strings.NewReader(full[:cut]))
+		for _, r := range recs {
+			if r.ID != "j-000001" && r.ID != "j-000002" {
+				t.Fatalf("cut %d: phantom job %q", cut, r.ID)
+			}
+		}
+		if cut == len(full) {
+			if len(recs) != 1 || recs[0].ID != "j-000002" {
+				t.Fatalf("full replay: %+v", recs)
+			}
+		}
+	}
+	_ = cfg
+}
+
+// TestJournalResurrectedJobRecoversOnce pins two interacting replay
+// bugs (found when the cluster bounce test tripped them together): an
+// open/done/open history — a job id re-admitted after completing, which
+// crash recovery itself produces — must replay as exactly ONE open job,
+// and the high-water-mark record written by compaction must not erase
+// the open job that happens to hold the highest id.
+func TestJournalResurrectedJobRecoversOnce(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Kernel: "mandel", Dim: 64, Label: "test"}
+	if err := s.Journal.Begin("j-000001", hashN(1), false, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Journal.End("j-000001", "done"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Journal.Begin("j-000001", hashN(1), false, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Two generations: the first rewrites the journal with its hwm
+	// record (j-000001 is BOTH the open job and the id high-water mark),
+	// the second must still see exactly one open job.
+	for gen := 0; gen < 2; gen++ {
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := s2.Journal.Recovered()
+		if len(rec) != 1 || rec[0].ID != "j-000001" {
+			t.Fatalf("gen %d recovered %+v, want exactly one j-000001", gen, rec)
+		}
+		if got := s2.Journal.MaxID(); got != 1 {
+			t.Fatalf("gen %d MaxID=%d, want 1", gen, got)
+		}
+		s2.Close()
+	}
+}
+
+func TestJournalDuplicateOpenLastWins(t *testing.T) {
+	cfgA := []byte(`{"kernel":"mandel","dim":64,"schedule":"static"}`)
+	cfgB := []byte(`{"kernel":"mandel","dim":128,"schedule":"static"}`)
+	var buf bytes.Buffer
+	buf.WriteString(encodeJournalOpen("j-000001", hashN(1), false, cfgA))
+	buf.WriteString(encodeJournalOpen("j-000001", hashN(2), false, cfgB))
+	recs := ReplayJournal(strings.NewReader(buf.String()))
+	if len(recs) != 1 || recs[0].Hash != hashN(2) || recs[0].Config.Dim != 128 {
+		t.Fatalf("duplicate open: %+v, want last record to win", recs)
+	}
+}
+
+func TestCompactionBoundsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Churn one hash far past the compaction threshold.
+	for i := 0; i < 500; i++ {
+		if err := s.Cache.Put(testEntry(hashN(i%3), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "cache.idx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ReadIndex(bytes.NewReader(data))); n > 200 {
+		t.Fatalf("index grew to %d records despite compaction", n)
+	}
+	if s.Cache.Len() != 3 {
+		t.Fatalf("live entries = %d, want 3", s.Cache.Len())
+	}
+}
