@@ -27,6 +27,23 @@
 //	curl -s hostA:8080/v1/cluster          # membership + health
 //	curl -s hostA:8080/v1/cluster/stats    # cluster-aggregated counters
 //
+// Membership is elastic (DESIGN.md §10): the health prober doubles as a
+// SWIM-style gossip exchange, so the fleet does not need matching -peers
+// lists. A new node started with -join pointing at ANY live member is
+// propagated to every ring within a few probe rounds, an unreachable
+// member is suspected (still routable) and only declared dead — and
+// removed from the ring — after -suspect-timeout without refutation, and
+// a recovering member refutes the rumor with a higher incarnation and
+// rejoins on its own. With -replicate R (R >= 2, requires -data-dir)
+// every completed result is pushed to the next R-1 ring successors as it
+// spills to disk; reads fail over owner -> replica -> recompute, and a
+// background rebalancer re-replicates after every ring change under the
+// -rebalance-bps bandwidth budget, verifying CRC and content hash on
+// every transfer.
+//
+//	easypapd -addr :8081 -self http://hostD:8081 \
+//	         -join http://hostA:8080 -data-dir /var/lib/easypapd -replicate 2
+//
 // With -data-dir the daemon is durable (DESIGN.md §9): completed
 // results spill to a disk-backed content-addressed cache that survives
 // restarts (resubmitting a known config after a crash is a disk hit,
@@ -35,9 +52,12 @@
 // when the process died, under their original ids. -recover interrupt
 // marks them with the terminal "interrupted" status instead; sweep
 // clients (serve/client) resubmit interrupted jobs automatically.
+// -durability fsync upgrades commits from crash-consistent to
+// power-fail durable (fsync before every journal and index commit) at
+// the cost of write latency; the on-disk formats are identical.
 //
 //	easypapd -addr :8080 -data-dir /var/lib/easypapd \
-//	         -cache-max-bytes 268435456 -recover requeue
+//	         -cache-max-bytes 268435456 -recover requeue -durability fsync
 package main
 
 import (
@@ -79,14 +99,28 @@ func run(args []string) error {
 		recvTO    = fs.Duration("mpi-recv-timeout", 2*time.Second, "MPI receive watchdog for distributed jobs")
 		self      = fs.String("self", "", "cluster mode: this node's advertised base URL (e.g. http://10.0.0.3:8080)")
 		peers     = fs.String("peers", "", "cluster mode: comma-separated peer base URLs")
+		join      = fs.String("join", "", "cluster mode: comma-separated seed URLs of any live members; gossip spreads the join to the whole fleet")
 		vnodes    = fs.Int("vnodes", 0, "cluster mode: virtual ring points per node (default 64)")
-		probe     = fs.Duration("probe", time.Second, "cluster mode: peer health-probe interval")
+		probe     = fs.Duration("probe", time.Second, "cluster mode: peer health-probe (gossip) interval")
+		suspectTO = fs.Duration("suspect-timeout", 0, "cluster mode: how long a suspect member may miss gossip before it is declared dead (default 10x probe)")
+		replicate = fs.Int("replicate", 0, "cluster mode: replication factor R for cached results (0 or 1 = owner only; needs -data-dir)")
+		rebalBPS  = fs.Int64("rebalance-bps", 0, "cluster mode: rebalancer bandwidth budget in bytes/s (default 8 MiB/s, negative disables)")
 		dataDir   = fs.String("data-dir", "", "persistence: directory for the disk result cache and job journal (empty = in-memory only)")
 		cacheMax  = fs.Int64("cache-max-bytes", 0, "persistence: disk cache budget in bytes (default 256 MiB)")
 		recovery  = fs.String("recover", "requeue", "persistence: fate of journaled in-flight jobs on restart (requeue|interrupt)")
+		durable   = fs.String("durability", "async", "persistence: async (crash-consistent, fast) or fsync (power-fail durable) commits")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var fsync bool
+	switch *durable {
+	case "async":
+	case "fsync":
+		fsync = true
+	default:
+		return fmt.Errorf("invalid -durability %q (want async or fsync)", *durable)
 	}
 
 	var st *store.Store
@@ -99,7 +133,7 @@ func run(args []string) error {
 			return fmt.Errorf("invalid -recover %q (want requeue or interrupt)", *recovery)
 		}
 		var err error
-		st, err = store.Open(*dataDir, store.Options{MaxBytes: *cacheMax})
+		st, err = store.Open(*dataDir, store.Options{MaxBytes: *cacheMax, Fsync: fsync})
 		if err != nil {
 			return fmt.Errorf("opening data dir: %w", err)
 		}
@@ -121,26 +155,32 @@ func run(args []string) error {
 
 	handler := serve.NewHandler(mgr)
 	var node *cluster.Node
-	if *self != "" || *peers != "" {
+	if *self != "" || *peers != "" || *join != "" {
 		var peerList []string
-		for _, p := range strings.Split(*peers, ",") {
+		for _, p := range strings.Split(*peers+","+*join, ",") {
 			if p = strings.TrimSpace(p); p != "" {
 				peerList = append(peerList, p)
 			}
 		}
+		if *replicate > 1 && st == nil {
+			return fmt.Errorf("-replicate %d needs -data-dir (replicas live in the disk cache)", *replicate)
+		}
 		var err error
 		node, err = cluster.NewNode(mgr, cluster.Options{
-			Self:          *self,
-			Peers:         peerList,
-			VirtualNodes:  *vnodes,
-			ProbeInterval: *probe,
+			Self:           *self,
+			Peers:          peerList,
+			VirtualNodes:   *vnodes,
+			ProbeInterval:  *probe,
+			SuspectTimeout: *suspectTO,
+			Replicate:      *replicate,
+			RebalanceBPS:   *rebalBPS,
 		})
 		if err != nil {
 			mgr.Close()
 			return err
 		}
 		handler = node.Handler()
-		log.Printf("easypapd: cluster node %s (%d peers)", node.ID(), len(peerList))
+		log.Printf("easypapd: cluster node %s (%d seed peers, replicate=%d)", node.ID(), len(peerList), *replicate)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: handler}

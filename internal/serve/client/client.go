@@ -10,9 +10,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,6 +62,10 @@ type APIError struct {
 	StatusCode int    // HTTP status code
 	Status     string // HTTP status line, e.g. "404 Not Found"
 	Message    string // decoded {"error": ...} body, possibly empty
+	// RetryAfter is the server's Retry-After hint (0 when absent) — on a
+	// 429 the daemon says when its bounded queue is worth retrying, and
+	// the retry paths honor it instead of guessing.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -72,6 +79,13 @@ func (e *APIError) Error() string {
 func apiError(resp *http.Response) error {
 	defer resp.Body.Close()
 	e := &APIError{StatusCode: resp.StatusCode, Status: resp.Status}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		} else if at, err := http.ParseTime(ra); err == nil {
+			e.RetryAfter = time.Until(at)
+		}
+	}
 	var body struct {
 		Error string `json:"error"`
 	}
@@ -79,6 +93,42 @@ func apiError(resp *http.Response) error {
 		e.Message = body.Error
 	}
 	return e
+}
+
+// retryDelay computes the wait before retry attempt a (0-based):
+// exponential backoff with full jitter — delay drawn uniformly from
+// (0, 25ms<<a], capped at ~1.6s — so a herd of clients bounced by the
+// same overloaded daemon spreads out instead of stampeding back in
+// phase. A server-provided Retry-After hint (429) takes precedence
+// when longer: the daemon knows its queue better than our guess.
+func retryDelay(err error, attempt int) time.Duration {
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	base := 25 * time.Millisecond << shift
+	d := time.Duration(rand.Int64N(int64(base))) + time.Millisecond
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > d {
+		d = apiErr.RetryAfter
+	}
+	return d
+}
+
+// sleepRetry waits the retry delay or until ctx expires.
+func sleepRetry(ctx context.Context, err error, attempt int) {
+	t := time.NewTimer(retryDelay(err, attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// isStatus reports whether err is an APIError with the given code.
+func isStatus(err error, code int) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == code
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
@@ -225,13 +275,24 @@ func (c *Client) Frames(ctx context.Context, id string, fn func(f *gfx.StreamFra
 // RunConfig submits cfg, waits for completion, and returns the result —
 // the expt.Runner contract. Failed and canceled jobs surface as errors.
 // A job that comes back "interrupted" — the daemon restarted mid-job and
-// did not re-enqueue it — is resubmitted automatically, so a parameter
-// sweep rides through a daemon deploy instead of dying with it.
+// did not re-enqueue it — is resubmitted automatically (with jittered
+// backoff between attempts), so a parameter sweep rides through a
+// daemon deploy instead of dying with it. A 429 — the daemon's bounded
+// queue is full — is retried after the server's Retry-After hint plus
+// jitter, bounded separately so a merely busy daemon is not treated
+// like a crash-looping one.
 func (c *Client) RunConfig(cfg core.Config) (core.Result, error) {
 	ctx := context.Background()
 	var last *serve.JobStatus
+	throttled := 0
 	for attempt := 0; attempt < 3; attempt++ {
 		st, err := c.Submit(ctx, cfg, false)
+		if isStatus(err, http.StatusTooManyRequests) && throttled < 5 {
+			sleepRetry(ctx, err, throttled)
+			throttled++
+			attempt-- // a full queue is not a lost job
+			continue
+		}
 		if err != nil {
 			return core.Result{}, err
 		}
@@ -242,6 +303,7 @@ func (c *Client) RunConfig(cfg core.Config) (core.Result, error) {
 		}
 		if st.State == serve.JobInterrupted {
 			last = st
+			sleepRetry(ctx, nil, attempt)
 			continue // the daemon restarted under us: resubmit
 		}
 		if st.State != serve.JobDone || st.Result == nil {

@@ -22,6 +22,14 @@ import (
 // proxy hop. Endpoints that fail are skipped in favor of the next one,
 // so a sweep keeps going when a node dies mid-run.
 //
+// The routing table is LIVE: the membership the daemons maintain by
+// gossip is re-fetched when it goes stale (RingMaxAge) and immediately
+// after a failed attempt, so a sweep follows deaths, joins and
+// recoveries instead of routing on a boot-time snapshot. Members the
+// gossip layer has declared dead are left off the client-side ring.
+// Only a definite "not clustered" answer (404 from a plain single-node
+// daemon) pins round-robin mode.
+//
 // Multi implements expt.Runner, which is how expt.Sweep.Remote fans a
 // parameter study across the cluster.
 type Multi struct {
@@ -30,10 +38,17 @@ type Multi struct {
 	mu      sync.RWMutex
 	clients []*Client          // the configured endpoints, fixed order
 	byID    map[string]*Client // ring node id -> client (after RefreshRing)
+	alive   map[string]bool    // ring node id -> last seen alive (not suspect)
 	ring    *cluster.Ring
 
-	ringOnce sync.Once
+	lastRefresh  atomic.Int64 // unix nanos of the last ring refresh attempt
+	notClustered atomic.Bool  // a member answered 404: plain daemon, stay round-robin
 }
+
+// RingMaxAge is how stale the client-side ring may get before the next
+// submission re-fetches it (time-based refresh; failures refresh
+// immediately).
+const RingMaxAge = 2 * time.Second
 
 // NewMulti returns a client over the given daemon base URLs. At least
 // one endpoint is required for any call to succeed; the ring is fetched
@@ -64,13 +79,15 @@ func (m *Multi) Endpoints() []string {
 // failing a sweep over, so only transport-level failure of every
 // endpoint is returned.
 func (m *Multi) RefreshRing(ctx context.Context) error {
+	m.lastRefresh.Store(time.Now().UnixNano())
 	var lastErr error
-	for _, c := range m.snapshotClients(0) {
+	for _, c := range m.snapshotClients(m.rr.Add(1)) {
 		var mem cluster.Membership
 		if err := c.getJSON(ctx, "/v1/cluster", &mem); err != nil {
 			var apiErr *APIError
 			if errors.As(err, &apiErr) &&
 				(apiErr.StatusCode == http.StatusNotFound || apiErr.StatusCode == http.StatusMethodNotAllowed) {
+				m.notClustered.Store(true)
 				return nil // alive but not clustered: round-robin mode
 			}
 			// Anything else (booting 503, transport failure, ...) says
@@ -79,10 +96,17 @@ func (m *Multi) RefreshRing(ctx context.Context) error {
 			lastErr = err
 			continue
 		}
+		// Mirror the server-side ring: alive and suspect members route,
+		// dead ones are off it (their entries moved to the successors).
 		ids := make([]string, 0, len(mem.Members))
 		byID := make(map[string]*Client, len(mem.Members))
+		alive := make(map[string]bool, len(mem.Members))
 		for _, mi := range mem.Members {
+			if mi.State == "dead" {
+				continue
+			}
 			ids = append(ids, mi.ID)
+			alive[mi.ID] = mi.Healthy || mi.State == ""
 			if c := m.clientFor(mi.URL); c != nil {
 				byID[mi.ID] = c
 			} else {
@@ -91,7 +115,7 @@ func (m *Multi) RefreshRing(ctx context.Context) error {
 		}
 		ring := cluster.NewRing(ids, mem.VirtualNodes)
 		m.mu.Lock()
-		m.ring, m.byID = ring, byID
+		m.ring, m.byID, m.alive = ring, byID, alive
 		m.mu.Unlock()
 		return nil
 	}
@@ -133,18 +157,25 @@ func (m *Multi) candidates(cfg core.Config, frames bool) []*Client {
 	m.mu.RUnlock()
 
 	var out []*Client
+	var lagging []*Client // suspect members: still routable, tried last
 	seen := make(map[*Client]bool)
 	if ring != nil {
 		if _, _, key, err := cluster.RouteKey(cfg, frames); err == nil {
 			for _, id := range ring.Replicas(key, 0) {
 				m.mu.RLock()
-				c := m.byID[id]
+				c, ok := m.byID[id], m.alive[id]
 				m.mu.RUnlock()
-				if c != nil && !seen[c] {
-					seen[c] = true
+				if c == nil || seen[c] {
+					continue
+				}
+				seen[c] = true
+				if ok {
 					out = append(out, c)
+				} else {
+					lagging = append(lagging, c)
 				}
 			}
+			out = append(out, lagging...)
 		}
 	}
 	for _, c := range m.snapshotClients(m.rr.Add(1)) {
@@ -238,15 +269,20 @@ func (m *Multi) Stats(ctx context.Context) (*cluster.ClusterAggregate, error) {
 	return nil, lastErr
 }
 
-// ensureRing fetches the routing table once, best-effort: a cluster
-// answers within the timeout, a plain daemon leaves Multi in
-// round-robin mode.
+// ensureRing keeps the routing table fresh, best-effort: refreshed when
+// older than RingMaxAge, skipped entirely once a plain (non-clustered)
+// daemon identified itself. Failures are tolerated — a stale ring still
+// routes, and the failover paths correct for it.
 func (m *Multi) ensureRing() {
-	m.ringOnce.Do(func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		_ = m.RefreshRing(ctx)
-	})
+	if m.notClustered.Load() {
+		return
+	}
+	if time.Since(time.Unix(0, m.lastRefresh.Load())) < RingMaxAge {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = m.RefreshRing(ctx)
 }
 
 // RunConfig submits cfg, waits for completion, and returns the result —
@@ -259,13 +295,28 @@ func (m *Multi) ensureRing() {
 // pass the restarted node usually answers straight from its warm disk
 // cache, so a sweep rides through a rolling deploy.
 func (m *Multi) RunConfig(cfg core.Config) (core.Result, error) {
-	m.ensureRing()
 	ctx := context.Background()
 	attempts := len(m.snapshotClients(0)) + 1
 	var lastErr error
 	for a := 0; a < attempts; a++ {
+		m.ensureRing()
+		if a > 0 {
+			// A lost or bounced job: back off with jitter (honoring any
+			// Retry-After the cluster sent) and re-fetch the ring so the
+			// resubmission routes around whatever just failed.
+			sleepRetry(ctx, lastErr, a-1)
+			refreshCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			_ = m.RefreshRing(refreshCtx)
+			cancel()
+		}
 		st, cl, err := m.Submit(ctx, cfg, false)
 		if err != nil {
+			if a < attempts-1 && transient(err) {
+				// Every endpoint refused this round (overload, churn). The
+				// next round re-resolves membership and backs off first.
+				lastErr = err
+				continue
+			}
 			return core.Result{}, err
 		}
 		if !st.State.Terminal() {

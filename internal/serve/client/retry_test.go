@@ -1,0 +1,192 @@
+package client
+
+// Retry-path tests: the 429/Retry-After contract between daemon and
+// client, the jittered backoff bounds, and Multi's resubmission bound
+// (a cluster of crash-looping daemons must fail a sweep loudly, not
+// hang it).
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"easypap/internal/core"
+	"easypap/internal/serve"
+)
+
+// TestWriteSubmitErrorSetsRetryAfter pins the server half of the
+// contract: every 429 carries a Retry-After hint.
+func TestWriteSubmitErrorSetsRetryAfter(t *testing.T) {
+	rec := httptest.NewRecorder()
+	serve.WriteSubmitError(rec, serve.ErrQueueFull)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("queue-full wrote %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 sent without a Retry-After header")
+	}
+	// Non-throttle submit errors must NOT carry the header.
+	rec = httptest.NewRecorder()
+	serve.WriteSubmitError(rec, io.ErrUnexpectedEOF)
+	if ra := rec.Header().Get("Retry-After"); ra != "" {
+		t.Fatalf("non-429 submit error carried Retry-After %q", ra)
+	}
+}
+
+// TestAPIErrorParsesRetryAfter pins the client half: both the
+// delta-seconds and HTTP-date forms of Retry-After decode into the
+// APIError the retry paths consume.
+func TestAPIErrorParsesRetryAfter(t *testing.T) {
+	mk := func(ra string) *http.Response {
+		resp := &http.Response{
+			StatusCode: http.StatusTooManyRequests,
+			Status:     "429 Too Many Requests",
+			Header:     http.Header{},
+			Body:       io.NopCloser(strings.NewReader(`{"error":"queue full"}`)),
+		}
+		resp.Header.Set("Retry-After", ra)
+		return resp
+	}
+	err := apiError(mk("2"))
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("apiError returned %T", err)
+	}
+	if apiErr.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want 2s", apiErr.RetryAfter)
+	}
+	if apiErr.Message != "queue full" {
+		t.Fatalf("Message = %q", apiErr.Message)
+	}
+	when := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	apiErr = apiError(mk(when)).(*APIError)
+	if apiErr.RetryAfter < 20*time.Second || apiErr.RetryAfter > 30*time.Second {
+		t.Fatalf("HTTP-date RetryAfter = %v, want ~30s", apiErr.RetryAfter)
+	}
+}
+
+// TestRetryDelayBoundsAndPrecedence: jitter stays inside the
+// exponential envelope, the growth caps, and a longer server hint
+// overrides the guess.
+func TestRetryDelayBoundsAndPrecedence(t *testing.T) {
+	for attempt, ceil := range []time.Duration{
+		25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+	} {
+		for i := 0; i < 64; i++ {
+			if d := retryDelay(nil, attempt); d <= 0 || d > ceil+time.Millisecond {
+				t.Fatalf("retryDelay(nil, %d) = %v, want in (0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+	// The shift caps: even absurd attempt numbers stay under ~1.6s.
+	for i := 0; i < 64; i++ {
+		if d := retryDelay(nil, 1000); d > 1600*time.Millisecond+time.Millisecond {
+			t.Fatalf("capped retryDelay = %v, want <= ~1.6s", d)
+		}
+	}
+	hint := &APIError{StatusCode: 429, RetryAfter: 3 * time.Second}
+	if d := retryDelay(hint, 0); d != 3*time.Second {
+		t.Fatalf("retryDelay with 3s hint = %v, want exactly the hint", d)
+	}
+	// A stale/zero hint falls back to jitter.
+	if d := retryDelay(&APIError{StatusCode: 429}, 0); d > 26*time.Millisecond {
+		t.Fatalf("zero hint delay = %v, want jitter-sized", d)
+	}
+}
+
+// TestClientRetriesThrottledSubmit: a daemon whose bounded queue
+// rejects twice then admits must cost retries, not a sweep failure —
+// and the throttle budget must not consume the interrupted-job budget.
+func TestClientRetriesThrottledSubmit(t *testing.T) {
+	var submits atomic.Int64
+	result := core.Result{
+		Config:     core.Config{Kernel: "mandel", Variant: "seq", Dim: 64},
+		Iterations: 3,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if submits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			serve.WriteError(w, http.StatusTooManyRequests, serve.ErrQueueFull)
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, serve.JobStatus{
+			ID: "j-000001", State: serve.JobDone, Cached: true, Result: &result,
+		})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Poll = time.Millisecond
+	res, err := c.RunConfig(core.Config{Kernel: "mandel", Dim: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("got result %+v", res)
+	}
+	if got := submits.Load(); got != 3 {
+		t.Fatalf("daemon saw %d submissions, want 3 (two throttled + one admitted)", got)
+	}
+}
+
+// TestClientGivesUpWhenAlwaysThrottled: the throttle budget is bounded
+// — a daemon that 429s forever surfaces an error instead of spinning.
+func TestClientGivesUpWhenAlwaysThrottled(t *testing.T) {
+	var submits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		submits.Add(1)
+		w.Header().Set("Retry-After", "0")
+		serve.WriteError(w, http.StatusTooManyRequests, serve.ErrQueueFull)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Poll = time.Millisecond
+	if _, err := c.RunConfig(core.Config{Kernel: "mandel", Dim: 64}); err == nil {
+		t.Fatal("permanently throttled daemon did not surface an error")
+	}
+	if got := submits.Load(); got > 8 {
+		t.Fatalf("client hammered a throttling daemon %d times, want a bounded count", got)
+	}
+}
+
+// TestMultiResubmitBound pins Multi's attempts bound: with every
+// endpoint interrupting every job, RunConfig tries len(endpoints)+1
+// times in total (one submission lands per attempt) and then fails —
+// a rolling-crash cluster cannot hang a sweep.
+func TestMultiResubmitBound(t *testing.T) {
+	var submits atomic.Int64
+	mk := func() *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+			submits.Add(1)
+			serve.WriteJSON(w, http.StatusOK, serve.JobStatus{
+				ID: "j-000001", State: serve.JobInterrupted,
+				Error: "daemon restarted while the job was queued or running",
+			})
+		})
+		mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+			serve.WriteError(w, http.StatusNotFound, errNotClustered)
+		})
+		return httptest.NewServer(mux)
+	}
+	srv1, srv2 := mk(), mk()
+	defer srv1.Close()
+	defer srv2.Close()
+
+	m := NewMulti(srv1.URL, srv2.URL)
+	if _, err := m.RunConfig(core.Config{Kernel: "mandel", Dim: 64}); err == nil {
+		t.Fatal("interrupt-looping cluster did not surface an error")
+	}
+	if got := submits.Load(); got != 3 {
+		t.Fatalf("cluster saw %d submissions, want exactly 3 (len(endpoints)+1 attempts)", got)
+	}
+}

@@ -2,23 +2,33 @@
 // scalable compute service. Every node runs the full single-box stack
 // (internal/serve: queueing, warm pools, result cache) plus this layer:
 //
-//   - a peer registry with static membership (the --peers flag) and
-//     /v1/cluster join/health endpoints,
+//   - SWIM-style gossip membership (gossip.go): members carry
+//     alive/suspect/dead states with incarnation numbers, views travel
+//     piggybacked on the health probe, and a node started with nothing
+//     but --join=<any live peer> appears in every member's ring without
+//     a fleet restart,
 //   - a consistent-hash ring (Ring) over the canonical config hash
 //     (core.Config.Hash via serve.NormalizeSubmission), so identical
 //     configs always land on the node whose result cache already holds
-//     them — cache locality without a shared cache,
+//     them — cache locality without a shared cache. The ring holds the
+//     non-dead members and is rebuilt only when that set changes:
+//     suspicion never moves keys, so a flapping peer cannot oscillate
+//     routing,
+//   - R-way result replication (replicate.go): completed entries are
+//     pushed write-behind to the next R-1 ring successors, reads fail
+//     over owner -> replica -> recompute, and a background rebalancer
+//     migrates entries to new owners after every ring change under a
+//     bandwidth budget, with CRC+hash verification on receipt,
 //   - transparent proxying: any node accepts any request; submissions
 //     hop to the owning node, status/cancel/frames follow the node
 //     prefix embedded in cluster job ids ("n1a2b3c4.j-000017"),
 //   - retry-on-next-replica failover: when the owner is unreachable the
 //     submission walks the ring to the next distinct node, the dead peer
-//     is marked unhealthy, and the background prober brings it back when
-//     it recovers.
+//     is marked suspect, and gossip brings it back when it recovers.
 //
-// The coordination path is deliberately lock-light: health is atomic
-// flags, the ring is immutable and swapped whole under a short mutex on
-// membership change, and the proxy path takes no node-wide lock at all.
+// The coordination path is deliberately lock-light: member state is
+// atomics, the ring is immutable and swapped whole under a short mutex
+// on membership change, and the proxy path takes no node-wide lock.
 package cluster
 
 import (
@@ -27,8 +37,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -37,6 +47,7 @@ import (
 
 	"easypap/internal/core"
 	"easypap/internal/serve"
+	"easypap/internal/serve/store"
 )
 
 // HopHeader marks a proxied request so the receiving node serves it
@@ -64,14 +75,34 @@ type Options struct {
 	Peers []string
 	// VirtualNodes is the ring points per node (DefaultVirtualNodes if 0).
 	VirtualNodes int
-	// ProbeInterval is the health-probe period (default 1s; negative
-	// disables active probing — passive marking on proxy failure remains).
+	// ProbeInterval is the gossip/health-probe period (default 1s;
+	// negative disables active probing — passive marking on proxy
+	// failure remains).
 	ProbeInterval time.Duration
-	// ProbeTimeout bounds one health probe (default 500ms).
+	// ProbeTimeout bounds one gossip exchange (default 500ms).
 	ProbeTimeout time.Duration
-	// HTTP is the client used for proxying and probing. The default has
-	// no overall timeout (frame-stream proxies are long-lived); probes
-	// are bounded per-request.
+	// SuspectTimeout is how long a member stays suspect before it is
+	// declared dead and dropped from the ring (default 10x ProbeInterval,
+	// min 2s). Short enough that routing converges fast after a crash,
+	// long enough that one dropped probe never moves keys.
+	SuspectTimeout time.Duration
+	// ProbeBackoffCap bounds the exponential probe backoff applied to
+	// failing members (default 30x ProbeInterval, max 30s): after k
+	// consecutive failures a member is probed every
+	// min(ProbeInterval<<k, cap), so a dead peer costs little and a
+	// recovered one is still noticed within the cap.
+	ProbeBackoffCap time.Duration
+	// Replicate is the replication factor R for cache entries: completed
+	// entries are pushed to the R-1 ring successors of their owner, and
+	// reads fail over to replicas before recomputing. 0 or 1 disables
+	// replication. Requires a disk store on every participating node.
+	Replicate int
+	// RebalanceBPS caps rebalance transfer bandwidth in bytes/second
+	// (default 8 MiB/s; negative disables the rebalancer).
+	RebalanceBPS int64
+	// HTTP is the client used for proxying, gossip and replication. The
+	// default has no overall timeout (frame-stream proxies are
+	// long-lived); probes are bounded per-request.
 	HTTP *http.Client
 }
 
@@ -89,28 +120,56 @@ func (o Options) withDefaults() (Options, error) {
 	if o.ProbeTimeout <= 0 {
 		o.ProbeTimeout = 500 * time.Millisecond
 	}
+	if o.SuspectTimeout <= 0 {
+		o.SuspectTimeout = 10 * o.ProbeInterval
+		if o.SuspectTimeout < 2*time.Second {
+			o.SuspectTimeout = 2 * time.Second
+		}
+	}
+	if o.ProbeBackoffCap <= 0 {
+		o.ProbeBackoffCap = 30 * o.ProbeInterval
+		if o.ProbeBackoffCap > 30*time.Second {
+			o.ProbeBackoffCap = 30 * time.Second
+		}
+		if o.ProbeBackoffCap < o.ProbeInterval {
+			o.ProbeBackoffCap = o.ProbeInterval
+		}
+	}
+	if o.RebalanceBPS == 0 {
+		o.RebalanceBPS = 8 << 20
+	}
 	if o.HTTP == nil {
 		o.HTTP = &http.Client{}
 	}
 	return o, nil
 }
 
-// member is one node of the cluster as seen from here. Health is
-// written by the prober and the proxy path, read lock-free everywhere.
+// member is one node of the cluster as seen from here. State is
+// written by gossip and the proxy path, read lock-free everywhere;
+// transitions that change the routable set go through n.mu so the ring
+// rebuild is serialized.
 type member struct {
 	id   string
 	url  string
 	self bool
 
-	healthy  atomic.Bool
-	lastSeen atomic.Int64 // unix nanos of the last successful contact
-	failures atomic.Int64 // probe + proxy failures observed
+	state       atomic.Int32  // stateAlive | stateSuspect | stateDead (gossip.go)
+	incarnation atomic.Uint64 // owned by the member itself; rumors carry it
+	suspectAt   atomic.Int64  // unix nanos when suspicion began (0 otherwise)
+	lastSeen    atomic.Int64  // unix nanos of the last successful contact
+	failures    atomic.Int64  // probe + proxy failures observed (lifetime)
+	probeFails  atomic.Int64  // consecutive probe failures (drives backoff)
+	nextProbe   atomic.Int64  // unix nanos before which the prober skips us
 	// warmDisk is the peer's advertised disk-cache entry count, learned
-	// from health probes. A restarted node re-advertises its warm disk
-	// tier here, making "route back to it, it still owns its results"
+	// from gossip. A restarted node re-advertises its warm disk tier
+	// here, making "route back to it, it still owns its results"
 	// visible in the membership view instead of a matter of faith.
 	warmDisk atomic.Int64
 }
+
+// alive reports whether the member is fully alive (not suspect, not
+// dead) — the "healthy" bit of membership views and candidate ordering.
+func (m *member) alive() bool { return m.state.Load() == stateAlive }
 
 // Node is one cluster member: the local Manager plus the routing layer.
 // Create with NewNode, expose with Handler, shut down with Close (the
@@ -124,14 +183,28 @@ type Node struct {
 	members map[string]*member // id -> member (includes self)
 	ring    *Ring
 
+	// ringVersion counts ring swaps; it is the convergence clock the
+	// chaos suites (and operators) read: two nodes agree on routing iff
+	// their rings hold the same member set, and a kill is "converged"
+	// once every survivor's ring has dropped the victim.
+	ringVersion   atomic.Uint64
+	rebalanceKick chan struct{} // buffered(1): ring changed, rebalance
+
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	replq chan *store.Entry // write-behind replication queue (nil if R<=1)
 
 	// Counters surfaced in ClusterStats.
 	jobsOwned     atomic.Int64 // cluster submissions served by the local manager
 	jobsProxied   atomic.Int64 // submissions forwarded to their owning peer
 	statusProxied atomic.Int64 // status/cancel/frames calls forwarded by id prefix
 	failovers     atomic.Int64 // submissions re-routed past an unreachable replica
+	replPushed    atomic.Int64 // entries pushed to ring successors
+	replDropped   atomic.Int64 // pushes dropped (queue full or no reachable target)
+	replFetched   atomic.Int64 // entries fetched from a replica on local miss
+	rebalanced    atomic.Int64 // entries migrated by the rebalancer
+	rebalBytes    atomic.Int64 // bytes moved by the rebalancer
 }
 
 // NewNode builds the routing layer around mgr and starts the health
@@ -144,14 +217,14 @@ func NewNode(mgr *serve.Manager, opts Options) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		opts:    opts,
-		id:      NodeID(opts.Self),
-		mgr:     mgr,
-		members: make(map[string]*member),
-		stop:    make(chan struct{}),
+		opts:          opts,
+		id:            NodeID(opts.Self),
+		mgr:           mgr,
+		members:       make(map[string]*member),
+		rebalanceKick: make(chan struct{}, 1),
+		stop:          make(chan struct{}),
 	}
 	self := &member{id: n.id, url: opts.Self, self: true}
-	self.healthy.Store(true)
 	self.lastSeen.Store(time.Now().UnixNano())
 	n.members[n.id] = self
 	for _, p := range opts.Peers {
@@ -162,6 +235,17 @@ func NewNode(mgr *serve.Manager, opts Options) (*Node, error) {
 		n.wg.Add(1)
 		go n.probeLoop()
 	}
+	if opts.Replicate > 1 {
+		n.replq = make(chan *store.Entry, 256)
+		mgr.SetSpillHook(n.enqueueReplication)
+		mgr.SetEntrySource(n.fetchEntry)
+		n.wg.Add(1)
+		go n.replicateLoop()
+	}
+	if opts.Replicate > 1 && opts.RebalanceBPS > 0 {
+		n.wg.Add(1)
+		go n.rebalanceLoop()
+	}
 	return n, nil
 }
 
@@ -171,11 +255,19 @@ func (n *Node) ID() string { return n.id }
 // Manager returns the wrapped local manager.
 func (n *Node) Manager() *serve.Manager { return n.mgr }
 
-// Close stops the prober. It does not close the Manager.
+// Close stops the prober, replicator and rebalancer. It does not close
+// the Manager.
 func (n *Node) Close() {
+	if n.opts.Replicate > 1 {
+		n.mgr.SetSpillHook(nil)
+		n.mgr.SetEntrySource(nil)
+	}
 	close(n.stop)
 	n.wg.Wait()
 }
+
+// RingVersion returns the ring-swap counter (the convergence clock).
+func (n *Node) RingVersion() uint64 { return n.ringVersion.Load() }
 
 // addMemberLocked registers a peer URL; the caller holds no lock during
 // NewNode (single-threaded) or n.mu elsewhere. Returns true when new.
@@ -188,9 +280,10 @@ func (n *Node) addMemberLocked(baseURL string) bool {
 	if _, ok := n.members[id]; ok {
 		return false
 	}
-	m := &member{id: id, url: baseURL}
-	m.healthy.Store(true) // optimistic: the prober demotes dead peers
-	n.members[id] = m
+	// Optimistic start: new members begin alive (the zero state) and the
+	// prober demotes dead peers, so a cluster booting in any order routes
+	// correctly as soon as peers are up.
+	n.members[id] = &member{id: id, url: baseURL}
 	return true
 }
 
@@ -206,12 +299,27 @@ func (n *Node) AddMember(baseURL string) bool {
 	return true
 }
 
+// rebuildRingLocked rebuilds the ring over the non-dead members,
+// swapping (and bumping ringVersion) only when the routable set
+// actually changed — suspect transitions land here too and must be
+// free. A real swap kicks the rebalancer.
 func (n *Node) rebuildRingLocked() {
 	ids := make([]string, 0, len(n.members))
-	for id := range n.members {
-		ids = append(ids, id)
+	for id, m := range n.members {
+		if m.state.Load() != stateDead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	if n.ring != nil && slices.Equal(n.ring.Nodes(), ids) {
+		return
 	}
 	n.ring = NewRing(ids, n.opts.VirtualNodes)
+	n.ringVersion.Add(1)
+	select {
+	case n.rebalanceKick <- struct{}{}:
+	default:
+	}
 }
 
 // snapshot returns the current ring and a stable member list.
@@ -233,46 +341,48 @@ func (n *Node) memberByID(id string) *member {
 }
 
 // candidates returns the failover chain for a routing key: every member
-// in ring order starting at the owner, healthy nodes first (ring order
-// preserved within each class). Unhealthy nodes stay in the chain — the
-// health view may be stale, and trying them last costs nothing when a
-// healthy replica answered first.
+// in ring order starting at the owner, alive nodes first (ring order
+// preserved within each class). Suspects stay in the chain — suspicion
+// may be stale, and trying them last costs nothing when an alive
+// replica answered first. Dead members are off the ring entirely.
 func (n *Node) candidates(key uint64) []*member {
 	ring, _ := n.snapshot()
 	ids := ring.Replicas(key, 0)
-	healthy := make([]*member, 0, len(ids))
+	alive := make([]*member, 0, len(ids))
 	var suspect []*member
 	for _, id := range ids {
 		m := n.memberByID(id)
 		if m == nil {
 			continue
 		}
-		if m.healthy.Load() {
-			healthy = append(healthy, m)
+		if m.alive() {
+			alive = append(alive, m)
 		} else {
 			suspect = append(suspect, m)
 		}
 	}
-	return append(healthy, suspect...)
+	return append(alive, suspect...)
 }
 
 // markDown records a failed contact with a peer: proxy and probe
-// failures both land here, so a dead node is demoted on first contact
-// rather than on the next probe tick.
+// failures both land here, so a dead node is demoted (to suspect — only
+// the SuspectTimeout sweep declares dead) on first contact rather than
+// on the next probe tick.
 func (n *Node) markDown(m *member) {
-	if m.self {
-		return
-	}
-	m.healthy.Store(false)
-	m.failures.Add(1)
+	n.suspect(m)
 }
 
+// markUp records a successful direct contact. It only refreshes
+// liveness bookkeeping — state revival flows through gossip merge, so
+// a one-off lucky response to a proxied request cannot resurrect a
+// dead member ahead of its refutation round.
 func (n *Node) markUp(m *member) {
-	m.healthy.Store(true)
 	m.lastSeen.Store(time.Now().UnixNano())
+	m.probeFails.Store(0)
+	m.nextProbe.Store(0)
 }
 
-// --- health probing -------------------------------------------------
+// --- gossip probing ---------------------------------------------------
 
 func (n *Node) probeLoop() {
 	defer n.wg.Done()
@@ -286,57 +396,34 @@ func (n *Node) probeLoop() {
 			return
 		case <-ticker.C:
 			n.probeAll()
+			n.sweepSuspects()
 		}
 	}
 }
 
-// probeAll checks every peer concurrently. Probes are cheap (a static
-// JSON body) and bounded by ProbeTimeout, so a wedged peer costs one
-// goroutine-interval, not a head-of-line stall for the others.
+// probeAll gossips with every due peer concurrently. Exchanges are
+// cheap (one JSON view each way) and bounded by ProbeTimeout, so a
+// wedged peer costs one goroutine-interval, not a head-of-line stall
+// for the others. Members under probe backoff (consecutive failures)
+// are skipped until their nextProbe deadline — a dead peer is probed
+// geometrically less often, up to ProbeBackoffCap.
 func (n *Node) probeAll() {
+	now := time.Now().UnixNano()
 	_, ms := n.snapshot()
 	var wg sync.WaitGroup
 	for _, m := range ms {
-		if m.self {
+		if m.self || m.nextProbe.Load() > now {
 			continue
 		}
 		wg.Add(1)
 		go func(m *member) {
 			defer wg.Done()
-			if n.probe(m) {
-				n.markUp(m)
-			} else {
-				n.markDown(m)
+			if !n.gossipWith(m) {
+				n.suspect(m)
 			}
 		}(m)
 	}
 	wg.Wait()
-}
-
-func (n *Node) probe(m *member) bool {
-	ctx, cancel := context.WithTimeout(context.Background(), n.opts.ProbeTimeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url+"/v1/cluster/health", nil)
-	if err != nil {
-		return false
-	}
-	resp, err := n.opts.HTTP.Do(req)
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return false
-	}
-	// The health body advertises cache warmth; record the peer's disk
-	// tier so the membership view shows which members hold durable
-	// results (a just-restarted peer reports disk_entries > 0 while its
-	// memory tier is still empty).
-	var h HealthInfo
-	if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h) == nil {
-		m.warmDisk.Store(h.DiskEntries)
-	}
-	return true
 }
 
 // announce joins this node to every known peer and merges the
@@ -412,16 +499,20 @@ type HealthInfo struct {
 	DiskBytes    int64  `json:"disk_bytes,omitempty"`
 }
 
-// MemberInfo is one row of the membership document.
+// MemberInfo is one row of the membership document. Healthy is
+// state == "alive" — a suspect member is unhealthy but still routable
+// (on the ring); a dead one is neither.
 type MemberInfo struct {
-	ID       string    `json:"id"`
-	URL      string    `json:"url"`
-	Self     bool      `json:"self,omitempty"`
-	Healthy  bool      `json:"healthy"`
-	LastSeen time.Time `json:"last_seen,omitempty"`
-	Failures int64     `json:"failures,omitempty"`
+	ID          string    `json:"id"`
+	URL         string    `json:"url"`
+	Self        bool      `json:"self,omitempty"`
+	Healthy     bool      `json:"healthy"`
+	State       string    `json:"state"`
+	Incarnation uint64    `json:"incarnation"`
+	LastSeen    time.Time `json:"last_seen,omitempty"`
+	Failures    int64     `json:"failures,omitempty"`
 	// DiskEntries is the member's advertised durable-cache size (its
-	// last health probe; self reads its own store directly).
+	// last gossip exchange; self reads its own store directly).
 	DiskEntries int64 `json:"disk_entries,omitempty"`
 }
 
@@ -429,17 +520,23 @@ type MemberInfo struct {
 type Membership struct {
 	Self         string       `json:"self"` // this node's id
 	VirtualNodes int          `json:"virtual_nodes"`
+	RingVersion  uint64       `json:"ring_version"`
 	Members      []MemberInfo `json:"members"`
 }
 
 // Membership returns this node's current membership view.
 func (n *Node) Membership() Membership {
 	_, ms := n.snapshot()
-	out := Membership{Self: n.id, VirtualNodes: n.opts.VirtualNodes}
+	out := Membership{Self: n.id, VirtualNodes: n.opts.VirtualNodes, RingVersion: n.ringVersion.Load()}
 	for _, m := range ms {
+		st := m.state.Load()
+		if m.self {
+			st = stateAlive
+		}
 		mi := MemberInfo{
 			ID: m.id, URL: m.url, Self: m.self,
-			Healthy: m.healthy.Load(), Failures: m.failures.Load(),
+			Healthy: st == stateAlive, State: stateName(st),
+			Incarnation: m.incarnation.Load(), Failures: m.failures.Load(),
 			DiskEntries: m.warmDisk.Load(),
 		}
 		if m.self {
@@ -456,16 +553,24 @@ func (n *Node) Membership() Membership {
 
 // ClusterStats is the per-node routing section added to /v1/stats.
 type ClusterStats struct {
-	NodeID    string       `json:"node_id"`
-	SelfURL   string       `json:"self_url"`
-	RingNodes int          `json:"ring_nodes"`
-	RingShare float64      `json:"ring_share"` // fraction of the key space this node owns
-	Members   []MemberInfo `json:"members"`
+	NodeID      string       `json:"node_id"`
+	SelfURL     string       `json:"self_url"`
+	RingNodes   int          `json:"ring_nodes"`
+	RingVersion uint64       `json:"ring_version"` // swap counter (convergence clock)
+	RingShare   float64      `json:"ring_share"`   // fraction of the key space this node owns
+	Replicate   int          `json:"replicate,omitempty"`
+	Members     []MemberInfo `json:"members"`
 
 	JobsOwned     int64 `json:"jobs_owned"`     // cluster submissions run locally
 	JobsProxied   int64 `json:"jobs_proxied"`   // submissions forwarded to a peer
 	StatusProxied int64 `json:"status_proxied"` // status/cancel/frames forwarded by id prefix
 	Failovers     int64 `json:"failovers"`      // submissions re-routed past a dead replica
+
+	ReplicaPushed  int64 `json:"replica_pushed,omitempty"`  // entries pushed to successors
+	ReplicaDropped int64 `json:"replica_dropped,omitempty"` // pushes lost (queue full / unreachable)
+	ReplicaFetched int64 `json:"replica_fetched,omitempty"` // remote-hit fetches served to local misses
+	Rebalanced     int64 `json:"rebalanced,omitempty"`      // entries migrated after ring changes
+	RebalanceBytes int64 `json:"rebalance_bytes,omitempty"`
 }
 
 // NodeStats is the cluster-mode GET /v1/stats body: the single-node
@@ -482,15 +587,22 @@ func (n *Node) Stats() NodeStats {
 	return NodeStats{
 		Stats: n.mgr.Stats(),
 		Cluster: ClusterStats{
-			NodeID:        n.id,
-			SelfURL:       n.opts.Self,
-			RingNodes:     ring.Len(),
-			RingShare:     ring.Shares()[n.id],
-			Members:       mem.Members,
-			JobsOwned:     n.jobsOwned.Load(),
-			JobsProxied:   n.jobsProxied.Load(),
-			StatusProxied: n.statusProxied.Load(),
-			Failovers:     n.failovers.Load(),
+			NodeID:         n.id,
+			SelfURL:        n.opts.Self,
+			RingNodes:      ring.Len(),
+			RingVersion:    n.ringVersion.Load(),
+			RingShare:      ring.Shares()[n.id],
+			Replicate:      n.opts.Replicate,
+			Members:        mem.Members,
+			JobsOwned:      n.jobsOwned.Load(),
+			JobsProxied:    n.jobsProxied.Load(),
+			StatusProxied:  n.statusProxied.Load(),
+			Failovers:      n.failovers.Load(),
+			ReplicaPushed:  n.replPushed.Load(),
+			ReplicaDropped: n.replDropped.Load(),
+			ReplicaFetched: n.replFetched.Load(),
+			Rebalanced:     n.rebalanced.Load(),
+			RebalanceBytes: n.rebalBytes.Load(),
 		},
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"easypap/internal/core"
 	"easypap/internal/serve"
+	"easypap/internal/serve/store"
 )
 
 // Handler serves the cluster-mode /v1 API. It is a superset of the
@@ -25,9 +26,13 @@ import (
 //	GET    /v1/kernels             local kernel registry
 //	GET    /v1/cluster             membership + health view
 //	GET    /v1/cluster/health      liveness probe
+//	POST   /v1/cluster/gossip      SWIM view exchange (the probe wire)
 //	POST   /v1/cluster/join        add a member {"url": "..."}
 //	GET    /v1/cluster/stats       cluster-aggregated stats
 //	GET    /v1/cluster/owner/{hash} ring ownership of a config hash
+//	GET    /v1/cluster/entries     local durable entry hashes
+//	GET    /v1/cluster/entries/{hash}  one entry, EZSTORE1 wire form
+//	PUT    /v1/cluster/entries/{hash}  replicate an entry here
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", n.handleSubmit)
@@ -51,6 +56,55 @@ func (n *Node) Handler() http.Handler {
 			OK: true, ID: n.id, URL: n.opts.Self,
 			CacheEntries: mem, DiskEntries: int64(disk), DiskBytes: diskBytes,
 		})
+	})
+	mux.HandleFunc("POST /v1/cluster/gossip", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := n.HandleGossip(w, io.LimitReader(r.Body, 1<<22)); err != nil {
+			serve.WriteError(w, http.StatusBadRequest, err)
+		}
+	})
+	mux.HandleFunc("GET /v1/cluster/entries", func(w http.ResponseWriter, r *http.Request) {
+		hashes := n.mgr.EntryHashes()
+		if hashes == nil {
+			hashes = []string{}
+		}
+		serve.WriteJSON(w, http.StatusOK, EntryList{Node: n.id, Hashes: hashes})
+	})
+	mux.HandleFunc("GET /v1/cluster/entries/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := n.mgr.GetEntry(r.PathValue("hash"))
+		if !ok {
+			serve.WriteError(w, http.StatusNotFound, fmt.Errorf("cluster: no entry %s here", r.PathValue("hash")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		var buf bytes.Buffer
+		if err := store.EncodeEntry(&buf, e); err != nil {
+			serve.WriteError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("PUT /v1/cluster/entries/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		// The body is the EZSTORE1 wire form; DecodeEntry re-derives the
+		// CRC and the path check pins the content hash to the key, so a
+		// corrupt or mislabeled transfer is refused, never stored.
+		e, err := store.DecodeEntry(io.LimitReader(r.Body, 1<<30))
+		if err != nil {
+			serve.WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		if e.Hash != r.PathValue("hash") {
+			serve.WriteError(w, http.StatusBadRequest,
+				fmt.Errorf("cluster: entry hash %s does not match path %s", e.Hash, r.PathValue("hash")))
+			return
+		}
+		if err := n.mgr.PutEntry(e); err != nil {
+			// 501, not 5xx-gateway: a storeless node is a config problem,
+			// and the proxy layer must not read it as a dead peer.
+			serve.WriteError(w, http.StatusNotImplemented, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("POST /v1/cluster/join", func(w http.ResponseWriter, r *http.Request) {
 		var req JoinRequest
@@ -138,7 +192,7 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (n *Node) submitLocal(w http.ResponseWriter, req serve.SubmitRequest) {
 	st, err := n.mgr.Submit(req.Config, req.Frames)
 	if err != nil {
-		serve.WriteError(w, serve.SubmitStatusCode(err), err)
+		serve.WriteSubmitError(w, err)
 		return
 	}
 	n.jobsOwned.Add(1)

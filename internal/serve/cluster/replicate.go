@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"easypap/internal/core"
+	"easypap/internal/serve/store"
+)
+
+// R-way cache replication. The single-box stack already makes results
+// durable (internal/serve/store); this layer makes them survive losing
+// the box. Three mechanisms share the entry wire format (EZSTORE1, the
+// exact on-disk bytes, CRC'd and self-describing):
+//
+//	push      — write-behind: the manager's spill hook hands every
+//	            freshly persisted entry to a queue, and a worker PUTs
+//	            it to the R-1 ring successors of its owner. Losing the
+//	            queue loses nothing but redundancy (the entry is on
+//	            disk locally; the rebalancer will retry it).
+//	fetch     — read failover: on a local memory+disk miss the manager
+//	            asks the ring replicas for the entry before computing.
+//	            A node death therefore costs recomputes only for
+//	            entries whose replication had not completed.
+//	rebalance — after any ring change, every node walks its entry set
+//	            and pushes entries to the replicas that should now hold
+//	            them, under a bandwidth budget so a membership change
+//	            does not flatten the network. Content addressing makes
+//	            the transfer self-verifying: the receiver re-derives
+//	            CRC and hash from the bytes and refuses mismatches.
+
+// replTimeout bounds one entry transfer (push or fetch).
+const replTimeout = 2 * time.Second
+
+// enqueueReplication is the manager's spill hook: called after an
+// entry hits the local disk. Never blocks the spiller — a full queue
+// drops the push (counted; the rebalancer heals the gap later).
+func (n *Node) enqueueReplication(e *store.Entry) {
+	select {
+	case n.replq <- e:
+	default:
+		n.replDropped.Add(1)
+	}
+}
+
+func (n *Node) replicateLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case e := <-n.replq:
+			n.pushEntry(e)
+		}
+	}
+}
+
+// replicaTargets returns the non-self members among the first R ring
+// replicas of an entry's key — the peers that should hold a copy.
+func (n *Node) replicaTargets(hash string) []*member {
+	ring, _ := n.snapshot()
+	ids := ring.Replicas(core.HashPoint(hash), n.opts.Replicate)
+	var out []*member
+	for _, id := range ids {
+		if m := n.memberByID(id); m != nil && !m.self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// pushEntry sends e to every replica target. Counted per target; a
+// push to an unreachable peer is dropped (the rebalancer retries after
+// the ring reflects the death).
+func (n *Node) pushEntry(e *store.Entry) {
+	var buf bytes.Buffer
+	if err := store.EncodeEntry(&buf, e); err != nil {
+		n.replDropped.Add(1)
+		return
+	}
+	for _, m := range n.replicaTargets(e.Hash) {
+		if n.putRemoteEntry(m, e.Hash, buf.Bytes()) {
+			n.replPushed.Add(1)
+		} else {
+			n.replDropped.Add(1)
+		}
+	}
+}
+
+// putRemoteEntry PUTs one encoded entry to a peer. The receiver
+// decodes, CRC-checks, and re-derives the content hash before
+// admitting it (handler.go), so a corrupt transfer cannot poison a
+// remote cache.
+func (n *Node) putRemoteEntry(m *member, hash string, body []byte) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), replTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, m.url+"/v1/cluster/entries/"+hash, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := n.opts.HTTP.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNoContent
+}
+
+// fetchEntry is the manager's remote entry source: on a local miss it
+// walks the entry's replica chain and returns the first copy that
+// decodes (CRC + hash verified by store.DecodeEntry plus an explicit
+// key check). Returns nil when no replica has it — the manager then
+// computes, which is the correct fallback, so errors here are silent.
+func (n *Node) fetchEntry(hash string) *store.Entry {
+	for _, m := range n.replicaTargets(hash) {
+		if m.state.Load() == stateDead {
+			continue
+		}
+		e := n.getRemoteEntry(m, hash)
+		if e == nil {
+			continue
+		}
+		if e.Hash != hash {
+			continue // content does not match the key it was fetched by
+		}
+		n.replFetched.Add(1)
+		return e
+	}
+	return nil
+}
+
+func (n *Node) getRemoteEntry(m *member, hash string) *store.Entry {
+	ctx, cancel := context.WithTimeout(context.Background(), replTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url+"/v1/cluster/entries/"+hash, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := n.opts.HTTP.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	e, err := store.DecodeEntry(resp.Body)
+	if err != nil {
+		return nil
+	}
+	return e
+}
+
+// remoteHashes lists a peer's entry set (GET /v1/cluster/entries).
+func (n *Node) remoteHashes(m *member) (map[string]bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), replTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url+"/v1/cluster/entries", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.opts.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s entries list returned %s", m.url, resp.Status)
+	}
+	var body EntryList
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<24)).Decode(&body); err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool, len(body.Hashes))
+	for _, h := range body.Hashes {
+		set[h] = true
+	}
+	return set, nil
+}
+
+// EntryList is the GET /v1/cluster/entries body.
+type EntryList struct {
+	Node   string   `json:"node"`
+	Hashes []string `json:"hashes"`
+}
+
+// --- rebalancer -------------------------------------------------------
+
+// rebalanceLoop waits for ring changes (rebuildRingLocked kicks it),
+// debounces briefly so a burst of membership churn triggers one pass,
+// then re-replicates the local entry set against the new ring.
+func (n *Node) rebalanceLoop() {
+	defer n.wg.Done()
+	debounce := 4 * n.opts.ProbeInterval
+	if debounce > 2*time.Second {
+		debounce = 2 * time.Second
+	}
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.rebalanceKick:
+		}
+		// Let the membership settle: a node death usually also reorders
+		// suspicion on others, and two kicks in one debounce window
+		// should cost one pass, not two.
+		timer := time.NewTimer(debounce)
+	settle:
+		for {
+			select {
+			case <-n.stop:
+				timer.Stop()
+				return
+			case <-n.rebalanceKick:
+				// fresh churn: restart the settle window
+				if !timer.Stop() {
+					<-timer.C
+				}
+				timer.Reset(debounce)
+			case <-timer.C:
+				break settle
+			}
+		}
+		n.rebalance()
+	}
+}
+
+// rebalance pushes every local entry to the replicas the current ring
+// says should hold it and do not yet. Transfers are throttled to
+// RebalanceBPS. The pass is cooperative — every node runs it over its
+// own entries — and idempotent: pushing an entry a peer already has is
+// avoided by consulting its hash list first, and harmless otherwise
+// (content addressing makes duplicate PUTs a no-op overwrite of
+// identical bytes).
+func (n *Node) rebalance() {
+	hashes := n.mgr.EntryHashes()
+	if len(hashes) == 0 {
+		return
+	}
+	// One hash-list fetch per distinct target for the whole pass.
+	remote := make(map[string]map[string]bool)
+	missing := func(m *member, hash string) bool {
+		set, ok := remote[m.id]
+		if !ok {
+			var err error
+			set, err = n.remoteHashes(m)
+			if err != nil {
+				set = nil // unknown: push anyway, receiver dedups by overwrite
+			}
+			remote[m.id] = set
+		}
+		return set == nil || !set[hash]
+	}
+	start := time.Now()
+	var moved int64
+	for _, hash := range hashes {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		e, ok := n.mgr.GetEntry(hash)
+		if !ok {
+			continue // evicted since listing
+		}
+		var buf bytes.Buffer
+		if err := store.EncodeEntry(&buf, e); err != nil {
+			continue
+		}
+		for _, m := range n.replicaTargets(hash) {
+			if m.state.Load() == stateDead || !missing(m, hash) {
+				continue
+			}
+			if n.putRemoteEntry(m, hash, buf.Bytes()) {
+				n.rebalanced.Add(1)
+				n.rebalBytes.Add(int64(buf.Len()))
+				moved += int64(buf.Len())
+				if set := remote[m.id]; set != nil {
+					set[hash] = true
+				}
+				// Bandwidth budget: sleep long enough that cumulative
+				// bytes/elapsed stays under RebalanceBPS.
+				if n.opts.RebalanceBPS > 0 {
+					ahead := time.Duration(moved)*time.Second/time.Duration(n.opts.RebalanceBPS) - time.Since(start)
+					if ahead > 0 {
+						select {
+						case <-n.stop:
+							return
+						case <-time.After(ahead):
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -45,7 +45,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		st, err := m.Submit(req.Config, req.Frames)
 		if err != nil {
-			WriteError(w, SubmitStatusCode(err), err)
+			WriteSubmitError(w, err)
 			return
 		}
 		code := http.StatusAccepted
@@ -108,6 +108,23 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	return mux
+}
+
+// RetryAfterSeconds is the Retry-After value sent with every 429: the
+// queue is bounded and jobs are short, so "come back in a second" is
+// the honest hint. Clients combine it with jittered backoff so a herd
+// of rejected submitters does not re-synchronize on the boundary.
+const RetryAfterSeconds = 1
+
+// WriteSubmitError writes a Submit error with its mapped status; 429
+// responses carry a Retry-After header so well-behaved clients pace
+// their retries instead of hammering the admission path.
+func WriteSubmitError(w http.ResponseWriter, err error) {
+	code := SubmitStatusCode(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", RetryAfterSeconds))
+	}
+	WriteError(w, code, err)
 }
 
 // SubmitStatusCode maps a Submit error to its HTTP status. Exported for

@@ -51,6 +51,10 @@ var (
 	ErrNoFrames = errors.New("serve: job was not submitted with frames enabled")
 	// ErrClosed is returned by Submit after the manager shut down.
 	ErrClosed = errors.New("serve: manager closed")
+	// ErrNoStore is returned by PutEntry when the manager has no
+	// persistence layer to adopt the entry into (HTTP 501 in cluster
+	// mode — the pushing peer skips this node, it does not fail over).
+	ErrNoStore = errors.New("serve: manager has no disk store")
 )
 
 // JobState is the lifecycle of a submission.
@@ -156,6 +160,10 @@ type JobStatus struct {
 	// DiskHit marks a cached result that was served from the disk tier
 	// (a restarted daemon's warm cache) rather than the in-memory LRU.
 	DiskHit bool `json:"disk_hit,omitempty"`
+	// RemoteHit marks a cached result fetched from a replica's cache
+	// (cluster mode with replication): both local tiers missed, but a
+	// ring peer held the entry, so no recompute happened anywhere.
+	RemoteHit bool `json:"remote_hit,omitempty"`
 	// Recovered marks a job re-enqueued (or interrupted) from the
 	// write-ahead journal after a daemon restart.
 	Recovered bool   `json:"recovered,omitempty"`
@@ -200,6 +208,7 @@ type job struct {
 	state     JobState
 	cached    bool
 	diskHit   bool
+	remoteHit bool
 	recovered bool
 	result    *core.Result
 	errMsg    string
@@ -215,7 +224,7 @@ func (j *job) snapshot() *JobStatus {
 	defer j.mu.Unlock()
 	s := &JobStatus{
 		ID: j.id, State: j.state, Cached: j.cached, DiskHit: j.diskHit,
-		Recovered: j.recovered, Frames: j.frames != nil,
+		RemoteHit: j.remoteHit, Recovered: j.recovered, Frames: j.frames != nil,
 		Hash: j.hash, Config: j.cfg, Result: j.result, Error: j.errMsg,
 		Activity: j.activity, SubmittedAt: j.submitted,
 	}
@@ -262,6 +271,15 @@ type Manager struct {
 	spill   chan spillReq // completion → disk write-behind queue
 	spillWg sync.WaitGroup
 
+	// Cluster hooks, set (before traffic, atomically because recovered
+	// jobs may already be completing) by the cluster layer when
+	// replication is on: spillHook observes every durably spilled entry
+	// (the replication push point), entrySource is the last cache tier —
+	// consulted after memory and disk both miss, before a recompute
+	// (the cluster layer fetches from ring replicas there).
+	spillHook   atomic.Pointer[func(*store.Entry)]
+	entrySource atomic.Pointer[func(hash string) *store.Entry]
+
 	nextID      atomic.Int64
 	running     atomic.Int64
 	submitted   atomic.Int64
@@ -272,6 +290,7 @@ type Manager struct {
 	rejected    atomic.Int64
 	diskHits    atomic.Int64
 	diskMisses  atomic.Int64
+	remoteHits  atomic.Int64 // entrySource (replica fetch) answered after both local tiers missed
 	spills      atomic.Int64
 	spillErrs   atomic.Int64
 	spillDrops  atomic.Int64
@@ -336,7 +355,38 @@ func (m *Manager) spiller() {
 			continue
 		}
 		m.spills.Add(1)
+		if hook := m.spillHook.Load(); hook != nil {
+			// Replication rides the spill: the entry is durable locally,
+			// now the cluster layer pushes it to the ring successors.
+			(*hook)(e)
+		}
 	}
+}
+
+// SetSpillHook registers a function invoked with every entry after it
+// is durably written to the disk tier — the cluster layer's replication
+// push point. Must be set before the hooked behavior is relied on;
+// safe to set concurrently with running jobs.
+func (m *Manager) SetSpillHook(f func(*store.Entry)) {
+	if f == nil {
+		m.spillHook.Store(nil)
+		return
+	}
+	m.spillHook.Store(&f)
+}
+
+// SetEntrySource registers the last-resort cache tier: consulted with a
+// config hash after both the memory and disk tiers miss, before the job
+// is queued for recompute. A non-nil return is adopted (promoted to the
+// local tiers) and served as a cached result. The cluster layer uses
+// this to read through to ring replicas, so an entry whose owner died
+// is a remote fetch, not a recompute.
+func (m *Manager) SetEntrySource(f func(hash string) *store.Entry) {
+	if f == nil {
+		m.entrySource.Store(nil)
+		return
+	}
+	m.entrySource.Store(&f)
 }
 
 // recoverJournal replays the write-ahead journal: every job that was
@@ -461,7 +511,7 @@ func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
 
 	if !wantFrames {
 		if r, ok := m.cache.get(hash); ok {
-			m.finishCachedLocked(j, r, false)
+			m.finishCachedLocked(j, r, tierMemory)
 			m.mu.Unlock()
 			return j.snapshot(), nil
 		}
@@ -476,16 +526,26 @@ func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
 		if ent, ok := m.store.Cache.Get(hash); ok {
 			m.diskHits.Add(1)
 			m.cache.put(hash, ent.Result) // promote to the memory tier
-			m.mu.Lock()
-			if m.closed {
-				m.mu.Unlock()
-				return nil, ErrClosed
-			}
-			m.finishCachedLocked(j, ent.Result, true)
-			m.mu.Unlock()
-			return j.snapshot(), nil
+			return m.finishCached(j, ent.Result, tierDisk)
 		}
 		m.diskMisses.Add(1)
+	}
+
+	// Both local tiers missed: ask the entry source (cluster replicas)
+	// before paying a recompute. Network I/O, so outside every lock;
+	// the fetched entry is adopted into both local tiers — this node is
+	// answering for the hash, so it should own a copy from now on.
+	if !wantFrames {
+		if src := m.entrySource.Load(); src != nil {
+			if ent := (*src)(hash); ent != nil && ent.Hash == hash {
+				m.remoteHits.Add(1)
+				m.cache.put(hash, ent.Result)
+				if m.store != nil {
+					_ = m.store.Cache.Put(ent)
+				}
+				return m.finishCached(j, ent.Result, tierRemote)
+			}
+		}
 	}
 
 	// Write-ahead: the journal records the job before it can run, so a
@@ -533,14 +593,37 @@ func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
 	}
 }
 
+// cacheTier names which tier answered a cached submission.
+type cacheTier int
+
+const (
+	tierMemory cacheTier = iota
+	tierDisk
+	tierRemote
+)
+
+// finishCached completes a submission from a non-memory cache tier,
+// taking m.mu itself and handling a concurrent Close.
+func (m *Manager) finishCached(j *job, r core.Result, tier cacheTier) (*JobStatus, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.finishCachedLocked(j, r, tier)
+	m.mu.Unlock()
+	return j.snapshot(), nil
+}
+
 // finishCachedLocked completes a submission straight from a cache tier.
 // Caller holds m.mu; the job was never enqueued, so no journal record
 // exists for it.
-func (m *Manager) finishCachedLocked(j *job, r core.Result, disk bool) {
+func (m *Manager) finishCachedLocked(j *job, r core.Result, tier cacheTier) {
 	now := time.Now()
 	j.state = JobDone
 	j.cached = true
-	j.diskHit = disk
+	j.diskHit = tier == tierDisk
+	j.remoteHit = tier == tierRemote
 	j.result = &r
 	j.started, j.finished = now, now
 	close(j.done)
@@ -815,8 +898,11 @@ type Stats struct {
 	// --data-dir). DiskHits/DiskMisses count second-tier lookups after a
 	// memory miss; Spills counts results written behind to disk;
 	// DiskCorrupt counts entries rejected by CRC and dropped.
-	DiskHits        int64 `json:"disk_hits"`
-	DiskMisses      int64 `json:"disk_misses"`
+	DiskHits   int64 `json:"disk_hits"`
+	DiskMisses int64 `json:"disk_misses"`
+	// RemoteHits counts submissions answered by a replica fetch after
+	// both local tiers missed (cluster mode with replication).
+	RemoteHits int64 `json:"remote_hits,omitempty"`
 	Spills          int64 `json:"spills"`
 	SpillErrors     int64 `json:"spill_errors,omitempty"`
 	SpillDropped    int64 `json:"spill_dropped,omitempty"`
@@ -870,6 +956,7 @@ func (m *Manager) Stats() Stats {
 		PoolsIdle:      m.pools.idleCount(),
 		Kernels:        make(map[string]KernelThroughput),
 	}
+	s.RemoteHits = m.remoteHits.Load()
 	if m.store != nil {
 		s.DiskHits = m.diskHits.Load()
 		s.DiskMisses = m.diskMisses.Load()
@@ -920,6 +1007,38 @@ func (m *Manager) Close() {
 		m.spillWg.Wait()
 	}
 	m.pools.close()
+}
+
+// PutEntry adopts an externally supplied cache entry into the disk
+// tier — the receive side of cluster replication and rebalancing. The
+// entry's internal CRC was verified when it was decoded off the wire;
+// content addressing makes the write idempotent. Returns ErrNoStore
+// when the manager runs without persistence.
+func (m *Manager) PutEntry(e *store.Entry) error {
+	if m.store == nil {
+		return ErrNoStore
+	}
+	return m.store.Cache.Put(e)
+}
+
+// GetEntry reads an entry from the disk tier (CRC-verified) — the send
+// side of replication and the rebalancer's reader. ok is false without
+// a store or when the tier misses.
+func (m *Manager) GetEntry(hash string) (*store.Entry, bool) {
+	if m.store == nil {
+		return nil, false
+	}
+	return m.store.Cache.Get(hash)
+}
+
+// EntryHashes lists the disk tier's live entries, most recently used
+// first (nil without a store) — the rebalancer's work list and the
+// replication-completeness view the chaos tests assert on.
+func (m *Manager) EntryHashes() []string {
+	if m.store == nil {
+		return nil
+	}
+	return m.store.Cache.Hashes()
 }
 
 // CacheSizes reports the warmth of both cache tiers — what a cluster

@@ -25,6 +25,7 @@ import (
 type Cache struct {
 	dir      string // objects root
 	maxBytes int64
+	fsync    bool // sync object files and index commits (Options.Fsync)
 
 	mu      sync.Mutex
 	idx     *os.File // append handle on cache.idx
@@ -55,13 +56,14 @@ type flightCall struct {
 
 // openCache opens (or initializes) the disk cache under dir, replaying
 // the index. Entries whose file has vanished are dropped.
-func openCache(dir string, maxBytes int64) (*Cache, error) {
+func openCache(dir string, maxBytes int64, fsync bool) (*Cache, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, err
 	}
 	c := &Cache{
 		dir:      filepath.Join(dir, "objects"),
 		maxBytes: maxBytes,
+		fsync:    fsync,
 		idxPath:  filepath.Join(dir, "cache.idx"),
 		entries:  make(map[string]*list.Element),
 		order:    list.New(),
@@ -254,6 +256,17 @@ func (c *Cache) Put(e *Entry) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if c.fsync {
+		// Sync before the rename publishes the entry: a power cut after
+		// Put returns must not leave an empty (or torn) file under the
+		// final name. Without fsync the rename itself is crash-safe but
+		// the data may still be page-cache-only.
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
@@ -282,6 +295,11 @@ func (c *Cache) Put(e *Entry) error {
 	if _, err := c.idx.WriteString(encodeIndexRec(rec)); err != nil {
 		return err
 	}
+	if c.fsync {
+		if err := c.idx.Sync(); err != nil {
+			return err
+		}
+	}
 	c.evictLocked()
 	c.maybeCompactLocked()
 	return nil
@@ -305,6 +323,9 @@ func (c *Cache) deleteLocked(hash string) {
 	delete(c.entries, hash)
 	os.Remove(c.objectPath(hash))
 	_, _ = c.idx.WriteString(encodeIndexRec(IndexRec{Op: opDel, Hash: hash}))
+	if c.fsync {
+		_ = c.idx.Sync()
+	}
 	c.stale += 2 // the del record plus the put it killed
 }
 
@@ -346,6 +367,20 @@ func (c *Cache) maybeCompactLocked() {
 	c.idx.Close()
 	c.idx = idx
 	c.stale = 0
+}
+
+// Hashes returns the hashes of every live entry, most recently used
+// first — the work list of the cluster rebalancer, which re-homes
+// entries after a ring change (content addressing makes each transfer
+// self-validating: the key is the checksum of what it names).
+func (c *Cache) Hashes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*diskEntry).hash)
+	}
+	return out
 }
 
 // Len returns the number of live disk entries.

@@ -19,7 +19,8 @@ import (
 // marks them interrupted) under their original ids, so clients polling
 // across the restart keep working.
 type Journal struct {
-	path string
+	path  string
+	fsync bool // sync commit records before returning (Options.Fsync)
 
 	mu        sync.Mutex
 	f         *os.File
@@ -30,8 +31,8 @@ type Journal struct {
 }
 
 // openJournal replays (and keeps appending to) the journal at path.
-func openJournal(path string) (*Journal, error) {
-	j := &Journal{path: path, open: make(map[string]JournalRec)}
+func openJournal(path string, fsync bool) (*Journal, error) {
+	j := &Journal{path: path, fsync: fsync, open: make(map[string]JournalRec)}
 	if data, err := os.ReadFile(path); err == nil {
 		// One decode pass: every record's id feeds the high-water mark,
 		// then the shared reduction derives the open set.
@@ -137,6 +138,13 @@ func (j *Journal) Begin(id, hash string, frames bool, cfg core.Config) error {
 	if _, err := j.f.WriteString(encodeJournalOpen(id, hash, frames, cfgJSON)); err != nil {
 		return err
 	}
+	if j.fsync {
+		// Write-ahead means nothing across a power cut unless the open
+		// record is on stable storage before the job becomes runnable.
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+	}
 	j.open[id] = JournalRec{Op: "open", ID: id, Hash: hash, Frames: frames, Config: cfg}
 	return nil
 }
@@ -151,6 +159,11 @@ func (j *Journal) End(id, state string) error {
 	defer j.mu.Unlock()
 	if _, err := j.f.WriteString(encodeJournalDone(id, state)); err != nil {
 		return err
+	}
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
 	}
 	delete(j.open, id)
 	j.doneSince++

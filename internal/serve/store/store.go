@@ -35,6 +35,14 @@ type Options struct {
 	// MaxBytes bounds the disk cache in bytes (DefaultMaxBytes if 0;
 	// negative means unbounded).
 	MaxBytes int64
+	// Fsync upgrades durability from crash-consistent to power-fail
+	// safe: entry files are synced before the rename that publishes
+	// them, and journal/index commit records are synced before the call
+	// that wrote them returns. The on-disk formats are unchanged —
+	// fsync only narrows the window in which a power cut (not a mere
+	// SIGKILL) can lose the tail. Costs one fsync per journaled
+	// transition and per spilled entry; off by default.
+	Fsync bool
 }
 
 // Store bundles the two durable structures of one data directory.
@@ -57,11 +65,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	cache, err := openCache(dir, opts.MaxBytes)
+	cache, err := openCache(dir, opts.MaxBytes, opts.Fsync)
 	if err != nil {
 		return nil, err
 	}
-	journal, err := openJournal(filepath.Join(dir, "journal.log"))
+	journal, err := openJournal(filepath.Join(dir, "journal.log"), opts.Fsync)
 	if err != nil {
 		cache.close()
 		return nil, err
