@@ -58,6 +58,20 @@
 //
 //	easypapd -addr :8080 -data-dir /var/lib/easypapd \
 //	         -cache-max-bytes 268435456 -recover requeue -durability fsync
+//
+// Observability (DESIGN.md §11): every daemon exposes Prometheus-text
+// metrics at GET /metrics (per-stage latency histograms, queue/cache/
+// ring gauges, the /v1/stats counters) — disable with -metrics=false —
+// and a per-job distributed trace at GET /v1/trace/{job}: the service
+// spans (admit, queue, compute, proxy, replicate, ...) recorded by
+// every node the job touched, merged into one tree. -pprof-addr starts
+// a net/http/pprof side listener, kept off the service port so
+// profiling cannot be reached through the public API.
+//
+//	easypapd -addr :8080 -pprof-addr 127.0.0.1:6060
+//	curl -s localhost:8080/metrics | grep easypapd_stage_ns
+//	curl -s localhost:8080/v1/trace/j-000001
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile
 package main
 
 import (
@@ -67,6 +81,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -pprof-addr side listener (DefaultServeMux)
 	"os"
 	"os/signal"
 	"strings"
@@ -109,6 +124,8 @@ func run(args []string) error {
 		cacheMax  = fs.Int64("cache-max-bytes", 0, "persistence: disk cache budget in bytes (default 256 MiB)")
 		recovery  = fs.String("recover", "requeue", "persistence: fate of journaled in-flight jobs on restart (requeue|interrupt)")
 		durable   = fs.String("durability", "async", "persistence: async (crash-consistent, fast) or fsync (power-fail durable) commits")
+		metricsOn = fs.Bool("metrics", true, "observability: serve Prometheus-text metrics at GET /metrics")
+		pprofAddr = fs.String("pprof-addr", "", "observability: side listener for net/http/pprof (e.g. 127.0.0.1:6060; empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -181,6 +198,25 @@ func run(args []string) error {
 		}
 		handler = node.Handler()
 		log.Printf("easypapd: cluster node %s (%d seed peers, replicate=%d)", node.ID(), len(peerList), *replicate)
+	}
+
+	if !*metricsOn {
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/metrics" {
+				http.NotFound(w, r)
+				return
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	if *pprofAddr != "" {
+		go func() {
+			// net/http/pprof registered its handlers on DefaultServeMux at
+			// import; a nil handler serves exactly that, on its own port.
+			log.Printf("easypapd: pprof listening on %s", *pprofAddr)
+			log.Printf("easypapd: pprof listener: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: handler}

@@ -1,0 +1,101 @@
+package main
+
+// Real-process smoke tests for the observability flags: -metrics
+// (default on, -metrics=false 404s the scrape) and -pprof-addr (the
+// net/http/pprof side listener comes up and serves, off the service
+// port).
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"easypap/internal/core"
+	"easypap/internal/serve"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestObservabilityListeners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process smoke test; skipped under -short")
+	}
+	bin := buildDaemon(t)
+	pprofAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	d := startDaemon(t, bin, freePort(t), t.TempDir(), "-pprof-addr", pprofAddr)
+
+	// The service port scrapes by default.
+	code, body := getBody(t, d.base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "easypapd_jobs_submitted_total") {
+		t.Fatalf("GET /metrics = %d, body %.120s", code, body)
+	}
+
+	// The pprof side listener serves the index and is NOT reachable
+	// through the service port.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pprof listener on %s never came up (last err: %v)", pprofAddr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code, _ := getBody(t, d.base+"/debug/pprof/"); code == http.StatusOK {
+		t.Fatal("pprof reachable on the service port; it must stay on the side listener")
+	}
+
+	// A computed job shows up in the stage histograms and the trace
+	// endpoint serves its span tree.
+	st, err := d.submit(core.Config{Kernel: "mandel", Variant: "seq", Dim: 64, TileW: 16, Iterations: 2, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = d.wait(st.ID, 10*time.Second); err != nil || st.State != serve.JobDone {
+		t.Fatalf("job state=%v err=%v", st.State, err)
+	}
+	if _, body = getBody(t, d.base+"/metrics"); !strings.Contains(body, `easypapd_stage_ns_count{stage="compute"} 1`) {
+		t.Errorf("compute stage histogram did not see the job")
+	}
+	var doc serve.TraceDoc
+	if err := d.getJSON("/v1/trace/"+st.ID, &doc); err != nil {
+		t.Fatalf("GET /v1/trace/%s: %v", st.ID, err)
+	}
+	if doc.TraceID == "" || len(doc.Spans) == 0 {
+		t.Fatalf("trace doc %+v", doc)
+	}
+}
+
+func TestMetricsDisabledFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process smoke test; skipped under -short")
+	}
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin, freePort(t), t.TempDir(), "-metrics=false")
+	if code, _ := getBody(t, d.base+"/metrics"); code != http.StatusNotFound {
+		t.Fatalf("GET /metrics with -metrics=false = %d, want 404", code)
+	}
+	if code, _ := getBody(t, d.base+"/v1/stats"); code != http.StatusOK {
+		t.Fatalf("/v1/stats must keep serving, got %d", code)
+	}
+}

@@ -76,6 +76,26 @@
 // RunConfig (and therefore expt sweeps) resubmits interrupted jobs
 // automatically, so a parameter study rides through a rolling deploy.
 //
+// # Observability
+//
+// Every daemon is self-describing (internal/metrics, internal/trace,
+// DESIGN.md §11). GET /metrics serves Prometheus text exposition from a
+// zero-dependency registry — per-stage latency histograms
+// (easypapd_stage_ns{stage=admit|queue|compute|proxy|...}) plus queue,
+// ring, membership, disk and replication gauges — at ~13 ns per
+// observation, so it is always on (-metrics=false turns the endpoint
+// off). Each submission carries a trace id across proxy hops and
+// replica fetches via the X-Easypap-Trace header; GET /v1/trace/{job}
+// merges every node's spans into one connected tree, and
+// ezview.ServiceGanttSVG or client.FormatTrace render it:
+//
+//	curl -s localhost:8080/metrics | grep 'stage="compute"'
+//	curl -s localhost:8080/v1/trace/$JOB | jq '{nodes, spans: (.spans | length)}'
+//
+//	# live profiling on a side listener, never on the service port
+//	easypapd -addr :8080 -pprof-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//
 // # The lazy tile-activity engine
 //
 // internal/tilegrid is the shared frontier behind every lazy kernel

@@ -1,0 +1,160 @@
+package ezview
+
+// Service-span Gantt rendering: the cluster-tier sibling of GanttSVG.
+// Where the kernel Gantt lays out tile tasks per CPU, this lays out one
+// distributed job's service spans per node — one horizontal lane per
+// cluster node, one bar per stage (admit, queue, compute, proxy, ...),
+// and a vertical hop edge wherever a span names a Peer, so a proxied
+// submission or a replica fetch reads as an arrow from the caller's
+// lane to the callee's.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"easypap/internal/trace"
+)
+
+// stageColors maps service stages to bar fills. Stages are open-ended
+// (the cluster layer adds its own); unknown stages fall back to grey.
+var stageColors = map[string]string{
+	"admit":         "#7aa2f7",
+	"queue":         "#e0af68",
+	"lease":         "#bb9af7",
+	"compute":       "#9ece6a",
+	"cache_mem":     "#2ac3de",
+	"cache_disk":    "#0db9d7",
+	"replica_fetch": "#ff9e64",
+	"spill":         "#73daca",
+	"proxy":         "#f7768e",
+	"replicate":     "#c0caf5",
+	"gossip":        "#565f89",
+}
+
+func stageColor(stage string) string {
+	if c, ok := stageColors[stage]; ok {
+		return c
+	}
+	return "#787c99"
+}
+
+// ServiceGanttSVG renders a distributed trace's flat span set as an SVG
+// document: nodes as rows (first-appearance order), spans as bars, hop
+// edges where a span names a peer node. Spans with errors get a red
+// outline. The caption defaults to "trace <id>".
+func ServiceGanttSVG(spans []trace.Span, opt GanttOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = 1200
+	}
+	if opt.LaneH <= 0 {
+		opt.LaneH = 28
+	}
+
+	// Node rows in first-appearance order — the entry node leads because
+	// its admit span is the earliest.
+	sorted := append([]trace.Span(nil), spans...)
+	trace.SortSpans(sorted)
+	rowOf := make(map[string]int)
+	var nodes []string
+	for _, s := range sorted {
+		if _, ok := rowOf[s.Node]; !ok {
+			rowOf[s.Node] = len(nodes)
+			nodes = append(nodes, s.Node)
+		}
+	}
+	height := (len(nodes)+1)*opt.LaneH + 40
+
+	var t0, t1 int64
+	for i, s := range sorted {
+		if i == 0 || s.Start < t0 {
+			t0 = s.Start
+		}
+		if s.End > t1 {
+			t1 = s.End
+		}
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	const labelW = 120
+	xOf := func(t int64) float64 {
+		return labelW + float64(t-t0)/float64(t1-t0)*float64(opt.Width-labelW-20)
+	}
+	laneY := func(row int) int { return 30 + row*opt.LaneH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		opt.Width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="#16161c"/>`+"\n")
+	caption := opt.Caption
+	if caption == "" && len(sorted) > 0 {
+		caption = "trace " + sorted[0].TraceID
+	}
+	fmt.Fprintf(&b, `<text x="10" y="20" fill="#ddd" font-size="14">%s</text>`+"\n", xmlEscape(caption))
+
+	// Node labels and lane separators.
+	for i, node := range nodes {
+		y := laneY(i)
+		fmt.Fprintf(&b, `<text x="8" y="%d" fill="#aaa" font-size="12">%s</text>`+"\n",
+			y+opt.LaneH*2/3, xmlEscape(node))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#2a2a33"/>`+"\n",
+			labelW, y, opt.Width-20, y)
+	}
+
+	// Span bars with tooltips; errored spans get a red outline.
+	for _, s := range sorted {
+		row := rowOf[s.Node]
+		x := xOf(s.Start)
+		wpx := xOf(s.End) - x
+		if wpx < 0.5 {
+			wpx = 0.5
+		}
+		y := laneY(row) + 2
+		stroke := ""
+		if s.Err != "" {
+			stroke = ` stroke="#f7768e" stroke-width="1.5"`
+		}
+		tip := fmt.Sprintf("%s: %v", s.Stage, s.Duration().Round(time.Microsecond))
+		if s.Peer != "" {
+			tip += " → " + s.Peer
+		}
+		if s.Err != "" {
+			tip += " [" + s.Err + "]"
+		}
+		fmt.Fprintf(&b,
+			`<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"%s><title>%s</title></rect>`+"\n",
+			x, y, wpx, opt.LaneH-4, stageColor(s.Stage), stroke, xmlEscape(tip))
+	}
+
+	// Hop edges: a span naming a peer that owns a lane draws a dashed
+	// vertical connector from the span's start to the peer's lane — the
+	// visual of "this stage crossed the wire to that node".
+	for _, s := range sorted {
+		if s.Peer == "" {
+			continue
+		}
+		peerRow, ok := rowOf[s.Peer]
+		if !ok || s.Peer == s.Node {
+			continue
+		}
+		x := xOf(s.Start)
+		y1 := laneY(rowOf[s.Node]) + opt.LaneH/2
+		y2 := laneY(peerRow) + opt.LaneH/2
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#7dcfff" stroke-dasharray="3 3"><title>%s: %s → %s</title></line>`+"\n",
+			x, y1, x, y2, xmlEscape(s.Stage), xmlEscape(s.Node), xmlEscape(s.Peer))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// SaveServiceGanttSVG writes the service-span chart to path, creating
+// parent directories.
+func SaveServiceGanttSVG(path string, spans []trace.Span, opt GanttOptions) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("ezview: %w", err)
+	}
+	return os.WriteFile(path, []byte(ServiceGanttSVG(spans, opt)), 0o644)
+}

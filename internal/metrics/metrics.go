@@ -1,0 +1,328 @@
+// Package metrics is a zero-dependency, hot-path-safe metrics registry
+// for the easypapd service tier: atomic counters, gauges, and lock-free
+// fixed-bucket histograms, exposed in the Prometheus text exposition
+// format (GET /metrics).
+//
+// The paper's thesis (§II-D) is that parallel performance is understood
+// by measuring it; internal/trace applies that to kernels, this package
+// applies it to the service stack built on top. The design constraint is
+// the same as the scheduling core's: observation must be cheap enough to
+// live on hot paths. A Counter.Add or Gauge.Set is one uncontended
+// atomic add/store; a Histogram.Observe is a bits.Len64 (one LZCNT) to
+// pick the power-of-two bucket plus two atomic adds (bucket and sum) —
+// a few nanoseconds, no locks, no allocations, no time formatting.
+// Everything expensive (bucket cumulation, text rendering, sampled
+// GaugeFunc callbacks) happens at scrape time.
+//
+// Registries are instances, not process globals: each Manager owns one,
+// so in-process multi-node tests (and the cluster harness) do not share
+// counters.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels are constant key=value pairs attached to a metric at
+// registration (e.g. {"stage": "compute"}). They are rendered sorted,
+// so the exposition text is deterministic.
+type Labels map[string]string
+
+// metric is anything the registry can render.
+type metric interface {
+	write(w io.Writer, name, labels string)
+	typeName() string
+}
+
+// entry is one registered metric under a family name.
+type entry struct {
+	name   string
+	help   string
+	labels string // pre-rendered {k="v",...} or ""
+	m      metric
+}
+
+// Registry holds registered metrics and renders them. Registration is
+// synchronized; observation paths never touch the registry lock.
+type Registry struct {
+	mu       sync.Mutex
+	families []string          // family names in registration order
+	help     map[string]string // family -> help text
+	entries  map[string][]entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{help: make(map[string]string), entries: make(map[string][]entry)}
+}
+
+// register files a metric under its family, keeping registration order.
+func (r *Registry) register(name, help string, labels Labels, m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.help[name]; !ok {
+		r.families = append(r.families, name)
+		r.help[name] = help
+	}
+	r.entries[name] = append(r.entries[name], entry{name: name, help: help, labels: renderLabels(labels), m: m})
+}
+
+func renderLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format, families in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	families := append([]string(nil), r.families...)
+	byFamily := make(map[string][]entry, len(families))
+	for _, f := range families {
+		byFamily[f] = append([]entry(nil), r.entries[f]...)
+	}
+	help := make(map[string]string, len(families))
+	for f, h := range r.help {
+		help[f] = h
+	}
+	r.mu.Unlock()
+
+	for _, f := range families {
+		es := byFamily[f]
+		if len(es) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", f, help[f])
+		fmt.Fprintf(w, "# TYPE %s %s\n", f, es[0].m.typeName())
+		for _, e := range es {
+			e.m.write(w, e.name, e.labels)
+		}
+	}
+}
+
+// Handler returns an http.Handler serving the exposition text — the
+// GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// --- counter ---------------------------------------------------------
+
+// Counter is a monotonically increasing value. Add is one atomic add.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.register(name, help, labels, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the value to stay monotone).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) typeName() string { return "counter" }
+func (c *Counter) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, float64(c.v.Load()))
+}
+
+// CounterFunc exposes an externally maintained monotone value (an
+// existing atomic the service already keeps) without double-counting:
+// the function is sampled at scrape time only.
+type CounterFunc struct {
+	fn func() uint64
+}
+
+// CounterFunc registers a sampled counter.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	r.register(name, help, labels, &CounterFunc{fn: fn})
+}
+
+func (c *CounterFunc) typeName() string { return "counter" }
+func (c *CounterFunc) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, float64(c.fn()))
+}
+
+// --- gauge -----------------------------------------------------------
+
+// Gauge is a value that can go up and down. Set/Add are one atomic op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, labels, g)
+	return g
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) typeName() string { return "gauge" }
+func (g *Gauge) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, float64(g.v.Load()))
+}
+
+// GaugeFunc exposes a sampled gauge: the callback runs at scrape time,
+// so values the service already tracks (queue depth, ring version, disk
+// bytes) cost nothing between scrapes.
+type GaugeFunc struct {
+	fn func() float64
+}
+
+// GaugeFunc registers a sampled gauge.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, labels, &GaugeFunc{fn: fn})
+}
+
+func (g *GaugeFunc) typeName() string { return "gauge" }
+func (g *GaugeFunc) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, g.fn())
+}
+
+// --- histogram -------------------------------------------------------
+
+// Histogram bucket layout: power-of-two bounds. Bucket i counts
+// observations v with v < 1<<(minExp+i); the last implicit bucket is
+// +Inf. Power-of-two bounds make bucket selection branch-free —
+// bits.Len64 is the whole computation — and cover nanosecond latencies
+// from 256 ns to ~17 s with 27 buckets.
+const (
+	// DefaultMinExp is the lowest bucket bound exponent: 1<<8 = 256 ns.
+	DefaultMinExp = 8
+	// DefaultMaxExp is the highest finite bound exponent: 1<<34 ≈ 17.2 s.
+	DefaultMaxExp = 34
+)
+
+// Histogram is a lock-free fixed-bucket histogram. Observe performs one
+// bits.Len64 and two atomic adds (bucket count and sum); cumulative
+// bucket counts — and the total count, which equals the +Inf cumulative
+// count — are derived at scrape time.
+type Histogram struct {
+	minExp  int
+	buckets []atomic.Uint64 // buckets[i]: minExp+i bound; last is +Inf
+	sum     atomic.Uint64
+}
+
+// Histogram registers a histogram with default nanosecond-latency
+// bounds (256 ns .. ~17 s, powers of two).
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	return r.HistogramExp(name, help, labels, DefaultMinExp, DefaultMaxExp)
+}
+
+// HistogramExp registers a histogram with bounds 1<<minExp .. 1<<maxExp.
+func (r *Registry) HistogramExp(name, help string, labels Labels, minExp, maxExp int) *Histogram {
+	if minExp < 0 || maxExp <= minExp || maxExp > 62 {
+		panic(fmt.Sprintf("metrics: invalid histogram exponents [%d, %d]", minExp, maxExp))
+	}
+	h := &Histogram{
+		minExp:  minExp,
+		buckets: make([]atomic.Uint64, maxExp-minExp+2), // finite bounds + Inf
+	}
+	r.register(name, help, labels, h)
+	return h
+}
+
+// Observe records one value (typically nanoseconds). Negative values
+// clamp to zero. The hot path: one bits.Len64, two atomic adds.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	// bits.Len64(v) is the exponent of the smallest power of two > v
+	// (for v>0): v < 1<<Len64(v). Clamp into the bucket range.
+	idx := bits.Len64(uint64(v)) - h.minExp
+	if idx < 0 {
+		idx = 0
+	} else if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx].Add(1)
+	h.sum.Add(uint64(v))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+func (h *Histogram) typeName() string { return "histogram" }
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		var le string
+		if i == len(h.buckets)-1 {
+			le = `le="+Inf"`
+		} else {
+			le = fmt.Sprintf(`le="%d"`, uint64(1)<<(h.minExp+i))
+		}
+		l := le
+		if labels != "" {
+			l = labels + "," + le
+		}
+		writeSample(w, name+"_bucket", l, float64(cum))
+	}
+	writeSample(w, name+"_sum", labels, float64(h.sum.Load()))
+	writeSample(w, name+"_count", labels, float64(cum))
+}
+
+// writeSample renders one "name{labels} value" line.
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels != "" {
+		name = name + "{" + labels + "}"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		fmt.Fprintf(w, "%s %d\n", name, int64(v))
+		return
+	}
+	fmt.Fprintf(w, "%s %g\n", name, v)
+}

@@ -1,0 +1,96 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"easypap/internal/serve"
+	"easypap/internal/trace"
+)
+
+// testDoc builds a two-node trace: entry proxies to an owner that
+// queues and computes.
+func testDoc() *serve.TraceDoc {
+	spans := []trace.Span{
+		{TraceID: "t1", Job: "j-1", Node: "n-entry", Stage: serve.StageAdmit, Start: 0, End: 100_000},
+		{TraceID: "t1", Job: "j-1", Node: "n-entry", Stage: serve.StageProxy, Peer: "n-owner", Start: 10_000, End: 90_000},
+		{TraceID: "t1", Job: "j-1", Node: "n-owner", Stage: serve.StageAdmit, Start: 20_000, End: 80_000},
+		{TraceID: "t1", Job: "j-1", Node: "n-owner", Stage: serve.StageQueue, Start: 25_000, End: 40_000},
+		{TraceID: "t1", Job: "j-1", Node: "n-owner", Stage: serve.StageCompute, Start: 40_000, End: 78_000,
+			Err: "kernel exploded"},
+	}
+	return serve.BuildTraceDoc("t1", "n-owner.j-1", spans)
+}
+
+func TestClientTrace(t *testing.T) {
+	want := testDoc()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/trace/n-owner.j-1" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(want)
+	}))
+	defer srv.Close()
+
+	doc, err := New(srv.URL).Trace(context.Background(), "n-owner.j-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceID != "t1" || len(doc.Nodes) != 2 {
+		t.Fatalf("decoded doc %+v", doc)
+	}
+	if _, err := New(srv.URL).Trace(context.Background(), "j-404"); err == nil {
+		t.Fatal("unknown job did not error")
+	}
+}
+
+func TestMultiTraceFailover(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(testDoc())
+	}))
+	defer good.Close()
+
+	m := NewMulti(dead.URL, good.URL)
+	doc, err := m.Trace(context.Background(), "n-owner.j-1", m.clients[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceID != "t1" {
+		t.Fatalf("failover fetched %+v", doc)
+	}
+}
+
+func TestFormatTrace(t *testing.T) {
+	out := FormatTrace(testDoc())
+	for _, want := range []string{
+		"trace t1",
+		"job n-owner.j-1",
+		"n-entry, n-owner",
+		"proxy → n-owner",
+		"└ queue",
+		"!kernel exploded",
+		"38µs", // the compute span: 78_000 - 40_000 ns
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTrace output missing %q:\n%s", want, out)
+		}
+	}
+	// Containment: queue is indented under the owner's admit span.
+	if strings.Index(out, "admit") > strings.Index(out, "└ queue") {
+		t.Errorf("child rendered before any parent:\n%s", out)
+	}
+
+	empty := FormatTrace(&serve.TraceDoc{TraceID: "t2", Job: "j-9"})
+	if !strings.Contains(empty, "no spans") {
+		t.Errorf("empty doc rendering: %q", empty)
+	}
+}

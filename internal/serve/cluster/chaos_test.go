@@ -12,11 +12,13 @@ package cluster_test
 //     had not completed at kill time (zero once replication settled).
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -397,4 +399,96 @@ func (cc *chaosCluster) ownerOf(cfg core.Config) int {
 	}
 	cc.t.Fatalf("no node owns %v", cfg)
 	return -1
+}
+
+// TestChaosTracePropagationKillMidSweep is the trace-propagation
+// contract under faults: with a node killed mid-sweep, every job that
+// completes AND whose trace is still resolvable yields a non-empty,
+// connected span tree containing the stage that produced its result
+// (compute or a cache tier). Jobs whose trace state died with the
+// victim surface as a clean lookup error, never a broken tree.
+func TestChaosTracePropagationKillMidSweep(t *testing.T) {
+	const R = 2
+	cc := startChaosCluster(t, 3, R)
+	cfgs := sweepConfigs()
+
+	// Pass 1 populates the cluster so post-kill rounds exercise the
+	// cache/replica stages, not just compute.
+	seed := client.NewMulti(cc.urls...)
+	for _, cfg := range cfgs {
+		if _, err := seed.RunConfig(cfg); err != nil {
+			t.Fatalf("seed RunConfig: %v", err)
+		}
+	}
+
+	victim := cc.ownerOf(cfgs[0])
+	var verified, skipped atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	stopSweep := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := client.NewMulti(cc.urls...)
+			ctx := context.Background()
+			for round := 0; ; round++ {
+				select {
+				case <-stopSweep:
+					return
+				default:
+				}
+				cfg := cfgs[(w+round)%len(cfgs)]
+				st, cl, err := m.Submit(ctx, cfg, false)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d submit: %w", w, err)
+					return
+				}
+				if !st.State.Terminal() {
+					if st, err = m.Wait(ctx, st.ID, cl); err != nil || !st.State.Terminal() {
+						continue // job lost to the kill; the sweep moves on
+					}
+				}
+				if st.State != serve.JobDone {
+					continue
+				}
+				doc, err := m.Trace(ctx, st.ID, cl)
+				if err != nil {
+					// The trace state died with the victim (or the fetch hit
+					// the dying node): a clean error is the contract here.
+					skipped.Add(1)
+					continue
+				}
+				spans := flatSpans(doc.Spans)
+				if len(spans) == 0 {
+					errs <- fmt.Errorf("job %s: trace %s resolved but has no spans", st.ID, doc.TraceID)
+					continue
+				}
+				stages := stageCount(spans)
+				if stages[serve.StageCompute] == 0 && stages[serve.StageCacheMem] == 0 &&
+					stages[serve.StageCacheDisk] == 0 && stages[serve.StageReplicaFetch] == 0 {
+					errs <- fmt.Errorf("job %s: trace has no compute/cache span: %v", st.ID, stages)
+					continue
+				}
+				assertConnectedTrace(t, doc)
+				verified.Add(1)
+			}
+		}(w)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let the sweep get airborne
+	cc.kill(victim)
+	cc.waitConverged()
+	time.Sleep(300 * time.Millisecond)
+	close(stopSweep)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("trace propagation under chaos: %v", err)
+	}
+	if verified.Load() == 0 {
+		t.Fatal("no trace was verified across the kill")
+	}
+	t.Logf("verified %d span trees across the kill (%d skipped with the victim's state)",
+		verified.Load(), skipped.Load())
 }

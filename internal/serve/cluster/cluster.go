@@ -46,8 +46,8 @@ import (
 	"time"
 
 	"easypap/internal/core"
+	"easypap/internal/metrics"
 	"easypap/internal/serve"
-	"easypap/internal/serve/store"
 )
 
 // HopHeader marks a proxied request so the receiving node serves it
@@ -193,7 +193,14 @@ type Node struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	replq chan *store.Entry // write-behind replication queue (nil if R<=1)
+	replq chan replTask // write-behind replication queue (nil if R<=1)
+
+	// Stage histograms registered into the manager's metrics registry
+	// (obs.go): routing and membership latencies that only exist in
+	// cluster mode.
+	proxyHist     *metrics.Histogram
+	replicateHist *metrics.Histogram
+	gossipHist    *metrics.Histogram
 
 	// Counters surfaced in ClusterStats.
 	jobsOwned     atomic.Int64 // cluster submissions served by the local manager
@@ -231,12 +238,13 @@ func NewNode(mgr *serve.Manager, opts Options) (*Node, error) {
 		n.addMemberLocked(p)
 	}
 	n.rebuildRingLocked()
+	n.registerObs()
 	if opts.ProbeInterval > 0 {
 		n.wg.Add(1)
 		go n.probeLoop()
 	}
 	if opts.Replicate > 1 {
-		n.replq = make(chan *store.Entry, 256)
+		n.replq = make(chan replTask, 256)
 		mgr.SetSpillHook(n.enqueueReplication)
 		mgr.SetEntrySource(n.fetchEntry)
 		n.wg.Add(1)
@@ -566,11 +574,14 @@ type ClusterStats struct {
 	StatusProxied int64 `json:"status_proxied"` // status/cancel/frames forwarded by id prefix
 	Failovers     int64 `json:"failovers"`      // submissions re-routed past a dead replica
 
-	ReplicaPushed  int64 `json:"replica_pushed,omitempty"`  // entries pushed to successors
-	ReplicaDropped int64 `json:"replica_dropped,omitempty"` // pushes lost (queue full / unreachable)
-	ReplicaFetched int64 `json:"replica_fetched,omitempty"` // remote-hit fetches served to local misses
-	Rebalanced     int64 `json:"rebalanced,omitempty"`      // entries migrated after ring changes
-	RebalanceBytes int64 `json:"rebalance_bytes,omitempty"`
+	// Replication counters (no omitempty: a reported zero must be
+	// distinguishable from "replication disabled" — Replicate carries
+	// that bit).
+	ReplicaPushed  int64 `json:"replica_pushed"`  // entries pushed to successors
+	ReplicaDropped int64 `json:"replica_dropped"` // pushes lost (queue full / unreachable)
+	ReplicaFetched int64 `json:"replica_fetched"` // remote-hit fetches served to local misses
+	Rebalanced     int64 `json:"rebalanced"`      // entries migrated after ring changes
+	RebalanceBytes int64 `json:"rebalance_bytes"`
 }
 
 // NodeStats is the cluster-mode GET /v1/stats body: the single-node

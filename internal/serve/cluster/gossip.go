@@ -237,6 +237,12 @@ func (n *Node) setIncarnation(inc uint64) {
 // peer saw our suspicion in the request, refuted it, and its From row
 // in the response carries the overriding incarnation.
 func (n *Node) gossipWith(m *member) bool {
+	begin := time.Now()
+	defer func() {
+		if n.gossipHist != nil {
+			n.gossipHist.Observe(time.Since(begin).Nanoseconds())
+		}
+	}()
 	ctx, cancel := context.WithTimeout(context.Background(), n.opts.ProbeTimeout)
 	defer cancel()
 	body, err := json.Marshal(n.view())

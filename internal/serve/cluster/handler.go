@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"easypap/internal/core"
 	"easypap/internal/serve"
 	"easypap/internal/serve/store"
+	"easypap/internal/trace"
 )
 
 // Handler serves the cluster-mode /v1 API. It is a superset of the
@@ -24,6 +26,8 @@ import (
 //	GET    /v1/jobs/{id}/frames    frame stream — follows the id's node prefix
 //	GET    /v1/stats               local stats + cluster section
 //	GET    /v1/kernels             local kernel registry
+//	GET    /v1/trace/{id}          merged span tree (?scope=local: this node only)
+//	GET    /metrics                Prometheus exposition (manager + cluster series)
 //	GET    /v1/cluster             membership + health view
 //	GET    /v1/cluster/health      liveness probe
 //	POST   /v1/cluster/gossip      SWIM view exchange (the probe wire)
@@ -33,9 +37,13 @@ import (
 //	GET    /v1/cluster/entries     local durable entry hashes
 //	GET    /v1/cluster/entries/{hash}  one entry, EZSTORE1 wire form
 //	PUT    /v1/cluster/entries/{hash}  replicate an entry here
+//	GET    /v1/cluster/spans/{trace}   this node's flat spans for a trace id
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", n.handleSubmit)
+	mux.HandleFunc("GET /v1/trace/{id}", n.handleTrace)
+	mux.HandleFunc("GET /v1/cluster/spans/{trace}", n.handleSpans)
+	mux.Handle("GET /metrics", n.mgr.Metrics().Handler())
 	mux.HandleFunc("GET /v1/jobs/{id}", n.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", n.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/frames", n.handleFrames)
@@ -150,8 +158,16 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding submission: %w", err))
 		return
 	}
+	// The entry node mints the trace id (unless the client brought one);
+	// every hop, replica fetch, and recompute downstream carries it in
+	// the X-Easypap-Trace header, which is what makes GET /v1/trace able
+	// to stitch one tree out of many nodes' span rings.
+	traceID := r.Header.Get(serve.TraceHeader)
+	if traceID == "" {
+		traceID = trace.NewTraceID()
+	}
 	if r.Header.Get(HopHeader) != "" {
-		n.submitLocal(w, req)
+		n.submitLocal(w, req, traceID)
 		return
 	}
 	norm, _, key, err := RouteKey(req.Config, req.Frames)
@@ -168,13 +184,16 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, http.StatusInternalServerError, err)
 		return
 	}
+	r.Header.Set(serve.TraceHeader, traceID) // proxy() copies it downstream
 	var lastErr error
 	for _, m := range n.candidates(key) {
 		if m.self {
-			n.submitLocal(w, req)
+			n.submitLocal(w, req, traceID)
 			return
 		}
+		begin := time.Now()
 		ok, err := n.proxy(w, r, m, "/v1/jobs", fwd)
+		n.observeSpan(n.proxyHist, traceID, serve.StageProxy, m.id, begin, time.Now(), err)
 		if ok {
 			n.jobsProxied.Add(1)
 			return
@@ -189,8 +208,8 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // submitLocal admits the job on the local manager and namespaces its id.
-func (n *Node) submitLocal(w http.ResponseWriter, req serve.SubmitRequest) {
-	st, err := n.mgr.Submit(req.Config, req.Frames)
+func (n *Node) submitLocal(w http.ResponseWriter, req serve.SubmitRequest, traceID string) {
+	st, err := n.mgr.SubmitTraced(req.Config, req.Frames, traceID)
 	if err != nil {
 		serve.WriteSubmitError(w, err)
 		return
@@ -285,6 +304,9 @@ func (n *Node) proxy(w http.ResponseWriter, r *http.Request, m *member, path str
 	}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
+	}
+	if tid := r.Header.Get(serve.TraceHeader); tid != "" {
+		req.Header.Set(serve.TraceHeader, tid)
 	}
 	req.Header.Set(HopHeader, n.id)
 	resp, err := n.opts.HTTP.Do(req)

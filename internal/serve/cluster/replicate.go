@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"easypap/internal/core"
+	"easypap/internal/serve"
 	"easypap/internal/serve/store"
 )
 
@@ -37,12 +38,19 @@ import (
 // replTimeout bounds one entry transfer (push or fetch).
 const replTimeout = 2 * time.Second
 
+// replTask is one queued replication push; the trace id ties the push
+// spans into the originating job's distributed trace.
+type replTask struct {
+	e       *store.Entry
+	traceID string
+}
+
 // enqueueReplication is the manager's spill hook: called after an
 // entry hits the local disk. Never blocks the spiller — a full queue
 // drops the push (counted; the rebalancer heals the gap later).
-func (n *Node) enqueueReplication(e *store.Entry) {
+func (n *Node) enqueueReplication(e *store.Entry, traceID string) {
 	select {
-	case n.replq <- e:
+	case n.replq <- replTask{e: e, traceID: traceID}:
 	default:
 		n.replDropped.Add(1)
 	}
@@ -54,8 +62,8 @@ func (n *Node) replicateLoop() {
 		select {
 		case <-n.stop:
 			return
-		case e := <-n.replq:
-			n.pushEntry(e)
+		case t := <-n.replq:
+			n.pushEntry(t.e, t.traceID)
 		}
 	}
 }
@@ -76,19 +84,25 @@ func (n *Node) replicaTargets(hash string) []*member {
 
 // pushEntry sends e to every replica target. Counted per target; a
 // push to an unreachable peer is dropped (the rebalancer retries after
-// the ring reflects the death).
-func (n *Node) pushEntry(e *store.Entry) {
+// the ring reflects the death). Each push is a replicate span in the
+// originating job's trace, naming the receiving peer.
+func (n *Node) pushEntry(e *store.Entry, traceID string) {
 	var buf bytes.Buffer
 	if err := store.EncodeEntry(&buf, e); err != nil {
 		n.replDropped.Add(1)
 		return
 	}
 	for _, m := range n.replicaTargets(e.Hash) {
-		if n.putRemoteEntry(m, e.Hash, buf.Bytes()) {
+		begin := time.Now()
+		ok := n.putRemoteEntry(m, e.Hash, buf.Bytes(), traceID)
+		var spanErr error
+		if ok {
 			n.replPushed.Add(1)
 		} else {
 			n.replDropped.Add(1)
+			spanErr = fmt.Errorf("push to %s failed", m.id)
 		}
+		n.observeSpan(n.replicateHist, traceID, serve.StageReplicate, m.id, begin, time.Now(), spanErr)
 	}
 }
 
@@ -96,7 +110,7 @@ func (n *Node) pushEntry(e *store.Entry) {
 // decodes, CRC-checks, and re-derives the content hash before
 // admitting it (handler.go), so a corrupt transfer cannot poison a
 // remote cache.
-func (n *Node) putRemoteEntry(m *member, hash string, body []byte) bool {
+func (n *Node) putRemoteEntry(m *member, hash string, body []byte, traceID string) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), replTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, m.url+"/v1/cluster/entries/"+hash, bytes.NewReader(body))
@@ -104,6 +118,9 @@ func (n *Node) putRemoteEntry(m *member, hash string, body []byte) bool {
 		return false
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if traceID != "" {
+		req.Header.Set(serve.TraceHeader, traceID)
+	}
 	resp, err := n.opts.HTTP.Do(req)
 	if err != nil {
 		return false
@@ -118,30 +135,41 @@ func (n *Node) putRemoteEntry(m *member, hash string, body []byte) bool {
 // decodes (CRC + hash verified by store.DecodeEntry plus an explicit
 // key check). Returns nil when no replica has it — the manager then
 // computes, which is the correct fallback, so errors here are silent.
-func (n *Node) fetchEntry(hash string) *store.Entry {
+func (n *Node) fetchEntry(hash, traceID string) *store.Entry {
 	for _, m := range n.replicaTargets(hash) {
 		if m.state.Load() == stateDead {
 			continue
 		}
-		e := n.getRemoteEntry(m, hash)
+		begin := time.Now()
+		e := n.getRemoteEntry(m, hash, traceID)
+		var spanErr error
 		if e == nil {
-			continue
+			spanErr = fmt.Errorf("no entry on %s", m.id)
+		} else if e.Hash != hash {
+			spanErr = fmt.Errorf("entry from %s does not match key", m.id)
+			e = nil // content does not match the key it was fetched by
 		}
-		if e.Hash != hash {
-			continue // content does not match the key it was fetched by
+		// Per-peer attempt spans (no histogram: serve times the whole
+		// entry-source call as replica_fetch) name which replica answered
+		// — the failover chain is visible in the trace.
+		n.observeSpan(nil, traceID, serve.StageReplicaFetch, m.id, begin, time.Now(), spanErr)
+		if e != nil {
+			n.replFetched.Add(1)
+			return e
 		}
-		n.replFetched.Add(1)
-		return e
 	}
 	return nil
 }
 
-func (n *Node) getRemoteEntry(m *member, hash string) *store.Entry {
+func (n *Node) getRemoteEntry(m *member, hash, traceID string) *store.Entry {
 	ctx, cancel := context.WithTimeout(context.Background(), replTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url+"/v1/cluster/entries/"+hash, nil)
 	if err != nil {
 		return nil
+	}
+	if traceID != "" {
+		req.Header.Set(serve.TraceHeader, traceID)
 	}
 	resp, err := n.opts.HTTP.Do(req)
 	if err != nil {
@@ -278,7 +306,7 @@ func (n *Node) rebalance() {
 			if m.state.Load() == stateDead || !missing(m, hash) {
 				continue
 			}
-			if n.putRemoteEntry(m, hash, buf.Bytes()) {
+			if n.putRemoteEntry(m, hash, buf.Bytes(), "") {
 				n.rebalanced.Add(1)
 				n.rebalBytes.Add(int64(buf.Len()))
 				moved += int64(buf.Len())

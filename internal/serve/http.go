@@ -18,9 +18,15 @@ import (
 //	DELETE /v1/jobs/{id}      cancel
 //	GET    /v1/stats          queue depth, cache hits, per-kernel throughput
 //	GET    /v1/kernels        registered kernels and variants
+//	GET    /v1/trace/{id}     service-span tree of a job (see obs.go)
+//	GET    /metrics           Prometheus text exposition (internal/metrics)
 //
 // Errors are {"error": "..."} with 400 (bad config), 404 (unknown job),
 // 409 (no frame stream), 429 (queue full) or 503 (shutting down).
+//
+// Submissions may carry an X-Easypap-Trace header to join an existing
+// distributed trace; absent, the daemon mints a fresh trace id and
+// returns it in the job status.
 
 // SubmitRequest is the POST /v1/jobs body.
 type SubmitRequest struct {
@@ -43,7 +49,7 @@ func NewHandler(m *Manager) http.Handler {
 			WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding submission: %w", err))
 			return
 		}
-		st, err := m.Submit(req.Config, req.Frames)
+		st, err := m.SubmitTraced(req.Config, req.Frames, r.Header.Get(TraceHeader))
 		if err != nil {
 			WriteSubmitError(w, err)
 			return
@@ -107,8 +113,23 @@ func NewHandler(m *Manager) http.Handler {
 		WriteJSON(w, http.StatusOK, core.KernelList())
 	})
 
+	mux.HandleFunc("GET /v1/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		doc, err := m.Trace(r.PathValue("id"))
+		if err != nil {
+			WriteError(w, JobStatusCode(err), err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, doc)
+	})
+
+	mux.Handle("GET /metrics", m.Metrics().Handler())
+
 	return mux
 }
+
+// TraceHeader carries the distributed trace id across proxy hops,
+// replica fetches, and client submissions.
+const TraceHeader = "X-Easypap-Trace"
 
 // RetryAfterSeconds is the Retry-After value sent with every 429: the
 // queue is bounded and jobs are short, so "come back in a second" is

@@ -37,6 +37,7 @@ import (
 	"easypap/internal/img2d"
 	"easypap/internal/sched"
 	"easypap/internal/serve/store"
+	"easypap/internal/trace"
 )
 
 // Errors the HTTP layer maps to status codes.
@@ -169,6 +170,10 @@ type JobStatus struct {
 	Recovered bool   `json:"recovered,omitempty"`
 	Frames    bool   `json:"frames,omitempty"` // job streams frames
 	Hash      string `json:"hash"`             // canonical config hash (the cache key)
+	// TraceID correlates this job's service spans across every node it
+	// touched (GET /v1/trace/{id}); minted at submission or inherited
+	// from the X-Easypap-Trace header on proxied hops.
+	TraceID string `json:"trace_id,omitempty"`
 
 	Config core.Config  `json:"config"`           // normalized
 	Result *core.Result `json:"result,omitempty"` // present once done
@@ -196,9 +201,10 @@ type ActivityStatus struct {
 
 // job is the internal record.
 type job struct {
-	id     string
-	hash   string
-	cfg    core.Config // normalized, scrubbed
+	id      string
+	hash    string
+	traceID string      // correlates service spans across nodes
+	cfg     core.Config // normalized, scrubbed
 	frames *frameHub   // nil unless the submission requested frames
 	cancel context.CancelFunc
 	ctx    context.Context
@@ -225,7 +231,7 @@ func (j *job) snapshot() *JobStatus {
 	s := &JobStatus{
 		ID: j.id, State: j.state, Cached: j.cached, DiskHit: j.diskHit,
 		RemoteHit: j.remoteHit, Recovered: j.recovered, Frames: j.frames != nil,
-		Hash: j.hash, Config: j.cfg, Result: j.result, Error: j.errMsg,
+		Hash: j.hash, TraceID: j.traceID, Config: j.cfg, Result: j.result, Error: j.errMsg,
 		Activity: j.activity, SubmittedAt: j.submitted,
 	}
 	if !j.started.IsZero() {
@@ -276,9 +282,16 @@ type Manager struct {
 	// replication is on: spillHook observes every durably spilled entry
 	// (the replication push point), entrySource is the last cache tier —
 	// consulted after memory and disk both miss, before a recompute
-	// (the cluster layer fetches from ring replicas there).
-	spillHook   atomic.Pointer[func(*store.Entry)]
-	entrySource atomic.Pointer[func(hash string) *store.Entry]
+	// (the cluster layer fetches from ring replicas there). Both carry
+	// the trace id so replication pushes and replica fetches land in the
+	// originating job's span tree.
+	spillHook   atomic.Pointer[func(*store.Entry, string)]
+	entrySource atomic.Pointer[func(hash, traceID string) *store.Entry]
+
+	// Observability: the metrics registry + stage histograms behind
+	// GET /metrics, and the service-span ring behind GET /v1/trace.
+	obs      *managerObs
+	nodeName atomic.Value // string; span node label (cluster node id)
 
 	nextID      atomic.Int64
 	running     atomic.Int64
@@ -313,6 +326,7 @@ func NewManager(opts Options) *Manager {
 		pools:   newPoolSet(opts.MaxIdlePools),
 		kernels: make(map[string]*kernelStats),
 	}
+	m.obs = newManagerObs(m)
 	m.baseCtx, m.stopAll = context.WithCancel(context.Background())
 	if opts.Store != nil {
 		m.store = opts.Store
@@ -330,9 +344,11 @@ func NewManager(opts Options) *Manager {
 
 // spillReq is one completed result on its way to the disk tier.
 type spillReq struct {
-	hash   string
-	result core.Result
-	final  *img2d.Image
+	hash    string
+	job     string
+	traceID string
+	result  core.Result
+	final   *img2d.Image
 }
 
 // spiller is the write-behind worker of the disk tier: it encodes the
@@ -343,6 +359,7 @@ type spillReq struct {
 func (m *Manager) spiller() {
 	defer m.spillWg.Done()
 	for req := range m.spill {
+		begin := time.Now()
 		e := &store.Entry{Hash: req.hash, Result: req.result}
 		if req.final != nil {
 			var buf bytes.Buffer
@@ -350,7 +367,9 @@ func (m *Manager) spiller() {
 				e.Frames = buf.Bytes()
 			}
 		}
-		if err := m.store.Cache.Put(e); err != nil {
+		err := m.store.Cache.Put(e)
+		m.span(m.obs.spill, req.traceID, req.job, StageSpill, begin, time.Now(), err)
+		if err != nil {
 			m.spillErrs.Add(1)
 			continue
 		}
@@ -358,16 +377,18 @@ func (m *Manager) spiller() {
 		if hook := m.spillHook.Load(); hook != nil {
 			// Replication rides the spill: the entry is durable locally,
 			// now the cluster layer pushes it to the ring successors.
-			(*hook)(e)
+			(*hook)(e, req.traceID)
 		}
 	}
 }
 
 // SetSpillHook registers a function invoked with every entry after it
 // is durably written to the disk tier — the cluster layer's replication
-// push point. Must be set before the hooked behavior is relied on;
-// safe to set concurrently with running jobs.
-func (m *Manager) SetSpillHook(f func(*store.Entry)) {
+// push point. The second argument is the trace id of the job whose
+// completion triggered the spill, so replication pushes join its span
+// tree. Must be set before the hooked behavior is relied on; safe to
+// set concurrently with running jobs.
+func (m *Manager) SetSpillHook(f func(*store.Entry, string)) {
 	if f == nil {
 		m.spillHook.Store(nil)
 		return
@@ -380,8 +401,9 @@ func (m *Manager) SetSpillHook(f func(*store.Entry)) {
 // is queued for recompute. A non-nil return is adopted (promoted to the
 // local tiers) and served as a cached result. The cluster layer uses
 // this to read through to ring replicas, so an entry whose owner died
-// is a remote fetch, not a recompute.
-func (m *Manager) SetEntrySource(f func(hash string) *store.Entry) {
+// is a remote fetch, not a recompute. traceID is the fetching job's
+// trace id, propagated to the replica via X-Easypap-Trace.
+func (m *Manager) SetEntrySource(f func(hash, traceID string) *store.Entry) {
 	if f == nil {
 		m.entrySource.Store(nil)
 		return
@@ -407,6 +429,7 @@ func (m *Manager) recoverJournal() {
 		j := &job{
 			id:        rec.ID,
 			hash:      rec.Hash,
+			traceID:   trace.NewTraceID(), // pre-crash spans did not survive
 			cfg:       rec.Config,
 			state:     JobQueued,
 			recovered: true,
@@ -486,21 +509,37 @@ func NormalizeSubmission(cfg core.Config, wantFrames bool) (core.Config, string,
 // the live stream, and display-mode timing must not pollute cached
 // performance results.
 func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
+	return m.SubmitTraced(cfg, wantFrames, "")
+}
+
+// SubmitTraced is Submit with an inherited trace id — the entry point
+// for proxied cluster hops, where the entry node already minted the id
+// and forwarded it via X-Easypap-Trace. An empty traceID mints a fresh
+// one, so every job carries exactly one id for its whole cluster life.
+func (m *Manager) SubmitTraced(cfg core.Config, wantFrames bool, traceID string) (*JobStatus, error) {
+	admitStart := time.Now()
 	cfg, hash, err := NormalizeSubmission(cfg, wantFrames)
 	if err != nil {
 		return nil, err
 	}
+	if traceID == "" {
+		traceID = trace.NewTraceID()
+	}
 
 	j := &job{
 		hash:      hash,
+		traceID:   traceID,
 		cfg:       cfg,
 		state:     JobQueued,
-		submitted: time.Now(),
+		submitted: admitStart,
 		done:      make(chan struct{}),
 	}
 	if wantFrames {
 		j.frames = newFrameHub()
 	}
+	// The admit span closes on every exit path: cache-answered, rejected,
+	// or enqueued. Its histogram is the admission-wait distribution.
+	defer func() { m.span(m.obs.admit, traceID, j.id, StageAdmit, admitStart, time.Now(), nil) }()
 
 	m.mu.Lock()
 	if m.closed {
@@ -510,9 +549,14 @@ func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
 	j.id = fmt.Sprintf("j-%06d", m.nextID.Add(1))
 
 	if !wantFrames {
-		if r, ok := m.cache.get(hash); ok {
+		lookup := time.Now()
+		r, ok := m.cache.get(hash)
+		m.obs.cacheMem.Observe(time.Since(lookup).Nanoseconds())
+		if ok {
 			m.finishCachedLocked(j, r, tierMemory)
 			m.mu.Unlock()
+			// Histogram already observed above; record the span only.
+			m.span(nil, traceID, j.id, StageCacheMem, lookup, time.Now(), nil)
 			return j.snapshot(), nil
 		}
 	}
@@ -523,7 +567,10 @@ func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
 	// per hash inside the store, so a herd of identical submissions
 	// costs one read.
 	if !wantFrames && m.store != nil {
-		if ent, ok := m.store.Cache.Get(hash); ok {
+		lookup := time.Now()
+		ent, ok := m.store.Cache.Get(hash)
+		m.span(m.obs.cacheDisk, traceID, j.id, StageCacheDisk, lookup, time.Now(), nil)
+		if ok {
 			m.diskHits.Add(1)
 			m.cache.put(hash, ent.Result) // promote to the memory tier
 			return m.finishCached(j, ent.Result, tierDisk)
@@ -537,7 +584,10 @@ func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
 	// answering for the hash, so it should own a copy from now on.
 	if !wantFrames {
 		if src := m.entrySource.Load(); src != nil {
-			if ent := (*src)(hash); ent != nil && ent.Hash == hash {
+			fetch := time.Now()
+			ent := (*src)(hash, traceID)
+			m.span(m.obs.replicaFetch, traceID, j.id, StageReplicaFetch, fetch, time.Now(), nil)
+			if ent != nil && ent.Hash == hash {
 				m.remoteHits.Add(1)
 				m.cache.put(hash, ent.Result)
 				if m.store != nil {
@@ -659,6 +709,9 @@ func (m *Manager) runJob(j *job) {
 	j.started = time.Now()
 	j.mu.Unlock()
 
+	// Queue wait: admission → a runner picked the job up.
+	m.span(m.obs.queue, j.traceID, j.id, StageQueue, j.submitted, j.started, nil)
+
 	m.running.Add(1)
 	defer m.running.Add(-1)
 
@@ -676,7 +729,9 @@ func (m *Manager) runJob(j *job) {
 	if j.cfg.MPIRanks <= 1 {
 		// Distributed jobs own one private pool per rank inside core; only
 		// single-process jobs can lease a warm pool.
+		leaseStart := time.Now()
 		leased = m.pools.lease(j.cfg.Threads)
+		m.span(m.obs.lease, j.traceID, j.id, StageLease, leaseStart, time.Now(), nil)
 		opts.Pool = leased
 	}
 	var sink *gfx.StreamSink
@@ -685,7 +740,9 @@ func (m *Manager) runJob(j *job) {
 		opts.Sink = sink
 	}
 
+	computeStart := time.Now()
 	out, err := core.RunWith(j.ctx, j.cfg, opts)
+	m.span(m.obs.compute, j.traceID, j.id, StageCompute, computeStart, time.Now(), err)
 
 	if leased != nil {
 		m.pools.release(leased)
@@ -727,7 +784,7 @@ func (m *Manager) finish(j *job, out *core.RunOutput, err error) {
 				// queue is safe — the entry is merely not durable yet and a
 				// resubmission would recompute it.
 				select {
-				case m.spill <- spillReq{hash: j.hash, result: out.Result, final: out.Final}:
+				case m.spill <- spillReq{hash: j.hash, job: j.id, traceID: j.traceID, result: out.Result, final: out.Final}:
 				default:
 					m.spillDrops.Add(1)
 				}
@@ -898,19 +955,22 @@ type Stats struct {
 	// --data-dir). DiskHits/DiskMisses count second-tier lookups after a
 	// memory miss; Spills counts results written behind to disk;
 	// DiskCorrupt counts entries rejected by CRC and dropped.
+	// Counters never carry omitempty: a client must be able to tell a
+	// true zero ("no spill has ever failed") from a field the daemon
+	// did not report. TestStatsCountersAlwaysPresent pins this.
 	DiskHits   int64 `json:"disk_hits"`
 	DiskMisses int64 `json:"disk_misses"`
 	// RemoteHits counts submissions answered by a replica fetch after
 	// both local tiers missed (cluster mode with replication).
-	RemoteHits int64 `json:"remote_hits,omitempty"`
+	RemoteHits      int64 `json:"remote_hits"`
 	Spills          int64 `json:"spills"`
-	SpillErrors     int64 `json:"spill_errors,omitempty"`
-	SpillDropped    int64 `json:"spill_dropped,omitempty"`
+	SpillErrors     int64 `json:"spill_errors"`
+	SpillDropped    int64 `json:"spill_dropped"`
 	DiskEntries     int   `json:"disk_entries"`
 	DiskBytes       int64 `json:"disk_bytes"`
-	DiskCorrupt     int64 `json:"disk_corrupt,omitempty"`
-	RecoveredJobs   int64 `json:"recovered_jobs,omitempty"`
-	InterruptedJobs int64 `json:"interrupted_jobs,omitempty"`
+	DiskCorrupt     int64 `json:"disk_corrupt"`
+	RecoveredJobs   int64 `json:"recovered_jobs"`
+	InterruptedJobs int64 `json:"interrupted_jobs"`
 
 	PoolWarmLeases int64 `json:"pool_warm_leases"`
 	PoolColdLeases int64 `json:"pool_cold_leases"`
@@ -929,9 +989,10 @@ type KernelThroughput struct {
 
 	// TilesDispatched/TilesSkipped aggregate lazy-variant frontiers: how
 	// many tiles sparse dispatch actually computed vs. how many the
-	// tile-activity engine proved skippable (both 0 for eager-only load).
-	TilesDispatched int64 `json:"tiles_dispatched,omitempty"`
-	TilesSkipped    int64 `json:"tiles_skipped,omitempty"`
+	// tile-activity engine proved skippable (both 0 for eager-only load;
+	// no omitempty — zero must be reported as zero).
+	TilesDispatched int64 `json:"tiles_dispatched"`
+	TilesSkipped    int64 `json:"tiles_skipped"`
 }
 
 // Stats returns a consistent snapshot of the service counters.

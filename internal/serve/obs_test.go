@@ -1,0 +1,236 @@
+package serve_test
+
+// Observability acceptance at the single-node tier: the span tree behind
+// GET /v1/trace/{job}, the Prometheus exposition behind GET /metrics
+// (inventory pinned by a golden file), and the JSON-stats contract that
+// zero-valued counters stay present (dashboards key on them).
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"easypap/internal/serve"
+	"easypap/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// flattenSpans walks a TraceDoc's nested spans into a flat list.
+func flattenSpans(nodes []*trace.SpanNode) []trace.Span {
+	var out []trace.Span
+	var walk func(n *trace.SpanNode)
+	walk = func(n *trace.SpanNode) {
+		out = append(out, n.Span)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, n := range nodes {
+		walk(n)
+	}
+	return out
+}
+
+func stagesOf(spans []trace.Span) map[string]int {
+	m := make(map[string]int)
+	for _, s := range spans {
+		m[s.Stage]++
+	}
+	return m
+}
+
+// TestTraceSingleNode: a computed job yields a span tree with the
+// admit/queue/compute stages, all on the "local" node, sharing the
+// trace id the job status reported.
+func TestTraceSingleNode(t *testing.T) {
+	_, cl := newTestService(t, serve.Options{Workers: 1, QueueDepth: 8})
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, mandelCfg(2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID == "" {
+		t.Fatal("job status carries no trace id")
+	}
+	if st, err = cl.Wait(ctx, st.ID); err != nil || st.State != serve.JobDone {
+		t.Fatalf("job ended state=%v err=%v", st.State, err)
+	}
+
+	doc, err := cl.Trace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceID != st.TraceID {
+		t.Fatalf("trace id mismatch: doc %s vs status %s", doc.TraceID, st.TraceID)
+	}
+	if len(doc.Nodes) != 1 || doc.Nodes[0] != "local" {
+		t.Fatalf("nodes = %v, want [local]", doc.Nodes)
+	}
+	spans := flattenSpans(doc.Spans)
+	stages := stagesOf(spans)
+	for _, want := range []string{serve.StageAdmit, serve.StageQueue, serve.StageCompute} {
+		if stages[want] == 0 {
+			t.Errorf("no %s span in %v", want, stages)
+		}
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Errorf("span %s ends before it starts: %+v", s.Stage, s)
+		}
+		if s.TraceID != doc.TraceID {
+			t.Errorf("span %s has foreign trace id %s", s.Stage, s.TraceID)
+		}
+	}
+
+	// A cache-served resubmission joins a NEW trace (it is a new request)
+	// but still resolves to a span tree.
+	st2, err := cl.Submit(ctx, mandelCfg(2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || st2.TraceID == st.TraceID {
+		t.Fatalf("resubmission cached=%v trace=%s (first %s)", st2.Cached, st2.TraceID, st.TraceID)
+	}
+	doc2, err := cl.Trace(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stagesOf(flattenSpans(doc2.Spans))[serve.StageAdmit] == 0 {
+		t.Errorf("cache-served trace has no admit span: %v", stagesOf(flattenSpans(doc2.Spans)))
+	}
+
+	// Unknown job ids 404.
+	if _, err := cl.Trace(ctx, "j-999999"); err == nil {
+		t.Error("trace of unknown job did not error")
+	}
+}
+
+// TestMetricsEndpoint: GET /metrics serves the Prometheus text format,
+// the job counters track the stats atomics, and the compute stage
+// histogram saw the run.
+func TestMetricsEndpoint(t *testing.T) {
+	_, cl := newTestService(t, serve.Options{Workers: 1, QueueDepth: 8})
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, mandelCfg(2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = cl.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(cl.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics returned %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"easypapd_jobs_submitted_total 1",
+		"easypapd_jobs_completed_total 1",
+		`easypapd_cache_hits_total{tier="memory"} 0`,
+		`easypapd_stage_ns_count{stage="compute"} 1`,
+		`easypapd_stage_ns_bucket{stage="compute",le="+Inf"} 1`,
+		"easypapd_queue_capacity 8",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// scrubValues replaces every sample value with "V" so the golden file
+// pins the series inventory — names, types, help, label sets, bucket
+// bounds — without depending on timings or counts.
+func scrubValues(text string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			b.WriteString(line)
+		} else if i := strings.LastIndexByte(line, ' '); i >= 0 {
+			b.WriteString(line[:i+1] + "V")
+		} else {
+			b.WriteString(line)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestMetricsGolden pins the /metrics exposition of a fresh manager
+// against testdata/metrics.golden. Run with -update to rewrite it after
+// an intentional metrics change.
+func TestMetricsGolden(t *testing.T) {
+	_, cl := newTestService(t, serve.Options{Workers: 1, QueueDepth: 8})
+	resp, err := http.Get(cl.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scrubValues(string(body))
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metrics exposition drifted from %s (run with -update if intentional)\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestStatsCountersAlwaysPresent pins the /v1/stats JSON contract:
+// counters serialize even at zero, so dashboards and scrapers can key
+// on them from the first scrape (no omitempty on counters).
+func TestStatsCountersAlwaysPresent(t *testing.T) {
+	raw, err := json.Marshal(serve.Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"remote_hits":0`, `"spills":0`, `"spill_errors":0`, `"spill_dropped":0`,
+		`"disk_corrupt":0`, `"recovered_jobs":0`, `"interrupted_jobs":0`,
+		`"disk_hits":0`, `"disk_misses":0`,
+	} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("zero-valued Stats is missing %s: %s", key, raw)
+		}
+	}
+	raw, err = json.Marshal(serve.KernelThroughput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"tiles_dispatched":0`, `"tiles_skipped":0`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("zero-valued KernelThroughput is missing %s: %s", key, raw)
+		}
+	}
+}

@@ -27,6 +27,11 @@ const (
 	KindTask
 	// KindOther is any other instrumented span (e.g. ghost-cell exchange).
 	KindOther
+	// KindService is a service-tier span (admit, queue, compute, proxy,
+	// replicate, ...) recorded by easypapd rather than a kernel. Service
+	// spans live in a SpanRing (see span.go) and use wall-clock unix
+	// timestamps so spans from different nodes merge on one axis.
+	KindService
 )
 
 // String returns a short name for the kind.
@@ -38,6 +43,8 @@ func (k EventKind) String() string {
 		return "task"
 	case KindOther:
 		return "other"
+	case KindService:
+		return "service"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
