@@ -44,6 +44,25 @@
 //	easypapd -addr :8081 -self http://hostD:8081 \
 //	         -join http://hostA:8080 -data-dir /var/lib/easypapd -replicate 2
 //
+// Distributed single-job execution (DESIGN.md §12): in cluster mode a
+// submission may carry "shards": N. The entry node routes it to its ring
+// owner as usual; the owner becomes the session coordinator and splits
+// the grid into N horizontal row bands (clamped to the healthy member
+// count and the grid's tile rows), one per node, itself included as rank
+// 0. Each shard runs the kernel's mpi variant locally while a
+// frontier-aware halo exchange POSTs boundary rows between neighbor
+// nodes once per iteration (binary EZMSG1 frames with CRC; bit-packed
+// for binary-state kernels like life; edges whose boundary tiles are
+// quiet are skipped entirely). The coordinator stitches the shard bands
+// into one image, so a sharded run is byte-identical to a single-node
+// run and caches under the same config hash. A shard node dying mid-job
+// fails the job within -halo-timeout with error_kind "shard_failed";
+// clients (serve/client RunConfigSharded) resubmit unsharded.
+//
+//	curl -s -X POST hostA:8080/v1/jobs -d '{"config":{"kernel":"life",
+//	     "variant":"mpi_omp","dim":512,"iterations":100},"shards":3}'
+//	curl -s hostA:8080/metrics | grep -e halos_sent -e halos_skipped
+//
 // With -data-dir the daemon is durable (DESIGN.md §9): completed
 // results spill to a disk-backed content-addressed cache that survives
 // restarts (resubmitting a known config after a crash is a disk hit,
@@ -112,6 +131,7 @@ func run(args []string) error {
 		idlePools = fs.Int("idle-pools", 4, "warm pools kept per thread count")
 		coldPools = fs.Bool("cold-pools", false, "disable warm-pool reuse (every job builds its own pool)")
 		recvTO    = fs.Duration("mpi-recv-timeout", 2*time.Second, "MPI receive watchdog for distributed jobs")
+		haloTO    = fs.Duration("halo-timeout", 2*time.Second, "sharded jobs: how long a shard waits for a neighbor's halo before declaring the peer lost")
 		self      = fs.String("self", "", "cluster mode: this node's advertised base URL (e.g. http://10.0.0.3:8080)")
 		peers     = fs.String("peers", "", "cluster mode: comma-separated peer base URLs")
 		join      = fs.String("join", "", "cluster mode: comma-separated seed URLs of any live members; gossip spreads the join to the whole fleet")
@@ -166,6 +186,7 @@ func run(args []string) error {
 		MaxIdlePools:     *idlePools,
 		DisableWarmPools: *coldPools,
 		RecvTimeout:      *recvTO,
+		HaloTimeout:      *haloTO,
 		Store:            st,
 		Recover:          recoverPolicy,
 	})

@@ -55,6 +55,31 @@
 // submits each config straight to its owner; as an expt.Runner it fans
 // a sweep across the whole cluster and survives nodes dying mid-sweep.
 //
+// # Distributed single-job execution
+//
+// A single submission can also be split ACROSS the cluster (DESIGN.md
+// §12): adding "shards": N to the submit body makes the owning node the
+// coordinator of a row-band decomposition — the grid is cut into N
+// horizontal bands (one ghost row each side), one band per healthy
+// peer, each running the kernel's mpi_omp variant locally while
+// per-iteration halo steps POST boundary rows to band neighbours over
+// persistent HTTP connections (EZMSG1 frames, CRC-32C). The exchange is
+// frontier-aware — a shard whose boundary tiles are inactive skips the
+// round trip entirely, and life ships bit-packed rows (~8x smaller) —
+// and the result is byte-identical to the unsharded run, cached under
+// the same canonical config hash:
+//
+//	curl -s -X POST hostA:8080/v1/jobs -d '{"config":{"kernel":"life",
+//	     "variant":"mpi_omp","dim":512,"tile_h":8,"iterations":100,
+//	     "arg":"random"},"shards":3}'
+//	curl -s hostA:8080/metrics | grep -e halos_sent -e halos_skipped
+//
+// The shard count is advisory (clamped to healthy peers and band rows;
+// never part of the cache key). If a shard node dies mid-job the
+// coordinator fails the job within the halo timeout with
+// error_kind="shard_failed"; client.RunConfigSharded resubmits such
+// failures unsharded automatically.
+//
 // # Durability
 //
 // With -data-dir, a daemon survives its own death (internal/serve/store,

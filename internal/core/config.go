@@ -193,6 +193,20 @@ type Result struct {
 	// curve. Under MPI the per-rank band series are summed into whole-grid
 	// counts (ranks iterate in lockstep).
 	Activity []IterActivity `json:"activity,omitempty"`
+
+	// Halo counters of distributed runs, summed across ranks: boundary
+	// messages actually sent, quiet edges the frontier-skip rule elided,
+	// and boundary payload bytes. Zero for local runs. Counters carry no
+	// omitempty so a zero is visible as a zero.
+	HalosSent    int64 `json:"halos_sent"`
+	HalosSkipped int64 `json:"halos_skipped"`
+	HaloBytes    int64 `json:"halo_bytes"`
+
+	// Checksum is the hex SHA-256 of the final image's pixels — a cheap
+	// byte-identity probe letting clients assert that two runs of a
+	// config (e.g. sharded vs single-node) produced the same picture
+	// without streaming frames. Empty on non-master ranks.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // String renders the performance-mode report line, e.g.

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"easypap/internal/img2d"
 	"easypap/internal/monitor"
@@ -37,6 +38,11 @@ type Ctx struct {
 
 	activity   []IterActivity     // per-iteration frontier sizes (lazy kernels)
 	onActivity func(IterActivity) // live observer (RunOptions.OnActivity)
+
+	halosSent    int64                                             // boundary messages this rank sent
+	halosSkipped int64                                             // quiet edges this rank skipped
+	haloBytes    int64                                             // boundary payload bytes sent
+	onHalo       func(sent, skipped, bytes int64, d time.Duration) // live observer (RunOptions.OnHalo)
 }
 
 // IterActivity is one iteration's tile-frontier size, as reported by lazy
@@ -136,6 +142,22 @@ func (ctx *Ctx) ReportActivity(active, total int, tiles []int32) {
 // Activity returns the per-iteration frontier series reported so far (nil
 // for kernels that never report).
 func (ctx *Ctx) Activity() []IterActivity { return ctx.activity }
+
+// ReportHalo records one boundary-exchange round of a distributed kernel:
+// how many halo messages this rank sent, how many quiet edges the
+// frontier-skip rule elided, the payload bytes shipped, and the wall time
+// the protocol took. Totals land in Result.HalosSent/HalosSkipped and the
+// live observer (RunOptions.OnHalo) feeds a serving shard's per-node
+// counters and stage histograms. mpi.Halo calls it once per exchange when
+// wired as its OnStep observer.
+func (ctx *Ctx) ReportHalo(sent, skipped, bytes int64, d time.Duration) {
+	ctx.halosSent += sent
+	ctx.halosSkipped += skipped
+	ctx.haloBytes += bytes
+	if ctx.onHalo != nil {
+		ctx.onHalo(sent, skipped, bytes, d)
+	}
+}
 
 // AddWork accumulates per-task performance-counter units into the
 // worker's open tile/task span (no-op without an active tracer). Kernels

@@ -2,6 +2,9 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"time"
@@ -74,6 +77,22 @@ type RunOptions struct {
 	// frontier size in its status JSON. Called from the computing
 	// goroutine (rank 0 only under MPI); keep it cheap and do not block.
 	OnActivity func(IterActivity)
+
+	// Comm, when non-nil, runs exactly one rank of an externally built
+	// communicator group instead of spawning an in-process world: this is
+	// how a cluster shard executes its band of a distributed job (the
+	// other ranks live on other nodes, behind an mpi.NetWorld). The
+	// variant must be MPI-aware; Config.MPIRanks is ignored. Rank 0 is
+	// the master (it produces the final image); a leased Pool is allowed
+	// because only this one rank runs here.
+	Comm *mpi.Comm
+
+	// OnHalo, when non-nil, observes every boundary exchange a
+	// distributed kernel reports (sent/skipped/bytes deltas plus the
+	// exchange's wall time), live, from the computing goroutine of every
+	// local rank. A serving shard wires its per-node halo counters and
+	// stage histogram here.
+	OnHalo func(sent, skipped, bytes int64, d time.Duration)
 }
 
 // RunWith is RunContext with explicit execution options.
@@ -98,6 +117,16 @@ func RunWith(ctx context.Context, cfg Config, opts RunOptions) (*RunOutput, erro
 		sink = s
 	}
 
+	if opts.Comm != nil {
+		// One rank of an external (distributed) world: the caller owns the
+		// world's lifecycle and failure handling; this process only
+		// computes its band.
+		out := &RunOutput{}
+		if err := runRank(ctx, cfg, k, compute, sink, opts.Pool, opts.Sink != nil, opts.OnActivity, opts.OnHalo, opts.Comm, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	if cfg.MPIRanks > 1 {
 		if opts.Pool != nil {
 			return nil, fmt.Errorf("core: a leased pool cannot serve %d MPI ranks (each rank owns a private pool)", cfg.MPIRanks)
@@ -105,7 +134,7 @@ func RunWith(ctx context.Context, cfg Config, opts RunOptions) (*RunOutput, erro
 		return runMPI(ctx, cfg, k, compute, sink, opts)
 	}
 	out := &RunOutput{}
-	if err := runRank(ctx, cfg, k, compute, sink, opts.Pool, opts.Sink != nil, opts.OnActivity, nil, out); err != nil {
+	if err := runRank(ctx, cfg, k, compute, sink, opts.Pool, opts.Sink != nil, opts.OnActivity, opts.OnHalo, nil, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -130,14 +159,16 @@ func runMPI(ctx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sin
 	perRankTraces := make([]*trace.Trace, cfg.MPIRanks)
 	perRankActivity := make([][]IterActivity, cfg.MPIRanks)
 
+	perRankHalos := make([][3]int64, cfg.MPIRanks)
 	err := mpi.RunContext(ctx, cfg.MPIRanks, mpi.Config{RecvTimeout: opts.RecvTimeout}, func(comm *mpi.Comm) error {
 		rankOut := &RunOutput{}
-		if err := runRank(ctx, cfg, k, compute, lockedSink, nil, opts.Sink != nil, opts.OnActivity, comm, rankOut); err != nil {
+		if err := runRank(ctx, cfg, k, compute, lockedSink, nil, opts.Sink != nil, opts.OnActivity, opts.OnHalo, comm, rankOut); err != nil {
 			return err
 		}
 		out.Monitors[comm.Rank()] = rankMonitor(rankOut)
 		perRankTraces[comm.Rank()] = rankOut.Trace
 		perRankActivity[comm.Rank()] = rankOut.Result.Activity
+		perRankHalos[comm.Rank()] = [3]int64{rankOut.Result.HalosSent, rankOut.Result.HalosSkipped, rankOut.Result.HaloBytes}
 		if comm.Rank() == 0 {
 			out.Result = rankOut.Result
 			out.Final = rankOut.Final
@@ -149,6 +180,12 @@ func runMPI(ctx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sin
 	}
 	out.Trace = mergeTraces(perRankTraces)
 	out.Result.Activity = mergeActivity(perRankActivity)
+	out.Result.HalosSent, out.Result.HalosSkipped, out.Result.HaloBytes = 0, 0, 0
+	for _, h := range perRankHalos {
+		out.Result.HalosSent += h[0]
+		out.Result.HalosSkipped += h[1]
+		out.Result.HaloBytes += h[2]
+	}
 	if !monitorsPresent(out.Monitors) {
 		out.Monitors = nil
 	}
@@ -227,7 +264,7 @@ func (s *lockedSink) Close() error { return nil } // owner closes the inner sink
 // runRank executes the kernel on one rank (or locally when comm is nil)
 // and fills out. A non-nil pool is a lease: the caller owns its lifecycle
 // and runRank only borrows it for the duration of the run.
-func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, pool *sched.Pool, forceDisplay bool, onActivity func(IterActivity), comm *mpi.Comm, out *RunOutput) error {
+func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, pool *sched.Pool, forceDisplay bool, onActivity func(IterActivity), onHalo func(int64, int64, int64, time.Duration), comm *mpi.Comm, out *RunOutput) error {
 	if pool == nil {
 		pool = sched.NewPool(cfg.Threads)
 		defer pool.Close()
@@ -252,9 +289,14 @@ func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, 
 	if comm == nil || comm.Rank() == 0 {
 		ctx.onActivity = onActivity
 	}
+	ctx.onHalo = onHalo
 	if comm != nil {
 		rank = comm.Rank()
-		ctx.Band = mpi.BandFor(cfg.Dim, comm.Size(), rank)
+		// Tile-aligned bands: every band boundary falls on a tile-row
+		// boundary, so the frontier's Restrict covers each band exactly and
+		// rank counts that do not divide the row count still work (the tile
+		// rows split unevenly instead of the pixel rows splitting off-tile).
+		ctx.Band = mpi.BandForTiles(cfg.Dim, cfg.TileH, comm.Size(), rank)
 	} else {
 		ctx.Band = mpi.Band{Lo: 0, Hi: cfg.Dim, Dim: cfg.Dim}
 	}
@@ -321,9 +363,11 @@ func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, 
 		k.Refresh(ctx)
 	}
 
-	out.Result = Result{Config: cfg, WallTime: wall, Iterations: total, Activity: ctx.activity}
+	out.Result = Result{Config: cfg, WallTime: wall, Iterations: total, Activity: ctx.activity,
+		HalosSent: ctx.halosSent, HalosSkipped: ctx.halosSkipped, HaloBytes: ctx.haloBytes}
 	if ctx.IsMaster() {
 		out.Final = ctx.Cur().Clone()
+		out.Result.Checksum = imageChecksum(out.Final)
 	}
 	if ctx.mon != nil {
 		out.Monitors = []*monitor.Monitor{ctx.mon}
@@ -340,6 +384,18 @@ func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, 
 		}
 	}
 	return nil
+}
+
+// imageChecksum computes the hex SHA-256 of an image's pixels
+// (little-endian), the Result.Checksum byte-identity probe.
+func imageChecksum(im *img2d.Image) string {
+	h := sha256.New()
+	var buf [4]byte
+	for _, p := range im.Pixels() {
+		binary.LittleEndian.PutUint32(buf[:], p)
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // refreshDisplay pushes the main window frame (master only) plus the

@@ -18,9 +18,11 @@ package kernels
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"easypap/internal/core"
 	"easypap/internal/img2d"
+	"easypap/internal/mpi"
 	"easypap/internal/tilegrid"
 )
 
@@ -34,6 +36,7 @@ func init() {
 			"seq":       fireSeq,
 			"omp_tiled": fireOmpTiled,
 			"lazy":      fireLazy,
+			"mpi_omp":   fireMPIOmp,
 		},
 		DefaultVariant: "lazy",
 	})
@@ -54,6 +57,13 @@ type fireState struct {
 	tileW     int
 	tileH     int
 	fr        *tilegrid.Frontier
+
+	// MPI mode: the rank's band, exchanged ghost rows and the
+	// frontier-aware halo engine (nil otherwise).
+	band       mpi.Band
+	ghostAbove []uint8
+	ghostBelow []uint8
+	halo       *mpi.Halo
 }
 
 // fireInit seeds the forest according to cfg.Arg:
@@ -72,8 +82,17 @@ func fireInit(ctx *core.Ctx) error {
 		tileW: ctx.Cfg.TileW,
 		tileH: ctx.Cfg.TileH,
 		fr:    tilegrid.New(ctx.Grid),
+		band:  mpi.Band{Lo: 0, Hi: dim, Dim: dim},
 	}
-	st.fr.Advance() // first iteration scans the whole forest
+	if ctx.Comm != nil {
+		st.band = ctx.Band
+		if st.band.Rows()%st.tileH != 0 {
+			return fmt.Errorf("fire: band of %d rows not divisible by tile height %d",
+				st.band.Rows(), st.tileH)
+		}
+		st.fr.Restrict(st.band.Lo/st.tileH, st.band.Hi/st.tileH)
+	}
+	st.fr.Advance() // first iteration scans the whole (owned) forest
 
 	pattern := ctx.Cfg.Arg
 	if pattern == "" {
@@ -110,19 +129,34 @@ func fireStateOf(ctx *core.Ctx) *fireState { return ctx.Priv().(*fireState) }
 
 func fireRefresh(ctx *core.Ctx) {
 	st := fireStateOf(ctx)
-	im := ctx.Cur()
 	palette := [4]img2d.Pixel{
 		img2d.RGB(24, 20, 12),   // empty: dark soil
 		img2d.RGB(30, 140, 40),  // tree
 		img2d.RGB(255, 120, 20), // burning
 		img2d.RGB(70, 70, 74),   // ash
 	}
-	for y := 0; y < st.dim; y++ {
-		row := im.Row(y)
+	if ctx.Comm == nil {
+		im := ctx.Cur()
+		for y := 0; y < st.dim; y++ {
+			row := im.Row(y)
+			for x := 0; x < st.dim; x++ {
+				row[x] = palette[st.cur[y*st.dim+x]&3]
+			}
+		}
+		return
+	}
+	// Collective: each rank contributes its painted band; master copies.
+	pixels := make([]uint32, st.band.Rows()*st.dim)
+	for y := st.band.Lo; y < st.band.Hi; y++ {
 		for x := 0; x < st.dim; x++ {
-			row[x] = palette[st.cur[y*st.dim+x]&3]
+			pixels[(y-st.band.Lo)*st.dim+x] = uint32(palette[st.cur[y*st.dim+x]&3])
 		}
 	}
+	full, err := ctx.Comm.GatherBands(0, st.band, pixels)
+	if err != nil || full == nil {
+		return
+	}
+	copy(ctx.Cur().Pixels(), full)
 }
 
 // fireStepCell computes a cell's next state: burning → ash; a tree with a
@@ -202,6 +236,124 @@ func fireLazy(ctx *core.Ctx, nbIter int) int {
 		})
 		st.swap()
 		return st.fr.Advance() > 0
+	})
+}
+
+// curAt reads a cell with ghost-row support: the rows just outside the
+// rank's band are served from the exchanged ghost rows; outside the world
+// everything is bare ground (the existing bounds guards never ignite
+// across the world edge, so fireEmpty is the exact equivalent).
+func (s *fireState) curAt(y, x int) uint8 {
+	if x < 0 || x >= s.dim || y < 0 || y >= s.dim {
+		return fireEmpty
+	}
+	if y < s.band.Lo {
+		if s.ghostAbove != nil && y == s.band.Lo-1 {
+			return s.ghostAbove[x]
+		}
+		return fireEmpty
+	}
+	if y >= s.band.Hi {
+		if s.ghostBelow != nil && y == s.band.Hi {
+			return s.ghostBelow[x]
+		}
+		return fireEmpty
+	}
+	return s.cur[y*s.dim+x]
+}
+
+// fireStepCellGhost is fireStepCell reading through curAt — same rule,
+// band-boundary rows see the neighbour rank's cells.
+func (s *fireState) fireStepCellGhost(y, x int) uint8 {
+	v := s.cur[y*s.dim+x]
+	switch v {
+	case fireBurning:
+		return fireAsh
+	case fireTree:
+		if s.curAt(y, x-1) == fireBurning || s.curAt(y, x+1) == fireBurning ||
+			s.curAt(y-1, x) == fireBurning || s.curAt(y+1, x) == fireBurning {
+			return fireBurning
+		}
+	}
+	return v
+}
+
+// fireStepTileGhost advances a tile through the ghost-aware rule.
+func (s *fireState) fireStepTileGhost(x, y, w, h int) bool {
+	changed := false
+	for yy := y; yy < y+h; yy++ {
+		for xx := x; xx < x+w; xx++ {
+			v := s.fireStepCellGhost(yy, xx)
+			if v != s.cur[yy*s.dim+xx] {
+				changed = true
+			}
+			s.next[yy*s.dim+xx] = v
+		}
+	}
+	return changed
+}
+
+// fireHalo builds the frontier-aware halo engine for a rank: boundary rows
+// travel as raw byte rows (four states need the full byte), frontier flags
+// ride in the same packet, quiet edges are skipped — on a burnt-out or
+// not-yet-reached band edge the exchange costs nothing.
+func fireHalo(ctx *core.Ctx, st *fireState) *mpi.Halo {
+	return &mpi.Halo{
+		C: ctx.Comm, Band: st.band, Fr: st.fr, TileH: st.tileH,
+		EncodeRow: func(y int) []byte {
+			return append([]byte(nil), st.cur[y*st.dim:(y+1)*st.dim]...)
+		},
+		SetGhost: func(side int, row []byte) {
+			if side < 0 {
+				if st.ghostAbove == nil {
+					st.ghostAbove = make([]uint8, st.dim)
+				}
+				copy(st.ghostAbove, row)
+			} else {
+				if st.ghostBelow == nil {
+					st.ghostBelow = make([]uint8, st.dim)
+				}
+				copy(st.ghostBelow, row)
+			}
+		},
+		OnStep: ctx.ReportHalo,
+	}
+}
+
+// fireMPIOmp distributes row bands across ranks: sparse dispatch of the
+// local fire front, one frontier-aware halo exchange per iteration. The
+// fire front is the best case for halo skipping — a band the front has not
+// reached (or has burnt through) never touches its edges, so most
+// iterations move zero boundary bytes.
+func fireMPIOmp(ctx *core.Ctx, nbIter int) int {
+	st := fireStateOf(ctx)
+	if ctx.Comm == nil {
+		return 0 // mpi variant requires --mpirun
+	}
+	if st.halo == nil {
+		st.halo = fireHalo(ctx, st)
+		if err := st.halo.Prime(); err != nil {
+			return 0
+		}
+	}
+	var marked atomic.Bool
+	return ctx.ForIterations(nbIter, func(int) bool {
+		marked.Store(false)
+		ctx.ReportActivity(st.fr.Count(), st.fr.Total(), st.fr.Active())
+		ctx.Pool.ParallelForActive(ctx.Grid, st.fr.Active(), ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			ctx.StartTile(worker)
+			if st.fireStepTileGhost(x, y, w, h) {
+				st.fr.MarkChanged(x/st.tileW, y/st.tileH)
+				marked.Store(true)
+			}
+			ctx.EndTile(x, y, w, h, worker)
+		})
+		st.swap()
+		cont, err := st.halo.Step(marked.Load())
+		if err != nil {
+			return false // distributed session aborted by the world
+		}
+		return cont
 	})
 }
 

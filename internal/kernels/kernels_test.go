@@ -197,6 +197,50 @@ func TestLifeMPIMatchesSeq(t *testing.T) {
 	}
 }
 
+// assertMPIMatchesSeq compares an mpi_omp run against the sequential
+// reference: identical final image (byte for byte, via checksum and pixel
+// diff) and identical iteration count. np=3 over a grid whose tile rows do
+// not divide evenly exercises uneven band splits.
+func assertMPIMatchesSeq(t *testing.T, kernel string, dim, tile, iters int, arg string, seed int64) {
+	t.Helper()
+	ref := runKernel(t, core.Config{Kernel: kernel, Variant: "seq", Dim: dim,
+		TileW: tile, TileH: tile, Iterations: iters, Arg: arg, Seed: seed})
+	for _, np := range []int{2, 3, 4} {
+		out := runKernel(t, core.Config{Kernel: kernel, Variant: "mpi_omp", Dim: dim,
+			TileW: tile, TileH: tile, Iterations: iters, Threads: 2, MPIRanks: np,
+			Arg: arg, Seed: seed})
+		if n := ref.Final.DiffCount(out.Final); n != 0 {
+			t.Errorf("%s/mpi_omp np=%d: %d pixels differ from seq", kernel, np, n)
+		}
+		if ref.Result.Checksum != out.Result.Checksum {
+			t.Errorf("%s/mpi_omp np=%d: checksum %s != seq %s",
+				kernel, np, out.Result.Checksum, ref.Result.Checksum)
+		}
+		if ref.Iterations != out.Iterations {
+			t.Errorf("%s/mpi_omp np=%d: %d iterations, seq did %d",
+				kernel, np, out.Iterations, ref.Iterations)
+		}
+	}
+}
+
+func TestFireMPIMatchesSeq(t *testing.T) {
+	for _, arg := range []string{"forest", "sparse", "full"} {
+		assertMPIMatchesSeq(t, "fire", 64, 8, 40, arg, 3)
+	}
+	assertMPIMatchesSeq(t, "fire", 64, 8, 40, "forest", 9)
+}
+
+func TestSandpileMPIMatchesSeq(t *testing.T) {
+	assertMPIMatchesSeq(t, "sandpile", 64, 8, 60, "", 0)
+}
+
+func TestLifeMPIMatchesSeqUnevenBands(t *testing.T) {
+	// 64/8 = 8 tile rows over 3 ranks: bands of 3/3/2 tile rows.
+	for _, arg := range []string{"diag", "random"} {
+		assertMPIMatchesSeq(t, "life", 64, 8, 20, arg, 5)
+	}
+}
+
 func TestLifeBlinkerOscillates(t *testing.T) {
 	one := runKernel(t, core.Config{Kernel: "life", Dim: 32, TileW: 8, TileH: 8,
 		Iterations: 1, Arg: "blinker"})

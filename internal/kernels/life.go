@@ -10,6 +10,7 @@ package kernels
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"easypap/internal/core"
 	"easypap/internal/img2d"
@@ -53,10 +54,12 @@ type lifeState struct {
 	// both buffers.
 	fr *tilegrid.Frontier
 
-	// MPI mode: the rank's band and ghost rows (one above, one below).
+	// MPI mode: the rank's band, ghost rows (one above, one below), and
+	// the frontier-aware halo engine driving the boundary protocol.
 	band       mpi.Band
 	ghostAbove []uint8
 	ghostBelow []uint8
+	halo       *mpi.Halo
 
 	// bits is the packed double buffer of the "bitpack" variant, created
 	// lazily on first use (life_bitpack.go).
@@ -303,88 +306,82 @@ func lifeLazy(ctx *core.Ctx, nbIter int) int {
 	})
 }
 
-// lifeMPIOmp distributes row bands across ranks; each iteration exchanges
-// ghost-cell rows with the neighbouring ranks, computes the local band's
-// tile frontier with sparse dispatch, forwards the frontier flags its
-// changes induced in the neighbours' halo tile rows (replacing the old
-// ad-hoc changed-flag exchange), and takes a global convergence vote
-// (Allreduce OR). The structure is the <150-line MPI+OpenMP solution the
-// paper's students produce — now on the shared tile-activity engine.
+// lifeHalo builds the frontier-aware halo engine for a rank: boundary
+// rows travel bit-packed (binary cells, 8 per byte — the life_bitpack
+// layout lifted to the wire, ~8x smaller halos), frontier flags ride in
+// the same packet, and quiet edges are skipped entirely. The engine is
+// identical in-process and across cluster nodes (internal/serve shards).
+func lifeHalo(ctx *core.Ctx, st *lifeState) *mpi.Halo {
+	return &mpi.Halo{
+		C: ctx.Comm, Band: st.band, Fr: st.fr, TileH: st.tileH,
+		EncodeRow: func(y int) []byte {
+			return mpi.PackRowBits(st.cur[y*st.dim : (y+1)*st.dim])
+		},
+		SetGhost: func(side int, row []byte) {
+			if side < 0 {
+				if st.ghostAbove == nil {
+					st.ghostAbove = make([]uint8, st.dim)
+				}
+				mpi.UnpackRowBits(st.ghostAbove, row)
+			} else {
+				if st.ghostBelow == nil {
+					st.ghostBelow = make([]uint8, st.dim)
+				}
+				mpi.UnpackRowBits(st.ghostBelow, row)
+			}
+		},
+		OnStep: ctx.ReportHalo,
+	}
+}
+
+// lifeMPIOmp distributes row bands across ranks; each iteration computes
+// the local band's tile frontier with sparse dispatch, then runs one
+// frontier-aware halo exchange (mpi.Halo): boundary rows and frontier
+// flags ship in one bit-packed packet per *active* edge, quiet edges cost
+// nothing, and the convergence vote doubles as the edge-activity
+// agreement. The structure is the <150-line MPI+OpenMP solution the
+// paper's students produce — now on the shared tile-activity engine, and
+// the same code path cluster shards execute across nodes.
 func lifeMPIOmp(ctx *core.Ctx, nbIter int) int {
 	st := lifeStateOf(ctx)
-	comm := ctx.Comm
-	if comm == nil {
+	if ctx.Comm == nil {
 		return 0 // mpi variant requires --mpirun
 	}
-	band := st.band
-	tyLo := band.Lo / st.tileH // first tile row owned by this rank
-	tyHi := band.Hi / st.tileH // one past the last owned tile row
-
+	if st.halo == nil {
+		st.halo = lifeHalo(ctx, st)
+		// Initial ghost rows: every edge carries its boundary once so
+		// iteration 1 computes against real neighbour values.
+		if err := st.halo.Prime(); err != nil {
+			return 0
+		}
+	}
+	var marked atomic.Bool
 	return ctx.ForIterations(nbIter, func(int) bool {
-		// 1. Ghost-cell rows: my first/last rows go to my neighbours.
-		top := make([]uint32, st.dim)
-		bottom := make([]uint32, st.dim)
-		for x := 0; x < st.dim; x++ {
-			top[x] = uint32(st.at(band.Lo, x))
-			bottom[x] = uint32(st.at(band.Hi-1, x))
-		}
-		above, below, err := comm.ExchangeGhostRows(band, top, bottom)
-		if err != nil {
-			return false
-		}
-		st.ghostAbove = toBytes(above)
-		st.ghostBelow = toBytes(below)
-
-		// 2. Sparse computation of the local band: the frontier holds only
+		// Sparse computation of the local band: the frontier holds only
 		// owned tiles; changes mark the 3x3 neighbourhood, possibly
 		// spilling into the halo tile rows tyLo-1/tyHi owned by the
 		// neighbouring ranks.
+		marked.Store(false)
 		ctx.ReportActivity(st.fr.Count(), st.fr.Total(), st.fr.Active())
 		ctx.Pool.ParallelForActive(ctx.Grid, st.fr.Active(), ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
 			ctx.StartTile(worker)
 			if st.lifeComputeTile(x, y, w, h) {
 				st.fr.MarkChanged(x/st.tileW, y/st.tileH)
+				marked.Store(true)
 			}
 			ctx.EndTile(x, y, w, h, worker)
 		})
 		st.swap()
 
-		// 3. Frontier forwarding: the halo-row marks my changes produced
-		// belong to the neighbouring ranks; ship them over and merge the
-		// marks my neighbours produced in my boundary rows. RowFlags is
-		// nil at world edges, and ExchangeGhostMeta only talks to ranks
-		// that exist, so no special casing.
-		metaAbove, metaBelow, err := comm.ExchangeGhostMeta(band,
-			st.fr.RowFlags(tyLo-1), st.fr.RowFlags(tyHi))
+		// One halo step: active edges exchange (row + flags), the vote
+		// settles both convergence and which edges were active, and the
+		// frontier advances with the merged neighbour flags.
+		cont, err := st.halo.Step(marked.Load())
 		if err != nil {
-			return false
+			return false // a distributed session is aborted by the world
 		}
-		if metaAbove != nil {
-			st.fr.MergeRowFlags(tyLo, metaAbove.([]bool))
-		}
-		if metaBelow != nil {
-			st.fr.MergeRowFlags(tyHi-1, metaBelow.([]bool))
-		}
-
-		// 4. Promote the frontier and take the global convergence vote.
-		globalAny, err := comm.AllreduceBool(st.fr.Advance() > 0)
-		if err != nil {
-			return false
-		}
-		return globalAny
+		return cont
 	})
-}
-
-// toBytes converts a ghost row of uint32 cells back to bytes (nil-safe).
-func toBytes(row []uint32) []uint8 {
-	if row == nil {
-		return nil
-	}
-	out := make([]uint8, len(row))
-	for i, v := range row {
-		out[i] = uint8(v)
-	}
-	return out
 }
 
 // LifeBoardSnapshot exposes the current board for tests and benchmarks:

@@ -7,8 +7,13 @@ package kernels
 // order-independent, so all variants produce identical boards.
 
 import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
 	"easypap/internal/core"
 	"easypap/internal/img2d"
+	"easypap/internal/mpi"
 	"easypap/internal/tilegrid"
 )
 
@@ -22,6 +27,7 @@ func init() {
 			"seq":       sandSeq,
 			"omp_tiled": sandOmpTiled,
 			"lazy_omp":  sandLazyOmp,
+			"mpi_omp":   sandMPIOmp,
 		},
 		DefaultVariant: "seq",
 	})
@@ -36,13 +42,29 @@ type sandState struct {
 	tileW     int
 	tileH     int
 	fr        *tilegrid.Frontier
+
+	// MPI mode: the rank's band, exchanged ghost rows and the
+	// frontier-aware halo engine (nil otherwise).
+	band       mpi.Band
+	ghostAbove []uint32
+	ghostBelow []uint32
+	halo       *mpi.Halo
 }
 
 func sandInit(ctx *core.Ctx) error {
 	dim := ctx.Dim()
 	st := &sandState{dim: dim, cur: make([]uint32, dim*dim), next: make([]uint32, dim*dim),
-		tileW: ctx.Cfg.TileW, tileH: ctx.Cfg.TileH, fr: tilegrid.New(ctx.Grid)}
-	st.fr.Advance() // first iteration computes every tile
+		tileW: ctx.Cfg.TileW, tileH: ctx.Cfg.TileH, fr: tilegrid.New(ctx.Grid),
+		band: mpi.Band{Lo: 0, Hi: dim, Dim: dim}}
+	if ctx.Comm != nil {
+		st.band = ctx.Band
+		if st.band.Rows()%st.tileH != 0 {
+			return fmt.Errorf("sandpile: band of %d rows not divisible by tile height %d",
+				st.band.Rows(), st.tileH)
+		}
+		st.fr.Restrict(st.band.Lo/st.tileH, st.band.Hi/st.tileH)
+	}
+	st.fr.Advance() // first iteration computes every (owned) tile
 	// EASYPAP's classic setup: every interior cell starts with 5 grains
 	// (unstable), the one-cell border stays empty and absorbs grains.
 	for y := 1; y < dim-1; y++ {
@@ -61,24 +83,40 @@ func sandStateOf(ctx *core.Ctx) *sandState { return ctx.Priv().(*sandState) }
 // bright red — still unstable).
 func sandRefresh(ctx *core.Ctx) {
 	st := sandStateOf(ctx)
-	im := ctx.Cur()
 	palette := [4]img2d.Pixel{
 		img2d.Black,
 		img2d.RGB(60, 60, 160),
 		img2d.RGB(80, 160, 220),
 		img2d.RGB(240, 240, 170),
 	}
-	for y := 0; y < st.dim; y++ {
-		row := im.Row(y)
-		for x := 0; x < st.dim; x++ {
-			g := st.cur[y*st.dim+x]
-			if g < 4 {
-				row[x] = palette[g]
-			} else {
-				row[x] = img2d.Red
+	grain := func(g uint32) img2d.Pixel {
+		if g < 4 {
+			return palette[g]
+		}
+		return img2d.Red
+	}
+	if ctx.Comm == nil {
+		im := ctx.Cur()
+		for y := 0; y < st.dim; y++ {
+			row := im.Row(y)
+			for x := 0; x < st.dim; x++ {
+				row[x] = grain(st.cur[y*st.dim+x])
 			}
 		}
+		return
 	}
+	// Collective: each rank contributes its painted band; master copies.
+	pixels := make([]uint32, st.band.Rows()*st.dim)
+	for y := st.band.Lo; y < st.band.Hi; y++ {
+		for x := 0; x < st.dim; x++ {
+			pixels[(y-st.band.Lo)*st.dim+x] = uint32(grain(st.cur[y*st.dim+x]))
+		}
+	}
+	full, err := ctx.Comm.GatherBands(0, st.band, pixels)
+	if err != nil || full == nil {
+		return
+	}
+	copy(ctx.Cur().Pixels(), full)
 }
 
 // sandStepTile computes the synchronous topple step for a tile, returning
@@ -149,6 +187,117 @@ func sandLazyOmp(ctx *core.Ctx, nbIter int) int {
 		})
 		st.cur, st.next = st.next, st.cur
 		return st.fr.Advance() > 0
+	})
+}
+
+// curAt reads a grain count with ghost-row support: the rows just outside
+// the rank's band come from the exchanged ghost rows. The world border is
+// absorbing (always zero), so out-of-world reads are zero — the mpi step
+// never actually performs them because border cells short-circuit.
+func (s *sandState) curAt(y, x int) uint32 {
+	if y < s.band.Lo {
+		if s.ghostAbove != nil && y == s.band.Lo-1 {
+			return s.ghostAbove[x]
+		}
+		return 0
+	}
+	if y >= s.band.Hi {
+		if s.ghostBelow != nil && y == s.band.Hi {
+			return s.ghostBelow[x]
+		}
+		return 0
+	}
+	return s.cur[y*s.dim+x]
+}
+
+// sandStepTileGhost is sandStepTile reading vertical neighbours through
+// curAt — same arithmetic, band-boundary rows see the neighbour rank's
+// grains.
+func (s *sandState) sandStepTileGhost(x, y, w, h int) bool {
+	active := false
+	for yy := y; yy < y+h; yy++ {
+		for xx := x; xx < x+w; xx++ {
+			idx := yy*s.dim + xx
+			if yy == 0 || yy == s.dim-1 || xx == 0 || xx == s.dim-1 {
+				s.next[idx] = 0
+				continue
+			}
+			v := s.cur[idx] % 4
+			v += s.cur[idx-1]/4 + s.cur[idx+1]/4 + s.curAt(yy-1, xx)/4 + s.curAt(yy+1, xx)/4
+			s.next[idx] = v
+			if v != s.cur[idx] || v >= 4 {
+				active = true
+			}
+		}
+	}
+	return active
+}
+
+// sandHalo builds the frontier-aware halo engine for a rank: boundary rows
+// travel as little-endian uint32 grain counts (4 bytes per cell — counts
+// can transiently exceed 255), frontier flags ride in the same packet, and
+// quiet edges are skipped. A converged band region stops exchanging even
+// while distant avalanches continue.
+func sandHalo(ctx *core.Ctx, st *sandState) *mpi.Halo {
+	return &mpi.Halo{
+		C: ctx.Comm, Band: st.band, Fr: st.fr, TileH: st.tileH,
+		EncodeRow: func(y int) []byte {
+			row := make([]byte, 4*st.dim)
+			for x := 0; x < st.dim; x++ {
+				binary.LittleEndian.PutUint32(row[4*x:], st.cur[y*st.dim+x])
+			}
+			return row
+		},
+		SetGhost: func(side int, row []byte) {
+			ghost := &st.ghostAbove
+			if side >= 0 {
+				ghost = &st.ghostBelow
+			}
+			if *ghost == nil {
+				*ghost = make([]uint32, st.dim)
+			}
+			for x := 0; x < st.dim && 4*x+4 <= len(row); x++ {
+				(*ghost)[x] = binary.LittleEndian.Uint32(row[4*x:])
+			}
+		},
+		OnStep: ctx.ReportHalo,
+	}
+}
+
+// sandMPIOmp distributes row bands across ranks: sparse dispatch of the
+// active avalanche tiles, one frontier-aware halo exchange per iteration.
+// Dense phases (the initial all-unstable pile) exchange every edge every
+// iteration — the honest comms tax — while the late sparse phase skips
+// most of them.
+func sandMPIOmp(ctx *core.Ctx, nbIter int) int {
+	st := sandStateOf(ctx)
+	if ctx.Comm == nil {
+		return 0 // mpi variant requires --mpirun
+	}
+	if st.halo == nil {
+		st.halo = sandHalo(ctx, st)
+		if err := st.halo.Prime(); err != nil {
+			return 0
+		}
+	}
+	var marked atomic.Bool
+	return ctx.ForIterations(nbIter, func(int) bool {
+		marked.Store(false)
+		ctx.ReportActivity(st.fr.Count(), st.fr.Total(), st.fr.Active())
+		ctx.Pool.ParallelForActive(ctx.Grid, st.fr.Active(), ctx.Cfg.Schedule, func(x, y, w, h, worker int) {
+			ctx.StartTile(worker)
+			if st.sandStepTileGhost(x, y, w, h) {
+				st.fr.MarkChanged(x/st.tileW, y/st.tileH)
+				marked.Store(true)
+			}
+			ctx.EndTile(x, y, w, h, worker)
+		})
+		st.cur, st.next = st.next, st.cur
+		cont, err := st.halo.Step(marked.Load())
+		if err != nil {
+			return false // distributed session aborted by the world
+		}
+		return cont
 	})
 }
 

@@ -34,6 +34,21 @@ func BandFor(dim, size, rank int) Band {
 	return Band{Rank: rank, Lo: lo, Hi: lo + base, Dim: dim}
 }
 
+// BandForTiles computes rank's band aligned to tile rows: the dim/tileH
+// tile rows are distributed as evenly as possible (lower ranks take the
+// extras), so every band boundary falls on a tile boundary and the tile
+// frontier's Restrict covers each band exactly. Uneven splits — tile-row
+// counts not divisible by size — are first-class: rank 0 of a 3-way
+// 1024/32 split owns 11 tile rows, the others 11 and 10. Falls back to
+// BandFor when tileH does not divide dim (normalized configs always do).
+func BandForTiles(dim, tileH, size, rank int) Band {
+	if tileH <= 0 || dim%tileH != 0 {
+		return BandFor(dim, size, rank)
+	}
+	tb := BandFor(dim/tileH, size, rank)
+	return Band{Rank: rank, Lo: tb.Lo * tileH, Hi: tb.Hi * tileH, Dim: dim}
+}
+
 // Ghost-row exchange tags (reserved range distinct from collectives).
 const (
 	tagGhostDown = -200 // sending my bottom row to the rank below
@@ -122,23 +137,34 @@ func (c *Comm) ExchangeGhostMeta(band Band, topMeta, bottomMeta any) (metaAbove,
 // rank sends its rows (dim*rows pixels, row-major); root returns the
 // dim*dim pixel slice, others nil. This is how the master process refreshes
 // the displayed window in EASYPAP's MPI mode.
+//
+// Each payload is self-describing — the sender's Lo/Hi rows lead the
+// pixels — so root reassembles whatever band decomposition the ranks
+// actually used (BandFor, BandForTiles, anything covering the image)
+// instead of assuming one.
 func (c *Comm) GatherBands(root int, band Band, pixels []uint32) ([]uint32, error) {
 	if len(pixels) != band.Rows()*band.Dim {
 		return nil, fmt.Errorf("mpi: rank %d: band payload has %d pixels, want %d",
 			c.rank, len(pixels), band.Rows()*band.Dim)
 	}
-	parts, err := c.Gather(root, pixels)
+	payload := make([]uint32, 0, 2+len(pixels))
+	payload = append(payload, uint32(band.Lo), uint32(band.Hi))
+	payload = append(payload, pixels...)
+	parts, err := c.Gather(root, payload)
 	if err != nil || c.rank != root {
 		return nil, err
 	}
 	full := make([]uint32, band.Dim*band.Dim)
 	for r := 0; r < c.Size(); r++ {
-		rb := BandFor(band.Dim, c.Size(), r)
 		part, ok := parts[r].([]uint32)
-		if !ok || len(part) != rb.Rows()*band.Dim {
+		if !ok || len(part) < 2 {
 			return nil, fmt.Errorf("mpi: rank %d sent a malformed band", r)
 		}
-		copy(full[rb.Lo*band.Dim:rb.Hi*band.Dim], part)
+		lo, hi := int(part[0]), int(part[1])
+		if lo < 0 || hi < lo || hi > band.Dim || len(part)-2 != (hi-lo)*band.Dim {
+			return nil, fmt.Errorf("mpi: rank %d sent a malformed band", r)
+		}
+		copy(full[lo*band.Dim:hi*band.Dim], part[2:])
 	}
 	return full, nil
 }

@@ -59,6 +59,19 @@ type world struct {
 	// barrier state (central counter, phase-flipped)
 	barWaiting int
 	barPhase   uint64
+
+	// net is non-nil for distributed worlds (net.go): only rank net.local
+	// is in-process, sends to other ranks go through net.send, and
+	// failures (transport errors, receive timeouts) are reported through
+	// net.fail, which aborts the whole session.
+	net *netHooks
+}
+
+// netHooks is the distributed-transport seam of a world.
+type netHooks struct {
+	local int
+	send  func(dst, tag int, payload any) error
+	fail  func(err error)
 }
 
 // Comm is one rank's view of the world — the handle kernels receive, like
@@ -186,6 +199,12 @@ func (c *Comm) Send(dst, tag int, payload any) error {
 	if dst < 0 || dst >= c.w.size {
 		return fmt.Errorf("mpi: rank %d: send to invalid rank %d", c.rank, dst)
 	}
+	if c.w.net != nil && dst != c.w.net.local {
+		// Distributed world: the payload crosses an address space. The
+		// transport may block briefly (synchronous HTTP) but never
+		// deadlocks — the receiving side enqueues without waiting.
+		return c.w.net.send(dst, tag, payload)
+	}
 	c.w.mu.Lock()
 	c.w.queues[dst] = append(c.w.queues[dst], message{src: c.rank, tag: tag, payload: payload})
 	c.w.cond.Broadcast()
@@ -224,8 +243,15 @@ func (c *Comm) Recv(src, tag int) (payload any, from int, err error) {
 			}
 		}
 		if time.Now().After(deadline) {
-			return nil, -1, fmt.Errorf("%w: rank %d waiting for src=%d tag=%d after %v",
+			err := fmt.Errorf("%w: rank %d waiting for src=%d tag=%d after %v",
 				ErrDeadlock, c.rank, src, tag, timeout)
+			if c.w.net != nil {
+				// On a distributed world a silent peer means a dead or
+				// partitioned node, not a student deadlock: abort the whole
+				// session so no shard keeps waiting.
+				c.w.net.fail(err)
+			}
+			return nil, -1, err
 		}
 		c.w.cond.Wait()
 	}
@@ -237,6 +263,12 @@ func (c *Comm) Recv(src, tag int) (payload any, from int, err error) {
 // error return), and the rank wrapper in Run recovers the panic into the
 // rank's error.
 func (c *Comm) Barrier() {
+	if c.w.net != nil {
+		// The central-counter protocol needs every rank in-process; a
+		// distributed barrier would be built on Send/Recv like the other
+		// collectives. No kernel uses Barrier across nodes today.
+		panic("mpi: Barrier is not supported on a distributed world")
+	}
 	c.w.mu.Lock()
 	phase := c.w.barPhase
 	c.w.barWaiting++

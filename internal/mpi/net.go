@@ -1,0 +1,146 @@
+package mpi
+
+// Distributed worlds: the same Comm kernels already program against, with
+// remote ranks living in other processes. One NetWorld hosts exactly one
+// local rank; Send to a remote rank encodes the message with the wire
+// codec and hands it to a caller-supplied transport (easypapd POSTs it to
+// the peer's /v1/shard/halo endpoint over a persistent connection), and
+// frames arriving from peers are Injected into the local mailbox, where
+// Recv and every collective built on it work unchanged.
+//
+// Failure semantics differ deliberately from the in-process world: there
+// a lost message means a student bug (report ErrDeadlock and keep the
+// process alive); here it means a dead or partitioned peer, and the only
+// safe reaction is to abort the whole distributed session. Transport
+// failures and receive timeouts therefore cancel the session context with
+// a typed cause (ErrPeerLost), which unwinds every blocked receive at
+// once — a shard never hangs waiting on a peer that will not answer.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrPeerLost is the cancel cause of a distributed session whose peer
+// became unreachable (transport error) or silent (halo timeout). The
+// serving layer maps it to its typed shard-failure error.
+var ErrPeerLost = errors.New("mpi: peer rank lost")
+
+// NetWorld hosts one rank of a distributed communicator group.
+type NetWorld struct {
+	w    *world
+	rank int
+
+	cancel context.CancelCauseFunc
+	stop   chan struct{}
+	once   sync.Once
+}
+
+// NewNetWorld creates the local end of a size-rank distributed world.
+// send transmits an encoded frame to a peer rank; it may block (the
+// caller's transport is synchronous HTTP) and must return an error when
+// the peer is unreachable. cancel is the session's cancel-cause function:
+// the world invokes it with an ErrPeerLost-wrapping cause on transport
+// failure or receive timeout, so the session's context (which must be
+// ctx or derived from it) aborts every participant promptly.
+func NewNetWorld(ctx context.Context, cancel context.CancelCauseFunc, size, rank int, cfg Config, send func(dst int, frame []byte) error) (*NetWorld, error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("mpi: invalid rank %d of %d", rank, size)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cancel == nil {
+		cancel = func(error) {}
+	}
+	w := &world{
+		size:    size,
+		queues:  make([][]message, size),
+		timeout: cfg.RecvTimeout,
+		ctx:     ctx,
+	}
+	if w.timeout <= 0 {
+		w.timeout = DefaultRecvTimeout
+	}
+	w.cond = sync.NewCond(&w.mu)
+	nw := &NetWorld{w: w, rank: rank, cancel: cancel, stop: make(chan struct{})}
+	w.net = &netHooks{
+		local: rank,
+		send: func(dst, tag int, payload any) error {
+			frame, err := EncodeFrame(rank, dst, tag, payload)
+			if err != nil {
+				return err
+			}
+			if err := send(dst, frame); err != nil {
+				err = fmt.Errorf("%w: send to rank %d: %w", ErrPeerLost, dst, err)
+				cancel(err)
+				return err
+			}
+			return nil
+		},
+		fail: func(err error) {
+			cancel(fmt.Errorf("%w: %w", ErrPeerLost, err))
+		},
+	}
+	// Turn a context cancellation into a condvar broadcast so a blocked
+	// Recv rechecks ctx.Err() immediately (RunContext does the same for
+	// in-process worlds).
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				w.mu.Lock()
+				w.cond.Broadcast()
+				w.mu.Unlock()
+			case <-nw.stop:
+			}
+		}()
+	}
+	return nw, nil
+}
+
+// Comm returns the local rank's communicator handle.
+func (nw *NetWorld) Comm() *Comm { return &Comm{w: nw.w, rank: nw.rank} }
+
+// Rank returns the local rank.
+func (nw *NetWorld) Rank() int { return nw.rank }
+
+// Inject delivers a frame received from a peer into the local mailbox.
+// It validates the frame (CRC included) and rejects frames addressed to
+// a different rank — a misrouted halo is a protocol bug worth surfacing,
+// not silently queueing.
+func (nw *NetWorld) Inject(frame []byte) error {
+	src, dst, tag, payload, err := DecodeFrame(frame)
+	if err != nil {
+		return err
+	}
+	if dst != nw.rank {
+		return fmt.Errorf("mpi: frame for rank %d injected into rank %d", dst, nw.rank)
+	}
+	if src < 0 || src >= nw.w.size {
+		return fmt.Errorf("mpi: frame from invalid rank %d", src)
+	}
+	nw.w.mu.Lock()
+	nw.w.queues[nw.rank] = append(nw.w.queues[nw.rank], message{src: src, tag: tag, payload: payload})
+	nw.w.cond.Broadcast()
+	nw.w.mu.Unlock()
+	return nil
+}
+
+// Fail aborts the session with the given cause (wrapped in ErrPeerLost),
+// waking every blocked receive. Used by the serving layer when a peer is
+// reported dead out-of-band (gossip) before any message times out.
+func (nw *NetWorld) Fail(err error) {
+	nw.w.net.fail(err)
+	nw.w.mu.Lock()
+	nw.w.cond.Broadcast()
+	nw.w.mu.Unlock()
+}
+
+// Close releases the world's watcher goroutine. It does not cancel the
+// session; pair it with the session's cancel function.
+func (nw *NetWorld) Close() {
+	nw.once.Do(func() { close(nw.stop) })
+}

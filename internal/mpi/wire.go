@@ -1,0 +1,208 @@
+package mpi
+
+// Wire codec for distributed worlds: the byte encoding of one tagged
+// message crossing an address-space boundary. The framing follows the
+// store's EZSTORE1 discipline (internal/serve/store): a one-line ASCII
+// header carrying every length needed to read the rest, an exact
+// byte-counted payload, and a CRC-32C trailer — corruption is detected
+// before a payload is ever interpreted, and a frame can be skipped
+// without understanding its type.
+//
+//	EZMSG1 <src> <dst> <tag> <type> <payload-bytes>\n
+//	<payload bytes>
+//	<crc32c of header+payload, 4 bytes big-endian>
+//
+// The payload types are exactly the ones the in-process runtime carries
+// for EASYPAP kernels: convergence votes (bool, []bool), counters (int),
+// pixel bands ([]uint32), cell rows ([]uint8), and the combined halo
+// packet (boundary row + frontier flags) of the frontier-aware exchange.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+)
+
+const wireMagic = "EZMSG1"
+
+// wireMaxPayload bounds a frame's payload (matching the store's sanity
+// cap): a halo row or a gathered band is far below this; anything larger
+// is a corrupt or hostile header.
+const wireMaxPayload = 1 << 30
+
+var wireCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Payload type tokens. Kept short: they ride in every frame header.
+const (
+	wireBool  = "bool"
+	wireInt   = "int"
+	wireU8    = "u8"
+	wireU32   = "u32"
+	wireFlags = "flags"
+	wireHalo  = "halo"
+)
+
+// EncodeFrame serializes one message for transport. Supported payload
+// types: bool, int, []uint8, []uint32, []bool, HaloPacket.
+func EncodeFrame(src, dst, tag int, payload any) ([]byte, error) {
+	var typ string
+	var body []byte
+	switch v := payload.(type) {
+	case bool:
+		typ = wireBool
+		if v {
+			body = []byte{1}
+		} else {
+			body = []byte{0}
+		}
+	case int:
+		typ = wireInt
+		body = make([]byte, 8)
+		binary.BigEndian.PutUint64(body, uint64(int64(v)))
+	case []uint8:
+		typ = wireU8
+		body = v
+	case []uint32:
+		typ = wireU32
+		body = make([]byte, 4*len(v))
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(body[4*i:], x)
+		}
+	case []bool:
+		typ = wireFlags
+		body = encodeFlags(v)
+	case HaloPacket:
+		typ = wireHalo
+		body = make([]byte, 0, 4+len(v.Row)+4+(len(v.Flags)+7)/8)
+		body = binary.BigEndian.AppendUint32(body, uint32(len(v.Row)))
+		body = append(body, v.Row...)
+		body = append(body, encodeFlags(v.Flags)...)
+	default:
+		return nil, fmt.Errorf("mpi: payload type %T is not wire-encodable", payload)
+	}
+	header := fmt.Sprintf("%s %d %d %d %s %d\n", wireMagic, src, dst, tag, typ, len(body))
+	frame := make([]byte, 0, len(header)+len(body)+4)
+	frame = append(frame, header...)
+	frame = append(frame, body...)
+	frame = binary.BigEndian.AppendUint32(frame, crc32.Checksum(frame, wireCRC))
+	return frame, nil
+}
+
+// DecodeFrame parses a frame produced by EncodeFrame, verifying the CRC
+// before interpreting the payload.
+func DecodeFrame(frame []byte) (src, dst, tag int, payload any, err error) {
+	nl := -1
+	for i, b := range frame {
+		if b == '\n' {
+			nl = i
+			break
+		}
+		if i > 128 {
+			break
+		}
+	}
+	if nl < 0 {
+		return 0, 0, 0, nil, fmt.Errorf("mpi: wire frame has no header line")
+	}
+	fields := strings.Fields(string(frame[:nl]))
+	if len(fields) != 6 || fields[0] != wireMagic {
+		return 0, 0, 0, nil, fmt.Errorf("mpi: malformed wire header %q", string(frame[:nl]))
+	}
+	src, err1 := strconv.Atoi(fields[1])
+	dst, err2 := strconv.Atoi(fields[2])
+	tag, err3 := strconv.Atoi(fields[3])
+	n, err4 := strconv.Atoi(fields[5])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || n < 0 || n > wireMaxPayload {
+		return 0, 0, 0, nil, fmt.Errorf("mpi: malformed wire header %q", string(frame[:nl]))
+	}
+	if len(frame) != nl+1+n+4 {
+		return 0, 0, 0, nil, fmt.Errorf("mpi: wire frame is %d bytes, header promises %d", len(frame), nl+1+n+4)
+	}
+	want := binary.BigEndian.Uint32(frame[nl+1+n:])
+	if got := crc32.Checksum(frame[:nl+1+n], wireCRC); got != want {
+		return 0, 0, 0, nil, fmt.Errorf("mpi: wire frame CRC mismatch (%08x != %08x)", got, want)
+	}
+	body := frame[nl+1 : nl+1+n]
+	switch fields[4] {
+	case wireBool:
+		if len(body) != 1 {
+			return 0, 0, 0, nil, fmt.Errorf("mpi: bool payload of %d bytes", len(body))
+		}
+		payload = body[0] != 0
+	case wireInt:
+		if len(body) != 8 {
+			return 0, 0, 0, nil, fmt.Errorf("mpi: int payload of %d bytes", len(body))
+		}
+		payload = int(int64(binary.BigEndian.Uint64(body)))
+	case wireU8:
+		payload = append([]uint8(nil), body...)
+	case wireU32:
+		if len(body)%4 != 0 {
+			return 0, 0, 0, nil, fmt.Errorf("mpi: u32 payload of %d bytes", len(body))
+		}
+		out := make([]uint32, len(body)/4)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint32(body[4*i:])
+		}
+		payload = out
+	case wireFlags:
+		flags, rest, err := decodeFlags(body)
+		if err != nil || len(rest) != 0 {
+			return 0, 0, 0, nil, fmt.Errorf("mpi: malformed flags payload")
+		}
+		payload = flags
+	case wireHalo:
+		if len(body) < 4 {
+			return 0, 0, 0, nil, fmt.Errorf("mpi: malformed halo payload")
+		}
+		rowLen := int(binary.BigEndian.Uint32(body))
+		if rowLen < 0 || 4+rowLen > len(body) {
+			return 0, 0, 0, nil, fmt.Errorf("mpi: halo row of %d bytes overruns payload", rowLen)
+		}
+		row := append([]byte(nil), body[4:4+rowLen]...)
+		flags, rest, err := decodeFlags(body[4+rowLen:])
+		if err != nil || len(rest) != 0 {
+			return 0, 0, 0, nil, fmt.Errorf("mpi: malformed halo flags")
+		}
+		payload = HaloPacket{Row: row, Flags: flags}
+	default:
+		return 0, 0, 0, nil, fmt.Errorf("mpi: unknown wire payload type %q", fields[4])
+	}
+	return src, dst, tag, payload, nil
+}
+
+// encodeFlags bit-packs a []bool: a 4-byte big-endian count followed by
+// ceil(n/8) bytes, LSB-first within each byte. A nil slice round-trips
+// to nil (count 0), preserving the "no flags at the world edge" case.
+func encodeFlags(flags []bool) []byte {
+	out := make([]byte, 4+(len(flags)+7)/8)
+	binary.BigEndian.PutUint32(out, uint32(len(flags)))
+	for i, f := range flags {
+		if f {
+			out[4+i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// decodeFlags reverses encodeFlags, returning the remaining bytes.
+func decodeFlags(b []byte) ([]bool, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("mpi: truncated flags")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	packed := (n + 7) / 8
+	if n < 0 || n > wireMaxPayload || len(b) < 4+packed {
+		return nil, nil, fmt.Errorf("mpi: truncated flags")
+	}
+	if n == 0 {
+		return nil, b[4+packed:], nil
+	}
+	flags := make([]bool, n)
+	for i := range flags {
+		flags[i] = b[4+i/8]&(1<<(i%8)) != 0
+	}
+	return flags, b[4+packed:], nil
+}

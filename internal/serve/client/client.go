@@ -150,7 +150,18 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 // Submit sends a job; with frames=true the daemon keeps a live frame
 // stream readable via Frames. A cache hit returns an already-done status.
 func (c *Client) Submit(ctx context.Context, cfg core.Config, frames bool) (*serve.JobStatus, error) {
-	payload, err := json.Marshal(serve.SubmitRequest{Config: cfg, Frames: frames})
+	return c.SubmitShards(ctx, cfg, frames, 0)
+}
+
+// SubmitShards is Submit with a requested shard count: against a
+// clustered daemon, shards > 1 asks for distributed execution of the
+// (mpi-variant) job across up to that many nodes. Advisory — a daemon
+// that cannot shard runs the job locally. A job that fails with
+// ErrorKind "shard_failed" (a shard node died mid-run) should be
+// resubmitted unsharded; ShardFailed and RunConfigSharded wrap that
+// protocol.
+func (c *Client) SubmitShards(ctx context.Context, cfg core.Config, frames bool, shards int) (*serve.JobStatus, error) {
+	payload, err := json.Marshal(serve.SubmitRequest{Config: cfg, Frames: frames, Shards: shards})
 	if err != nil {
 		return nil, err
 	}
@@ -312,4 +323,45 @@ func (c *Client) RunConfig(cfg core.Config) (core.Result, error) {
 		return *st.Result, nil
 	}
 	return core.Result{}, fmt.Errorf("client: job %s interrupted repeatedly: %s", last.ID, last.Error)
+}
+
+// ShardFailed reports whether a terminal status is a typed
+// shard-execution failure: the distributed run lost a node, and the same
+// config is expected to succeed resubmitted unsharded.
+func ShardFailed(st *serve.JobStatus) bool {
+	return st != nil && st.State == serve.JobFailed && st.ErrorKind == serve.ErrorKindShardFailed
+}
+
+// RunConfigSharded submits cfg for distributed execution across shards
+// nodes, waits, and returns the terminal status. When the sharded run
+// fails with the typed shard-failure kind — a participant died or
+// partitioned mid-job — the job is resubmitted unsharded, which cannot
+// lose a peer; any other failure is returned as-is. The fallback is
+// correct because sharding never changes results (byte-identical by
+// construction) or cache keys.
+func (c *Client) RunConfigSharded(ctx context.Context, cfg core.Config, shards int) (*serve.JobStatus, error) {
+	st, err := c.SubmitShards(ctx, cfg, false, shards)
+	if err != nil {
+		return nil, err
+	}
+	if !st.State.Terminal() {
+		if st, err = c.Wait(ctx, st.ID); err != nil {
+			return nil, err
+		}
+	}
+	if !ShardFailed(st) {
+		return st, nil
+	}
+	// Typed shard failure: same config, unsharded. The result cache is
+	// keyed identically, so nothing about the retry is special.
+	st, err = c.Submit(ctx, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	if !st.State.Terminal() {
+		if st, err = c.Wait(ctx, st.ID); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
 }

@@ -59,6 +59,11 @@ func (m *Multi) Trace(ctx context.Context, id string, preferred *Client) (*serve
 //
 // Cross-node causality shows as → edges (Span.Peer), not indentation;
 // indentation is same-node containment.
+//
+// Runs of identical leaf siblings — the sampled per-iteration halo spans
+// of a distributed job are the canonical case — collapse into one line
+// ("halo ×16" with their summed duration), so a sharded job's trace
+// stays a screenful instead of a scroll.
 func FormatTrace(doc *serve.TraceDoc) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace %s  job %s  nodes: %s\n",
@@ -67,30 +72,60 @@ func FormatTrace(doc *serve.TraceDoc) string {
 		b.WriteString("  (no spans recorded)\n")
 		return b.String()
 	}
-	var walk func(n *trace.SpanNode, depth int)
-	walk = func(n *trace.SpanNode, depth int) {
-		s := n.Span
+	emit := func(s trace.Span, depth, count int, total time.Duration) {
 		label := s.Stage
 		if s.Peer != "" {
 			label += " → " + s.Peer
+		}
+		if count > 1 {
+			label += fmt.Sprintf(" ×%d", count)
 		}
 		indent := strings.Repeat("  ", depth)
 		if depth > 0 {
 			indent = strings.Repeat("  ", depth-1) + "└ "
 		}
 		line := fmt.Sprintf("[%s] %s%s", s.Node, indent, label)
-		fmt.Fprintf(&b, "%-44s %10s", line, formatDur(s.Duration()))
+		fmt.Fprintf(&b, "%-44s %10s", line, formatDur(total))
 		if s.Err != "" {
 			fmt.Fprintf(&b, "  !%s", s.Err)
 		}
 		b.WriteByte('\n')
-		for _, c := range n.Children {
-			walk(c, depth+1)
+	}
+	// collapsible marks leaf siblings that may merge into one ×N line:
+	// same node, same stage, same peer, no error, no children.
+	collapsible := func(n *trace.SpanNode) bool {
+		return len(n.Children) == 0 && n.Span.Err == "" && n.Span.Peer == ""
+	}
+	var walk func(n *trace.SpanNode, depth int)
+	walkChildren := func(kids []*trace.SpanNode, depth int) {
+		for i := 0; i < len(kids); {
+			n := kids[i]
+			if collapsible(n) {
+				count, total := 0, time.Duration(0)
+				j := i
+				for ; j < len(kids); j++ {
+					k := kids[j]
+					if !collapsible(k) || k.Span.Stage != n.Span.Stage || k.Span.Node != n.Span.Node {
+						break
+					}
+					count++
+					total += k.Span.Duration()
+				}
+				if count > 1 {
+					emit(n.Span, depth, count, total)
+					i = j
+					continue
+				}
+			}
+			walk(n, depth)
+			i++
 		}
 	}
-	for _, root := range doc.Spans {
-		walk(root, 0)
+	walk = func(n *trace.SpanNode, depth int) {
+		emit(n.Span, depth, 1, n.Span.Duration())
+		walkChildren(n.Children, depth+1)
 	}
+	walkChildren(doc.Spans, 0)
 	return b.String()
 }
 

@@ -254,6 +254,9 @@ func NewNode(mgr *serve.Manager, opts Options) (*Node, error) {
 		n.wg.Add(1)
 		go n.rebalanceLoop()
 	}
+	// Distributed single-job execution: sharded submissions reaching this
+	// node's manager are coordinated across the ring (shard.go).
+	mgr.SetShardRunner(n.runSharded)
 	return n, nil
 }
 
@@ -270,6 +273,7 @@ func (n *Node) Close() {
 		n.mgr.SetSpillHook(nil)
 		n.mgr.SetEntrySource(nil)
 	}
+	n.mgr.SetShardRunner(nil)
 	close(n.stop)
 	n.wg.Wait()
 }
@@ -636,6 +640,13 @@ type ClusterTotals struct {
 	JobsOwned   int64 `json:"jobs_owned"`
 	JobsProxied int64 `json:"jobs_proxied"`
 	Failovers   int64 `json:"failovers"`
+
+	// Distributed-execution totals (no omitempty, like every counter
+	// here): cluster-wide shard coordination and halo-exchange activity.
+	JobsCoordinated int64 `json:"jobs_coordinated"`
+	ShardsExecuted  int64 `json:"shards_executed"`
+	HalosSent       int64 `json:"halos_sent"`
+	HalosSkipped    int64 `json:"halos_skipped"`
 }
 
 // MemberStats is one member's contribution to the aggregate (Stats nil
@@ -705,6 +716,10 @@ func (n *Node) AggregateStats(ctx context.Context) ClusterAggregate {
 		agg.Totals.JobsOwned += s.Cluster.JobsOwned
 		agg.Totals.JobsProxied += s.Cluster.JobsProxied
 		agg.Totals.Failovers += s.Cluster.Failovers
+		agg.Totals.JobsCoordinated += s.JobsCoordinated
+		agg.Totals.ShardsExecuted += s.ShardsExecuted
+		agg.Totals.HalosSent += s.HalosSent
+		agg.Totals.HalosSkipped += s.HalosSkipped
 	}
 	return agg
 }

@@ -47,6 +47,9 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", n.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", n.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/frames", n.handleFrames)
+	mux.HandleFunc("POST /v1/shard/start", n.handleShardStart)
+	mux.HandleFunc("POST /v1/shard/halo", n.handleShardHalo)
+	mux.HandleFunc("POST /v1/shard/abort", n.handleShardAbort)
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		serve.WriteJSON(w, http.StatusOK, n.Stats())
@@ -208,8 +211,10 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // submitLocal admits the job on the local manager and namespaces its id.
+// A sharded submission lands here on its ring owner, which makes the
+// owner the session coordinator (shard.go).
 func (n *Node) submitLocal(w http.ResponseWriter, req serve.SubmitRequest, traceID string) {
-	st, err := n.mgr.SubmitTraced(req.Config, req.Frames, traceID)
+	st, err := n.mgr.SubmitShards(req.Config, req.Frames, traceID, req.Shards)
 	if err != nil {
 		serve.WriteSubmitError(w, err)
 		return

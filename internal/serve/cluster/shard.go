@@ -1,0 +1,261 @@
+package cluster
+
+// Sharded-job coordination: the cluster side of distributed single-job
+// execution (internal/serve/shard.go holds the per-rank executor). A
+// submission carrying shards > 1 reaches its ring owner through the
+// normal routing path; there, instead of running the whole grid locally,
+// the manager's shard-runner hook lands here and the node becomes the
+// session coordinator:
+//
+//  1. plan: clamp the shard count to the healthy member count and the
+//     grid's tile rows, order the participants self-first (the
+//     coordinator is always rank 0 — it owns the job record, the frame
+//     stream, and the stitched result),
+//  2. start: POST /v1/shard/start to every remote rank. Any start
+//     failure aborts the ranks already started and falls back to a plain
+//     local run — nothing has been computed yet, so degrading is free
+//     and the client never sees the hiccup,
+//  3. run: execute rank 0 in-process via Manager.RunShard; the halo
+//     engine exchanges boundary rows directly between neighbor ranks
+//     (coordinator not in the loop), and the per-iteration convergence
+//     vote rides the same wire,
+//  4. finish: rank 0's GatherBands stitches the final image; deferred
+//     abort POSTs tear down any session still live on a peer (no-ops on
+//     the common path where every rank completed).
+//
+// A rank lost mid-run surfaces as serve.ErrShardFailed within the halo
+// timeout — the job fails typed (ErrorKind "shard_failed"), and the
+// client resubmits unsharded.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"easypap/internal/core"
+	"easypap/internal/serve"
+)
+
+// shardStartTimeout bounds one POST /v1/shard/start round trip: starting
+// a shard only registers a session and spawns its goroutine, so a peer
+// that cannot answer quickly is a peer to fall back from.
+const shardStartTimeout = 5 * time.Second
+
+// runSharded is the serve.ShardRunner installed by NewNode: coordinate
+// one sharded job, or degrade to a plain local run when the cluster
+// cannot shard it right now.
+func (n *Node) runSharded(ctx context.Context, job serve.ShardJob) (*core.RunOutput, error) {
+	ranks, ok := n.planShards(job)
+	if !ok {
+		return n.runLocal(ctx, job)
+	}
+	session := n.prefixID(job.ID)
+	peers := make([]string, len(ranks))
+	for i, m := range ranks {
+		peers[i] = m.url
+	}
+	mkReq := func(rank int) serve.StartShardRequest {
+		return serve.StartShardRequest{
+			Session: session, Job: job.ID, TraceID: job.TraceID,
+			Config: job.Config, Frames: job.Frames,
+			Rank: rank, Shards: len(ranks), Peers: peers,
+		}
+	}
+
+	var started []*member
+	for rank := 1; rank < len(ranks); rank++ {
+		if err := n.startRemoteShard(ctx, ranks[rank], mkReq(rank)); err != nil {
+			// Nothing has computed yet: tear down what started, demote the
+			// unreachable peer, and run the job locally instead.
+			for _, m := range started {
+				n.abortRemoteShard(m, session, "coordinator start failed")
+			}
+			n.markDown(ranks[rank])
+			return n.runLocal(ctx, job)
+		}
+		started = append(started, ranks[rank])
+	}
+	defer func() {
+		// Best-effort teardown: a rank that completed normally already
+		// unregistered its session, so these are no-ops on the happy path.
+		for _, m := range started {
+			n.abortRemoteShard(m, session, "coordinator finished")
+		}
+	}()
+	return n.mgr.RunShard(ctx, mkReq(0), n.opts.HTTP, job.Sink, job.OnActivity)
+}
+
+// runLocal runs the job unsharded with the same observers the manager
+// would have wired — the graceful-degradation path.
+func (n *Node) runLocal(ctx context.Context, job serve.ShardJob) (*core.RunOutput, error) {
+	opts := core.RunOptions{OnActivity: job.OnActivity}
+	if job.Sink != nil {
+		opts.Sink = job.Sink
+	}
+	return core.RunWith(ctx, job.Config, opts)
+}
+
+// planShards decides whether (and how) to shard: the variant must be
+// distributed-capable (an mpi variant — it programs against a Comm), and
+// the effective shard count is clamped to the healthy member count and
+// the grid's tile rows (every rank needs at least one tile row). Returns
+// the participant list in rank order, self first.
+func (n *Node) planShards(job serve.ShardJob) ([]*member, bool) {
+	if job.Shards < 2 || !strings.HasPrefix(job.Config.Variant, "mpi") {
+		return nil, false
+	}
+	tileRows := 0
+	if job.Config.TileH > 0 {
+		tileRows = job.Config.Dim / job.Config.TileH
+	}
+	if tileRows < 2 {
+		return nil, false // not enough tile rows to give every rank one
+	}
+	ring, ms := n.snapshot()
+	ranks := make([]*member, 0, job.Shards)
+	var self *member
+	for _, m := range ms {
+		if m.self {
+			self = m
+		}
+	}
+	if self == nil {
+		return nil, false
+	}
+	ranks = append(ranks, self)
+	hash, err := job.Config.Hash()
+	if err != nil {
+		return nil, false
+	}
+	// Fill remaining ranks with alive peers in ring order from the job's
+	// key — the same deterministic order routing uses, so repeated runs
+	// of one config land on the same band layout.
+	for _, id := range ring.Replicas(core.HashPoint(hash), 0) {
+		if len(ranks) >= job.Shards || len(ranks) >= tileRows {
+			break
+		}
+		m := n.memberByID(id)
+		if m == nil || m.self || !m.alive() {
+			continue
+		}
+		ranks = append(ranks, m)
+	}
+	if len(ranks) < 2 {
+		return nil, false
+	}
+	return ranks, true
+}
+
+// startRemoteShard POSTs a rank's start request to its node.
+func (n *Node) startRemoteShard(ctx context.Context, m *member, req serve.StartShardRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, shardStartTimeout)
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, m.url+"/v1/shard/start", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if req.TraceID != "" {
+		hr.Header.Set(serve.TraceHeader, req.TraceID)
+	}
+	resp, err := n.opts.HTTP.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("cluster: %s refused shard start: HTTP %d", m.url, resp.StatusCode)
+	}
+	n.markUp(m)
+	return nil
+}
+
+// abortRemoteShard tears a session down on a peer, best-effort.
+func (n *Node) abortRemoteShard(m *member, session, reason string) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	target := m.url + "/v1/shard/abort?session=" + url.QueryEscape(session) +
+		"&reason=" + url.QueryEscape(reason)
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, target, nil)
+	if err != nil {
+		return
+	}
+	resp, err := n.opts.HTTP.Do(hr)
+	if err != nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+}
+
+// --- HTTP endpoints ---------------------------------------------------
+
+// handleShardStart serves POST /v1/shard/start: begin executing one rank
+// of a distributed session here.
+func (n *Node) handleShardStart(w http.ResponseWriter, r *http.Request) {
+	var req serve.StartShardRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding shard start: %w", err))
+		return
+	}
+	if err := n.mgr.StartShard(req, n.opts.HTTP); err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, serve.ErrShardExists):
+			code = http.StatusConflict
+		case errors.Is(err, serve.ErrClosed):
+			code = http.StatusServiceUnavailable
+		}
+		serve.WriteError(w, code, err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// handleShardHalo serves POST /v1/shard/halo?session=S: inject one wire
+// frame into the session's mailbox. 404 tells the sender the session is
+// not here (yet) — it retries until its halo timeout.
+func (n *Node) handleShardHalo(w http.ResponseWriter, r *http.Request) {
+	session := r.URL.Query().Get("session")
+	if session == "" {
+		serve.WriteError(w, http.StatusBadRequest, fmt.Errorf("cluster: halo without session"))
+		return
+	}
+	frame, err := io.ReadAll(io.LimitReader(r.Body, 1<<30))
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := n.mgr.InjectShardHalo(session, frame); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, serve.ErrUnknownShard) {
+			code = http.StatusNotFound
+		}
+		serve.WriteError(w, code, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleShardAbort serves POST /v1/shard/abort?session=S (idempotent).
+func (n *Node) handleShardAbort(w http.ResponseWriter, r *http.Request) {
+	session := r.URL.Query().Get("session")
+	reason := r.URL.Query().Get("reason")
+	if reason == "" {
+		reason = "aborted by peer"
+	}
+	n.mgr.AbortShard(session, reason)
+	w.WriteHeader(http.StatusNoContent)
+}

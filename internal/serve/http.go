@@ -34,6 +34,13 @@ type SubmitRequest struct {
 	// Frames requests live frame streaming for this job (disables result
 	// caching for it).
 	Frames bool `json:"frames,omitempty"`
+	// Shards asks for distributed execution across up to this many
+	// cluster nodes (row-band sharding with halo exchange). Advisory: a
+	// single-node daemon, a non-mpi variant, or a cluster without enough
+	// healthy peers runs the job locally instead. Never part of the
+	// cache key — sharding changes where a job runs, not what it
+	// computes.
+	Shards int `json:"shards,omitempty"`
 }
 
 // KernelInfo is one entry of GET /v1/kernels — the same shape
@@ -49,7 +56,7 @@ func NewHandler(m *Manager) http.Handler {
 			WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding submission: %w", err))
 			return
 		}
-		st, err := m.SubmitTraced(req.Config, req.Frames, r.Header.Get(TraceHeader))
+		st, err := m.SubmitShards(req.Config, req.Frames, r.Header.Get(TraceHeader), req.Shards)
 		if err != nil {
 			WriteSubmitError(w, err)
 			return

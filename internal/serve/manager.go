@@ -102,6 +102,12 @@ type Options struct {
 	// RecvTimeout bounds the MPI receive watchdog for distributed jobs
 	// (zero keeps mpi.DefaultRecvTimeout).
 	RecvTimeout time.Duration
+	// HaloTimeout bounds how long a shard rank of a distributed job waits
+	// for a neighbor's halo message (or for a peer's session to appear)
+	// before declaring the peer lost and aborting the session (default
+	// 2s). It is the upper bound on how long a shard-node death can stall
+	// the coordinating job.
+	HaloTimeout time.Duration
 	// MaxJobHistory bounds how many *terminal* job records (and their
 	// frame buffers) are kept for status queries (default 4096). Oldest
 	// finished jobs are forgotten first; active jobs are never evicted.
@@ -149,6 +155,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxJobHistory <= 0 {
 		o.MaxJobHistory = 4096
 	}
+	if o.HaloTimeout <= 0 {
+		o.HaloTimeout = 2 * time.Second
+	}
 	return o
 }
 
@@ -178,6 +187,14 @@ type JobStatus struct {
 	Config core.Config  `json:"config"`           // normalized
 	Result *core.Result `json:"result,omitempty"` // present once done
 	Error  string       `json:"error,omitempty"`  // present when failed/canceled
+	// ErrorKind is a machine-readable failure class. Currently the only
+	// value is ErrorKindShardFailed ("shard_failed"): a distributed run
+	// lost a shard node, and the client should resubmit unsharded rather
+	// than give up.
+	ErrorKind string `json:"error_kind,omitempty"`
+	// Shards is the shard count the job actually ran with (0 or 1 for a
+	// plain single-node run).
+	Shards int `json:"shards,omitempty"`
 
 	// Activity is the latest tile-frontier report of a lazy kernel job —
 	// updated live while the job runs, so polling GET /v1/jobs/{id} shows
@@ -205,10 +222,11 @@ type job struct {
 	hash    string
 	traceID string      // correlates service spans across nodes
 	cfg     core.Config // normalized, scrubbed
-	frames *frameHub   // nil unless the submission requested frames
-	cancel context.CancelFunc
-	ctx    context.Context
-	done   chan struct{} // closed when the job reaches a terminal state
+	frames  *frameHub   // nil unless the submission requested frames
+	shards  int         // requested shard count (0/1: plain local run)
+	cancel  context.CancelFunc
+	ctx     context.Context
+	done    chan struct{} // closed when the job reaches a terminal state
 
 	mu        sync.Mutex
 	state     JobState
@@ -218,6 +236,7 @@ type job struct {
 	recovered bool
 	result    *core.Result
 	errMsg    string
+	errKind   string          // machine-readable failure class (ErrorKind* consts)
 	activity  *ActivityStatus // latest lazy-frontier report (nil for eager)
 	submitted time.Time
 	started   time.Time
@@ -232,7 +251,7 @@ func (j *job) snapshot() *JobStatus {
 		ID: j.id, State: j.state, Cached: j.cached, DiskHit: j.diskHit,
 		RemoteHit: j.remoteHit, Recovered: j.recovered, Frames: j.frames != nil,
 		Hash: j.hash, TraceID: j.traceID, Config: j.cfg, Result: j.result, Error: j.errMsg,
-		Activity: j.activity, SubmittedAt: j.submitted,
+		ErrorKind: j.errKind, Shards: j.shards, Activity: j.activity, SubmittedAt: j.submitted,
 	}
 	if !j.started.IsZero() {
 		s.QueuedNS = j.started.Sub(j.submitted).Nanoseconds()
@@ -288,6 +307,14 @@ type Manager struct {
 	spillHook   atomic.Pointer[func(*store.Entry, string)]
 	entrySource atomic.Pointer[func(hash, traceID string) *store.Entry]
 
+	// Distributed single-job execution (shard.go): the coordinator hook
+	// the cluster layer installs, and the registry of shard ranks this
+	// node is currently executing for remote coordinators.
+	shardRunner   atomic.Pointer[ShardRunner]
+	shardMu       sync.Mutex
+	shardSessions map[string]*shardSession
+	shardWg       sync.WaitGroup
+
 	// Observability: the metrics registry + stage histograms behind
 	// GET /metrics, and the service-span ring behind GET /v1/trace.
 	obs      *managerObs
@@ -310,6 +337,15 @@ type Manager struct {
 	recovered   atomic.Int64 // journaled jobs re-enqueued on startup
 	interrupted atomic.Int64 // journaled jobs marked JobInterrupted on startup
 
+	// Shard counters: coordinated = sharded jobs this node drove as rank
+	// 0; executed = shard ranks run here (local and remote sessions);
+	// halosSent/halosSkipped = boundary exchanges performed vs. proven
+	// unnecessary by the frontier skip rule.
+	jobsCoordinated atomic.Int64
+	shardsExecuted  atomic.Int64
+	halosSent       atomic.Int64
+	halosSkipped    atomic.Int64
+
 	kmu     sync.Mutex
 	kernels map[string]*kernelStats
 }
@@ -325,6 +361,8 @@ func NewManager(opts Options) *Manager {
 		cache:   newResultCache(opts.CacheCapacity),
 		pools:   newPoolSet(opts.MaxIdlePools),
 		kernels: make(map[string]*kernelStats),
+
+		shardSessions: make(map[string]*shardSession),
 	}
 	m.obs = newManagerObs(m)
 	m.baseCtx, m.stopAll = context.WithCancel(context.Background())
@@ -517,6 +555,18 @@ func (m *Manager) Submit(cfg core.Config, wantFrames bool) (*JobStatus, error) {
 // and forwarded it via X-Easypap-Trace. An empty traceID mints a fresh
 // one, so every job carries exactly one id for its whole cluster life.
 func (m *Manager) SubmitTraced(cfg core.Config, wantFrames bool, traceID string) (*JobStatus, error) {
+	return m.SubmitShards(cfg, wantFrames, traceID, 0)
+}
+
+// SubmitShards is SubmitTraced with a requested shard count: when shards
+// > 1 and a coordinator is installed (SetShardRunner — cluster mode),
+// the job runs distributed across the cluster as one kernel execution
+// split into row bands. Without a coordinator, or when the cluster
+// cannot shard the job (no healthy peers, non-mpi variant), it runs as
+// a plain local job — sharding is an execution strategy, never part of
+// the cache key, so sharded and unsharded runs of one config hit the
+// same cache entry.
+func (m *Manager) SubmitShards(cfg core.Config, wantFrames bool, traceID string, shards int) (*JobStatus, error) {
 	admitStart := time.Now()
 	cfg, hash, err := NormalizeSubmission(cfg, wantFrames)
 	if err != nil {
@@ -530,6 +580,7 @@ func (m *Manager) SubmitTraced(cfg core.Config, wantFrames bool, traceID string)
 		hash:      hash,
 		traceID:   traceID,
 		cfg:       cfg,
+		shards:    shards,
 		state:     JobQueued,
 		submitted: admitStart,
 		done:      make(chan struct{}),
@@ -741,7 +792,22 @@ func (m *Manager) runJob(j *job) {
 	}
 
 	computeStart := time.Now()
-	out, err := core.RunWith(j.ctx, j.cfg, opts)
+	var out *core.RunOutput
+	var err error
+	if hook := m.shardRunner.Load(); hook != nil && j.shards > 1 {
+		// Distributed execution: the coordinator hook splits the job into
+		// row bands across the cluster and returns rank 0's stitched
+		// output. The leased pool (if any) goes unused — each rank builds
+		// its own team — but mpi variants carry MPIRanks >= 2, so the
+		// warm-lease branch above already skipped them.
+		m.jobsCoordinated.Add(1)
+		out, err = (*hook)(j.ctx, ShardJob{
+			ID: j.id, TraceID: j.traceID, Config: j.cfg, Shards: j.shards,
+			Frames: j.frames != nil, Sink: opts.Sink, OnActivity: opts.OnActivity,
+		})
+	} else {
+		out, err = core.RunWith(j.ctx, j.cfg, opts)
+	}
 	m.span(m.obs.compute, j.traceID, j.id, StageCompute, computeStart, time.Now(), err)
 
 	if leased != nil {
@@ -771,6 +837,10 @@ func (m *Manager) finish(j *job, out *core.RunOutput, err error) {
 	case err != nil:
 		j.state = JobFailed
 		j.errMsg = err.Error()
+		if errors.Is(err, ErrShardFailed) {
+			// Typed: the client reads ErrorKind and resubmits unsharded.
+			j.errKind = ErrorKindShardFailed
+		}
 		m.failed.Add(1)
 	default:
 		j.state = JobDone
@@ -972,6 +1042,13 @@ type Stats struct {
 	RecoveredJobs   int64 `json:"recovered_jobs"`
 	InterruptedJobs int64 `json:"interrupted_jobs"`
 
+	// Distributed-execution counters (see shard.go). Like every counter
+	// above, no omitempty: zero is a reported value, not an absence.
+	JobsCoordinated int64 `json:"jobs_coordinated"`
+	ShardsExecuted  int64 `json:"shards_executed"`
+	HalosSent       int64 `json:"halos_sent"`
+	HalosSkipped    int64 `json:"halos_skipped"`
+
 	PoolWarmLeases int64 `json:"pool_warm_leases"`
 	PoolColdLeases int64 `json:"pool_cold_leases"`
 	PoolsIdle      int   `json:"pools_idle"`
@@ -1016,6 +1093,11 @@ func (m *Manager) Stats() Stats {
 		PoolColdLeases: m.pools.cold.Load(),
 		PoolsIdle:      m.pools.idleCount(),
 		Kernels:        make(map[string]KernelThroughput),
+
+		JobsCoordinated: m.jobsCoordinated.Load(),
+		ShardsExecuted:  m.shardsExecuted.Load(),
+		HalosSent:       m.halosSent.Load(),
+		HalosSkipped:    m.halosSkipped.Load(),
 	}
 	s.RemoteHits = m.remoteHits.Load()
 	if m.store != nil {
@@ -1060,6 +1142,9 @@ func (m *Manager) Close() {
 	m.stopAll()
 	close(m.queue)
 	m.wg.Wait()
+	// Shard ranks started for remote coordinators run off baseCtx, so
+	// stopAll already aborted them; wait for their goroutines to drain.
+	m.shardWg.Wait()
 	if m.spill != nil {
 		// Runners are done, so no more spills can arrive; drain the
 		// write-behind queue so every completed result is on disk before

@@ -40,6 +40,8 @@ const (
 	StageProxy        = "proxy"         // cluster: forwarding to the owner/replica
 	StageReplicate    = "replicate"     // cluster: pushing an entry to a successor
 	StageGossip       = "gossip"        // cluster: one gossip exchange with a peer
+	StageShard        = "shard"         // distributed: one rank's whole band run
+	StageHalo         = "halo"          // distributed: one boundary-row exchange
 )
 
 // stageHistHelp is shared by every easypapd_stage_ns registration (the
@@ -60,6 +62,8 @@ type managerObs struct {
 	cacheDisk    *metrics.Histogram
 	replicaFetch *metrics.Histogram
 	spill        *metrics.Histogram
+	shard        *metrics.Histogram
+	halo         *metrics.Histogram
 }
 
 // StageHistogram registers one easypapd_stage_ns histogram in reg —
@@ -83,6 +87,8 @@ func newManagerObs(m *Manager) *managerObs {
 		cacheDisk:    StageHistogram(reg, StageCacheDisk),
 		replicaFetch: StageHistogram(reg, StageReplicaFetch),
 		spill:        StageHistogram(reg, StageSpill),
+		shard:        StageHistogram(reg, StageShard),
+		halo:         StageHistogram(reg, StageHalo),
 	}
 
 	ctr := func(name, help string, labels metrics.Labels, v *atomic.Int64) {
@@ -104,6 +110,11 @@ func newManagerObs(m *Manager) *managerObs {
 	ctr("easypapd_cache_hits_total", "Result-cache hits by tier.", metrics.Labels{"tier": "disk"}, &m.diskHits)
 	ctr("easypapd_cache_misses_total", "Result-cache misses (memory tier).", metrics.Labels{"tier": "disk"}, &m.diskMisses)
 	ctr("easypapd_cache_hits_total", "Result-cache hits by tier.", metrics.Labels{"tier": "remote"}, &m.remoteHits)
+
+	ctr("easypapd_jobs_coordinated_total", "Sharded jobs this node drove as coordinator (rank 0).", nil, &m.jobsCoordinated)
+	ctr("easypapd_shards_executed_total", "Shard ranks of distributed jobs executed on this node.", nil, &m.shardsExecuted)
+	ctr("easypapd_halos_sent_total", "Halo boundary-row messages sent by local shard ranks.", nil, &m.halosSent)
+	ctr("easypapd_halos_skipped_total", "Halo edges skipped because the frontier proved them quiet.", nil, &m.halosSkipped)
 
 	ctr("easypapd_spills_total", "Results written behind to the disk tier.", nil, &m.spills)
 	ctr("easypapd_spill_errors_total", "Disk-tier writes that failed.", nil, &m.spillErrs)
