@@ -33,6 +33,23 @@
 //	# queue depth, cache hit/miss, per-kernel throughput
 //	curl -s localhost:8080/v1/stats
 //
+// Jobs submitted with "frames": true stream their per-iteration images
+// (DESIGN.md §13): a bounded broadcast hub (ring of records + periodic
+// keyframes) fans one encoded stream out to any number of viewers, a
+// slow viewer skips ahead to the newest keyframe instead of stalling
+// the run, and lazy kernels can ship dirty-tile deltas (~5x smaller at
+// steady state) instead of full PNGs:
+//
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"config":{"kernel":"life",
+//	     "variant":"lazy","dim":256,"iterations":100,"arg":"diag"},
+//	     "frames":true}'
+//	curl -s localhost:8080/v1/jobs/j-000002/frames > full.ezframe
+//	curl -s 'localhost:8080/v1/jobs/j-000002/frames?format=delta' > d.ezframe
+//
+// Both streams decode with gfx.ReadRecord + gfx.Reassembler to
+// identical pixels; the default stream stays plain EZFRAME+PNG for
+// existing readers.
+//
 // Parameter sweeps fan out to a daemon by setting expt.Sweep.Remote to a
 // serve/client.Client, picking up the daemon's result cache for repeated
 // combinations.
@@ -54,6 +71,9 @@
 // serve/client.NewMulti takes every endpoint, learns the ring, and
 // submits each config straight to its owner; as an expt.Runner it fans
 // a sweep across the whole cluster and survives nodes dying mid-sweep.
+// Any node also serves frames for any job: a non-owner proxies ONE
+// upstream stream per (job, format) and fans it out to all of its local
+// viewers (easypapd_edge_upstream_streams_total counts the dials).
 //
 // # Distributed single-job execution
 //

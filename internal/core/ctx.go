@@ -39,6 +39,15 @@ type Ctx struct {
 	activity   []IterActivity     // per-iteration frontier sizes (lazy kernels)
 	onActivity func(IterActivity) // live observer (RunOptions.OnActivity)
 
+	// Dirty-tile capture for delta frames: when the display path wants
+	// them (wantDirty), ReportActivity copies the reported active set into
+	// dirtyTiles — the caller's slice is only valid until the frontier's
+	// next Advance, but refreshDisplay runs after the swap.
+	wantDirty  bool
+	dirtyTiles []int32 // copy of the latest reported active set (reused)
+	dirtyIter  int     // iteration dirtyTiles belongs to
+	dirtyOK    bool    // a tile list was reported for dirtyIter
+
 	halosSent    int64                                             // boundary messages this rank sent
 	halosSkipped int64                                             // quiet edges this rank skipped
 	haloBytes    int64                                             // boundary payload bytes sent
@@ -136,6 +145,11 @@ func (ctx *Ctx) ReportActivity(active, total int, tiles []int32) {
 	}
 	if ctx.onActivity != nil {
 		ctx.onActivity(a)
+	}
+	if ctx.wantDirty {
+		ctx.dirtyIter = a.Iter
+		ctx.dirtyOK = tiles != nil
+		ctx.dirtyTiles = append(ctx.dirtyTiles[:0], tiles...)
 	}
 }
 

@@ -323,6 +323,14 @@ func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, 
 	}
 
 	displaying := forceDisplay || (!cfg.NoDisplay && cfg.OutputDir != "")
+	// Dirty-tile capture feeds delta frames. Single-process runs only: under
+	// MPI the master's gathered image spans every band while its frontier
+	// covers just its own, so the reported set would not bound the changes.
+	if displaying && comm == nil {
+		if _, ok := sink.(gfx.DirtySink); ok {
+			ctx.wantDirty = true
+		}
+	}
 	start := time.Now()
 	total := 0
 	if displaying {
@@ -412,7 +420,21 @@ func refreshDisplay(ctx *Ctx, k *Kernel, sink gfx.FrameSink, iter int) error {
 		}
 	}
 	if ctx.IsMaster() {
-		if err := sink.Frame("main", iter, ctx.Cur()); err != nil {
+		// When the kernel reported its active tile set for exactly this
+		// iteration and the sink understands dirty frames, hand it the set:
+		// the frontier's no-copy invariant guarantees every pixel outside
+		// those tiles is unchanged since the previous frame.
+		ds, haveDirty := sink.(gfx.DirtySink)
+		if haveDirty && ctx.wantDirty && ctx.dirtyOK && ctx.dirtyIter == iter {
+			set := &gfx.TileSet{
+				TilesX: ctx.Grid.TilesX, TilesY: ctx.Grid.TilesY,
+				TileW: ctx.Grid.TileW, TileH: ctx.Grid.TileH,
+				Tiles: ctx.dirtyTiles,
+			}
+			if err := ds.FrameDirty("main", iter, ctx.Cur(), set); err != nil {
+				return err
+			}
+		} else if err := sink.Frame("main", iter, ctx.Cur()); err != nil {
 			return err
 		}
 	}

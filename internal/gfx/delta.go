@@ -1,0 +1,307 @@
+package gfx
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"easypap/internal/img2d"
+)
+
+// Dirty-tile delta frames.
+//
+// Lazy kernels already know exactly which tiles changed each iteration —
+// tilegrid.Frontier's active set. A delta-format stream exploits that: a
+// periodic EZFRAME keyframe carries the full PNG, and between keyframes
+// each iteration ships only the dirty tiles as an EZDELTA record:
+//
+//	EZDELTA <window> <iter> <size>\n
+//	<size bytes of binary payload>
+//
+// Payload layout (little-endian):
+//
+//	u16 version   (deltaVersion = 2)
+//	u32 dim       image side length
+//	u16 tileW     tile width in pixels
+//	u16 tileH     tile height in pixels
+//	u32 ntiles    number of tile patches that follow
+//	DEFLATE-compressed tile stream of ntiles ×:
+//	  u32 tile    tile index (row-major: ty*tilesX + tx)
+//	  u8  enc     0 = raw, 1 = bitplane2
+//	  raw:        tileW*tileH u32 pixels, row-major within the tile
+//	  bitplane2:  u32 c0, u32 c1, ceil(tileW*tileH/8) bytes of bits
+//	              (LSB-first; bit set → c1, clear → c0)
+//
+// bitplane2 is the life_bitpack trick: binary-state kernels (life, fire
+// fronts, toppled/untoppled sandpile cells) render tiles with at most two
+// distinct colors, which compress 32x over raw pixels. The encoder picks
+// bitplane2 per tile whenever the tile has ≤ 2 distinct colors. The tile
+// stream is then DEFLATE-compressed, because the competing EZFRAME
+// keyframe is a PNG — itself DEFLATE over the whole frame — and an
+// uncompressed patch would lose to it on the sparse near-uniform images
+// lazy kernels produce.
+//
+// The tile grid is uniform (sched.TileGrid requires dim divisible by the
+// tile dimensions), so every patch is exactly tileW x tileH.
+
+// deltaMagic starts every delta record header line.
+const deltaMagic = "EZDELTA"
+
+// deltaVersion is the current delta payload version.
+const deltaVersion = 2
+
+// Tile patch encodings.
+const (
+	deltaEncRaw       = 0
+	deltaEncBitplane2 = 1
+)
+
+// TileSet describes which tiles of a frame changed this iteration, in the
+// frame's tile-grid geometry. Tiles holds row-major tile indices.
+type TileSet struct {
+	TilesX, TilesY int
+	TileW, TileH   int
+	Tiles          []int32
+}
+
+// DirtySink is the optional extension of FrameSink that accepts
+// frame-plus-dirty-tiles deliveries. The run loop uses it when the kernel
+// reported its active tile set for the displayed iteration; sinks that do
+// not implement it keep receiving plain Frame calls.
+type DirtySink interface {
+	// FrameDirty delivers the rendered image plus the set of tiles that
+	// changed since the previous frame of the same window. Implementations
+	// must not retain img or dirty after returning.
+	FrameDirty(window string, iter int, img *img2d.Image, dirty *TileSet) error
+}
+
+// EncodeDelta builds a delta payload patching the dirty tiles of img.
+// The caller guarantees every pixel outside dirty's tiles is unchanged
+// since the window's previous frame (the frontier no-copy invariant).
+func EncodeDelta(img *img2d.Image, dirty *TileSet) ([]byte, error) {
+	dim := img.Dim()
+	if dirty.TileW <= 0 || dirty.TileH <= 0 ||
+		dirty.TilesX*dirty.TileW != dim || dirty.TilesY*dirty.TileH != dim {
+		return nil, fmt.Errorf("gfx: tile set %dx%d tiles of %dx%d does not cover dim %d",
+			dirty.TilesX, dirty.TilesY, dirty.TileW, dirty.TileH, dim)
+	}
+	var buf bytes.Buffer
+	npix := dirty.TileW * dirty.TileH
+	bits := make([]byte, (npix+7)/8)
+	var word [4]byte
+	for _, t := range dirty.Tiles {
+		if t < 0 || int(t) >= dirty.TilesX*dirty.TilesY {
+			return nil, fmt.Errorf("gfx: tile index %d out of range [0,%d)", t, dirty.TilesX*dirty.TilesY)
+		}
+		tx, ty := int(t)%dirty.TilesX, int(t)/dirty.TilesX
+		x0, y0 := tx*dirty.TileW, ty*dirty.TileH
+
+		// One scan decides the encoding: collect up to two distinct colors.
+		var c0, c1 img2d.Pixel
+		ncolors := 0
+		for y := y0; y < y0+dirty.TileH && ncolors <= 2; y++ {
+			row := img.Row(y)[x0 : x0+dirty.TileW]
+			for _, p := range row {
+				switch {
+				case ncolors == 0:
+					c0, ncolors = p, 1
+				case ncolors == 1 && p != c0:
+					c1, ncolors = p, 2
+				case ncolors == 2 && p != c0 && p != c1:
+					ncolors = 3
+				}
+			}
+		}
+
+		binary.LittleEndian.PutUint32(word[:], uint32(t))
+		buf.Write(word[:])
+		if ncolors <= 2 {
+			buf.WriteByte(deltaEncBitplane2)
+			binary.LittleEndian.PutUint32(word[:], c0)
+			buf.Write(word[:])
+			binary.LittleEndian.PutUint32(word[:], c1)
+			buf.Write(word[:])
+			for i := range bits {
+				bits[i] = 0
+			}
+			i := 0
+			for y := y0; y < y0+dirty.TileH; y++ {
+				row := img.Row(y)[x0 : x0+dirty.TileW]
+				for _, p := range row {
+					if p == c1 {
+						bits[i>>3] |= 1 << (i & 7)
+					}
+					i++
+				}
+			}
+			buf.Write(bits)
+		} else {
+			buf.WriteByte(deltaEncRaw)
+			for y := y0; y < y0+dirty.TileH; y++ {
+				row := img.Row(y)[x0 : x0+dirty.TileW]
+				for _, p := range row {
+					binary.LittleEndian.PutUint32(word[:], p)
+					buf.Write(word[:])
+				}
+			}
+		}
+	}
+
+	out := make([]byte, 14, 14+buf.Len()/2)
+	binary.LittleEndian.PutUint16(out[0:], deltaVersion)
+	binary.LittleEndian.PutUint32(out[2:], uint32(dim))
+	binary.LittleEndian.PutUint16(out[6:], uint16(dirty.TileW))
+	binary.LittleEndian.PutUint16(out[8:], uint16(dirty.TileH))
+	binary.LittleEndian.PutUint32(out[10:], uint32(len(dirty.Tiles)))
+	zbuf := bytes.NewBuffer(out)
+	zw, err := flate.NewWriter(zbuf, flate.BestCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := zw.Write(buf.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return zbuf.Bytes(), nil
+}
+
+// ApplyDelta patches img in place with the tile patches of a delta
+// payload. img must be the window's previous frame at the delta's
+// geometry. Every structural field is validated so a corrupt or malicious
+// payload errors out instead of panicking or writing out of bounds.
+func ApplyDelta(img *img2d.Image, payload []byte) error {
+	if len(payload) < 14 {
+		return fmt.Errorf("gfx: delta payload truncated (%d bytes)", len(payload))
+	}
+	version := binary.LittleEndian.Uint16(payload[0:])
+	if version != deltaVersion {
+		return fmt.Errorf("gfx: unsupported delta version %d", version)
+	}
+	dim := int(binary.LittleEndian.Uint32(payload[2:]))
+	tileW := int(binary.LittleEndian.Uint16(payload[6:]))
+	tileH := int(binary.LittleEndian.Uint16(payload[8:]))
+	ntiles := int(binary.LittleEndian.Uint32(payload[10:]))
+	if dim != img.Dim() {
+		return fmt.Errorf("gfx: delta dim %d does not match image dim %d", dim, img.Dim())
+	}
+	if tileW <= 0 || tileH <= 0 || dim%tileW != 0 || dim%tileH != 0 {
+		return fmt.Errorf("gfx: delta tile geometry %dx%d invalid for dim %d", tileW, tileH, dim)
+	}
+	tilesX, tilesY := dim/tileW, dim/tileH
+	if ntiles > tilesX*tilesY {
+		return fmt.Errorf("gfx: delta claims %d tiles, grid has %d", ntiles, tilesX*tilesY)
+	}
+	// The tile stream is DEFLATE-compressed; read it tile by tile so a
+	// corrupt ntiles or a decompression bomb can at most make us read the
+	// bounded per-tile sizes below, never allocate from attacker data.
+	br := bytes.NewReader(payload[14:])
+	// bytes.Reader is an io.ByteReader, so flate reads it unbuffered and
+	// br.Len() is exact once the stream's final block ends.
+	zr := flate.NewReader(br)
+	defer zr.Close()
+	npix := tileW * tileH
+	nbits := (npix + 7) / 8
+	thdr := make([]byte, 5)
+	body := make([]byte, max(4*npix, 8+nbits))
+	for k := 0; k < ntiles; k++ {
+		if _, err := io.ReadFull(zr, thdr); err != nil {
+			return fmt.Errorf("gfx: delta payload truncated in tile %d header: %w", k, err)
+		}
+		t := int(binary.LittleEndian.Uint32(thdr[0:]))
+		enc := thdr[4]
+		if t >= tilesX*tilesY {
+			return fmt.Errorf("gfx: delta tile index %d out of range [0,%d)", t, tilesX*tilesY)
+		}
+		tx, ty := t%tilesX, t/tilesX
+		x0, y0 := tx*tileW, ty*tileH
+		switch enc {
+		case deltaEncRaw:
+			p := body[:4*npix]
+			if _, err := io.ReadFull(zr, p); err != nil {
+				return fmt.Errorf("gfx: delta payload truncated in tile %d pixels: %w", k, err)
+			}
+			i := 0
+			for y := y0; y < y0+tileH; y++ {
+				row := img.Row(y)[x0 : x0+tileW]
+				for x := range row {
+					row[x] = binary.LittleEndian.Uint32(p[i:])
+					i += 4
+				}
+			}
+		case deltaEncBitplane2:
+			p := body[:8+nbits]
+			if _, err := io.ReadFull(zr, p); err != nil {
+				return fmt.Errorf("gfx: delta payload truncated in tile %d bitplane: %w", k, err)
+			}
+			c0 := img2d.Pixel(binary.LittleEndian.Uint32(p[0:]))
+			c1 := img2d.Pixel(binary.LittleEndian.Uint32(p[4:]))
+			bits := p[8 : 8+nbits]
+			i := 0
+			for y := y0; y < y0+tileH; y++ {
+				row := img.Row(y)[x0 : x0+tileW]
+				for x := range row {
+					if bits[i>>3]&(1<<(i&7)) != 0 {
+						row[x] = c1
+					} else {
+						row[x] = c0
+					}
+					i++
+				}
+			}
+		default:
+			return fmt.Errorf("gfx: unknown delta tile encoding %d", enc)
+		}
+	}
+	var one [1]byte
+	if n, err := zr.Read(one[:]); n != 0 || (err != nil && err != io.EOF) {
+		return fmt.Errorf("gfx: trailing bytes after delta tiles")
+	}
+	if br.Len() != 0 {
+		return fmt.Errorf("gfx: %d trailing bytes after delta stream", br.Len())
+	}
+	return nil
+}
+
+// Reassembler rebuilds full images from a delta-format record stream:
+// feed it every record in order and it returns the window's current full
+// image after each one. A delta arriving before the window's first
+// keyframe is an error (a hub subscriber is always synced on a keyframe
+// first, so this only happens on corrupt or missequenced streams).
+type Reassembler struct {
+	imgs map[string]*img2d.Image
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{imgs: make(map[string]*img2d.Image)}
+}
+
+// Apply incorporates one record and returns the window's resulting full
+// image. The returned image aliases the reassembler's state: it is valid
+// until the window's next Apply.
+func (ra *Reassembler) Apply(rec *Record) (*img2d.Image, error) {
+	switch rec.Kind {
+	case RecordFull:
+		img, err := img2d.DecodePNG(bytes.NewReader(rec.Payload))
+		if err != nil {
+			return nil, fmt.Errorf("gfx: decoding keyframe %s/%d: %w", rec.Window, rec.Iter, err)
+		}
+		ra.imgs[rec.Window] = img
+		return img, nil
+	case RecordDelta:
+		img := ra.imgs[rec.Window]
+		if img == nil {
+			return nil, fmt.Errorf("gfx: delta record %s/%d before any keyframe", rec.Window, rec.Iter)
+		}
+		if err := ApplyDelta(img, rec.Payload); err != nil {
+			return nil, err
+		}
+		return img, nil
+	default:
+		return nil, fmt.Errorf("gfx: unknown record kind %d", rec.Kind)
+	}
+}

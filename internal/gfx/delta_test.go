@@ -1,0 +1,219 @@
+package gfx
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"easypap/internal/img2d"
+)
+
+// patchImage builds a deterministic pseudo-random image; twoColor tiles
+// are restricted to two colors so the encoder picks bitplane2 for them.
+func patchImage(dim int, seed int64, twoColor bool) *img2d.Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := img2d.New(dim)
+	for y := 0; y < dim; y++ {
+		row := im.Row(y)
+		for x := range row {
+			if twoColor {
+				if rng.Intn(2) == 0 {
+					row[x] = 0xff0000ff
+				} else {
+					row[x] = 0x000000ff
+				}
+			} else {
+				row[x] = rng.Uint32()
+			}
+		}
+	}
+	return im
+}
+
+func fullTileSet(dim, tileW, tileH int) *TileSet {
+	set := &TileSet{TilesX: dim / tileW, TilesY: dim / tileH, TileW: tileW, TileH: tileH}
+	for t := 0; t < set.TilesX*set.TilesY; t++ {
+		set.Tiles = append(set.Tiles, int32(t))
+	}
+	return set
+}
+
+// Round trip: patching a stale base with the dirty tiles of a new image
+// reproduces the new image exactly, for both encodings.
+func TestDeltaRoundTrip(t *testing.T) {
+	for _, twoColor := range []bool{true, false} {
+		for _, seed := range []int64{1, 7, 42} {
+			next := patchImage(32, seed, twoColor)
+			base := patchImage(32, seed+100, twoColor)
+			// Dirty = every tile, so the whole base must be overwritten.
+			set := fullTileSet(32, 8, 8)
+			payload, err := EncodeDelta(next, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ApplyDelta(base, payload); err != nil {
+				t.Fatal(err)
+			}
+			if !base.Equal(next) {
+				t.Errorf("seed %d twoColor=%v: patched image differs (%d pixels)",
+					seed, twoColor, base.DiffCount(next))
+			}
+		}
+	}
+}
+
+// Partial dirty sets only touch their tiles.
+func TestDeltaPartialPatch(t *testing.T) {
+	next := patchImage(32, 3, false)
+	base := patchImage(32, 4, false)
+	want := base.Clone()
+	set := &TileSet{TilesX: 4, TilesY: 4, TileW: 8, TileH: 8, Tiles: []int32{0, 5, 15}}
+	payload, err := EncodeDelta(next, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyDelta(base, payload); err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range set.Tiles {
+		tx, ty := int(tile)%4, int(tile)/4
+		for y := ty * 8; y < ty*8+8; y++ {
+			for x := tx * 8; x < tx*8+8; x++ {
+				want.Set(y, x, next.Get(y, x))
+			}
+		}
+	}
+	if !base.Equal(want) {
+		t.Errorf("partial patch touched pixels outside its tiles (%d diffs)", base.DiffCount(want))
+	}
+}
+
+// Two-color tiles must compress: the bitplane2 encoding packs 1 bit per
+// pixel instead of 32.
+func TestDeltaBitplaneCompression(t *testing.T) {
+	dim, tile := 64, 16
+	binaryImg := patchImage(dim, 9, true)
+	noisyImg := patchImage(dim, 9, false)
+	set := fullTileSet(dim, tile, tile)
+	packed, err := EncodeDelta(binaryImg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := EncodeDelta(noisyImg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed)*8 > len(raw) {
+		t.Errorf("bitplane2 payload %dB not ~32x under raw %dB", len(packed), len(raw))
+	}
+}
+
+// Corrupt delta payloads must error out, never panic or write out of
+// bounds.
+func TestDeltaMalformedPayloadBattery(t *testing.T) {
+	img := patchImage(32, 5, true)
+	set := fullTileSet(32, 8, 8)
+	good, err := EncodeDelta(img, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(mut func(p []byte) []byte) []byte {
+		p := append([]byte(nil), good...)
+		return mut(p)
+	}
+	// craft builds a payload with the good header (ntiles patched) over a
+	// hand-built, properly DEFLATE-compressed tile stream — for corruption
+	// below the compression layer.
+	craft := func(ntiles uint32, tiles []byte) []byte {
+		p := append([]byte(nil), good[:14]...)
+		binary.LittleEndian.PutUint32(p[10:], ntiles)
+		var z bytes.Buffer
+		zw, err := flate.NewWriter(&z, flate.BestSpeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := zw.Write(tiles); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return append(p, z.Bytes()...)
+	}
+	// One raw tile (index 0) so the crafted streams are structurally
+	// complete up to the corrupted field.
+	rawTile := make([]byte, 5+4*8*8)
+	rawTile[4] = 0 // enc = raw
+	badIndex := append([]byte(nil), rawTile...)
+	binary.LittleEndian.PutUint32(badIndex[0:], 99)
+	badEnc := append([]byte(nil), rawTile...)
+	badEnc[4] = 42
+
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"truncated header", good[:10]},
+		{"bad version", mutate(func(p []byte) []byte { p[0] = 99; return p })},
+		{"wrong dim", mutate(func(p []byte) []byte { binary.LittleEndian.PutUint32(p[2:], 64); return p })},
+		{"zero tileW", mutate(func(p []byte) []byte { binary.LittleEndian.PutUint16(p[6:], 0); return p })},
+		{"non-dividing tileH", mutate(func(p []byte) []byte { binary.LittleEndian.PutUint16(p[8:], 7); return p })},
+		{"tile count over grid", mutate(func(p []byte) []byte { binary.LittleEndian.PutUint32(p[10:], 1000); return p })},
+		{"tile index out of range", craft(1, badIndex)},
+		{"unknown encoding", craft(1, badEnc)},
+		{"tile stream under-claims", craft(2, rawTile)},
+		{"tile stream over-claims", craft(1, append(append([]byte(nil), rawTile...), rawTile...))},
+		{"truncated tile body", good[:len(good)-3]},
+		{"trailing garbage", append(append([]byte(nil), good...), 0xde, 0xad)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			target := img.Clone()
+			if err := ApplyDelta(target, tc.payload); err == nil {
+				t.Errorf("corrupt payload accepted")
+			}
+		})
+	}
+}
+
+// The reassembler applies keyframes and deltas in order and refuses a
+// delta with no base.
+func TestReassembler(t *testing.T) {
+	frame1 := patchImage(32, 11, true)
+	frame2 := frame1.Clone()
+	// Mutate one tile to two known colors.
+	frame2.FillRect(8, 8, 8, 8, 0x00ff00ff)
+	set := &TileSet{TilesX: 4, TilesY: 4, TileW: 8, TileH: 8, Tiles: []int32{5}}
+	payload, err := EncodeDelta(frame2, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var png bytes.Buffer
+	if err := frame1.EncodePNG(&png); err != nil {
+		t.Fatal(err)
+	}
+
+	ra := NewReassembler()
+	if _, err := ra.Apply(&Record{Kind: RecordDelta, Window: "main", Iter: 2, Payload: payload}); err == nil {
+		t.Error("delta before keyframe accepted")
+	}
+	img, err := ra.Apply(&Record{Kind: RecordFull, Window: "main", Iter: 1, Payload: png.Bytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(frame1) {
+		t.Error("keyframe did not decode to the original image")
+	}
+	img, err = ra.Apply(&Record{Kind: RecordDelta, Window: "main", Iter: 2, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(frame2) {
+		t.Errorf("keyframe+delta differs from the true frame (%d diffs)", img.DiffCount(frame2))
+	}
+}

@@ -7,6 +7,13 @@ package gfx_test
 // encodes a fixed, fully deterministic frame sequence and compares it
 // against a checked-in golden file.
 //
+// The golden stream has two sections: the original EZFRAME-only
+// sequence (the default full format, unchanged since PR 2), followed by
+// a delta-format sub-sequence — one keyframe plus EZDELTA dirty-tile
+// records covering both tile encodings (bitplane2 and raw). Extending
+// the file instead of adding a second golden keeps the "full prefix
+// unchanged" property visible in the diff whenever it is regenerated.
+//
 // Refresh after an *intentional* format change with:
 //
 //	go test ./internal/gfx/ -run TestStreamGolden -update
@@ -93,8 +100,73 @@ func encodeGoldenSequence(t *testing.T) []byte {
 	return buf.Bytes()
 }
 
+// goldenDeltaSequence builds the delta-format section: a 16x16 two-color
+// keyframe (iter 3) and two EZDELTA records — iter 4 patches one
+// two-color tile (bitplane2 encoding), iter 5 patches one gradient tile
+// (raw encoding). Returns the wire bytes plus the three expected full
+// images in stream order.
+func goldenDeltaSequence(t *testing.T) ([]byte, []*img2d.Image) {
+	t.Helper()
+	const dim, tile = 16, 4
+	base := img2d.New(dim)
+	for y := 0; y < dim; y++ {
+		for x := 0; x < dim; x++ {
+			if (x+y)%2 == 0 {
+				base.Set(y, x, img2d.RGB(255, 0, 0))
+			} else {
+				base.Set(y, x, img2d.RGB(0, 0, 0))
+			}
+		}
+	}
+	// Iter 4: tile 5 (tx=1, ty=1) flips to solid green — two colors in
+	// the tile, so the encoder packs it as bitplane2.
+	f4 := base.Clone()
+	f4.FillRect(1*tile, 1*tile, tile, tile, img2d.RGB(0, 255, 0))
+	// Iter 5: tile 10 (tx=2, ty=2) becomes a gradient — >2 colors, raw.
+	f5 := f4.Clone()
+	for y := 2 * tile; y < 3*tile; y++ {
+		for x := 2 * tile; x < 3*tile; x++ {
+			f5.Set(y, x, img2d.RGB(uint8(x*16), uint8(y*16), 128))
+		}
+	}
+
+	var buf bytes.Buffer
+	var png bytes.Buffer
+	if err := base.EncodePNG(&png); err != nil {
+		t.Fatal(err)
+	}
+	key, err := gfx.EncodeFrameRecord("main", 3, png.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(key)
+	grid := &gfx.TileSet{TilesX: dim / tile, TilesY: dim / tile, TileW: tile, TileH: tile}
+	for _, d := range []struct {
+		iter int
+		img  *img2d.Image
+		dirt []int32
+	}{
+		{4, f4, []int32{5}},
+		{5, f5, []int32{10}},
+	} {
+		set := &gfx.TileSet{TilesX: grid.TilesX, TilesY: grid.TilesY, TileW: tile, TileH: tile, Tiles: d.dirt}
+		payload, err := gfx.EncodeDelta(d.img, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := gfx.EncodeDeltaRecord("main", d.iter, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(rec)
+	}
+	return buf.Bytes(), []*img2d.Image{base, f4, f5}
+}
+
 func TestStreamGolden(t *testing.T) {
-	got := encodeGoldenSequence(t)
+	fullSection := encodeGoldenSequence(t)
+	deltaSection, deltaImgs := goldenDeltaSequence(t)
+	got := append(append([]byte(nil), fullSection...), deltaSection...)
 
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
@@ -125,8 +197,10 @@ func TestStreamGolden(t *testing.T) {
 			goldenPath, len(got), len(want), structural)
 	}
 
-	// The golden bytes must round-trip through the reader: headers,
-	// sizes and pixel content all intact.
+	// The full-format section must still read with the plain ReadFrame
+	// reader — old clients never see EZDELTA on a default stream, and the
+	// golden's EZFRAME prefix is byte-compatible with pre-delta golden
+	// files.
 	r := bufio.NewReader(bytes.NewReader(want))
 	seq := goldenSequence()
 	for i, exp := range seq {
@@ -145,30 +219,54 @@ func TestStreamGolden(t *testing.T) {
 			t.Errorf("record %d: decoded pixels differ from source image", i)
 		}
 	}
-	if _, err := gfx.ReadFrame(r); err != io.EOF {
-		t.Fatalf("expected clean EOF after %d records, got %v", len(seq), err)
+
+	// The delta section reads with ReadRecord and reassembles to the
+	// expected full images: keyframe, bitplane2 patch, raw patch.
+	ra := gfx.NewReassembler()
+	wantKinds := []gfx.RecordKind{gfx.RecordFull, gfx.RecordDelta, gfx.RecordDelta}
+	for i, kind := range wantKinds {
+		rec, err := gfx.ReadRecord(r)
+		if err != nil {
+			t.Fatalf("decoding delta-section record %d: %v", i, err)
+		}
+		if rec.Kind != kind || rec.Window != "main" || rec.Iter != 3+i {
+			t.Fatalf("delta-section record %d = kind %d %s/%d, want kind %d main/%d",
+				i, rec.Kind, rec.Window, rec.Iter, kind, 3+i)
+		}
+		im, err := ra.Apply(rec)
+		if err != nil {
+			t.Fatalf("reassembling delta-section record %d: %v", i, err)
+		}
+		if !im.Equal(deltaImgs[i]) {
+			t.Errorf("delta-section record %d: reassembled pixels differ from source image", i)
+		}
+	}
+	if _, err := gfx.ReadRecord(r); err != io.EOF {
+		t.Fatalf("expected clean EOF after golden records, got %v", err)
 	}
 }
 
-// framesEquivalent reports whether two encoded streams decode to
-// identical frame sequences (same windows, iterations and pixels).
+// framesEquivalent reports whether two encoded streams decode (and
+// reassemble, for delta records) to identical frame sequences — same
+// windows, iterations, kinds and pixels.
 func framesEquivalent(t *testing.T, a, b []byte) bool {
 	t.Helper()
 	ra, rb := bufio.NewReader(bytes.NewReader(a)), bufio.NewReader(bytes.NewReader(b))
+	asmA, asmB := gfx.NewReassembler(), gfx.NewReassembler()
 	for {
-		fa, erra := gfx.ReadFrame(ra)
-		fb, errb := gfx.ReadFrame(rb)
+		fa, erra := gfx.ReadRecord(ra)
+		fb, errb := gfx.ReadRecord(rb)
 		if erra == io.EOF && errb == io.EOF {
 			return true
 		}
 		if erra != nil || errb != nil {
 			return false
 		}
-		if fa.Window != fb.Window || fa.Iter != fb.Iter {
+		if fa.Window != fb.Window || fa.Iter != fb.Iter || fa.Kind != fb.Kind {
 			return false
 		}
-		ia, ea := fa.Decode()
-		ib, eb := fb.Decode()
+		ia, ea := asmA.Apply(fa)
+		ib, eb := asmB.Apply(fb)
 		if ea != nil || eb != nil || !ia.Equal(ib) {
 			return false
 		}

@@ -3,6 +3,8 @@ package gfx
 import (
 	"bufio"
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -94,6 +96,86 @@ func TestStreamTruncatedRecord(t *testing.T) {
 func TestStreamMalformedHeader(t *testing.T) {
 	if _, err := ReadFrame(bufio.NewReader(strings.NewReader("BOGUS main 1 4\nabcd"))); err == nil {
 		t.Error("malformed magic accepted")
+	}
+}
+
+// The malformed-header battery: every corrupt header a peer (or an
+// attacker) could send must map to a typed error — never a panic, never
+// an attempt to honor an absurd allocation.
+func TestStreamHeaderBattery(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  error // sentinel to match with errors.Is (nil: any error)
+	}{
+		{"garbage line", "not a header at all\n", ErrMalformedHeader},
+		{"empty line", "\n", ErrMalformedHeader},
+		{"missing fields", "EZFRAME main\n", ErrMalformedHeader},
+		{"non-numeric iter", "EZFRAME main x 4\nabcd", ErrMalformedHeader},
+		{"non-numeric size", "EZFRAME main 1 x\n", ErrMalformedHeader},
+		{"negative size", "EZFRAME main 1 -4\n", ErrMalformedHeader},
+		{"wrong magic", "EZWRONG main 1 4\nabcd", ErrMalformedHeader},
+		{"oversized record", fmt.Sprintf("EZFRAME main 1 %d\n", MaxRecordPayload+1), ErrRecordTooLarge},
+		{"absurd size", "EZFRAME main 1 999999999999\n", ErrRecordTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFrame(bufio.NewReader(strings.NewReader(tc.input)))
+			if err == nil {
+				t.Fatalf("ReadFrame accepted %q", tc.input)
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Errorf("ReadFrame(%q) = %v, want errors.Is(err, %v)", tc.input, err, tc.want)
+			}
+			// ReadRecord shares the header path and the same discipline.
+			_, err = ReadRecord(bufio.NewReader(strings.NewReader(tc.input)))
+			if err == nil {
+				t.Fatalf("ReadRecord accepted %q", tc.input)
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Errorf("ReadRecord(%q) = %v, want errors.Is(err, %v)", tc.input, err, tc.want)
+			}
+		})
+	}
+	// A header at exactly the cap is structurally fine (just truncated
+	// here): it must fail with short-payload, not the size cap.
+	atCap := fmt.Sprintf("EZFRAME main 1 %d\nxx", MaxRecordPayload)
+	if _, err := ReadFrame(bufio.NewReader(strings.NewReader(atCap))); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("at-cap header: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// A plain ReadFrame client pointed at a delta stream fails cleanly on the
+// first EZDELTA record (old clients never negotiate delta, so seeing one
+// is a protocol violation, not a crash).
+func TestReadFrameRejectsDeltaRecord(t *testing.T) {
+	if _, err := ReadFrame(bufio.NewReader(strings.NewReader("EZDELTA main 2 4\nabcd"))); !errors.Is(err, ErrMalformedHeader) {
+		t.Errorf("EZDELTA via ReadFrame: got %v, want ErrMalformedHeader", err)
+	}
+}
+
+// ReadRecord round-trips both record kinds through Record.Encode.
+func TestRecordEncodeRoundTrip(t *testing.T) {
+	recs := []*Record{
+		{Kind: RecordFull, Window: "main", Iter: 1, Payload: []byte("pngpng")},
+		{Kind: RecordDelta, Window: "main", Iter: 2, Payload: []byte{1, 2, 3}},
+	}
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		buf.Write(rec.Encode())
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range recs {
+		got, err := ReadRecord(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Window != want.Window || got.Iter != want.Iter || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadRecord(r); err != io.EOF {
+		t.Errorf("expected clean EOF, got %v", err)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"easypap/internal/core"
 	"easypap/internal/gfx"
+	"easypap/internal/img2d"
 	"easypap/internal/serve"
 )
 
@@ -278,6 +279,49 @@ func (c *Client) Frames(ctx context.Context, id string, fn func(f *gfx.StreamFra
 			return err
 		}
 		if !fn(f) {
+			return nil
+		}
+	}
+}
+
+// FramesDelta streams the job's frames in the bandwidth-saving delta
+// format (?format=delta: periodic keyframes plus dirty-tile patch
+// records) and reassembles every record into the window's full image
+// before invoking fn. The image passed to fn aliases the reassembler's
+// per-window state: it is valid until fn returns false or the next
+// record of the same window. Semantically equivalent to Frames — same
+// windows, same iterations, byte-identical pixels — just cheaper on the
+// wire for sparse kernels.
+func (c *Client) FramesDelta(ctx context.Context, id string, fn func(window string, iter int, img *img2d.Image) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.Base+"/v1/jobs/"+id+"/frames?format="+string(gfx.FormatDelta), nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", serve.FramesDeltaContentType)
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	ra := gfx.NewReassembler()
+	for {
+		rec, err := gfx.ReadRecord(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		img, err := ra.Apply(rec)
+		if err != nil {
+			return err
+		}
+		if !fn(rec.Window, rec.Iter, img) {
 			return nil
 		}
 	}

@@ -202,6 +202,14 @@ type Node struct {
 	replicateHist *metrics.Histogram
 	gossipHist    *metrics.Histogram
 
+	// Edge frame fan-out (edge.go): one upstream stream per (job,
+	// format) shared by all local viewers of a remote job's frames.
+	edgeMu        sync.Mutex
+	edges         map[string]*edgeStream
+	edgeClosed    bool
+	edgeUpstreams atomic.Int64   // upstream frame streams opened (dedup'd fetches)
+	edgeStats     serve.HubStats // local edge-hub subscriber/drop counters
+
 	// Counters surfaced in ClusterStats.
 	jobsOwned     atomic.Int64 // cluster submissions served by the local manager
 	jobsProxied   atomic.Int64 // submissions forwarded to their owning peer
@@ -230,6 +238,7 @@ func NewNode(mgr *serve.Manager, opts Options) (*Node, error) {
 		members:       make(map[string]*member),
 		rebalanceKick: make(chan struct{}, 1),
 		stop:          make(chan struct{}),
+		edges:         make(map[string]*edgeStream),
 	}
 	self := &member{id: n.id, url: opts.Self, self: true}
 	self.lastSeen.Store(time.Now().UnixNano())
@@ -274,6 +283,7 @@ func (n *Node) Close() {
 		n.mgr.SetEntrySource(nil)
 	}
 	n.mgr.SetShardRunner(nil)
+	n.closeEdges()
 	close(n.stop)
 	n.wg.Wait()
 }
@@ -586,6 +596,12 @@ type ClusterStats struct {
 	ReplicaFetched int64 `json:"replica_fetched"` // remote-hit fetches served to local misses
 	Rebalanced     int64 `json:"rebalanced"`      // entries migrated after ring changes
 	RebalanceBytes int64 `json:"rebalance_bytes"`
+
+	// Edge frame fan-out: a viewing non-owner opens ONE upstream stream
+	// per (job, format) and fans it out to all local subscribers.
+	EdgeUpstreams    int64 `json:"edge_upstreams"`
+	EdgeSubscribers  int64 `json:"edge_subscribers"`
+	EdgeDroppedToKey int64 `json:"edge_dropped_to_keyframe"`
 }
 
 // NodeStats is the cluster-mode GET /v1/stats body: the single-node
@@ -618,6 +634,10 @@ func (n *Node) Stats() NodeStats {
 			ReplicaFetched: n.replFetched.Load(),
 			Rebalanced:     n.rebalanced.Load(),
 			RebalanceBytes: n.rebalBytes.Load(),
+
+			EdgeUpstreams:    n.edgeUpstreams.Load(),
+			EdgeSubscribers:  n.edgeStats.Subscribers.Load(),
+			EdgeDroppedToKey: n.edgeStats.DroppedToKey.Load(),
 		},
 	}
 }

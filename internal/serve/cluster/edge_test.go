@@ -1,0 +1,238 @@
+package cluster_test
+
+// The viewing-edge path: any node serves GET /v1/jobs/{id}/frames for a
+// peer-owned job by proxying ONE upstream stream per (job, format) and
+// fanning it out to every local subscriber through an edge hub.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"easypap/internal/core"
+	"easypap/internal/gfx"
+	"easypap/internal/serve"
+	"easypap/internal/serve/client"
+)
+
+// lifeFramesCfg is a deterministic frames job with delta-friendly
+// dirty-tile reporting (lazy variant).
+func lifeFramesCfg(iters int) core.Config {
+	return core.Config{
+		Kernel: "life", Variant: "lazy", Dim: 64, TileW: 8, TileH: 8,
+		Iterations: iters, Threads: 2, Arg: "diag",
+	}
+}
+
+func serveOptsForEdge() serve.Options {
+	return serve.Options{Workers: 2, QueueDepth: 16}
+}
+
+// fetchStream GETs a frame stream URL and returns the raw body.
+func fetchStream(t *testing.T, url string) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestEdgeFanOutSingleUpstream: N viewers on a non-owner node share one
+// upstream stream, every viewer sees byte-identical frames, and the
+// same is true independently for the delta format.
+func TestEdgeFanOutSingleUpstream(t *testing.T) {
+	tc := startCluster(t, 3, serveOptsForEdge())
+	ctx := context.Background()
+
+	multi := client.NewMulti(tc.urls...)
+	st, _, err := multi.Submit(ctx, lifeFramesCfg(40), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := tc.ownerIndex(lifeFramesCfg(40), true)
+	if _, err := client.New(tc.urls[owner]).Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	edge := (owner + 1) % len(tc.urls)
+
+	// Burst of concurrent viewers on the edge node, both formats.
+	const viewers = 6
+	var wg sync.WaitGroup
+	bodies := make([][]byte, viewers)
+	deltas := make([][]byte, viewers)
+	for i := 0; i < viewers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i] = fetchStream(t, tc.urls[edge]+"/v1/jobs/"+st.ID+"/frames")
+			deltas[i] = fetchStream(t, tc.urls[edge]+"/v1/jobs/"+st.ID+"/frames?format=delta")
+		}(i)
+	}
+	wg.Wait()
+
+	sum := sha256.Sum256(bodies[0])
+	dsum := sha256.Sum256(deltas[0])
+	for i := 1; i < viewers; i++ {
+		if sha256.Sum256(bodies[i]) != sum {
+			t.Errorf("viewer %d full stream differs from viewer 0", i)
+		}
+		if sha256.Sum256(deltas[i]) != dsum {
+			t.Errorf("viewer %d delta stream differs from viewer 0", i)
+		}
+	}
+
+	// The edge stream equals the owner's own stream byte for byte.
+	direct := fetchStream(t, tc.urls[owner]+"/v1/jobs/"+st.ID+"/frames")
+	if !bytes.Equal(direct, bodies[0]) {
+		t.Error("edge-proxied stream differs from the owner's stream")
+	}
+
+	// The burst shared upstream streams: at most one per format — not one
+	// per viewer. (Viewers that arrive after the last ref released may
+	// redial, hence <= 2 per format rather than == 1; the concurrency
+	// dedup is asserted exactly in TestEdgeConcurrentViewersShareDial.)
+	ups := tc.nodes[edge].Stats().Cluster.EdgeUpstreams
+	if ups < 2 || ups > 2*viewers/3 {
+		t.Errorf("edge opened %d upstream streams for %d viewers x 2 formats", ups, viewers)
+	}
+	if tc.nodes[owner].Stats().Cluster.EdgeUpstreams != 0 {
+		t.Error("owner node recorded edge upstreams for its own job")
+	}
+
+	// The delta stream reassembles to the same pixels as the full stream.
+	raFull, raDelta := gfx.NewReassembler(), gfx.NewReassembler()
+	fr := bufio.NewReader(bytes.NewReader(bodies[0]))
+	dr := bufio.NewReader(bytes.NewReader(deltas[0]))
+	frames := 0
+	for {
+		frec, ferr := gfx.ReadRecord(fr)
+		drec, derr := gfx.ReadRecord(dr)
+		if ferr == io.EOF && derr == io.EOF {
+			break
+		}
+		if ferr != nil || derr != nil {
+			t.Fatalf("stream decode: full=%v delta=%v", ferr, derr)
+		}
+		fi, err := raFull.Apply(frec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		di, err := raDelta.Apply(drec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frec.Iter != drec.Iter || !fi.Equal(di) {
+			t.Fatalf("iter %d/%d: edge delta frame differs from full frame", frec.Iter, drec.Iter)
+		}
+		frames++
+	}
+	if frames != 40 {
+		t.Errorf("edge streams carried %d frames, want 40", frames)
+	}
+}
+
+// TestEdgeConcurrentViewersShareDial pins the singleflight exactly: a
+// simultaneous burst on an idle edge results in exactly one upstream
+// dial because every viewer holds its ref for the whole read.
+func TestEdgeConcurrentViewersShareDial(t *testing.T) {
+	tc := startCluster(t, 2, serveOptsForEdge())
+	ctx := context.Background()
+
+	multi := client.NewMulti(tc.urls...)
+	cfg := lifeFramesCfg(30)
+	st, _, err := multi.Submit(ctx, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := tc.ownerIndex(cfg, true)
+	if _, err := client.New(tc.urls[owner]).Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	edge := (owner + 1) % len(tc.urls)
+
+	// Start every request at the same instant; each keeps its edge ref
+	// until its body is fully read, so the streams overlap and share.
+	const viewers = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	sums := make([][32]byte, viewers)
+	for i := 0; i < viewers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			sums[i] = sha256.Sum256(fetchStream(t, tc.urls[edge]+"/v1/jobs/"+st.ID+"/frames"))
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 1; i < viewers; i++ {
+		if sums[i] != sums[0] {
+			t.Errorf("viewer %d stream differs", i)
+		}
+	}
+	if ups := tc.nodes[edge].Stats().Cluster.EdgeUpstreams; ups != 1 {
+		t.Errorf("edge opened %d upstream streams for a simultaneous burst, want 1", ups)
+	}
+	if proxied := tc.nodes[edge].Stats().Cluster.StatusProxied; proxied < viewers {
+		t.Errorf("status_proxied = %d, want >= %d", proxied, viewers)
+	}
+}
+
+// TestEdgeRelaysUpstreamErrors: the owner's error answers pass through
+// the edge verbatim — a non-frames job is 409 and an unknown job 404 on
+// the edge exactly as on the owner.
+func TestEdgeRelaysUpstreamErrors(t *testing.T) {
+	tc := startCluster(t, 2, serveOptsForEdge())
+	ctx := context.Background()
+
+	multi := client.NewMulti(tc.urls...)
+	cfg := mandelCfg(2, 16)
+	st, _, err := multi.Submit(ctx, cfg, false) // no frames
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := tc.ownerIndex(cfg, false)
+	if _, err := client.New(tc.urls[owner]).Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	edge := (owner + 1) % len(tc.urls)
+
+	status := func(url string) int {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if got := status(tc.urls[edge] + "/v1/jobs/" + st.ID + "/frames"); got != http.StatusConflict {
+		t.Errorf("edge frames of a non-frames job: %d, want 409", got)
+	}
+	ownerID := tc.nodes[owner].ID()
+	if got := status(tc.urls[edge] + "/v1/jobs/" + ownerID + ".j-999999/frames"); got != http.StatusNotFound {
+		t.Errorf("edge frames of an unknown job: %d, want 404", got)
+	}
+}

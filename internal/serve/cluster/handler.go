@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -254,24 +255,54 @@ func (n *Node) handleJob(w http.ResponseWriter, r *http.Request) {
 	n.proxyJobRequest(w, r, node, "/v1/jobs/"+id)
 }
 
-// handleFrames streams a job's frames, proxying when the job lives on a
-// peer. The proxy path flushes per chunk so live frames stay live
-// through the extra hop.
+// handleFrames streams a job's frames. Locally owned jobs subscribe to
+// the manager's hub directly. For a peer-owned job this node acts as a
+// viewing edge: all local viewers share ONE upstream stream per (job,
+// format), fanned out through a local hub (edge.go) — instead of one
+// owner connection per viewer.
 func (n *Node) handleFrames(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	node, local, prefixed := SplitJobID(id)
+	format := serve.FrameFormat(r)
 	if !prefixed || node == n.id {
-		rd, err := n.mgr.FrameStream(local)
+		rd, err := n.mgr.FrameStream(r.Context(), local, format)
 		if err != nil {
 			serve.WriteError(w, serve.JobStatusCode(err), err)
 			return
 		}
-		w.Header().Set("Content-Type", "application/x-easypap-frames")
+		defer rd.Close()
+		w.Header().Set("Content-Type", serve.FrameContentType(format))
 		w.WriteHeader(http.StatusOK)
 		streamAll(w, rd)
 		return
 	}
-	n.proxyJobRequest(w, r, node, "/v1/jobs/"+id+"/frames")
+	m := n.memberByID(node)
+	if m == nil {
+		serve.WriteError(w, http.StatusNotFound,
+			fmt.Errorf("cluster: job id names unknown node %q", node))
+		return
+	}
+	n.statusProxied.Add(1)
+	es, err := n.acquireEdge(r.Context(), m, id, format)
+	if err != nil {
+		var ue *edgeUpstreamError
+		if errors.As(err, &ue) {
+			// Relay the owner's answer (404 unknown job, 409 no frames, ...)
+			// verbatim.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(ue.Status)
+			w.Write(ue.Body)
+			return
+		}
+		serve.WriteError(w, http.StatusBadGateway, err)
+		return
+	}
+	defer n.releaseEdge(es)
+	rd := es.hub.Subscribe(r.Context(), format)
+	defer rd.Close()
+	w.Header().Set("Content-Type", serve.FrameContentType(format))
+	w.WriteHeader(http.StatusOK)
+	streamAll(w, rd)
 }
 
 // proxyJobRequest forwards a status/cancel/frames call to the node a job

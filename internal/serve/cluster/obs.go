@@ -41,6 +41,14 @@ func (n *Node) registerObs() {
 	ctr("easypapd_rebalanced_total", "Entries migrated by the rebalancer.", &n.rebalanced)
 	ctr("easypapd_rebalance_bytes_total", "Bytes moved by the rebalancer.", &n.rebalBytes)
 
+	// Edge frame fan-out: dedup'd upstream fetches plus the local edge
+	// hubs' subscriber/drop counters (the manager's own hubs report under
+	// easypapd_frame_*; these series are the proxy layer's).
+	ctr("easypapd_edge_upstream_streams_total", "Upstream frame streams opened by the edge fan-out (one per job/format, not per viewer).", &n.edgeUpstreams)
+	ctr("easypapd_edge_dropped_keyframe_total", "Edge-hub slow-subscriber catch-ups that skipped ahead to a keyframe.", &n.edgeStats.DroppedToKey)
+	reg.GaugeFunc("easypapd_edge_subscribers", "Viewers currently attached to local edge frame hubs.", nil,
+		func() float64 { return float64(n.edgeStats.Subscribers.Load()) })
+
 	reg.GaugeFunc("easypapd_ring_version", "Ring swap counter (the convergence clock).", nil,
 		func() float64 { return float64(n.ringVersion.Load()) })
 	reg.GaugeFunc("easypapd_ring_nodes", "Members on the ring (non-dead).", nil, func() float64 {

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"easypap/internal/core"
+	"easypap/internal/gfx"
 )
 
 // The /v1 API:
@@ -87,12 +89,16 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}/frames", func(w http.ResponseWriter, r *http.Request) {
-		rd, err := m.FrameStream(r.PathValue("id"))
+		format := FrameFormat(r)
+		// r.Context() is the subscription context: a disconnected client
+		// unblocks the hub reader instead of parking it until job end.
+		rd, err := m.FrameStream(r.Context(), r.PathValue("id"), format)
 		if err != nil {
 			WriteError(w, JobStatusCode(err), err)
 			return
 		}
-		w.Header().Set("Content-Type", "application/x-easypap-frames")
+		defer rd.Close()
+		w.Header().Set("Content-Type", FrameContentType(format))
 		w.WriteHeader(http.StatusOK)
 		flusher, _ := w.(http.Flusher)
 		buf := make([]byte, 64<<10)
@@ -137,6 +143,36 @@ func NewHandler(m *Manager) http.Handler {
 // TraceHeader carries the distributed trace id across proxy hops,
 // replica fetches, and client submissions.
 const TraceHeader = "X-Easypap-Trace"
+
+// Frame-stream content types. The full format is the golden-pinned
+// default; delta is opt-in (see FrameFormat).
+const (
+	FramesContentType      = "application/x-easypap-frames"
+	FramesDeltaContentType = "application/x-easypap-frames-delta"
+)
+
+// FrameFormat negotiates the frame-stream wire format of a request:
+// ?format=delta or an Accept header naming the delta content type opt in
+// to dirty-tile delta records; everything else gets the default full
+// stream. Exported for the cluster layer, which negotiates the same way
+// on its edge-proxy path.
+func FrameFormat(r *http.Request) gfx.StreamFormat {
+	if r.URL.Query().Get("format") == string(gfx.FormatDelta) {
+		return gfx.FormatDelta
+	}
+	if strings.Contains(r.Header.Get("Accept"), FramesDeltaContentType) {
+		return gfx.FormatDelta
+	}
+	return gfx.FormatFull
+}
+
+// FrameContentType maps a stream format to its Content-Type.
+func FrameContentType(format gfx.StreamFormat) string {
+	if format == gfx.FormatDelta {
+		return FramesDeltaContentType
+	}
+	return FramesContentType
+}
 
 // RetryAfterSeconds is the Retry-After value sent with every 429: the
 // queue is bounded and jobs are short, so "come back in a second" is

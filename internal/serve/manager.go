@@ -222,7 +222,7 @@ type job struct {
 	hash    string
 	traceID string      // correlates service spans across nodes
 	cfg     core.Config // normalized, scrubbed
-	frames  *frameHub   // nil unless the submission requested frames
+	frames  *FrameHub   // nil unless the submission requested frames
 	shards  int         // requested shard count (0/1: plain local run)
 	cancel  context.CancelFunc
 	ctx     context.Context
@@ -345,6 +345,10 @@ type Manager struct {
 	shardsExecuted  atomic.Int64
 	halosSent       atomic.Int64
 	halosSkipped    atomic.Int64
+
+	// frameStats aggregates every job hub's subscriber/drop/byte counters
+	// (one struct for the whole manager; hubs share it).
+	frameStats HubStats
 
 	kmu     sync.Mutex
 	kernels map[string]*kernelStats
@@ -586,7 +590,7 @@ func (m *Manager) SubmitShards(cfg core.Config, wantFrames bool, traceID string,
 		done:      make(chan struct{}),
 	}
 	if wantFrames {
-		j.frames = newFrameHub()
+		j.frames = NewFrameHub(HubOptions{Stats: &m.frameStats})
 	}
 	// The admit span closes on every exit path: cache-answered, rejected,
 	// or enqueued. Its histogram is the admission-wait distribution.
@@ -785,10 +789,8 @@ func (m *Manager) runJob(j *job) {
 		m.span(m.obs.lease, j.traceID, j.id, StageLease, leaseStart, time.Now(), nil)
 		opts.Pool = leased
 	}
-	var sink *gfx.StreamSink
 	if j.frames != nil {
-		sink = gfx.NewStreamSink(j.frames)
-		opts.Sink = sink
+		opts.Sink = newHubSink(j.frames)
 	}
 
 	computeStart := time.Now()
@@ -876,8 +878,8 @@ func (m *Manager) finish(j *job, out *core.RunOutput, err error) {
 	if j.frames != nil {
 		// Every terminal path must end the stream — a job canceled while
 		// still queued (or drained at shutdown) has subscribers blocked in
-		// hubReader.Read too.
-		j.frames.closeHub()
+		// HubReader.Read too.
+		j.frames.Close()
 	}
 	if j.cancel != nil {
 		j.cancel()
@@ -986,10 +988,15 @@ func (m *Manager) Wait(ctx context.Context, id string) (*JobStatus, error) {
 	}
 }
 
-// FrameStream returns a reader over the job's frame stream (gfx stream
-// records, decodable with gfx.ReadFrame). Late subscribers replay from
-// the first frame; the reader ends when the job finishes.
-func (m *Manager) FrameStream(id string) (io.Reader, error) {
+// FrameStream returns a reader over the job's frame stream in the
+// requested format (FormatFull: EZFRAME records decodable with
+// gfx.ReadFrame; FormatDelta: keyframes plus EZDELTA patches, decodable
+// with gfx.ReadRecord). Late subscribers replay from the oldest record
+// the hub still retains — the whole stream for short jobs, the bounded
+// tail for long ones. The reader unblocks with ctx's error when ctx is
+// canceled and reaches io.EOF when the job finishes; the caller must
+// Close it to release the subscriber slot.
+func (m *Manager) FrameStream(ctx context.Context, id string, format gfx.StreamFormat) (io.ReadCloser, error) {
 	j, err := m.lookup(id)
 	if err != nil {
 		return nil, err
@@ -997,7 +1004,7 @@ func (m *Manager) FrameStream(id string) (io.Reader, error) {
 	if j.frames == nil {
 		return nil, fmt.Errorf("%w: %q", ErrNoFrames, id)
 	}
-	return j.frames.reader(), nil
+	return j.frames.Subscribe(ctx, format), nil
 }
 
 // Stats is the GET /v1/stats body.
@@ -1053,6 +1060,17 @@ type Stats struct {
 	PoolColdLeases int64 `json:"pool_cold_leases"`
 	PoolsIdle      int   `json:"pools_idle"`
 
+	// Frame-streaming counters (the broadcast hub; see hub.go). Gauge +
+	// counters, no omitempty like every counter above.
+	FrameSubscribers    int64 `json:"frame_subscribers"`
+	FrameDroppedToKey   int64 `json:"frame_dropped_to_keyframe"`
+	FramePostCloseDrops int64 `json:"frame_post_close_drops"`
+	// FrameFullBytes is what the job hubs published as full-frame
+	// encodings; FrameDeltaBytes is what a delta subscriber receives for
+	// the same records — the spread is the delta savings.
+	FrameFullBytes  int64 `json:"frame_full_bytes"`
+	FrameDeltaBytes int64 `json:"frame_delta_bytes"`
+
 	// Kernels maps kernel name to serving throughput.
 	Kernels map[string]KernelThroughput `json:"kernels"`
 }
@@ -1098,6 +1116,12 @@ func (m *Manager) Stats() Stats {
 		ShardsExecuted:  m.shardsExecuted.Load(),
 		HalosSent:       m.halosSent.Load(),
 		HalosSkipped:    m.halosSkipped.Load(),
+
+		FrameSubscribers:    m.frameStats.Subscribers.Load(),
+		FrameDroppedToKey:   m.frameStats.DroppedToKey.Load(),
+		FramePostCloseDrops: m.frameStats.PostCloseDrops.Load(),
+		FrameFullBytes:      m.frameStats.FullBytes.Load(),
+		FrameDeltaBytes:     m.frameStats.DeltaBytes.Load(),
 	}
 	s.RemoteHits = m.remoteHits.Load()
 	if m.store != nil {

@@ -116,6 +116,20 @@ func newManagerObs(m *Manager) *managerObs {
 	ctr("easypapd_halos_sent_total", "Halo boundary-row messages sent by local shard ranks.", nil, &m.halosSent)
 	ctr("easypapd_halos_skipped_total", "Halo edges skipped because the frontier proved them quiet.", nil, &m.halosSkipped)
 
+	// Frame-streaming series: the broadcast hub's shared counters (the
+	// same atomics /v1/stats samples). Byte counters are labeled by
+	// format so the delta savings is a PromQL one-liner.
+	reg.GaugeFunc("easypapd_frame_subscribers", "Frame-stream subscribers currently attached.", nil,
+		func() float64 { return float64(m.frameStats.Subscribers.Load()) })
+	ctr("easypapd_frames_dropped_keyframe_total", "Slow-subscriber catch-ups that skipped ahead to a keyframe.", nil,
+		&m.frameStats.DroppedToKey)
+	ctr("easypapd_frame_post_close_drops_total", "Frame publishes dropped because the job's hub was already closed.", nil,
+		&m.frameStats.PostCloseDrops)
+	ctr("easypapd_frame_bytes_total", "Encoded frame bytes published, by stream format.",
+		metrics.Labels{"format": "full"}, &m.frameStats.FullBytes)
+	ctr("easypapd_frame_bytes_total", "Encoded frame bytes published, by stream format.",
+		metrics.Labels{"format": "delta"}, &m.frameStats.DeltaBytes)
+
 	ctr("easypapd_spills_total", "Results written behind to the disk tier.", nil, &m.spills)
 	ctr("easypapd_spill_errors_total", "Disk-tier writes that failed.", nil, &m.spillErrs)
 	ctr("easypapd_spill_dropped_total", "Spills dropped because the write-behind queue was full.", nil, &m.spillDrops)
