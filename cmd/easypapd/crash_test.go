@@ -274,6 +274,123 @@ func TestCrashRestartRecovery(t *testing.T) {
 	}
 }
 
+// frameTail extracts the frame records from a raw disk entry — the
+// part of the entry that is a pure function of the computed image
+// (the Result JSON ahead of it carries wall-clock timings, which
+// legitimately differ between runs).
+func frameTail(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	i := bytes.Index(raw, []byte("EZFRAME final "))
+	if i < 0 {
+		t.Fatalf("disk entry carries no final frame record (%d bytes)", len(raw))
+	}
+	return raw[i:]
+}
+
+// TestCrashRestartResumesFromCheckpoint: with -snapshot-every the
+// daemon checkpoints kernel state mid-job, so a SIGKILL'd job restarts
+// from its deepest durable checkpoint instead of iteration zero — the
+// restarted generation computes strictly fewer iterations than the job
+// asked for, yet produces a result byte-identical to an uninterrupted
+// run.
+func TestCrashRestartResumesFromCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process crash test; skipped under -short")
+	}
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+	port := freePort(t)
+
+	// life is stateful (unlike mandel, whose iterations are independent),
+	// so a wrong resume would visibly corrupt the final board.
+	cfg := core.Config{Kernel: "life", Variant: "seq", Dim: 256, TileW: 8,
+		Iterations: 4000, Threads: 1, Seed: 7}
+
+	// --- generation 1: checkpoint mid-job, then SIGKILL ---------------
+	d1 := startDaemon(t, bin, port, dataDir, "-snapshot-every", "64")
+	st, err := d1.submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for at least two durable checkpoints, then crash while the
+	// job is still running — the whole point is dying mid-flight.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if d1.stats(t).SnapshotsWritten >= 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := d1.stats(t); got.SnapshotsWritten < 2 {
+		t.Fatalf("snapshots_written=%d, want >= 2 before the crash", got.SnapshotsWritten)
+	}
+	var cur serve.JobStatus
+	if err := d1.getJSON("/v1/jobs/"+st.ID, &cur); err != nil {
+		t.Fatal(err)
+	}
+	if cur.State.Terminal() {
+		t.Fatalf("job finished before the crash (%s) — raise Iterations", cur.State)
+	}
+	d1.kill()
+
+	// --- generation 2: recover, resume, finish ------------------------
+	d2 := startDaemon(t, bin, port, dataDir, "-snapshot-every", "64")
+	done, err := d2.wait(st.ID, 120*time.Second)
+	if err != nil {
+		t.Fatalf("recovered job %s: %v", st.ID, err)
+	}
+	if done.State != serve.JobDone || !done.Recovered {
+		t.Fatalf("recovered job: %+v", done)
+	}
+	if done.Result == nil || done.Result.ResumedFrom <= 0 {
+		t.Fatalf("recovered job did not resume from a checkpoint: %+v", done.Result)
+	}
+	if done.Result.Iterations != cfg.Iterations {
+		t.Fatalf("recovered job reports %d iterations, want %d", done.Result.Iterations, cfg.Iterations)
+	}
+	stats := d2.stats(t)
+	if stats.SnapshotsResumed < 1 {
+		t.Fatalf("snapshots_resumed=%d, want >= 1", stats.SnapshotsResumed)
+	}
+	// The restarted generation computed only the suffix: the kernel
+	// counter stays strictly below the job's total depth.
+	if got := stats.Kernels["life"].Iterations; got <= 0 || got >= int64(cfg.Iterations) {
+		t.Fatalf("generation 2 computed %d iterations, want 0 < n < %d (resume skipped the prefix)",
+			got, cfg.Iterations)
+	}
+	// Wait for the spill so the disk entry is readable.
+	deadline = time.Now().Add(10 * time.Second)
+	for d2.stats(t).Spills < 1 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	resumed := entryBytes(t, dataDir, done.Hash)
+
+	// --- reference: the same config, never interrupted ----------------
+	refDir := t.TempDir()
+	refPort := freePort(t)
+	dr := startDaemon(t, bin, refPort, refDir)
+	refSt, err := dr.submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSt, err = dr.wait(refSt.ID, 120*time.Second); err != nil {
+		t.Fatal(err)
+	} else if refSt.State != serve.JobDone {
+		t.Fatalf("reference run: %+v", refSt)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for dr.stats(t).Spills < 1 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if refSt.Hash != done.Hash {
+		t.Fatalf("reference hashed %s, recovered job %s", refSt.Hash, done.Hash)
+	}
+	ref := entryBytes(t, refDir, refSt.Hash)
+	if !bytes.Equal(frameTail(t, resumed), frameTail(t, ref)) {
+		t.Fatal("resumed result differs from the uninterrupted run — the checkpoint corrupted the board")
+	}
+}
+
 // TestCrashRestartInterruptPolicy: with -recover interrupt the crashed
 // jobs come back terminal with the typed "interrupted" status instead
 // of re-running.

@@ -78,6 +78,21 @@
 //	easypapd -addr :8080 -data-dir /var/lib/easypapd \
 //	         -cache-max-bytes 268435456 -recover requeue -durability fsync
 //
+// With -snapshot-every N (DESIGN.md §14) the daemon additionally
+// checkpoints every running single-process job of a snapshot-capable
+// kernel (life, fire, sandpile, asandpile) every N iterations: the
+// kernel's mid-run state lands in the same content-addressed store
+// under the config's iteration-free prefix hash. Any later submission
+// sharing that prefix — the same config at a deeper iteration count, or
+// the same job re-enqueued after a crash — resumes from the deepest
+// stored checkpoint instead of recomputing the shared prefix, with
+// byte-identical results. Checkpointed frames jobs survive a restart
+// too (they resume; snapshot-less frames jobs stay interrupted), and
+// with -replicate R checkpoints ride the same R-way replication as
+// results. stats report snapshots_written/snapshots_resumed.
+//
+//	easypapd -addr :8080 -data-dir /var/lib/easypapd -snapshot-every 64
+//
 // Observability (DESIGN.md §11): every daemon exposes Prometheus-text
 // metrics at GET /metrics (per-stage latency histograms, queue/cache/
 // ring gauges, the /v1/stats counters) — disable with -metrics=false —
@@ -143,6 +158,7 @@ func run(args []string) error {
 		dataDir   = fs.String("data-dir", "", "persistence: directory for the disk result cache and job journal (empty = in-memory only)")
 		cacheMax  = fs.Int64("cache-max-bytes", 0, "persistence: disk cache budget in bytes (default 256 MiB)")
 		recovery  = fs.String("recover", "requeue", "persistence: fate of journaled in-flight jobs on restart (requeue|interrupt)")
+		snapEvery = fs.Int("snapshot-every", 0, "persistence: checkpoint running jobs every N iterations so restarts and shared-prefix submissions resume instead of recomputing (0 = off; needs -data-dir)")
 		durable   = fs.String("durability", "async", "persistence: async (crash-consistent, fast) or fsync (power-fail durable) commits")
 		metricsOn = fs.Bool("metrics", true, "observability: serve Prometheus-text metrics at GET /metrics")
 		pprofAddr = fs.String("pprof-addr", "", "observability: side listener for net/http/pprof (e.g. 127.0.0.1:6060; empty = off)")
@@ -189,6 +205,7 @@ func run(args []string) error {
 		HaloTimeout:      *haloTO,
 		Store:            st,
 		Recover:          recoverPolicy,
+		SnapshotEvery:    *snapEvery,
 	})
 
 	handler := serve.NewHandler(mgr)

@@ -1,0 +1,29 @@
+package core
+
+// StateCodec serializes a kernel's private mid-run state — the working
+// grid plus, for lazy variants, the tilegrid frontier bitsets — so a run
+// can be checkpointed at an iteration boundary and resumed later without
+// recomputing the prefix. Kernels opt in by setting Kernel.Codec; a nil
+// codec means the kernel cannot be snapshotted and the serving layer
+// falls back to whole-run recompute.
+//
+// The contract is exact-state round-tripping at an iteration boundary:
+// for any ctx that has completed k iterations, DecodeState(ctx2,
+// EncodeState(ctx)) into a freshly Init'ed ctx2 of the same Config must
+// leave ctx2 in a state from which computing the remaining N-k
+// iterations produces a byte-identical final image, an identical
+// convergence point, and (for lazy variants) an identical active-tile
+// series — pinned by the resume-equivalence battery in
+// internal/kernels. The encoding is kernel-private bytes; versioning and
+// integrity live in the EZSNAP1 envelope (internal/serve/store), not
+// here.
+type StateCodec interface {
+	// EncodeState captures the kernel state after a completed iteration.
+	// It must not retain or mutate ctx.
+	EncodeState(ctx *Ctx) ([]byte, error)
+	// DecodeState restores a previously encoded state into a ctx on
+	// which Kernel.Init has already run (so allocation and geometry are
+	// in place). It must reject byte slices that do not match the ctx
+	// geometry rather than restoring a torn state.
+	DecodeState(ctx *Ctx, data []byte) error
+}

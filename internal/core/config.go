@@ -186,7 +186,14 @@ func isMPIVariant(v string) bool {
 type Result struct {
 	Config     Config        `json:"config"`
 	WallTime   time.Duration `json:"wall_ns"`
-	Iterations int           `json:"iterations"` // iterations actually computed (lazy kernels may stop early)
+	Iterations int           `json:"iterations"` // total iterations reached (lazy kernels may stop early)
+
+	// ResumedFrom is the iteration this run was restored to from a
+	// checkpoint before computing; 0 for cold runs (and omitted, so cold
+	// results serialize exactly as before checkpointing existed). The
+	// iterations actually computed by this run are
+	// Iterations - ResumedFrom.
+	ResumedFrom int `json:"resumed_from,omitempty"`
 
 	// Activity is the per-iteration tile-frontier series reported by lazy
 	// kernel variants (nil for eager variants): the job's frontier-collapse

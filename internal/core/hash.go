@@ -43,6 +43,36 @@ func (c Config) Hash() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// CanonicalPrefix returns the canonical form with the iteration count
+// removed: the identity of the *trajectory* a config computes rather
+// than of one stopping point on it. Two configs that differ only in
+// Iterations share every computed iteration, so they share this string —
+// it is the basis of the snapshot key space (a checkpoint taken at
+// iteration k of one run is a valid resume point for any deeper run of
+// the same prefix).
+func (c Config) CanonicalPrefix() (string, error) {
+	n, err := c.Normalize()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(
+		"kernel=%s variant=%s dim=%d tile=%dx%d threads=%d sched=%s ranks=%d arg=%q seed=%d",
+		n.Kernel, n.Variant, n.Dim, n.TileW, n.TileH,
+		n.Threads, n.Schedule, n.MPIRanks, n.Arg, n.Seed), nil
+}
+
+// PrefixHash returns the hex SHA-256 of the canonical prefix form — the
+// iteration-independent identity under which snapshots are stored. The
+// snapshot key is the pair (PrefixHash, iter).
+func (c Config) PrefixHash() (string, error) {
+	s, err := c.CanonicalPrefix()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // HashPoint maps a Config.Hash value onto the uint64 key space used by
 // consistent-hash routing (internal/serve/cluster): the first 64 bits of
 // the SHA-256, which are uniformly distributed over the ring. Non-hash

@@ -25,6 +25,11 @@ type Kernel struct {
 	Refresh        func(ctx *Ctx)
 	Variants       map[string]ComputeFunc
 	DefaultVariant string
+
+	// Codec, when non-nil, serializes the kernel's mid-run state for
+	// iteration-prefix checkpointing (see StateCodec). Kernels without a
+	// codec simply never produce or consume snapshots.
+	Codec StateCodec
 }
 
 // VariantNames returns the kernel's variant names, sorted.

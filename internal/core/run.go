@@ -93,6 +93,40 @@ type RunOptions struct {
 	// local rank. A serving shard wires its per-node halo counters and
 	// stage histogram here.
 	OnHalo func(sent, skipped, bytes int64, d time.Duration)
+
+	// Resume, when non-nil, restores a checkpoint before computing: the
+	// kernel is Init'ed as usual, then its Codec decodes Resume.State and
+	// the iteration counter starts at Resume.Iter, so only the remaining
+	// Iterations-Iter iterations are computed. Requires a kernel with a
+	// StateCodec and a single-process run (no Comm, MPIRanks <= 1) — the
+	// snapshot captures whole-grid state, which one rank of a band
+	// decomposition cannot consume.
+	Resume *ResumeState
+
+	// SnapshotEvery, when positive (and OnSnapshot is set, the kernel
+	// has a Codec, and the run is single-process), checkpoints the
+	// kernel state at every iteration whose absolute index is a multiple
+	// of this value. Boundaries are absolute, so a run resumed from
+	// iteration 300 with SnapshotEvery=200 snapshots at 400, 600, ... —
+	// keeping the (prefix, iter) key space aligned across resumes.
+	SnapshotEvery int
+
+	// OnSnapshot receives each encoded checkpoint, called from the
+	// computing goroutine between iterations — hand the bytes off (the
+	// daemon enqueues them on its write-behind spiller) rather than
+	// blocking the run on I/O. A final iteration landing on the cadence
+	// IS snapshotted: the finished entry caches only the image, and the
+	// end-state snapshot is what lets a deeper run of the same prefix
+	// (a sweep's next step) resume without recomputing anything.
+	OnSnapshot func(iter int, state []byte)
+}
+
+// ResumeState is a decoded checkpoint to restore before computing: the
+// kernel-private bytes produced by a StateCodec at iteration Iter of the
+// same configuration prefix (Config.PrefixHash).
+type ResumeState struct {
+	Iter  int
+	State []byte
 }
 
 // RunWith is RunContext with explicit execution options.
@@ -117,12 +151,17 @@ func RunWith(ctx context.Context, cfg Config, opts RunOptions) (*RunOutput, erro
 		sink = s
 	}
 
+	if opts.Resume != nil && (opts.Comm != nil || cfg.MPIRanks > 1) {
+		return nil, fmt.Errorf("core: resume requires a single-process run (a band rank cannot restore whole-grid state)")
+	}
+
 	if opts.Comm != nil {
 		// One rank of an external (distributed) world: the caller owns the
 		// world's lifecycle and failure handling; this process only
-		// computes its band.
+		// computes its band. Checkpointing is single-process only, so the
+		// ckpt options are dropped here.
 		out := &RunOutput{}
-		if err := runRank(ctx, cfg, k, compute, sink, opts.Pool, opts.Sink != nil, opts.OnActivity, opts.OnHalo, opts.Comm, out); err != nil {
+		if err := runRank(ctx, cfg, k, compute, sink, opts.Pool, opts.Sink != nil, opts.OnActivity, opts.OnHalo, opts.Comm, ckpt{}, out); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -133,11 +172,27 @@ func RunWith(ctx context.Context, cfg Config, opts RunOptions) (*RunOutput, erro
 		}
 		return runMPI(ctx, cfg, k, compute, sink, opts)
 	}
+	ck := ckpt{resume: opts.Resume, every: opts.SnapshotEvery, onSnapshot: opts.OnSnapshot, codec: k.Codec}
 	out := &RunOutput{}
-	if err := runRank(ctx, cfg, k, compute, sink, opts.Pool, opts.Sink != nil, opts.OnActivity, opts.OnHalo, nil, out); err != nil {
+	if err := runRank(ctx, cfg, k, compute, sink, opts.Pool, opts.Sink != nil, opts.OnActivity, opts.OnHalo, nil, ck, out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ckpt bundles runRank's checkpointing inputs: the state to restore (if
+// any), the snapshot cadence, and the kernel's codec. The zero value
+// means no checkpointing — the exact pre-checkpointing behavior.
+type ckpt struct {
+	resume     *ResumeState
+	every      int
+	onSnapshot func(iter int, state []byte)
+	codec      StateCodec
+}
+
+// active reports whether periodic snapshots should be taken.
+func (c ckpt) active() bool {
+	return c.every > 0 && c.onSnapshot != nil && c.codec != nil
 }
 
 // makeSink builds the display sink: performance mode discards frames, the
@@ -162,7 +217,7 @@ func runMPI(ctx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sin
 	perRankHalos := make([][3]int64, cfg.MPIRanks)
 	err := mpi.RunContext(ctx, cfg.MPIRanks, mpi.Config{RecvTimeout: opts.RecvTimeout}, func(comm *mpi.Comm) error {
 		rankOut := &RunOutput{}
-		if err := runRank(ctx, cfg, k, compute, lockedSink, nil, opts.Sink != nil, opts.OnActivity, opts.OnHalo, comm, rankOut); err != nil {
+		if err := runRank(ctx, cfg, k, compute, lockedSink, nil, opts.Sink != nil, opts.OnActivity, opts.OnHalo, comm, ckpt{}, rankOut); err != nil {
 			return err
 		}
 		out.Monitors[comm.Rank()] = rankMonitor(rankOut)
@@ -264,7 +319,7 @@ func (s *lockedSink) Close() error { return nil } // owner closes the inner sink
 // runRank executes the kernel on one rank (or locally when comm is nil)
 // and fills out. A non-nil pool is a lease: the caller owns its lifecycle
 // and runRank only borrows it for the duration of the run.
-func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, pool *sched.Pool, forceDisplay bool, onActivity func(IterActivity), onHalo func(int64, int64, int64, time.Duration), comm *mpi.Comm, out *RunOutput) error {
+func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, sink gfx.FrameSink, pool *sched.Pool, forceDisplay bool, onActivity func(IterActivity), onHalo func(int64, int64, int64, time.Duration), comm *mpi.Comm, ck ckpt, out *RunOutput) error {
 	if pool == nil {
 		pool = sched.NewPool(cfg.Threads)
 		defer pool.Close()
@@ -322,6 +377,21 @@ func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, 
 		}
 	}
 
+	resumedFrom := 0
+	if ck.resume != nil {
+		if ck.codec == nil {
+			return fmt.Errorf("core: kernel %s has no state codec to resume from", cfg.Kernel)
+		}
+		if ck.resume.Iter <= 0 || ck.resume.Iter >= cfg.Iterations {
+			return fmt.Errorf("core: resume iteration %d outside (0, %d)", ck.resume.Iter, cfg.Iterations)
+		}
+		if err := ck.codec.DecodeState(ctx, ck.resume.State); err != nil {
+			return fmt.Errorf("core: restoring kernel %s checkpoint at iteration %d: %w", cfg.Kernel, ck.resume.Iter, err)
+		}
+		resumedFrom = ck.resume.Iter
+		ctx.iters = resumedFrom
+	}
+
 	displaying := forceDisplay || (!cfg.NoDisplay && cfg.OutputDir != "")
 	// Dirty-tile capture feeds delta frames. Single-process runs only: under
 	// MPI the master's gathered image spans every band while its frontier
@@ -331,20 +401,60 @@ func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, 
 			ctx.wantDirty = true
 		}
 	}
+	// snapshot checkpoints the state after the iteration whose absolute
+	// index is ctx.iters, when that index falls on a cadence boundary.
+	// The final iteration is skipped: its value is the finished result.
+	snapshot := func() error {
+		if !ck.active() || ctx.iters <= resumedFrom || ctx.iters%ck.every != 0 {
+			return nil
+		}
+		state, err := ck.codec.EncodeState(ctx)
+		if err != nil {
+			return fmt.Errorf("core: snapshotting kernel %s at iteration %d: %w", cfg.Kernel, ctx.iters, err)
+		}
+		ck.onSnapshot(ctx.iters, state)
+		return nil
+	}
+
 	start := time.Now()
 	total := 0
+	remaining := cfg.Iterations - resumedFrom
 	if displaying {
 		// Display mode: the framework regains control after every
 		// iteration to refresh the windows, exactly like the interactive
-		// SDL loop.
-		for total < cfg.Iterations && goCtx.Err() == nil {
+		// SDL loop. Frames are numbered by absolute iteration, so a
+		// resumed job's stream picks up where the checkpoint left off.
+		for total < remaining && goCtx.Err() == nil {
 			n := compute(ctx, 1)
 			if n < 1 {
 				break // converged
 			}
 			ctx.iters += n
 			total += n
-			if err := refreshDisplay(ctx, k, sink, total); err != nil {
+			if err := refreshDisplay(ctx, k, sink, ctx.iters); err != nil {
+				return err
+			}
+			if err := snapshot(); err != nil {
+				return err
+			}
+		}
+	} else if ck.active() {
+		// Performance mode with checkpointing: compute in chunks ending on
+		// absolute cadence boundaries, snapshotting between chunks. A
+		// chunk that comes back short means convergence (or cancellation,
+		// caught below) — no snapshot then; the finished entry covers it.
+		for total < remaining && goCtx.Err() == nil {
+			chunk := ck.every - ctx.iters%ck.every
+			if rem := remaining - total; chunk > rem {
+				chunk = rem
+			}
+			n := compute(ctx, chunk)
+			ctx.iters += n
+			total += n
+			if n < chunk {
+				break // converged (or canceled at an iteration boundary)
+			}
+			if err := snapshot(); err != nil {
 				return err
 			}
 		}
@@ -352,7 +462,7 @@ func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, 
 		// Performance mode: one bulk call; ForIterations inside the kernel
 		// still brackets iterations for the monitor and the tracer (and
 		// checks goCtx at every iteration boundary).
-		total = compute(ctx, cfg.Iterations)
+		total = compute(ctx, remaining)
 		ctx.iters += total
 	}
 	wall := time.Since(start)
@@ -371,7 +481,11 @@ func runRank(goCtx context.Context, cfg Config, k *Kernel, compute ComputeFunc, 
 		k.Refresh(ctx)
 	}
 
-	out.Result = Result{Config: cfg, WallTime: wall, Iterations: total, Activity: ctx.activity,
+	// Iterations reports the absolute depth reached (prefix + computed),
+	// so a resumed result is interchangeable with a cold run's; the
+	// computed share is recoverable as Iterations - ResumedFrom.
+	out.Result = Result{Config: cfg, WallTime: wall, Iterations: resumedFrom + total,
+		ResumedFrom: resumedFrom, Activity: ctx.activity,
 		HalosSent: ctx.halosSent, HalosSkipped: ctx.halosSkipped, HaloBytes: ctx.haloBytes}
 	if ctx.IsMaster() {
 		out.Final = ctx.Cur().Clone()

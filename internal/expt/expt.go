@@ -123,7 +123,21 @@ func (s *Sweep) Execute() ([]core.Result, error) {
 // runOne executes a single combination on the selected backend.
 func (s *Sweep) runOne(cfg core.Config) (core.Result, error) {
 	if s.Remote != nil {
-		return s.Remote.RunConfig(cfg)
+		res, err := s.Remote.RunConfig(cfg)
+		if err != nil {
+			return res, err
+		}
+		// A daemon with checkpointing on may have resumed this run from a
+		// stored snapshot: WallTime then covers only the iterations
+		// computed after the resume point, not the configured depth. A
+		// benchmark row must stay self-consistent — plots divide time by
+		// iterations — so the row records exactly what the wall clock
+		// measured: the computed suffix.
+		if res.ResumedFrom > 0 {
+			res.Iterations -= res.ResumedFrom
+			res.ResumedFrom = 0
+		}
+		return res, nil
 	}
 	out, err := core.Run(cfg)
 	if err != nil {

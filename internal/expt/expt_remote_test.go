@@ -56,3 +56,36 @@ func TestSweepRemoteBackend(t *testing.T) {
 		t.Errorf("computed jobs = %d, want 2", ks.Jobs)
 	}
 }
+
+// resumedRunner fakes a checkpointing daemon: every run reports it was
+// restored from a snapshot 10 iterations short of the requested depth.
+type resumedRunner struct{}
+
+func (resumedRunner) RunConfig(cfg core.Config) (core.Result, error) {
+	return core.Result{
+		Config: cfg, WallTime: 1000, Iterations: cfg.Iterations,
+		ResumedFrom: cfg.Iterations - 10,
+	}, nil
+}
+
+// TestSweepNormalizesResumedRows pins the benchmark-honesty rule: when
+// the remote daemon resumes a run from a checkpoint, its wall clock
+// covers only the computed suffix, so the recorded row must claim only
+// those iterations — otherwise every derived speed silently inflates.
+func TestSweepNormalizesResumedRows(t *testing.T) {
+	s := &Sweep{
+		Base: core.Config{Kernel: "life", Variant: "seq", Dim: 64, TileW: 8,
+			Iterations: 50, Threads: 1},
+		Remote: resumedRunner{},
+	}
+	results, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	if r := results[0]; r.Iterations != 10 || r.ResumedFrom != 0 {
+		t.Fatalf("resumed row not normalized to the measured suffix: %+v", r)
+	}
+}

@@ -29,6 +29,7 @@ func init() {
 			"lazy_omp":  asandLazyOmp,
 		},
 		DefaultVariant: "seq",
+		Codec:          asandCodec{},
 	})
 }
 

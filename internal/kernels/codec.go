@@ -1,0 +1,210 @@
+package kernels
+
+// State codecs for iteration-prefix checkpointing (core.StateCodec): each
+// opted-in kernel serializes its private board plus the tilegrid frontier
+// bitset, so a run checkpointed after iteration k resumes with both the
+// cell values and the exact active-tile set the next iteration would have
+// dispatched. All four stencil kernels share one envelope; the per-kernel
+// part is only which buffer holds the board and how wide a cell is.
+//
+// The envelope is deliberately dumb — length-prefixed board bytes plus
+// frontier words behind a fixed magic. Integrity (CRC) and identity (the
+// prefix-hash key) belong to the EZSNAP1 record in internal/serve/store;
+// this layer only rejects geometry mismatches so a snapshot can never be
+// restored into a differently shaped run.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"easypap/internal/core"
+	"easypap/internal/tilegrid"
+)
+
+// kernelStateMagic heads every encoded kernel state.
+const kernelStateMagic = "EZK1"
+
+// encodeKernelState wraps board bytes and frontier words in the shared
+// envelope: magic, board length, word count, then the payloads.
+func encodeKernelState(board []byte, words []uint64) []byte {
+	out := make([]byte, 0, len(kernelStateMagic)+16+len(board)+8*len(words))
+	out = append(out, kernelStateMagic...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(board)))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(words)))
+	out = append(out, board...)
+	for _, w := range words {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	return out
+}
+
+// decodeKernelState unwraps an envelope, insisting the board is exactly
+// wantBoard bytes (the restoring run's geometry — a mismatch means the
+// snapshot belongs to another configuration and must not be applied).
+func decodeKernelState(data []byte, wantBoard int) (board []byte, words []uint64, err error) {
+	head := len(kernelStateMagic) + 16
+	if len(data) < head || string(data[:len(kernelStateMagic)]) != kernelStateMagic {
+		return nil, nil, fmt.Errorf("kernel state: bad envelope header")
+	}
+	boardLen := binary.LittleEndian.Uint64(data[len(kernelStateMagic):])
+	wordCount := binary.LittleEndian.Uint64(data[len(kernelStateMagic)+8:])
+	if boardLen != uint64(wantBoard) {
+		return nil, nil, fmt.Errorf("kernel state: board is %d bytes, this run needs %d", boardLen, wantBoard)
+	}
+	if uint64(len(data)) != uint64(head)+boardLen+8*wordCount {
+		return nil, nil, fmt.Errorf("kernel state: %d bytes, envelope declares %d",
+			len(data), uint64(head)+boardLen+8*wordCount)
+	}
+	board = data[head : uint64(head)+boardLen]
+	words = make([]uint64, wordCount)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[uint64(head)+boardLen+uint64(8*i):])
+	}
+	return board, words, nil
+}
+
+// u32Bytes serializes a uint32 cell grid little-endian.
+func u32Bytes(cells []uint32) []byte {
+	out := make([]byte, 0, 4*len(cells))
+	for _, c := range cells {
+		out = binary.LittleEndian.AppendUint32(out, c)
+	}
+	return out
+}
+
+// u32Fill deserializes little-endian bytes into a uint32 cell grid.
+func u32Fill(dst []uint32, b []byte) {
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+}
+
+// noBandCheckpoint rejects checkpointing of MPI band ranks: a band holds
+// only its rows, so its encoded state is not the whole-grid state the
+// snapshot key promises.
+func noBandCheckpoint(ctx *core.Ctx, kernel string) error {
+	if ctx.Comm != nil {
+		return fmt.Errorf("%s: cannot checkpoint one rank of a band decomposition", kernel)
+	}
+	return nil
+}
+
+// restoreFrontier applies saved frontier words, translating the error to
+// the kernel's name.
+func restoreFrontier(fr *tilegrid.Frontier, words []uint64, kernel string) error {
+	if err := fr.Restore(words); err != nil {
+		return fmt.Errorf("%s: %w", kernel, err)
+	}
+	return nil
+}
+
+// lifeCodec round-trips the life board (one byte per cell) and frontier.
+// The bitpack variant needs no extra state: its packed buffer is rebuilt
+// lazily from the restored byte board on the first compute call, exactly
+// as on a cold run (life_bitpack.go keeps the byte board current after
+// every compute call, so the encoded board is always the live state).
+type lifeCodec struct{}
+
+func (lifeCodec) EncodeState(ctx *core.Ctx) ([]byte, error) {
+	if err := noBandCheckpoint(ctx, "life"); err != nil {
+		return nil, err
+	}
+	st := lifeStateOf(ctx)
+	return encodeKernelState(st.cur, st.fr.Words()), nil
+}
+
+func (lifeCodec) DecodeState(ctx *core.Ctx, data []byte) error {
+	if err := noBandCheckpoint(ctx, "life"); err != nil {
+		return err
+	}
+	st := lifeStateOf(ctx)
+	board, words, err := decodeKernelState(data, len(st.cur))
+	if err != nil {
+		return fmt.Errorf("life: %w", err)
+	}
+	// Both buffers get the board: tiles outside the restored frontier are
+	// never recomputed, and the no-copy invariant requires their cells to
+	// be identical across the double buffer.
+	copy(st.cur, board)
+	copy(st.next, board)
+	st.bits = nil
+	return restoreFrontier(st.fr, words, "life")
+}
+
+// fireCodec round-trips the forest (one byte per cell) and frontier.
+type fireCodec struct{}
+
+func (fireCodec) EncodeState(ctx *core.Ctx) ([]byte, error) {
+	if err := noBandCheckpoint(ctx, "fire"); err != nil {
+		return nil, err
+	}
+	st := fireStateOf(ctx)
+	return encodeKernelState(st.cur, st.fr.Words()), nil
+}
+
+func (fireCodec) DecodeState(ctx *core.Ctx, data []byte) error {
+	if err := noBandCheckpoint(ctx, "fire"); err != nil {
+		return err
+	}
+	st := fireStateOf(ctx)
+	board, words, err := decodeKernelState(data, len(st.cur))
+	if err != nil {
+		return fmt.Errorf("fire: %w", err)
+	}
+	copy(st.cur, board)
+	copy(st.next, board)
+	return restoreFrontier(st.fr, words, "fire")
+}
+
+// sandCodec round-trips the synchronous sandpile grains (uint32 LE per
+// cell) and frontier.
+type sandCodec struct{}
+
+func (sandCodec) EncodeState(ctx *core.Ctx) ([]byte, error) {
+	if err := noBandCheckpoint(ctx, "sandpile"); err != nil {
+		return nil, err
+	}
+	st := sandStateOf(ctx)
+	return encodeKernelState(u32Bytes(st.cur), st.fr.Words()), nil
+}
+
+func (sandCodec) DecodeState(ctx *core.Ctx, data []byte) error {
+	if err := noBandCheckpoint(ctx, "sandpile"); err != nil {
+		return err
+	}
+	st := sandStateOf(ctx)
+	board, words, err := decodeKernelState(data, 4*len(st.cur))
+	if err != nil {
+		return fmt.Errorf("sandpile: %w", err)
+	}
+	u32Fill(st.cur, board)
+	u32Fill(st.next, board)
+	return restoreFrontier(st.fr, words, "sandpile")
+}
+
+// asandCodec round-trips the asynchronous sandpile's single in-place
+// grain buffer (uint32 LE per cell) and frontier. Encode runs on the
+// iteration boundary, after every worker has finished, so plain loads
+// see the settled values the atomics published.
+type asandCodec struct{}
+
+func (asandCodec) EncodeState(ctx *core.Ctx) ([]byte, error) {
+	if err := noBandCheckpoint(ctx, "asandpile"); err != nil {
+		return nil, err
+	}
+	st := asandStateOf(ctx)
+	return encodeKernelState(u32Bytes(st.cells), st.fr.Words()), nil
+}
+
+func (asandCodec) DecodeState(ctx *core.Ctx, data []byte) error {
+	if err := noBandCheckpoint(ctx, "asandpile"); err != nil {
+		return err
+	}
+	st := asandStateOf(ctx)
+	board, words, err := decodeKernelState(data, 4*len(st.cells))
+	if err != nil {
+		return fmt.Errorf("asandpile: %w", err)
+	}
+	u32Fill(st.cells, board)
+	return restoreFrontier(st.fr, words, "asandpile")
+}

@@ -1,0 +1,185 @@
+package kernels
+
+// Resume-equivalence battery for the kernel state codecs: a run that
+// snapshots at iteration k and a run resumed from that snapshot must
+// together be indistinguishable from one straight run — byte-identical
+// final image, same total iteration count, and (for lazy variants) the
+// same per-iteration frontier activity after the resume point. This is
+// the contract that lets the serving layer (internal/serve) substitute
+// a stored checkpoint for recomputing the shared iteration prefix.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"easypap/internal/core"
+)
+
+// ckptConfig is the battery's shared geometry: small enough for the CI
+// box, large enough that 24 iterations leave every kernel's frontier
+// still moving (no early convergence steals the snapshot points).
+func ckptConfig(kernel, variant string, seed int64) core.Config {
+	return core.Config{
+		Kernel: kernel, Variant: variant, Dim: 64, TileW: 8, TileH: 8,
+		Iterations: 24, Threads: 2, Seed: seed, NoDisplay: true,
+	}
+}
+
+func runWith(t *testing.T, cfg core.Config, opts core.RunOptions) *core.RunOutput {
+	t.Helper()
+	out, err := core.RunWith(context.Background(), cfg, opts)
+	if err != nil {
+		t.Fatalf("running %s/%s: %v", cfg.Kernel, cfg.Variant, err)
+	}
+	return out
+}
+
+func TestResumeEquivalence(t *testing.T) {
+	const every = 8
+	cases := []struct{ kernel, variant string }{
+		// eager and lazy variants of every codec-capable kernel, plus the
+		// bit-packed life representation (its codec snapshots the byte
+		// board and repacks on restore).
+		{"life", "seq"},
+		{"life", "lazy"},
+		{"life", "bitpack"},
+		{"fire", "seq"},
+		{"fire", "lazy"},
+		{"sandpile", "seq"},
+		{"sandpile", "lazy_omp"},
+		{"asandpile", "seq"},
+		{"asandpile", "lazy_omp"},
+	}
+	for _, tc := range cases {
+		for _, seed := range []int64{3, 11} {
+			t.Run(fmt.Sprintf("%s/%s/seed%d", tc.kernel, tc.variant, seed), func(t *testing.T) {
+				cfg := ckptConfig(tc.kernel, tc.variant, seed)
+				ref := runWith(t, cfg, core.RunOptions{})
+
+				// Checkpointed run: identical result, snapshots on the side.
+				snaps := make(map[int][]byte)
+				ck := runWith(t, cfg, core.RunOptions{
+					SnapshotEvery: every,
+					OnSnapshot: func(iter int, state []byte) {
+						snaps[iter] = append([]byte(nil), state...)
+					},
+				})
+				if !ck.Final.Equal(ref.Final) {
+					t.Fatal("snapshotting perturbed the run: final image differs from straight run")
+				}
+				if ck.Result.Iterations != ref.Result.Iterations {
+					t.Fatalf("snapshotting changed iteration count: %d vs %d",
+						ck.Result.Iterations, ref.Result.Iterations)
+				}
+				// Every cadence boundary is snapshotted, INCLUDING the final
+				// iteration — the end-state snapshot is what a deeper run of
+				// the same prefix resumes from.
+				for _, want := range []int{every, 2 * every, cfg.Iterations} {
+					if _, ok := snaps[want]; !ok {
+						t.Fatalf("no snapshot at iteration %d (got %v)", want, keys(snaps))
+					}
+				}
+
+				// Resume from every mid-run snapshot: byte-identical to the
+				// straight run, with the prefix credited, not recomputed.
+				for iter, state := range snaps {
+					if iter >= cfg.Iterations {
+						continue // end-state snapshot: only deeper runs consume it
+					}
+					res := runWith(t, cfg, core.RunOptions{
+						Resume: &core.ResumeState{Iter: iter, State: state},
+					})
+					if !res.Final.Equal(ref.Final) {
+						t.Errorf("resume from iter %d: final image differs from straight run", iter)
+					}
+					if res.Result.Iterations != ref.Result.Iterations {
+						t.Errorf("resume from iter %d: total iterations %d, want %d",
+							iter, res.Result.Iterations, ref.Result.Iterations)
+					}
+					if res.Result.ResumedFrom != iter {
+						t.Errorf("resume from iter %d: ResumedFrom = %d", iter, res.Result.ResumedFrom)
+					}
+					assertActivitySuffix(t, ref.Result, res.Result, iter)
+				}
+			})
+		}
+	}
+}
+
+// keys lists a snapshot map's iterations (for failure messages).
+func keys(m map[int][]byte) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// assertActivitySuffix checks that a resumed lazy run reports exactly
+// the straight run's frontier activity for every iteration after the
+// resume point — the restored frontier bitsets must reproduce the
+// original active sets, not merely converge to the same image.
+func assertActivitySuffix(t *testing.T, ref, res core.Result, from int) {
+	t.Helper()
+	refAt := make(map[int]core.IterActivity, len(ref.Activity))
+	for _, a := range ref.Activity {
+		refAt[a.Iter] = a
+	}
+	for _, a := range res.Activity {
+		if a.Iter <= from {
+			t.Errorf("resumed run reported activity for iteration %d inside the resumed prefix (from=%d)", a.Iter, from)
+			continue
+		}
+		want, ok := refAt[a.Iter]
+		if !ok {
+			t.Errorf("resumed run reported activity at iteration %d the straight run never reached", a.Iter)
+			continue
+		}
+		if a.Active != want.Active || a.Total != want.Total {
+			t.Errorf("iteration %d activity: resumed %d/%d, straight %d/%d",
+				a.Iter, a.Active, a.Total, want.Active, want.Total)
+		}
+	}
+}
+
+// TestResumeRejectsGeometryMismatch pins the codec's refusal to restore
+// a snapshot into a run with different geometry: the state bytes encode
+// the board length, and a dim change must fail loudly, not corrupt.
+func TestResumeRejectsGeometryMismatch(t *testing.T) {
+	cfg := ckptConfig("life", "seq", 3)
+	var state []byte
+	runWith(t, cfg, core.RunOptions{
+		SnapshotEvery: 8,
+		OnSnapshot: func(iter int, s []byte) {
+			if state == nil {
+				state = append([]byte(nil), s...)
+			}
+		},
+	})
+	if state == nil {
+		t.Fatal("no snapshot produced")
+	}
+	bigger := cfg
+	bigger.Dim = 128
+	_, err := core.RunWith(context.Background(), bigger, core.RunOptions{
+		Resume: &core.ResumeState{Iter: 8, State: state},
+	})
+	if err == nil {
+		t.Fatal("resuming a dim-64 snapshot into a dim-128 run succeeded")
+	}
+}
+
+// TestResumeRejectsOutOfRangeIter pins the run-loop guard: a resume
+// iteration must lie strictly inside (0, Iterations).
+func TestResumeRejectsOutOfRangeIter(t *testing.T) {
+	cfg := ckptConfig("life", "seq", 3)
+	for _, iter := range []int{0, -1, cfg.Iterations, cfg.Iterations + 5} {
+		_, err := core.RunWith(context.Background(), cfg, core.RunOptions{
+			Resume: &core.ResumeState{Iter: iter, State: []byte("junk")},
+		})
+		if err == nil {
+			t.Errorf("resume at iteration %d of %d succeeded", iter, cfg.Iterations)
+		}
+	}
+}

@@ -39,6 +39,7 @@ func init() {
 			"mpi_omp":   fireMPIOmp,
 		},
 		DefaultVariant: "lazy",
+		Codec:          fireCodec{},
 	})
 }
 

@@ -32,6 +32,7 @@ func init() {
 			"mpi_omp":   lifeMPIOmp,
 		},
 		DefaultVariant: "seq",
+		Codec:          lifeCodec{},
 	})
 }
 

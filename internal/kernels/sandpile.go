@@ -30,6 +30,7 @@ func init() {
 			"mpi_omp":   sandMPIOmp,
 		},
 		DefaultVariant: "seq",
+		Codec:          sandCodec{},
 	})
 }
 

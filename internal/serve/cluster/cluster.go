@@ -255,6 +255,7 @@ func NewNode(mgr *serve.Manager, opts Options) (*Node, error) {
 	if opts.Replicate > 1 {
 		n.replq = make(chan replTask, 256)
 		mgr.SetSpillHook(n.enqueueReplication)
+		mgr.SetSnapshotHook(n.enqueueSnapReplication)
 		mgr.SetEntrySource(n.fetchEntry)
 		n.wg.Add(1)
 		go n.replicateLoop()
@@ -280,6 +281,7 @@ func (n *Node) Manager() *serve.Manager { return n.mgr }
 func (n *Node) Close() {
 	if n.opts.Replicate > 1 {
 		n.mgr.SetSpillHook(nil)
+		n.mgr.SetSnapshotHook(nil)
 		n.mgr.SetEntrySource(nil)
 	}
 	n.mgr.SetShardRunner(nil)

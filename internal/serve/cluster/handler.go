@@ -83,23 +83,41 @@ func (n *Node) Handler() http.Handler {
 		serve.WriteJSON(w, http.StatusOK, EntryList{Node: n.id, Hashes: hashes})
 	})
 	mux.HandleFunc("GET /v1/cluster/entries/{hash}", func(w http.ResponseWriter, r *http.Request) {
-		e, ok := n.mgr.GetEntry(r.PathValue("hash"))
+		// Kind-agnostic: the key may name a result entry (EZSTORE1) or a
+		// checkpoint (EZSNAP1); the record's magic line tells the peer
+		// which decoder to use.
+		body, ok := n.mgr.GetEntryWire(r.PathValue("hash"))
 		if !ok {
 			serve.WriteError(w, http.StatusNotFound, fmt.Errorf("cluster: no entry %s here", r.PathValue("hash")))
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
-		var buf bytes.Buffer
-		if err := store.EncodeEntry(&buf, e); err != nil {
-			serve.WriteError(w, http.StatusInternalServerError, err)
-			return
-		}
-		w.Write(buf.Bytes())
+		w.Write(body)
 	})
 	mux.HandleFunc("PUT /v1/cluster/entries/{hash}", func(w http.ResponseWriter, r *http.Request) {
-		// The body is the EZSTORE1 wire form; DecodeEntry re-derives the
-		// CRC and the path check pins the content hash to the key, so a
-		// corrupt or mislabeled transfer is refused, never stored.
+		// The body is a self-describing wire record; the path key decides
+		// the expected kind. Either way the decoder re-derives the CRC and
+		// the key check pins the content to the path, so a corrupt or
+		// mislabeled transfer is refused, never stored.
+		if key := r.PathValue("hash"); store.IsSnapshotKey(key) {
+			s, err := store.DecodeSnapshot(io.LimitReader(r.Body, 1<<30))
+			if err != nil {
+				serve.WriteError(w, http.StatusBadRequest, err)
+				return
+			}
+			if store.SnapshotKey(s.PrefixHash, s.Iter) != key {
+				serve.WriteError(w, http.StatusBadRequest,
+					fmt.Errorf("cluster: snapshot key %s does not match path %s",
+						store.SnapshotKey(s.PrefixHash, s.Iter), key))
+				return
+			}
+			if err := n.mgr.PutSnapshot(s); err != nil {
+				serve.WriteError(w, http.StatusNotImplemented, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
 		e, err := store.DecodeEntry(io.LimitReader(r.Body, 1<<30))
 		if err != nil {
 			serve.WriteError(w, http.StatusBadRequest, err)

@@ -39,9 +39,12 @@ import (
 const replTimeout = 2 * time.Second
 
 // replTask is one queued replication push; the trace id ties the push
-// spans into the originating job's distributed trace.
+// spans into the originating job's distributed trace. Exactly one of
+// e and snap is set — snapshots ride the same queue and wire path as
+// entries, just under their own key and magic.
 type replTask struct {
 	e       *store.Entry
+	snap    *store.Snapshot
 	traceID string
 }
 
@@ -56,6 +59,17 @@ func (n *Node) enqueueReplication(e *store.Entry, traceID string) {
 	}
 }
 
+// enqueueSnapReplication is the manager's snapshot hook: checkpoints
+// replicate exactly like entries, so a node death costs at most
+// SnapshotEvery iterations of recompute on the surviving replicas.
+func (n *Node) enqueueSnapReplication(s *store.Snapshot, traceID string) {
+	select {
+	case n.replq <- replTask{snap: s, traceID: traceID}:
+	default:
+		n.replDropped.Add(1)
+	}
+}
+
 func (n *Node) replicateLoop() {
 	defer n.wg.Done()
 	for {
@@ -63,7 +77,11 @@ func (n *Node) replicateLoop() {
 		case <-n.stop:
 			return
 		case t := <-n.replq:
-			n.pushEntry(t.e, t.traceID)
+			if t.snap != nil {
+				n.pushSnapshot(t.snap, t.traceID)
+			} else {
+				n.pushEntry(t.e, t.traceID)
+			}
 		}
 	}
 }
@@ -92,9 +110,30 @@ func (n *Node) pushEntry(e *store.Entry, traceID string) {
 		n.replDropped.Add(1)
 		return
 	}
-	for _, m := range n.replicaTargets(e.Hash) {
+	n.pushWire(e.Hash, buf.Bytes(), traceID)
+}
+
+// pushSnapshot replicates a checkpoint under its snapshot key. The ring
+// routes by the full key, so successive snapshots of one prefix spread
+// like any other content — what matters is only that R nodes hold each.
+func (n *Node) pushSnapshot(s *store.Snapshot, traceID string) {
+	var buf bytes.Buffer
+	if err := store.EncodeSnapshot(&buf, s); err != nil {
+		n.replDropped.Add(1)
+		return
+	}
+	n.pushWire(store.SnapshotKey(s.PrefixHash, s.Iter), buf.Bytes(), traceID)
+}
+
+// pushWire sends one encoded record (entry or snapshot — the magic line
+// tells the receiver) to every replica target of its storage key.
+// Counted per target; a push to an unreachable peer is dropped (the
+// rebalancer retries after the ring reflects the death). Each push is a
+// replicate span in the originating job's trace, naming the receiver.
+func (n *Node) pushWire(key string, body []byte, traceID string) {
+	for _, m := range n.replicaTargets(key) {
 		begin := time.Now()
-		ok := n.putRemoteEntry(m, e.Hash, buf.Bytes(), traceID)
+		ok := n.putRemoteEntry(m, key, body, traceID)
 		var spanErr error
 		if ok {
 			n.replPushed.Add(1)
@@ -294,22 +333,21 @@ func (n *Node) rebalance() {
 			return
 		default:
 		}
-		e, ok := n.mgr.GetEntry(hash)
+		// The wire getter is kind-agnostic: entry and snapshot keys both
+		// come out as self-describing CRC'd records, so checkpoints heal
+		// to their new replicas exactly like results.
+		body, ok := n.mgr.GetEntryWire(hash)
 		if !ok {
 			continue // evicted since listing
-		}
-		var buf bytes.Buffer
-		if err := store.EncodeEntry(&buf, e); err != nil {
-			continue
 		}
 		for _, m := range n.replicaTargets(hash) {
 			if m.state.Load() == stateDead || !missing(m, hash) {
 				continue
 			}
-			if n.putRemoteEntry(m, hash, buf.Bytes(), "") {
+			if n.putRemoteEntry(m, hash, body, "") {
 				n.rebalanced.Add(1)
-				n.rebalBytes.Add(int64(buf.Len()))
-				moved += int64(buf.Len())
+				n.rebalBytes.Add(int64(len(body)))
+				moved += int64(len(body))
 				if set := remote[m.id]; set != nil {
 					set[hash] = true
 				}

@@ -312,7 +312,7 @@ func TestClusterRecoversInterruptedSweepJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Journal.Begin(local, hash, false, norm); err != nil {
+	if err := s.Journal.Begin(local, hash, false, norm, 0); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()

@@ -14,6 +14,13 @@
 //   - a write-ahead job journal (same store) so a crashed daemon's
 //     queued and running jobs are re-enqueued, or marked interrupted,
 //     on the next boot,
+//   - iteration-prefix checkpointing (DESIGN.md §14): with
+//     Options.SnapshotEvery the run loop snapshots codec-capable kernel
+//     state at cadence boundaries, keyed by Config.PrefixHash (the
+//     config hash minus the iteration count); any later submission of
+//     the same prefix — deeper sweep step, crash-recovered job,
+//     checkpointed frames job — resumes from the deepest stored
+//     snapshot instead of recomputing the shared iterations,
 //   - per-job cancellation threaded through core.RunContext down to the
 //     iteration loop and mpi.Recv.
 //
@@ -122,10 +129,21 @@ type Options struct {
 	// Recover selects what happens to journaled in-flight jobs on
 	// startup: RecoverRequeue (the default) re-enqueues them,
 	// RecoverInterrupt marks them with the terminal JobInterrupted
-	// status and lets clients resubmit. Frames jobs are always
-	// interrupted — their stream subscribers did not survive the
-	// restart.
+	// status and lets clients resubmit. Frames jobs without a journaled
+	// checkpoint are always interrupted — their stream subscribers did
+	// not survive the restart and the replay would start from zero;
+	// checkpointed frames jobs re-enqueue and resume, with new
+	// subscribers attaching at the resume keyframe.
 	Recover RecoverPolicy
+	// SnapshotEvery, when positive, checkpoints every running
+	// single-process job of a codec-capable kernel at each iteration
+	// divisible by this value (flag -snapshot-every; 0 = off, the exact
+	// pre-checkpointing behavior). Snapshots land in the Store keyed by
+	// (Config.PrefixHash, iter); submissions resume from the deepest
+	// stored checkpoint below their target whenever one exists —
+	// resumption does not require SnapshotEvery, only the snapshots.
+	// Requires Store.
+	SnapshotEvery int
 }
 
 // RecoverPolicy selects the restart fate of journaled in-flight jobs.
@@ -305,6 +323,7 @@ type Manager struct {
 	// the trace id so replication pushes and replica fetches land in the
 	// originating job's span tree.
 	spillHook   atomic.Pointer[func(*store.Entry, string)]
+	snapHook    atomic.Pointer[func(*store.Snapshot, string)]
 	entrySource atomic.Pointer[func(hash, traceID string) *store.Entry]
 
 	// Distributed single-job execution (shard.go): the coordinator hook
@@ -336,6 +355,12 @@ type Manager struct {
 	spillDrops  atomic.Int64
 	recovered   atomic.Int64 // journaled jobs re-enqueued on startup
 	interrupted atomic.Int64 // journaled jobs marked JobInterrupted on startup
+
+	// Checkpoint counters: snapsWritten = snapshots durably persisted,
+	// snapsResumed = jobs that started from a stored checkpoint instead
+	// of iteration zero.
+	snapsWritten atomic.Int64
+	snapsResumed atomic.Int64
 
 	// Shard counters: coordinated = sharded jobs this node drove as rank
 	// 0; executed = shard ranks run here (local and remote sessions);
@@ -384,13 +409,16 @@ func NewManager(opts Options) *Manager {
 	return m
 }
 
-// spillReq is one completed result on its way to the disk tier.
+// spillReq is one completed result — or one mid-run checkpoint — on its
+// way to the disk tier. Exactly one of (hash, result, final) and snap is
+// populated.
 type spillReq struct {
 	hash    string
 	job     string
 	traceID string
 	result  core.Result
 	final   *img2d.Image
+	snap    *store.Snapshot // checkpoint write (hash/result/final unused)
 }
 
 // spiller is the write-behind worker of the disk tier: it encodes the
@@ -402,6 +430,29 @@ func (m *Manager) spiller() {
 	defer m.spillWg.Done()
 	for req := range m.spill {
 		begin := time.Now()
+		if req.snap != nil {
+			// Checkpoint write-behind: persist the snapshot, then journal
+			// "job has a checkpoint at iter" so a crash resumes it there.
+			// A snap error for an already-finished job (its open record is
+			// gone) is harmless — the snapshot itself is still usable by
+			// any future submission sharing the iteration prefix.
+			err := m.store.Cache.PutSnapshot(req.snap)
+			if err == nil && req.job != "" {
+				_ = m.store.Journal.Snap(req.job, req.snap.Iter)
+			}
+			m.span(m.obs.snapshot, req.traceID, req.job, StageSnapshot, begin, time.Now(), err)
+			if err != nil {
+				m.spillErrs.Add(1)
+				continue
+			}
+			m.snapsWritten.Add(1)
+			if hook := m.snapHook.Load(); hook != nil {
+				// Snapshot replication rides the spill exactly like entries:
+				// durable locally first, then pushed to the ring successors.
+				(*hook)(req.snap, req.traceID)
+			}
+			continue
+		}
 		e := &store.Entry{Hash: req.hash, Result: req.result}
 		if req.final != nil {
 			var buf bytes.Buffer
@@ -438,6 +489,19 @@ func (m *Manager) SetSpillHook(f func(*store.Entry, string)) {
 	m.spillHook.Store(&f)
 }
 
+// SetSnapshotHook registers the checkpoint counterpart of SetSpillHook:
+// invoked with every snapshot after it is durably written, so the
+// cluster layer replicates checkpoints alongside results — a node death
+// then costs at most SnapshotEvery iterations of recompute, not the
+// whole prefix.
+func (m *Manager) SetSnapshotHook(f func(*store.Snapshot, string)) {
+	if f == nil {
+		m.snapHook.Store(nil)
+		return
+	}
+	m.snapHook.Store(&f)
+}
+
 // SetEntrySource registers the last-resort cache tier: consulted with a
 // config hash after both the memory and disk tiers miss, before the job
 // is queued for recompute. A non-nil return is adopted (promoted to the
@@ -456,18 +520,26 @@ func (m *Manager) SetEntrySource(f func(hash, traceID string) *store.Entry) {
 // recoverJournal replays the write-ahead journal: every job that was
 // queued or running when the previous daemon died is re-admitted under
 // its ORIGINAL id — a client that submitted before the crash keeps
-// polling the same id across the restart. Non-frames jobs are
-// re-enqueued (RecoverRequeue) or marked interrupted
-// (RecoverInterrupt); frames jobs are always interrupted, since their
-// stream subscribers did not survive. The id sequence resumes past
-// every journaled id so new submissions never collide with recovered
-// ones.
+// polling the same id across the restart, and keeps its original
+// submission time (the journal persists it, so recovered jobs do not
+// jump the queue-age ordering). Non-frames jobs are re-enqueued
+// (RecoverRequeue) or marked interrupted (RecoverInterrupt); frames
+// jobs re-enqueue only when a checkpoint was journaled — the runner
+// will resume from it and new subscribers attach at the resume
+// keyframe — and are interrupted otherwise, since replaying the whole
+// stream from zero for subscribers that did not survive is pure waste.
+// The id sequence resumes past every journaled id so new submissions
+// never collide with recovered ones.
 func (m *Manager) recoverJournal() {
 	recs := m.store.Journal.Recovered()
 	if max := m.store.Journal.MaxID(); max > m.nextID.Load() {
 		m.nextID.Store(max)
 	}
 	for _, rec := range recs {
+		submitted := time.Now()
+		if rec.Submitted > 0 {
+			submitted = time.Unix(0, rec.Submitted)
+		}
 		j := &job{
 			id:        rec.ID,
 			hash:      rec.Hash,
@@ -475,10 +547,13 @@ func (m *Manager) recoverJournal() {
 			cfg:       rec.Config,
 			state:     JobQueued,
 			recovered: true,
-			submitted: time.Now(),
+			submitted: submitted,
 			done:      make(chan struct{}),
 		}
-		requeue := m.opts.Recover != RecoverInterrupt && !rec.Frames
+		requeue := m.opts.Recover != RecoverInterrupt && (!rec.Frames || rec.SnapIter > 0)
+		if requeue && rec.Frames {
+			j.frames = NewFrameHub(HubOptions{Stats: &m.frameStats})
+		}
 		m.mu.Lock()
 		if requeue {
 			j.ctx, j.cancel = context.WithCancel(m.baseCtx)
@@ -665,7 +740,7 @@ func (m *Manager) SubmitShards(cfg core.Config, wantFrames bool, traceID string,
 			m.rejected.Add(1)
 			return nil, ErrQueueFull
 		}
-		_ = m.store.Journal.Begin(j.id, hash, wantFrames, cfg)
+		_ = m.store.Journal.Begin(j.id, hash, wantFrames, cfg, admitStart.UnixNano())
 	}
 
 	j.ctx, j.cancel = context.WithCancel(m.baseCtx)
@@ -780,6 +855,7 @@ func (m *Manager) runJob(j *job) {
 		j.activity = st
 		j.mu.Unlock()
 	}
+	m.setupCheckpointing(j, &opts)
 	var leased *sched.Pool
 	if j.cfg.MPIRanks <= 1 {
 		// Distributed jobs own one private pool per rank inside core; only
@@ -822,6 +898,50 @@ func (m *Manager) runJob(j *job) {
 	m.retire(j.id)
 }
 
+// setupCheckpointing wires iteration-prefix checkpointing into a run:
+// resume from the deepest stored snapshot below the job's target (the
+// shared prefix is never recomputed), and — when SnapshotEvery is on —
+// hand periodic state snapshots to the write-behind spiller. Only
+// single-process runs of codec-capable kernels participate; everything
+// else runs exactly as before. Resumption needs no SnapshotEvery: the
+// snapshots may have been written by an earlier daemon generation or
+// pushed by a ring peer.
+func (m *Manager) setupCheckpointing(j *job, opts *core.RunOptions) {
+	if m.store == nil || j.shards > 1 || j.cfg.MPIRanks > 1 {
+		return
+	}
+	k, err := core.Lookup(j.cfg.Kernel)
+	if err != nil || k.Codec == nil {
+		return
+	}
+	prefixHash, err := j.cfg.PrefixHash()
+	if err != nil {
+		return
+	}
+	// Deepest usable snapshot strictly below the target: a snapshot AT
+	// the target would be the finished result, and that lives in the
+	// entry cache, which Submit already consulted.
+	lookup := time.Now()
+	if s, ok := m.store.Cache.DeepestSnapshot(prefixHash, j.cfg.Iterations-1); ok {
+		opts.Resume = &core.ResumeState{Iter: s.Iter, State: s.State}
+		m.snapsResumed.Add(1)
+		m.span(m.obs.resume, j.traceID, j.id, StageResume, lookup, time.Now(), nil)
+	}
+	if m.opts.SnapshotEvery > 0 {
+		opts.SnapshotEvery = m.opts.SnapshotEvery
+		opts.OnSnapshot = func(iter int, state []byte) {
+			// Same shed rule as result spills: dropping a checkpoint under
+			// a full spill queue only costs recompute, never correctness.
+			select {
+			case m.spill <- spillReq{job: j.id, traceID: j.traceID,
+				snap: &store.Snapshot{PrefixHash: prefixHash, Iter: iter, State: state}}:
+			default:
+				m.spillDrops.Add(1)
+			}
+		}
+	}
+}
+
 // finish moves a job to its terminal state and publishes the result.
 // Callers hold j.mu (except for never-started cache hits, which finish
 // inside Submit).
@@ -850,13 +970,18 @@ func (m *Manager) finish(j *job, out *core.RunOutput, err error) {
 		m.completed.Add(1)
 		m.computed.Add(1)
 		if j.frames == nil {
-			m.cache.put(j.hash, out.Result)
+			// Cache tiers hold the canonical result: ResumedFrom is run
+			// provenance (THIS execution started from a checkpoint), not
+			// part of the content — a later cache hit was not resumed.
+			cached := out.Result
+			cached.ResumedFrom = 0
+			m.cache.put(j.hash, cached)
 			if m.spill != nil {
 				// Write-behind to the disk tier. Dropping under a full spill
 				// queue is safe — the entry is merely not durable yet and a
 				// resubmission would recompute it.
 				select {
-				case m.spill <- spillReq{hash: j.hash, job: j.id, traceID: j.traceID, result: out.Result, final: out.Final}:
+				case m.spill <- spillReq{hash: j.hash, job: j.id, traceID: j.traceID, result: cached, final: out.Final}:
 				default:
 					m.spillDrops.Add(1)
 				}
@@ -916,7 +1041,10 @@ func (m *Manager) recordKernel(r core.Result) {
 		m.kernels[r.Config.Kernel] = ks
 	}
 	ks.jobs++
-	ks.iterations += int64(r.Iterations)
+	// Only iterations computed THIS run count toward throughput: a
+	// resumed job inherited its prefix from a snapshot, and crediting it
+	// with the full depth would let iters_per_sec exceed the hardware.
+	ks.iterations += int64(r.Iterations - r.ResumedFrom)
 	ks.wallNS += r.WallTime.Nanoseconds()
 	for _, a := range r.Activity {
 		ks.dispatched += int64(a.Active)
@@ -1048,6 +1176,12 @@ type Stats struct {
 	DiskCorrupt     int64 `json:"disk_corrupt"`
 	RecoveredJobs   int64 `json:"recovered_jobs"`
 	InterruptedJobs int64 `json:"interrupted_jobs"`
+	// SnapshotsWritten counts checkpoints durably persisted;
+	// SnapshotsResumed counts jobs that started from a stored checkpoint
+	// instead of iteration zero (both zero without -snapshot-every and
+	// an empty snapshot store).
+	SnapshotsWritten int64 `json:"snapshots_written"`
+	SnapshotsResumed int64 `json:"snapshots_resumed"`
 
 	// Distributed-execution counters (see shard.go). Like every counter
 	// above, no omitempty: zero is a reported value, not an absence.
@@ -1135,6 +1269,8 @@ func (m *Manager) Stats() Stats {
 		s.DiskCorrupt = m.store.Cache.Corrupt()
 		s.RecoveredJobs = m.recovered.Load()
 		s.InterruptedJobs = m.interrupted.Load()
+		s.SnapshotsWritten = m.snapsWritten.Load()
+		s.SnapshotsResumed = m.snapsResumed.Load()
 	}
 	m.kmu.Lock()
 	for name, ks := range m.kernels {
@@ -1199,6 +1335,28 @@ func (m *Manager) GetEntry(hash string) (*store.Entry, bool) {
 		return nil, false
 	}
 	return m.store.Cache.Get(hash)
+}
+
+// PutSnapshot adopts an externally supplied checkpoint into the disk
+// tier — the receive side of snapshot replication. Idempotent like
+// PutEntry: the key is (prefix hash, iteration).
+func (m *Manager) PutSnapshot(s *store.Snapshot) error {
+	if m.store == nil {
+		return ErrNoStore
+	}
+	return m.store.Cache.PutSnapshot(s)
+}
+
+// GetEntryWire reads the raw CRC-verified record bytes for any object
+// key — result entry or snapshot; the record's magic line tells the
+// receiver which decoder to use. This is the kind-agnostic send side of
+// replication and rebalancing, so snapshot keys appearing in
+// EntryHashes move between nodes exactly like entries.
+func (m *Manager) GetEntryWire(key string) ([]byte, bool) {
+	if m.store == nil {
+		return nil, false
+	}
+	return m.store.Cache.GetWire(key)
 }
 
 // EntryHashes lists the disk tier's live entries, most recently used

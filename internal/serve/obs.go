@@ -37,6 +37,8 @@ const (
 	StageCacheDisk    = "cache_disk"    // disk-tier lookup
 	StageReplicaFetch = "replica_fetch" // entry-source (cluster replica) fetch
 	StageSpill        = "spill"         // write-behind disk persist
+	StageSnapshot     = "snapshot"      // checkpoint write-behind persist
+	StageResume       = "resume"        // deepest-checkpoint lookup that hit
 	StageProxy        = "proxy"         // cluster: forwarding to the owner/replica
 	StageReplicate    = "replicate"     // cluster: pushing an entry to a successor
 	StageGossip       = "gossip"        // cluster: one gossip exchange with a peer
@@ -62,6 +64,8 @@ type managerObs struct {
 	cacheDisk    *metrics.Histogram
 	replicaFetch *metrics.Histogram
 	spill        *metrics.Histogram
+	snapshot     *metrics.Histogram
+	resume       *metrics.Histogram
 	shard        *metrics.Histogram
 	halo         *metrics.Histogram
 }
@@ -87,6 +91,8 @@ func newManagerObs(m *Manager) *managerObs {
 		cacheDisk:    StageHistogram(reg, StageCacheDisk),
 		replicaFetch: StageHistogram(reg, StageReplicaFetch),
 		spill:        StageHistogram(reg, StageSpill),
+		snapshot:     StageHistogram(reg, StageSnapshot),
+		resume:       StageHistogram(reg, StageResume),
 		shard:        StageHistogram(reg, StageShard),
 		halo:         StageHistogram(reg, StageHalo),
 	}
@@ -129,6 +135,9 @@ func newManagerObs(m *Manager) *managerObs {
 		metrics.Labels{"format": "full"}, &m.frameStats.FullBytes)
 	ctr("easypapd_frame_bytes_total", "Encoded frame bytes published, by stream format.",
 		metrics.Labels{"format": "delta"}, &m.frameStats.DeltaBytes)
+
+	ctr("easypapd_snapshots_written_total", "Kernel-state checkpoints durably persisted.", nil, &m.snapsWritten)
+	ctr("easypapd_snapshots_resumed_total", "Jobs resumed from a stored checkpoint instead of iteration zero.", nil, &m.snapsResumed)
 
 	ctr("easypapd_spills_total", "Results written behind to the disk tier.", nil, &m.spills)
 	ctr("easypapd_spill_errors_total", "Disk-tier writes that failed.", nil, &m.spillErrs)

@@ -161,7 +161,7 @@ func crashStore(t *testing.T, dir string, jobs map[string]core.Config, frames ma
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Journal.Begin(id, hash, frames[id], norm); err != nil {
+		if err := s.Journal.Begin(id, hash, frames[id], norm, 0); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -157,8 +157,15 @@ func (c *Cache) objectPath(hash string) string {
 // Get returns the entry stored for hash, verifying its CRC. A corrupt
 // or vanished entry is dropped and reported as a miss — the store never
 // serves bytes it cannot vouch for. Concurrent gets of the same hash
-// share one disk read.
+// share one disk read. Snapshot keys are a plain miss here: their
+// objects are EZSNAP1 records, which GetSnapshot decodes (letting them
+// reach DecodeEntry would misdiagnose every one as corruption and
+// delete it).
 func (c *Cache) Get(hash string) (*Entry, bool) {
+	if IsSnapshotKey(hash) {
+		c.misses.Add(1)
+		return nil, false
+	}
 	c.mu.Lock()
 	el, ok := c.entries[hash]
 	if !ok {
@@ -228,30 +235,55 @@ func (c *Cache) Put(e *Entry) error {
 	if !validToken(e.Hash) {
 		return fmt.Errorf("store: invalid entry hash %q", e.Hash)
 	}
+	if IsSnapshotKey(e.Hash) {
+		return fmt.Errorf("store: entry hash %q collides with the snapshot key space", e.Hash)
+	}
 	var buf bytes.Buffer
 	if err := EncodeEntry(&buf, e); err != nil {
 		return err
 	}
-	size := int64(buf.Len())
+	return c.putObject(e.Hash, buf.Bytes())
+}
+
+// PutSnapshot stores a checkpoint under its (prefix-hash, iter) key. It
+// shares the entry cache's objects directory, index log and byte budget
+// — a snapshot is just another content-addressed object, except that
+// eviction sacrifices snapshots (shallowest first) before any result.
+func (c *Cache) PutSnapshot(s *Snapshot) error {
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, s); err != nil {
+		return err
+	}
+	return c.putObject(SnapshotKey(s.PrefixHash, s.Iter), buf.Bytes())
+}
+
+// putObject is the shared landing path of Put and PutSnapshot: encoded
+// record bytes under a key, written temp-file + rename, appended to the
+// index, accounted against the byte budget.
+func (c *Cache) putObject(key string, data []byte) error {
+	if !validToken(key) {
+		return fmt.Errorf("store: invalid object key %q", key)
+	}
+	size := int64(len(data))
 	if size > maxPayload {
 		// The index decoder rejects sizes beyond maxPayload; storing a
 		// bigger entry (possible with an unbounded budget) would replay
 		// as dead and be swept at the next boot — refuse it up front.
-		return fmt.Errorf("store: entry %s (%d bytes) exceeds the on-disk record limit (%d)", e.Hash, size, int64(maxPayload))
+		return fmt.Errorf("store: entry %s (%d bytes) exceeds the on-disk record limit (%d)", key, size, int64(maxPayload))
 	}
 	if c.maxBytes > 0 && size > c.maxBytes {
-		return fmt.Errorf("store: entry %s (%d bytes) exceeds the cache budget (%d)", e.Hash, size, c.maxBytes)
+		return fmt.Errorf("store: entry %s (%d bytes) exceeds the cache budget (%d)", key, size, c.maxBytes)
 	}
 
-	path := c.objectPath(e.Hash)
+	path := c.objectPath(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-"+e.Hash+"-*")
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-"+key+"-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -276,11 +308,11 @@ func (c *Cache) Put(e *Entry) error {
 		return err
 	}
 
-	rec := IndexRec{Op: opPut, Hash: e.Hash, Size: size, PayloadCRC: checksum(buf.Bytes())}
+	rec := IndexRec{Op: opPut, Hash: key, Size: size, PayloadCRC: checksum(data)}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[e.Hash]; ok {
+	if el, ok := c.entries[key]; ok {
 		// Content-addressed: same hash, same bytes. Refresh recency and
 		// byte accounting (the rewrite may differ only if the entry was
 		// built by an older encoder).
@@ -289,7 +321,7 @@ func (c *Cache) Put(e *Entry) error {
 		c.order.MoveToFront(el)
 		c.stale++
 	} else {
-		c.entries[e.Hash] = c.order.PushFront(&diskEntry{hash: e.Hash, size: size})
+		c.entries[key] = c.order.PushFront(&diskEntry{hash: key, size: size})
 		c.bytes += size
 	}
 	if _, err := c.idx.WriteString(encodeIndexRec(rec)); err != nil {
@@ -303,6 +335,89 @@ func (c *Cache) Put(e *Entry) error {
 	c.evictLocked()
 	c.maybeCompactLocked()
 	return nil
+}
+
+// GetSnapshot returns the checkpoint stored for (prefixHash, iter),
+// verifying its CRC. Corrupt or mismatched snapshots are dropped and
+// reported as missing, like Get. No singleflight: snapshot reads happen
+// once per resumed job, not per thundering herd.
+func (c *Cache) GetSnapshot(prefixHash string, iter int) (*Snapshot, bool) {
+	key := SnapshotKey(prefixHash, iter)
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.mu.Unlock()
+
+	rf, err := os.Open(c.objectPath(key))
+	if err != nil {
+		c.misses.Add(1) // concurrent eviction won the race: plain miss
+		return nil, false
+	}
+	s, err := DecodeSnapshot(rf)
+	rf.Close()
+	if err != nil || s.PrefixHash != prefixHash || s.Iter != iter {
+		c.corrupt.Add(1)
+		c.Delete(key)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return s, true
+}
+
+// DeepestSnapshot returns the deepest stored checkpoint of prefixHash
+// at or below maxIter — the best resume point for a run of maxIter
+// iterations. Corrupt candidates are dropped and the next-deepest is
+// tried, so one bad object degrades the resume, never fails it.
+func (c *Cache) DeepestSnapshot(prefixHash string, maxIter int) (*Snapshot, bool) {
+	c.mu.Lock()
+	var iters []int
+	for key := range c.entries {
+		if p, iter, ok := ParseSnapshotKey(key); ok && p == prefixHash && iter <= maxIter {
+			iters = append(iters, iter)
+		}
+	}
+	c.mu.Unlock()
+	sort.Sort(sort.Reverse(sort.IntSlice(iters)))
+	for _, iter := range iters {
+		if s, ok := c.GetSnapshot(prefixHash, iter); ok {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// GetWire returns the raw encoded object bytes for a key — entry or
+// snapshot, whichever kind the key names — after verifying they decode.
+// This is the cluster replication read path: peers exchange wire bytes
+// as-is, and the magic line tells the receiver which decoder to apply.
+func (c *Cache) GetWire(key string) ([]byte, bool) {
+	if IsSnapshotKey(key) {
+		prefixHash, iter, _ := ParseSnapshotKey(key)
+		s, ok := c.GetSnapshot(prefixHash, iter)
+		if !ok {
+			return nil, false
+		}
+		var buf bytes.Buffer
+		if err := EncodeSnapshot(&buf, s); err != nil {
+			return nil, false
+		}
+		return buf.Bytes(), true
+	}
+	e, ok := c.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	if err := EncodeEntry(&buf, e); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
 }
 
 // Delete removes an entry (used for corrupt objects and tests).
@@ -329,15 +444,35 @@ func (c *Cache) deleteLocked(hash string) {
 	c.stale += 2 // the del record plus the put it killed
 }
 
-// evictLocked drops least-recently-used entries until under budget.
+// evictLocked drops entries until under budget. Snapshots go first,
+// shallowest iteration first — a shallow checkpoint saves the least
+// recompute, and results are never sacrificed while a rebuildable
+// checkpoint remains. Only when no snapshots are left does plain LRU
+// take over.
 func (c *Cache) evictLocked() {
 	if c.maxBytes <= 0 {
 		return
 	}
 	for c.bytes > c.maxBytes && c.order.Len() > 1 {
+		if key, ok := c.shallowestSnapLocked(); ok {
+			c.deleteLocked(key)
+			continue
+		}
 		last := c.order.Back()
 		c.deleteLocked(last.Value.(*diskEntry).hash)
 	}
+}
+
+// shallowestSnapLocked finds the stored snapshot with the lowest
+// iteration across all prefixes — the eviction policy's first victim.
+func (c *Cache) shallowestSnapLocked() (string, bool) {
+	best, bestIter := "", -1
+	for key := range c.entries {
+		if _, iter, ok := ParseSnapshotKey(key); ok && (bestIter < 0 || iter < bestIter) {
+			best, bestIter = key, iter
+		}
+	}
+	return best, bestIter >= 0
 }
 
 // maybeCompactLocked rewrites the index once dead records dominate it:

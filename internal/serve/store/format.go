@@ -30,14 +30,30 @@ import (
 //
 //	EZIDX <put|del> <hash> <size> <payloadCRC> <lineCRC>\n
 //
+// Snapshot file (objects/<hh>/<key>) — one mid-run checkpoint, keyed by
+// (Config.PrefixHash, iteration); see SnapshotKey:
+//
+//	EZSNAP1 <prefixHash> <iter> <stateLen> <payloadCRC>\n
+//	<stateLen bytes: kernel StateCodec bytes>
+//
 // Journal record (journal.log) — write-ahead job log:
 //
-//	EZJRN open <id> <hash> <frames:0|1> <cfgLen> <payloadCRC> <lineCRC>\n
-//	<cfgLen bytes: JSON core.Config>\n
+//	EZJRN open <id> <hash> <frames:0|1> <payloadLen> <payloadCRC> <lineCRC>\n
+//	<payloadLen bytes: JSON {"config": core.Config, "submitted": unixNS}>\n
+//	EZJRN snap <id> <iter> 0 0 00000000 <lineCRC>\n
 //	EZJRN done <id> <state> 0 0 00000000 <lineCRC>\n
 //
+// The open payload wraps the config with the job's original submit time
+// so a recovered job keeps its queue age; a payload that is a bare
+// core.Config (the pre-checkpointing form) still decodes, with a zero
+// submit time. A snap record marks "this open job has a usable
+// checkpoint at iteration <iter>" — recovery resumes there instead of
+// from zero. Decoders that predate an op skip its records (unknown ops
+// are per-line errors), so new ops degrade to the old behavior.
+//
 // <payloadCRC> and <lineCRC> are 8 lower-hex digits of CRC-32C. In an
-// entry file the payload CRC covers result+frames bytes; in an index
+// entry file the payload CRC covers result+frames bytes (in a snapshot
+// file the state bytes); in an index
 // put record it covers the whole entry file; in a journal open record
 // it covers the config JSON. lineCRC covers the header line up to (not
 // including) the space before it, so
@@ -48,6 +64,7 @@ import (
 
 const (
 	entryMagic   = "EZSTORE1"
+	snapMagic    = "EZSNAP1"
 	indexMagic   = "EZIDX"
 	journalMagic = "EZJRN"
 
@@ -156,6 +173,101 @@ func DecodeEntry(r io.Reader) (*Entry, error) {
 	return e, nil
 }
 
+// --- snapshot files ---------------------------------------------------
+
+// Snapshot is one mid-run checkpoint: the kernel's StateCodec bytes at
+// iteration Iter of the configuration trajectory PrefixHash
+// (core.Config.PrefixHash — the canonical hash with the iteration count
+// excluded, so every run of the same prefix shares the key space).
+type Snapshot struct {
+	PrefixHash string
+	Iter       int
+	State      []byte
+}
+
+// snapKeySep separates the prefix hash from the iteration in a snapshot
+// object key.
+const snapKeySep = "-snap-"
+
+// SnapshotKey renders the cache object key of a snapshot: the prefix
+// hash plus the zero-padded iteration, sortable within a prefix and
+// disjoint from result-entry keys (hex hashes never contain '-').
+func SnapshotKey(prefixHash string, iter int) string {
+	return fmt.Sprintf("%s%s%08d", prefixHash, snapKeySep, iter)
+}
+
+// ParseSnapshotKey splits a snapshot object key back into its prefix
+// hash and iteration; ok is false for non-snapshot keys.
+func ParseSnapshotKey(key string) (prefixHash string, iter int, ok bool) {
+	i := strings.LastIndex(key, snapKeySep)
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(key[i+len(snapKeySep):])
+	if err != nil || n < 0 {
+		return "", 0, false
+	}
+	return key[:i], n, true
+}
+
+// IsSnapshotKey reports whether a cache object key names a snapshot.
+func IsSnapshotKey(key string) bool {
+	_, _, ok := ParseSnapshotKey(key)
+	return ok
+}
+
+// EncodeSnapshot writes the snapshot-file form of s to w.
+func EncodeSnapshot(w io.Writer, s *Snapshot) error {
+	if !validToken(s.PrefixHash) || strings.Contains(s.PrefixHash, snapKeySep) {
+		return fmt.Errorf("store: invalid snapshot prefix hash %q", s.PrefixHash)
+	}
+	if s.Iter <= 0 {
+		return fmt.Errorf("store: invalid snapshot iteration %d", s.Iter)
+	}
+	if _, err := fmt.Fprintf(w, "%s %s %d %d %08x\n", snapMagic, s.PrefixHash, s.Iter, len(s.State), checksum(s.State)); err != nil {
+		return err
+	}
+	_, err := w.Write(s.State)
+	return err
+}
+
+// DecodeSnapshot parses one snapshot file, verifying the payload CRC.
+// Like DecodeEntry it never panics on corrupt input: truncation, length
+// overflow and checksum mismatch are errors the caller treats as a
+// missing checkpoint.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot header: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSuffix(line, "\n"))
+	if len(fields) != 5 || fields[0] != snapMagic {
+		return nil, fmt.Errorf("store: malformed snapshot header %q", line)
+	}
+	s := &Snapshot{PrefixHash: fields[1]}
+	if !validToken(s.PrefixHash) || strings.Contains(s.PrefixHash, snapKeySep) {
+		return nil, fmt.Errorf("store: invalid prefix hash in snapshot header %q", line)
+	}
+	iter, err1 := strconv.Atoi(fields[2])
+	stLen, err2 := strconv.Atoi(fields[3])
+	wantCRC, err3 := strconv.ParseUint(fields[4], 16, 32)
+	if err1 != nil || err2 != nil || err3 != nil ||
+		iter <= 0 || stLen < 0 || stLen > maxPayload {
+		return nil, fmt.Errorf("store: malformed snapshot header %q", line)
+	}
+	s.Iter = iter
+	s.State = make([]byte, stLen)
+	if _, err := io.ReadFull(br, s.State); err != nil {
+		return nil, fmt.Errorf("store: truncated snapshot state: %w", err)
+	}
+	if got := checksum(s.State); uint32(wantCRC) != got {
+		return nil, fmt.Errorf("store: snapshot %s@%d payload CRC mismatch (want %08x, got %08x)",
+			s.PrefixHash, s.Iter, wantCRC, got)
+	}
+	return s, nil
+}
+
 // --- index records ----------------------------------------------------
 
 // indexOp is the operation of one index record.
@@ -239,25 +351,43 @@ func ReadIndex(r io.Reader) []IndexRec {
 
 // JournalRec is one decoded record of the job journal.
 type JournalRec struct {
-	Op     string // "open" or "done"
-	ID     string
-	Hash   string      // open only
-	Frames bool        // open only
-	Config core.Config // open only
-	State  string      // done only: the terminal JobState
+	Op        string // "open", "snap" or "done"
+	ID        string
+	Hash      string      // open only
+	Frames    bool        // open only
+	Config    core.Config // open only
+	Submitted int64       // open only: original submit time, unix ns (0 = unknown)
+	SnapIter  int         // snap records; stamped onto open records by reduceOpen
+	State     string      // done only: the terminal JobState
+}
+
+// journalOpenPayload is the JSON payload of an open record: the config
+// wrapped with the original submit time, so a recovered job does not
+// lose its queue age to the restart. Bare core.Config payloads (the
+// pre-checkpointing form) are still accepted on read.
+type journalOpenPayload struct {
+	Config    core.Config `json:"config"`
+	Submitted int64       `json:"submitted,omitempty"`
 }
 
 // encodeJournalOpen renders a job-admitted record: header line plus the
-// config JSON on its own line (json.Marshal emits no raw newlines, so
+// payload JSON on its own line (json.Marshal emits no raw newlines, so
 // the journal stays line-oriented and a decoder can resynchronize after
 // corruption).
-func encodeJournalOpen(id, hash string, frames bool, cfgJSON []byte) string {
+func encodeJournalOpen(id, hash string, frames bool, payloadJSON []byte) string {
 	fr := 0
 	if frames {
 		fr = 1
 	}
-	head := fmt.Sprintf("%s open %s %s %d %d %08x", journalMagic, id, hash, fr, len(cfgJSON), checksum(cfgJSON))
-	return appendLineCRC(head) + string(cfgJSON) + "\n"
+	head := fmt.Sprintf("%s open %s %s %d %d %08x", journalMagic, id, hash, fr, len(payloadJSON), checksum(payloadJSON))
+	return appendLineCRC(head) + string(payloadJSON) + "\n"
+}
+
+// encodeJournalSnap renders a checkpoint-taken record: job id has a
+// usable snapshot at the given iteration.
+func encodeJournalSnap(id string, iter int) string {
+	head := fmt.Sprintf("%s snap %s %d 0 0 00000000", journalMagic, id, iter)
+	return appendLineCRC(head)
 }
 
 // encodeJournalDone renders a job-terminal record.
@@ -300,6 +430,13 @@ func decodeJournalHeader(line string) (rec JournalRec, cfgLen int, payloadCRC ui
 		}
 		rec.Frames = fr == 1
 		return rec, n, uint32(pcrc), nil
+	case "snap":
+		iter, err := strconv.Atoi(fields[3])
+		if err != nil || iter <= 0 {
+			return rec, 0, 0, fmt.Errorf("store: malformed journal record %q", line)
+		}
+		rec.SnapIter = iter
+		return rec, 0, 0, nil
 	case "done":
 		rec.State = fields[3]
 		if !validToken(rec.State) {
@@ -332,7 +469,24 @@ func ReadJournal(r io.Reader) []JournalRec {
 			if len(payload) != cfgLen || checksum(payload) != payloadCRC {
 				continue
 			}
-			if json.Unmarshal(payload, &rec.Config) != nil {
+			// A payload carrying a "config" key is the wrapper form
+			// ({"config":..., "submitted":...}); without one it is the
+			// legacy bare-config form, which reads with a zero submit
+			// time. Detection is structural (key presence), so the
+			// decode-encode-decode cycle of compaction is a fixed point.
+			var probe struct {
+				Config    json.RawMessage `json:"config"`
+				Submitted int64           `json:"submitted"`
+			}
+			if json.Unmarshal(payload, &probe) != nil {
+				continue
+			}
+			if probe.Config != nil {
+				if json.Unmarshal(probe.Config, &rec.Config) != nil {
+					continue
+				}
+				rec.Submitted = probe.Submitted
+			} else if json.Unmarshal(payload, &rec.Config) != nil {
 				continue
 			}
 		}
@@ -367,6 +521,13 @@ func reduceOpen(recs []JournalRec) []JournalRec {
 				order = append(order, rec.ID)
 			}
 			open[rec.ID] = rec
+		case "snap":
+			// Deepest checkpoint wins; a snap for a job that is not open
+			// (already done, or never admitted) marks nothing.
+			if cur, ok := open[rec.ID]; ok && rec.SnapIter > cur.SnapIter {
+				cur.SnapIter = rec.SnapIter
+				open[rec.ID] = cur
+			}
 		case "done":
 			delete(open, rec.ID)
 		}
@@ -380,15 +541,20 @@ func reduceOpen(recs []JournalRec) []JournalRec {
 	return out
 }
 
-// reencodeJournal renders the compacted journal: just the open records.
+// reencodeJournal renders the compacted journal: the open records, each
+// followed by its deepest-checkpoint snap record when one exists — so
+// compaction loses neither the submit time nor the resume point.
 func reencodeJournal(open []JournalRec) ([]byte, error) {
 	var buf bytes.Buffer
 	for _, rec := range open {
-		cfgJSON, err := json.Marshal(rec.Config)
+		payload, err := json.Marshal(journalOpenPayload{Config: rec.Config, Submitted: rec.Submitted})
 		if err != nil {
 			return nil, err
 		}
-		buf.WriteString(encodeJournalOpen(rec.ID, rec.Hash, rec.Frames, cfgJSON))
+		buf.WriteString(encodeJournalOpen(rec.ID, rec.Hash, rec.Frames, payload))
+		if rec.SnapIter > 0 {
+			buf.WriteString(encodeJournalSnap(rec.ID, rec.SnapIter))
+		}
 	}
 	return buf.Bytes(), nil
 }

@@ -75,12 +75,54 @@ func FuzzStoreIndexDecode(f *testing.F) {
 	})
 }
 
+func FuzzSnapshotDecode(f *testing.F) {
+	var valid bytes.Buffer
+	if err := EncodeSnapshot(&valid, &Snapshot{
+		PrefixHash: strings.Repeat("ef", 32), Iter: 128,
+		State: []byte("EZK1\x00\x01kernel-state"),
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes(), uint32(0))
+	f.Add(valid.Bytes(), uint32(13)) // bit flip
+	f.Add(valid.Bytes(), uint32(42)) // truncation
+	f.Add(valid.Bytes(), uint32(7))  // duplication
+	f.Add([]byte("EZSNAP1 ab 0 0 00000000\n"), uint32(0))
+	f.Add([]byte("EZSNAP1 "+strings.Repeat("a", 64)+" -1 3 zzzzzzzz\nxyz"), uint32(0))
+	f.Add([]byte{}, uint32(0))
+	f.Fuzz(func(t *testing.T, data []byte, mutation uint32) {
+		data = flip(data, mutation)
+		s, err := DecodeSnapshot(bytes.NewReader(data)) // must not panic
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the invariants resume relies on:
+		// a valid storage key and a positive depth.
+		if !validToken(s.PrefixHash) || strings.Contains(s.PrefixHash, snapKeySep) || s.Iter <= 0 {
+			t.Fatalf("decoder surfaced invalid snapshot %+v", s)
+		}
+		if ph, iter, ok := ParseSnapshotKey(SnapshotKey(s.PrefixHash, s.Iter)); !ok || ph != s.PrefixHash || iter != s.Iter {
+			t.Fatalf("snapshot key does not round-trip for %+v", s)
+		}
+		// Stability: re-encoding what was decoded decodes identically.
+		var buf bytes.Buffer
+		if err := EncodeSnapshot(&buf, s); err != nil {
+			t.Fatalf("re-encoding accepted snapshot: %v", err)
+		}
+		again, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil || !reflect.DeepEqual(s, again) {
+			t.Fatalf("re-encode not stable: %+v vs %+v (%v)", s, again, err)
+		}
+	})
+}
+
 func FuzzJournalReplay(f *testing.F) {
 	cfgJSON := []byte(`{"kernel":"mandel","variant":"seq","dim":64,"schedule":"static","label":"t"}`)
 	h := strings.Repeat("cd", 32)
 	valid := encodeJournalOpen("j-000001", h, false, cfgJSON) +
 		encodeJournalDone("j-000001", "done") +
-		encodeJournalOpen("j-000002", h, true, cfgJSON)
+		encodeJournalOpen("j-000002", h, true, cfgJSON) +
+		encodeJournalSnap("j-000002", 64)
 	f.Add([]byte(valid), uint32(0))
 	f.Add([]byte(valid), uint32(21)) // bit flip
 	f.Add([]byte(valid), uint32(66)) // truncation
@@ -96,6 +138,14 @@ func FuzzJournalReplay(f *testing.F) {
 		encodeJournalOpen("j-000003", h, false, cfgJSON)), uint32(0))
 	f.Add([]byte(encodeJournalDone("j-000004", "hwm")+
 		encodeJournalOpen("j-000004", h, false, cfgJSON)), uint32(0))
+	// Post-checkpointing shapes: wrapper payload with a submit time, snap
+	// records (including one for a never-opened id, which replay must
+	// ignore), and regressing snap depths (only the deepest sticks).
+	f.Add([]byte(encodeJournalOpen("j-000005", h, false,
+		[]byte(`{"config":`+string(cfgJSON)+`,"submitted":1700000000000000000}`))+
+		encodeJournalSnap("j-000005", 100)+
+		encodeJournalSnap("j-000005", 50)+
+		encodeJournalSnap("j-000777", 9)), uint32(0))
 	f.Fuzz(func(t *testing.T, data []byte, mutation uint32) {
 		data = flip(data, mutation)
 		open := ReplayJournal(bytes.NewReader(data)) // must not panic

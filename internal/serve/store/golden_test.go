@@ -56,9 +56,21 @@ func goldenEntry() *Entry {
 	}
 }
 
-// encodeGoldenStore renders the golden bytes: one entry file, an index
-// log (put/put/del), and a journal (open/done/open), separated by
-// section markers so a diff localizes which format drifted.
+// goldenSnapshot is a fixed checkpoint record: the state bytes are
+// opaque to the store (the kernel codec owns their meaning), so a
+// literal keeps this golden independent of internal/kernels.
+func goldenSnapshot() *Snapshot {
+	return &Snapshot{
+		PrefixHash: "22a4b61f8e09cd48a1b5412d4df75c562a3e49101c2d758fd9ed5a7edcdce436",
+		Iter:       200,
+		State:      []byte("EZK1\x10\x00kernel-state\x00\x01\x02\x03"),
+	}
+}
+
+// encodeGoldenStore renders the golden bytes: one entry file, one
+// snapshot file, an index log (put/put/del), and a journal
+// (open/done/open/open/snap), separated by section markers so a diff
+// localizes which format drifted.
 func encodeGoldenStore(t *testing.T) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -66,6 +78,11 @@ func encodeGoldenStore(t *testing.T) []byte {
 
 	buf.WriteString("-- entry --\n")
 	if err := EncodeEntry(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.WriteString("\n-- snapshot --\n")
+	if err := EncodeSnapshot(&buf, goldenSnapshot()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -80,6 +97,12 @@ func encodeGoldenStore(t *testing.T) []byte {
 	buf.WriteString(encodeJournalOpen("j-000007", e.Hash, false, cfgJSON))
 	buf.WriteString(encodeJournalDone("j-000007", "done"))
 	buf.WriteString(encodeJournalOpen("j-000008", other, true, cfgJSON))
+	// Wrapper payload (carries the original submit time) plus a snap
+	// record — the post-checkpointing journal shapes. The bare-config
+	// opens above stay: old journals must keep decoding.
+	wrapped := []byte(`{"config":` + string(cfgJSON) + `,"submitted":1700000000000000000}`)
+	buf.WriteString(encodeJournalOpen("j-000009", e.Hash, false, wrapped))
+	buf.WriteString(encodeJournalSnap("j-000009", 200))
 	return buf.Bytes()
 }
 
@@ -110,8 +133,8 @@ func TestStoreGolden(t *testing.T) {
 	// The golden bytes must also round-trip through the decoders —
 	// telling "format drift" apart from "decoder broke".
 	sections := strings.Split(string(want), "-- ")
-	if len(sections) != 4 {
-		t.Fatalf("golden file has %d sections, want 4", len(sections))
+	if len(sections) != 5 {
+		t.Fatalf("golden file has %d sections, want 5", len(sections))
 	}
 	entryBytes := strings.TrimPrefix(sections[1], "entry --\n")
 	e, err := DecodeEntry(strings.NewReader(entryBytes))
@@ -123,20 +146,41 @@ func TestStoreGolden(t *testing.T) {
 		t.Fatalf("golden entry decodes to %+v, want %+v", e, wantE)
 	}
 
-	idx := ReadIndex(strings.NewReader(strings.TrimPrefix(sections[2], "index --\n")))
+	snapBytes := strings.TrimPrefix(sections[2], "snapshot --\n")
+	s, err := DecodeSnapshot(strings.NewReader(snapBytes))
+	if err != nil {
+		t.Fatalf("golden snapshot does not decode: %v", err)
+	}
+	if wantS := goldenSnapshot(); s.PrefixHash != wantS.PrefixHash || s.Iter != wantS.Iter || !bytes.Equal(s.State, wantS.State) {
+		t.Fatalf("golden snapshot decodes to %+v, want %+v", s, wantS)
+	}
+
+	idx := ReadIndex(strings.NewReader(strings.TrimPrefix(sections[3], "index --\n")))
 	if len(idx) != 3 || idx[0].Op != opPut || idx[2].Op != opDel || idx[0].Size != 4242 {
 		t.Fatalf("golden index decodes to %+v", idx)
 	}
 
-	jr := ReadJournal(strings.NewReader(strings.TrimPrefix(sections[3], "journal --\n")))
-	if len(jr) != 3 || jr[0].Op != "open" || jr[1].Op != "done" || !jr[2].Frames {
+	journalBytes := strings.TrimPrefix(sections[4], "journal --\n")
+	jr := ReadJournal(strings.NewReader(journalBytes))
+	if len(jr) != 5 || jr[0].Op != "open" || jr[1].Op != "done" || !jr[2].Frames {
 		t.Fatalf("golden journal decodes to %+v", jr)
 	}
 	if jr[0].Config.Kernel != "mandel" || jr[0].Config.Arg != "zoom" {
 		t.Fatalf("golden journal config lost fields: %+v", jr[0].Config)
 	}
-	open := ReplayJournal(strings.NewReader(strings.TrimPrefix(sections[3], "journal --\n")))
-	if len(open) != 1 || open[0].ID != "j-000008" {
+	if jr[3].Submitted != 1700000000000000000 || jr[3].Config.Kernel != "mandel" {
+		t.Fatalf("golden wrapper open lost fields: %+v", jr[3])
+	}
+	if jr[4].Op != "snap" || jr[4].SnapIter != 200 {
+		t.Fatalf("golden snap record decodes to %+v", jr[4])
+	}
+	open := ReplayJournal(strings.NewReader(journalBytes))
+	if len(open) != 2 || open[0].ID != "j-000008" || open[1].ID != "j-000009" {
 		t.Fatalf("golden journal replay: %+v", open)
+	}
+	// The snap record's depth is stamped onto its job's open record, and
+	// the persisted submit time survives replay.
+	if open[1].SnapIter != 200 || open[1].Submitted != 1700000000000000000 {
+		t.Fatalf("replay lost checkpoint state: %+v", open[1])
 	}
 }

@@ -123,19 +123,20 @@ func (j *Journal) OpenCount() int {
 // Begin journals a job admission. It must be called before the job is
 // made runnable — write-ahead, so a crash after Begin recovers the job
 // and a crash before it loses nothing but the not-yet-acknowledged
-// submission.
-func (j *Journal) Begin(id, hash string, frames bool, cfg core.Config) error {
+// submission. submitted is the client's original submit time (unix ns;
+// 0 = unknown), persisted so a recovered job keeps its queue age.
+func (j *Journal) Begin(id, hash string, frames bool, cfg core.Config, submitted int64) error {
 	if !validToken(id) || !validToken(hash) {
 		return fmt.Errorf("store: invalid journal key id=%q hash=%q", id, hash)
 	}
-	cfgJSON, err := json.Marshal(cfg)
+	payload, err := json.Marshal(journalOpenPayload{Config: cfg, Submitted: submitted})
 	if err != nil {
 		return err
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.noteID(id)
-	if _, err := j.f.WriteString(encodeJournalOpen(id, hash, frames, cfgJSON)); err != nil {
+	if _, err := j.f.WriteString(encodeJournalOpen(id, hash, frames, payload)); err != nil {
 		return err
 	}
 	if j.fsync {
@@ -145,7 +146,36 @@ func (j *Journal) Begin(id, hash string, frames bool, cfg core.Config) error {
 			return err
 		}
 	}
-	j.open[id] = JournalRec{Op: "open", ID: id, Hash: hash, Frames: frames, Config: cfg}
+	j.open[id] = JournalRec{Op: "open", ID: id, Hash: hash, Frames: frames, Config: cfg, Submitted: submitted}
+	return nil
+}
+
+// Snap journals "job id has a usable checkpoint at iteration iter", so
+// recovery after a crash resumes the job there instead of from zero. A
+// snap for a job without an open record is rejected — it would be
+// meaningless on replay.
+func (j *Journal) Snap(id string, iter int) error {
+	if !validToken(id) || iter <= 0 {
+		return fmt.Errorf("store: invalid journal snap id=%q iter=%d", id, iter)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.open[id]
+	if !ok {
+		return fmt.Errorf("store: journal snap for unopened job %q", id)
+	}
+	if _, err := j.f.WriteString(encodeJournalSnap(id, iter)); err != nil {
+		return err
+	}
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if iter > rec.SnapIter {
+		rec.SnapIter = iter
+		j.open[id] = rec
+	}
 	return nil
 }
 

@@ -133,7 +133,7 @@ func TestJournalConcurrentBeginEnd(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < jobs; i++ {
 				id := fmt.Sprintf("j-%06d", w*jobs+i+1)
-				if err := s.Journal.Begin(id, hashN(i), false, cfg); err != nil {
+				if err := s.Journal.Begin(id, hashN(i), false, cfg, 0); err != nil {
 					t.Error(err)
 					return
 				}

@@ -332,13 +332,13 @@ func TestJournalRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := core.Config{Kernel: "mandel", Dim: 64, Iterations: 3, Threads: 1, Label: "test"}
-	if err := s.Journal.Begin("j-000001", hashN(1), false, cfg); err != nil {
+	if err := s.Journal.Begin("j-000001", hashN(1), false, cfg, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Journal.Begin("j-000002", hashN(2), true, cfg); err != nil {
+	if err := s.Journal.Begin("j-000002", hashN(2), true, cfg, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Journal.Begin("j-000003", hashN(3), false, cfg); err != nil {
+	if err := s.Journal.Begin("j-000003", hashN(3), false, cfg, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Journal.End("j-000002", "done"); err != nil {
@@ -386,7 +386,7 @@ func TestJournalMaxIDSurvivesCompaction(t *testing.T) {
 	cfg := core.Config{Kernel: "mandel", Dim: 64, Label: "test"}
 	for i := 1; i <= 100; i++ {
 		id := fmt.Sprintf("j-%06d", i)
-		if err := s.Journal.Begin(id, hashN(i), false, cfg); err != nil {
+		if err := s.Journal.Begin(id, hashN(i), false, cfg, 0); err != nil {
 			t.Fatal(err)
 		}
 		if err := s.Journal.End(id, "done"); err != nil {
@@ -446,13 +446,13 @@ func TestJournalResurrectedJobRecoversOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := core.Config{Kernel: "mandel", Dim: 64, Label: "test"}
-	if err := s.Journal.Begin("j-000001", hashN(1), false, cfg); err != nil {
+	if err := s.Journal.Begin("j-000001", hashN(1), false, cfg, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Journal.End("j-000001", "done"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Journal.Begin("j-000001", hashN(1), false, cfg); err != nil {
+	if err := s.Journal.Begin("j-000001", hashN(1), false, cfg, 0); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()

@@ -167,6 +167,12 @@ func (f *Frontier) Advance() int {
 	for i := range f.next {
 		f.next[i] = 0
 	}
+	return f.compact()
+}
+
+// compact rebuilds the active list from cur's owned bits and returns its
+// length.
+func (f *Frontier) compact() int {
 	f.active = f.active[:0]
 	tilesX := f.grid.TilesX
 	lo, hi := f.tyLo*tilesX, f.tyHi*tilesX
@@ -185,6 +191,35 @@ func (f *Frontier) Advance() int {
 		}
 	}
 	return len(f.active)
+}
+
+// Words returns a copy of the current active set's bitset words — the
+// serialized form of the frontier for checkpointing. Taken right after
+// Advance, it captures exactly the tiles the next compute call will
+// dispatch (the marking buffer is empty at that point, so nothing is
+// lost). Call it from the boundary side only.
+func (f *Frontier) Words() []uint64 {
+	out := make([]uint64, len(f.cur))
+	copy(out, f.cur)
+	return out
+}
+
+// Restore replaces the current active set with previously captured Words
+// and recompacts the active list, clearing any pending marks — the
+// inverse of Words, used to resume a lazy run from a checkpoint. It
+// rejects a word count that does not match the grid (a snapshot from a
+// different decomposition).
+func (f *Frontier) Restore(words []uint64) error {
+	if len(words) != len(f.cur) {
+		return fmt.Errorf("tilegrid: restoring %d frontier words into a grid needing %d",
+			len(words), len(f.cur))
+	}
+	copy(f.cur, words)
+	for i := range f.next {
+		f.next[i] = 0
+	}
+	f.compact()
+	return nil
 }
 
 // Active returns the compacted list of tiles active in the current
